@@ -1,0 +1,206 @@
+//! Design-choice ablations (DESIGN.md §6): quantify what each load-bearing
+//! choice of the paper's algorithms buys, by swapping it out.
+//!
+//! 1. **BA's processor split** — the best-approximation rule vs naive
+//!    `round(α̂·N)`: how much balance quality the Lemma-4 rule buys.
+//! 2. **HF's heaviest-first order** — vs bisecting a *random* piece:
+//!    why the heap matters.
+//! 3. **PHF's `(1−α)` batch window** — vs bisecting only the maximum per
+//!    round: the batch is what makes phase 2 O(log N); count the rounds.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::banner;
+use gb_core::ba::ba;
+use gb_core::heap::WeightHeap;
+use gb_core::hf::hf;
+use gb_core::problem::Bisectable;
+use gb_core::rng::Xoshiro256StarStar;
+use gb_core::stats::Welford;
+use gb_problems::synthetic::SyntheticProblem;
+
+/// BA with the naive `round(α̂·N)` processor split (clamped to [1, N−1]).
+fn ba_naive_split<P: Bisectable>(p: P, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut stack = vec![(p, n)];
+    while let Some((q, m)) = stack.pop() {
+        if m == 1 || !q.can_bisect() {
+            out.push(q.weight());
+            continue;
+        }
+        let (q1, q2) = q.bisect();
+        let frac = q1.weight() / q.weight();
+        let n1 = ((frac * m as f64).round() as usize).clamp(1, m - 1);
+        stack.push((q2, m - n1));
+        stack.push((q1, n1));
+    }
+    out
+}
+
+/// "HF" bisecting a uniformly random (instead of the heaviest) piece.
+fn random_first<P: Bisectable>(p: P, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut pieces = vec![p];
+    while pieces.len() < n {
+        let i = rng.range_usize(pieces.len());
+        let q = pieces.swap_remove(i);
+        if !q.can_bisect() {
+            pieces.push(q);
+            break;
+        }
+        let (a, b) = q.bisect();
+        pieces.push(a);
+        pieces.push(b);
+    }
+    pieces.iter().map(|q| q.weight()).collect()
+}
+
+/// Rounds a max-only phase 2 would need: repeatedly bisect just the single
+/// heaviest piece, counting synchronised rounds (1 bisection per round)
+/// versus PHF's window batching (all pieces within `(1−α)` of the max).
+fn rounds_max_only_vs_batched(p: SyntheticProblem, n: usize, alpha: f64) -> (usize, usize) {
+    // Max-only: every bisection is its own round.
+    let max_only_rounds = n - 1;
+    // Batched: simulate the window rule on a weight heap.
+    let mut heap = WeightHeap::new();
+    heap.push(p.weight(), p);
+    let mut pieces = 1usize;
+    let mut rounds = 0usize;
+    while pieces < n {
+        rounds += 1;
+        let m = heap.peek_weight().expect("non-empty");
+        let window = m * (1.0 - alpha);
+        let budget = n - pieces;
+        let mut batch = Vec::new();
+        while let Some(&w) = heap.peek_weight().as_ref() {
+            if w < window || batch.len() == budget {
+                break;
+            }
+            batch.push(heap.pop().expect("peeked").1);
+        }
+        for q in batch {
+            let (a, b) = q.bisect();
+            heap.push(a.weight(), a);
+            heap.push(b.weight(), b);
+            pieces += 1;
+        }
+    }
+    (max_only_rounds, rounds)
+}
+
+fn ratio_of(weights: &[f64], n: usize) -> f64 {
+    let total: f64 = weights.iter().sum();
+    let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    max / (total / n as f64)
+}
+
+fn artifact() {
+    banner("Ablations — what each design choice buys");
+    let n = 1 << 12;
+    let trials = 100;
+
+    // 1. Split rule.
+    let (mut best, mut naive) = (Welford::new(), Welford::new());
+    for seed in 0..trials {
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+        best.push(ba(p, n).ratio());
+        naive.push(ratio_of(&ba_naive_split(p, n), n));
+    }
+    println!(
+        "BA split rule     : best-approximation avg ratio {:.3} vs naive-round {:.3}",
+        best.mean(),
+        naive.mean()
+    );
+
+    // 2. Heaviest-first order.
+    let (mut heaviest, mut random) = (Welford::new(), Welford::new());
+    for seed in 0..trials {
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+        heaviest.push(hf(p, n).ratio());
+        random.push(ratio_of(&random_first(p, n, seed ^ 0xABCD), n));
+    }
+    println!(
+        "HF order          : heaviest-first avg ratio {:.3} vs random-piece {:.3}",
+        heaviest.mean(),
+        random.mean()
+    );
+
+    // 3. Phase-2 batching.
+    let mut batched = Welford::new();
+    for seed in 0..20 {
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+        let (max_only, rounds) = rounds_max_only_vs_batched(p, n, 0.1);
+        batched.push(rounds as f64 / max_only as f64);
+    }
+    println!(
+        "PHF batch window  : batched rounds are {:.2}% of max-only rounds (N−1) at N=2^12",
+        100.0 * batched.mean()
+    );
+
+    // 4. The value of weight information (the [10]-style unknown-weight
+    //    model the paper contrasts itself with in §2).
+    {
+        use gb_core::blind::{blind_ba, blind_hf};
+        let (mut hf_aware, mut hf_blind) = (Welford::new(), Welford::new());
+        let (mut ba_aware, mut ba_blind) = (Welford::new(), Welford::new());
+        for seed in 0..trials {
+            let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed ^ 0x51D);
+            hf_aware.push(hf(p, n).ratio());
+            hf_blind.push(blind_hf(p, n).ratio());
+            ba_aware.push(ba(p, n).ratio());
+            ba_blind.push(blind_ba(p, n).ratio());
+        }
+        println!(
+            "weight knowledge  : HF {:.3} vs blind-BFS {:.3}; BA {:.3} vs blind-halves {:.3}",
+            hf_aware.mean(),
+            hf_blind.mean(),
+            ba_aware.mean(),
+            ba_blind.mean()
+        );
+    }
+
+    // 5. Free-processor managers (§3.4): ranges vs randomized probing vs
+    //    a central directory, phase-1 makespan on the simulated machine.
+    use gb_parlb::managers::compare_managers;
+    for log_n in [8u32, 12] {
+        let n = 1usize << log_n;
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, 7);
+        let cmp = compare_managers(p, n, 0.1, 42);
+        println!(
+            "free-proc manager : N=2^{log_n}: ranges {} | random probing {} | central directory {}",
+            cmp.ranges, cmp.probing, cmp.central
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("ablation");
+    let n = 1 << 12;
+    group.bench_function("ba/best-approximation", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(ba(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n).ratio())
+        })
+    });
+    group.bench_function("ba/naive-round", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(ratio_of(
+                &ba_naive_split(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n),
+                n,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

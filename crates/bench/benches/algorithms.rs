@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the algorithm kernels (experiment support): the
+//! cost of one HF / BA / BA-HF run across sizes, the heap, and the
+//! problem-class bisection primitives.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_core::ba::{ba, split_processors};
+use gb_core::bahf::ba_hf;
+use gb_core::heap::WeightHeap;
+use gb_core::hf::hf;
+use gb_core::rng::Xoshiro256StarStar;
+use gb_problems::fe_tree::FeTree;
+use gb_problems::grid::Grid;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_problems::task_list::TaskList;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithms");
+    for log_n in [8u32, 12, 16] {
+        let n = 1usize << log_n;
+        group.bench_function(format!("hf/2^{log_n}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(hf(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n).ratio())
+            })
+        });
+        group.bench_function(format!("ba/2^{log_n}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(ba(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n).ratio())
+            })
+        });
+        group.bench_function(format!("bahf/2^{log_n}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(
+                    ba_hf(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n, 0.1, 1.0).ratio(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.bench_function("weight-heap/push-pop-4096", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let weights: Vec<f64> = (0..4096).map(|_| rng.next_f64()).collect();
+        b.iter(|| {
+            let mut h = WeightHeap::with_capacity(4096);
+            for (i, &w) in weights.iter().enumerate() {
+                h.push(w, i);
+            }
+            let mut acc = 0usize;
+            while let Some((_, v)) = h.pop() {
+                acc ^= v;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("split-processors", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 1..100u32 {
+                let w1 = i as f64 / 200.0;
+                acc += split_processors(w1, 1.0 - w1, 777).0;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_problem_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("problem-classes");
+    let tree = FeTree::adaptive(5000, 0.5, 1);
+    group.bench_function("fe-tree/hf-64", |b| {
+        b.iter(|| black_box(hf(tree.root_problem(), 64).ratio()))
+    });
+    let grid = Grid::hotspots(256, 256, 5, 2);
+    group.bench_function("grid/hf-64", |b| {
+        b.iter(|| black_box(hf(grid.root_problem(), 64).ratio()))
+    });
+    let tasks = TaskList::heavy_tailed(100_000, 3);
+    group.bench_function("task-list/hf-64", |b| {
+        b.iter(|| black_box(hf(tasks.root_problem(9), 64).ratio()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_algorithms, bench_primitives, bench_problem_classes
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Regenerates the **end-to-end study** (extension E-E2E): balancing
+//! overhead plus application processing time, and the PHF/BA crossover
+//! grain; then measures the profiling kernel.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::banner;
+use gb_simstudy::config::StudyConfig;
+use gb_simstudy::endtoend::{self, default_grains};
+
+fn artifact() {
+    banner("End-to-end study — when does balance quality pay for balancing time?");
+    let cfg = StudyConfig::fig5().with_trials(16);
+    for log_n in [8u32, 12] {
+        let s = endtoend::end_to_end_study(&cfg, 1usize << log_n, &default_grains());
+        print!("{}", endtoend::render(&s));
+        let violations = endtoend::check_claims(&s);
+        if violations.is_empty() {
+            println!("claims: all reproduced\n");
+        } else {
+            for v in violations {
+                println!("claim violation: {v}");
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let cfg = StudyConfig::fig5().with_trials(4);
+    c.bench_function("endtoend/profiles/2^10", |b| {
+        b.iter(|| black_box(endtoend::profiles(&cfg, 1 << 10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

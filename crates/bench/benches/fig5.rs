@@ -1,0 +1,45 @@
+//! Regenerates **Figure 5** (experiment F5) and measures the per-size
+//! trial cost that dominates the sweep.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::{banner, bench_fig5_cfg, BENCH_MAX_LOG};
+use gb_simstudy::config::Algorithm;
+use gb_simstudy::fig5;
+use gb_simstudy::run::{default_threads, ratio_summary};
+
+fn artifact() {
+    banner("Figure 5 — average ratio vs log2 N, alpha ~ U[0.1, 0.5]");
+    let cfg = bench_fig5_cfg();
+    let f = fig5::fig5(&cfg, 5..=BENCH_MAX_LOG, default_threads());
+    print!("{}", fig5::render(&f));
+    println!("csv:\n{}", fig5::to_csv(&f));
+    let violations = fig5::check_claims(&f);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let cfg = bench_fig5_cfg().with_trials(50);
+    let mut group = c.benchmark_group("fig5");
+    for alg in Algorithm::ALL {
+        group.bench_function(format!("summary-50-trials/{}/2^10", alg.name()), |b| {
+            b.iter(|| black_box(ratio_summary(alg, &cfg, 1 << 10, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

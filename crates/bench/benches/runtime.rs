@@ -1,0 +1,64 @@
+//! Regenerates the **model-time study** (experiment E-RT): HF `Θ(N)` vs
+//! PHF/BA/BA-HF `O(log N)` on the simulated machine, BA's zero global
+//! operations, and Theorem 3 (PHF ≡ HF) at every size; then measures the
+//! simulator's own throughput.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::banner;
+use gb_parlb::ba_machine::ba_on_machine;
+use gb_parlb::phf::phf;
+use gb_pram::machine::Machine;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_simstudy::config::StudyConfig;
+use gb_simstudy::runtime;
+
+fn artifact() {
+    banner("Model-time study — makespans and global ops on the simulated machine");
+    let cfg = StudyConfig::fig5().with_trials(1);
+    let s = runtime::runtime_study(&cfg, 5..=18u32);
+    print!("{}", runtime::render(&s));
+    let violations = runtime::check_claims(&s);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("runtime");
+    for log_n in [10u32, 14] {
+        let n = 1usize << log_n;
+        group.bench_function(format!("simulate-phf/2^{log_n}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+                let mut m = Machine::with_paper_costs(n);
+                black_box(phf(&mut m, p, n, 0.1).0.len())
+            })
+        });
+        group.bench_function(format!("simulate-ba/2^{log_n}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+                let mut m = Machine::with_paper_costs(n);
+                black_box(ba_on_machine(&mut m, p, n).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

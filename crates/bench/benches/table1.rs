@@ -1,0 +1,50 @@
+//! Regenerates **Table 1** (experiment T1) and measures its kernels.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::{banner, bench_table1_cfg, BENCH_MAX_LOG};
+use gb_simstudy::config::Algorithm;
+use gb_simstudy::run::{default_threads, run_trial};
+use gb_simstudy::table1;
+
+fn artifact() {
+    banner("Table 1 — worst-case ub and observed ratios, alpha ~ U[0.01, 0.5]");
+    let cfg = bench_table1_cfg();
+    let t = table1::table1(&cfg, 5..=BENCH_MAX_LOG, default_threads());
+    print!("{}", table1::render(&t));
+    let violations = table1::check_claims(&t);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let cfg = bench_table1_cfg();
+    let mut group = c.benchmark_group("table1");
+    for alg in Algorithm::ALL {
+        for log_n in [8u32, 12] {
+            let n = 1usize << log_n;
+            group.bench_function(format!("{}/2^{log_n}", alg.name()), |b| {
+                let mut trial = 0usize;
+                b.iter(|| {
+                    trial += 1;
+                    black_box(run_trial(alg, &cfg, n, trial))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

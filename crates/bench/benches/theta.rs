@@ -1,0 +1,54 @@
+//! Regenerates the **θ study** (experiment E-θ) and measures BA-HF's
+//! sensitivity to θ at the kernel level.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::{banner, bench_fig5_cfg};
+use gb_core::bahf::ba_hf;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_simstudy::run::default_threads;
+use gb_simstudy::theta;
+
+fn artifact() {
+    banner("Theta study — BA-HF average ratio vs theta, alpha ~ U[0.1, 0.5]");
+    let cfg = bench_fig5_cfg();
+    let s = theta::theta_study(&cfg, &[0.5, 1.0, 2.0, 3.0, 4.0], &[6, 8, 10, 12], default_threads());
+    print!("{}", theta::render(&s));
+    if let Some(imp) = theta::improvements_vs_theta1(&s) {
+        for (t, pct) in imp {
+            println!("improvement vs theta=1.0 at theta={t}: {pct:+.1}%");
+        }
+    }
+    let violations = theta::check_claims(&s);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("theta");
+    for &theta in &[0.5, 1.0, 4.0] {
+        group.bench_function(format!("bahf/2^12/theta={theta}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+                black_box(ba_hf(p, 1 << 12, 0.1, theta).ratio())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

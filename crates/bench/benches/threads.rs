@@ -1,0 +1,110 @@
+//! Real-thread BA on the work-stealing pool (experiment E-SPD): wall-clock
+//! speedup of `par_ba` over sequential `ba` as workers increase — the
+//! practical payoff of BA's "inherently parallel" structure.
+//!
+//! Plain synthetic bisections are too cheap for threading to pay off, so
+//! the workload makes each bisection cost real work (a small quadrature
+//! refinement), as it would in the paper's FEM setting.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::banner;
+use gb_core::ba::ba;
+use gb_core::problem::Bisectable;
+use gb_core::rng::{u64_to_unit_f64, SplitMix64};
+use gb_parlb::par_ba::par_ba;
+use gb_parlb::pool::ThreadPool;
+
+/// A synthetic problem whose `bisect` performs `work` iterations of real
+/// arithmetic — standing in for an application where producing two
+/// subproblems costs real computation (mesh splitting, error estimation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CostlyProblem {
+    w: f64,
+    seed: u64,
+    work: u32,
+}
+
+impl Bisectable for CostlyProblem {
+    fn weight(&self) -> f64 {
+        self.w
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        // Simulated refinement work (kept live through black_box).
+        let mut acc = 0.0f64;
+        let mut x = self.seed | 1;
+        for _ in 0..self.work {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc += u64_to_unit_f64(x).sqrt();
+        }
+        black_box(acc);
+        let u = u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+        let frac = 0.3 + 0.2 * u;
+        (
+            Self {
+                w: frac * self.w,
+                seed: SplitMix64::derive(self.seed, 1),
+                work: self.work,
+            },
+            Self {
+                w: (1.0 - frac) * self.w,
+                seed: SplitMix64::derive(self.seed, 2),
+                work: self.work,
+            },
+        )
+    }
+}
+
+fn artifact() {
+    banner("Real-thread speedup — par_ba vs sequential ba (costly bisections)");
+    let n = 4096;
+    let work = 20_000;
+    let p = CostlyProblem {
+        w: 1.0,
+        seed: 42,
+        work,
+    };
+    let t0 = std::time::Instant::now();
+    let seq = ba(p, n);
+    let seq_time = t0.elapsed();
+    println!("sequential ba:  {seq_time:?}");
+    for workers in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(workers);
+        let t0 = std::time::Instant::now();
+        let par = par_ba(&pool, p, n);
+        let elapsed = t0.elapsed();
+        assert!(par.same_weights_as(&seq), "parallel result differs");
+        println!(
+            "par_ba {workers:>2} worker(s): {elapsed:?}  (speedup {:.2}x)",
+            seq_time.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("threads");
+    group.sample_size(10);
+    let p = CostlyProblem {
+        w: 1.0,
+        seed: 7,
+        work: 5_000,
+    };
+    group.bench_function("seq-ba/4096", |b| b.iter(|| black_box(ba(p, 4096).len())));
+    for workers in [1usize, 4] {
+        let pool = ThreadPool::new(workers);
+        group.bench_function(format!("par-ba/4096/{workers}w"), |b| {
+            b.iter(|| black_box(par_ba(&pool, p, 4096).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Regenerates the **topology study** (extension E-TOP): the parallel
+//! algorithms on hypercube / mesh / ring / tree interconnects versus the
+//! paper's idealised machine, then measures the simulator overhead of
+//! topology-aware charging.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::banner;
+use gb_parlb::ba_machine::ba_on_machine;
+use gb_pram::cost::CostModel;
+use gb_pram::machine::Machine;
+use gb_pram::topology::Topology;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_simstudy::config::StudyConfig;
+use gb_simstudy::topology_study;
+
+fn artifact() {
+    banner("Topology study — the idealised model vs real interconnects");
+    let cfg = StudyConfig::fig5().with_trials(1);
+    let s = topology_study::topology_study(&cfg, &[6, 8, 10, 12, 14]);
+    print!("{}", topology_study::render(&s));
+    let violations = topology_study::check_claims(&s);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("topology");
+    for topology in [Topology::Complete, Topology::Hypercube, Topology::Ring] {
+        group.bench_function(format!("simulate-ba/2^12/{}", topology.name()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+                let mut m = Machine::with_topology(1 << 12, CostModel::paper(), topology);
+                black_box(ba_on_machine(&mut m, p, 1 << 12).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

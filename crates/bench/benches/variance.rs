@@ -1,0 +1,57 @@
+//! Regenerates the **variance remarks** of §4 (experiment E-VAR) together
+//! with the non-power-of-two comparison (E-NP2).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gb_bench::{banner, bench_table1_cfg};
+use gb_simstudy::config::Algorithm;
+use gb_simstudy::run::{default_threads, ratio_summary};
+use gb_simstudy::{nonpow2, variance};
+
+fn artifact() {
+    banner("Variance study + non-power-of-two N");
+    let cfg = bench_table1_cfg();
+    let s = variance::variance_study(&cfg, &variance::default_intervals(), 1 << 10, default_threads());
+    print!("{}", variance::render(&s));
+    let violations = variance::check_claims(&s);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+    println!();
+    let np = nonpow2::nonpow2_study(&cfg.with_interval(0.1, 0.5), &[100, 1000, 3000], default_threads());
+    print!("{}", nonpow2::render(&np));
+    let violations = nonpow2::check_claims(&np);
+    if violations.is_empty() {
+        println!("claims: all reproduced");
+    } else {
+        for v in violations {
+            println!("claim violation: {v}");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    artifact();
+    let mut group = c.benchmark_group("variance");
+    // The narrow-interval anomaly costs the same to compute as the wide
+    // interval; measure both to show the harness cost is interval-blind.
+    for (lo, hi) in [(0.01, 0.02), (0.1, 0.5)] {
+        let cfg = bench_table1_cfg().with_interval(lo, hi).with_trials(20);
+        group.bench_function(format!("hf-20-trials/U[{lo},{hi}]"), |b| {
+            b.iter(|| black_box(ratio_summary(Algorithm::Hf, &cfg, 1 << 10, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

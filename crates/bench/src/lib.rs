@@ -1,0 +1,50 @@
+//! # gb-bench — benchmark harness shared helpers
+//!
+//! Each bench target under `benches/` regenerates one artifact of the
+//! paper's evaluation (see `DESIGN.md` §4 for the experiment index):
+//!
+//! | target      | artifact |
+//! |-------------|----------|
+//! | `table1`    | Table 1 (ub + min/avg/max ratios) |
+//! | `fig5`      | Figure 5 (average-ratio curves) |
+//! | `theta`     | the θ study |
+//! | `variance`  | the §4 variance remarks |
+//! | `runtime`   | the model-time study (E-RT) |
+//! | `algorithms`| micro-benchmarks of HF/BA/BA-HF kernels |
+//! | `threads`   | real-thread BA speedup on the work-stealing pool |
+//! | `ablation`  | design-choice ablations (split rule, batching, HF order) |
+//!
+//! Every target first *prints* its artifact (computed at a reduced but
+//! clearly stated trial count so a full `cargo bench` stays in minutes —
+//! use the `simstudy` binary for paper-scale runs), then registers
+//! Criterion measurements for the hot kernels involved.
+
+use gb_simstudy::config::StudyConfig;
+
+/// The trial count used when regenerating artifacts under `cargo bench`
+/// (the `simstudy` CLI defaults to the paper's 1000).
+pub const BENCH_TRIALS: usize = 200;
+
+/// The largest `log₂ N` swept under `cargo bench`.
+pub const BENCH_MAX_LOG: u32 = 14;
+
+/// Table 1 configuration at bench scale.
+pub fn bench_table1_cfg() -> StudyConfig {
+    StudyConfig::table1().with_trials(BENCH_TRIALS)
+}
+
+/// Figure 5 configuration at bench scale.
+pub fn bench_fig5_cfg() -> StudyConfig {
+    StudyConfig::fig5().with_trials(BENCH_TRIALS)
+}
+
+/// Prints a banner separating the artifact from Criterion's output.
+pub fn banner(what: &str) {
+    println!();
+    println!("==================================================================");
+    println!("  {what}");
+    println!("  (bench-scale: {BENCH_TRIALS} trials, N up to 2^{BENCH_MAX_LOG};");
+    println!("   run `cargo run -p gb-simstudy --release -- <experiment>` for");
+    println!("   the paper-scale sweep)");
+    println!("==================================================================");
+}

@@ -1,0 +1,348 @@
+//! Algorithm **BA** — Best Approximation of ideal weight (Figure 3).
+//!
+//! ```text
+//! algorithm BA(p, N):
+//!     if N = 1 then return {p}
+//!     bisect p into p1 and p2                       // α̂ := w(p1)/w(p)
+//!     N1 := the integer neighbour of α̂·N minimising max(w(p1)/N1, w(p2)/N2)
+//!     N2 := N − N1
+//!     return BA(p1, N1) ∪ BA(p2, N2)                // in parallel
+//! ```
+//!
+//! BA is *inherently parallel*: the two recursive calls are independent,
+//! need **no global communication**, and free-processor management is a
+//! trivial range computation (§3.4) — a problem holding the processor range
+//! `[i, j]` keeps `[i, i+N1−1]` for `p1` and sends `p2` to processor
+//! `i + N1` with range `[i+N1, j]`. Unlike HF/PHF it does not need to know
+//! the class parameter α.
+//!
+//! The processor split rule is the reconstructed Lemma-4 rule (see
+//! `DESIGN.md` §2): with `α̂ = w(p1)/w(p)` and `d = α̂N − ⌊α̂N⌋`, the floor
+//! choice is optimal iff `d ≤ α̂`. [`split_processors`] implements it and
+//! the tests verify both its optimality (against brute force) and the
+//! Lemma 4 guarantee `max(w(p1)/N1, w(p2)/N2) ≤ w(p)/(N−1)`.
+
+use crate::partition::Partition;
+use crate::problem::Bisectable;
+use crate::tree::{BisectionTree, NoRecord, NodeId, Recorder};
+
+/// Splits `n ≥ 2` processors between two subproblems of weights `w1`, `w2`
+/// so that `max(w1/n1, w2/n2)` is minimised; returns `(n1, n2)` with
+/// `n1 + n2 = n` and `n1, n2 ≥ 1`.
+///
+/// Implements the paper's best-approximation rule: with
+/// `α̂ = w1/(w1+w2)` and `d = α̂·n − ⌊α̂·n⌋`, pick `n1 = ⌊α̂·n⌋` iff
+/// `d ≤ α̂`, else `n1 = ⌈α̂·n⌉`. For `n ≥ 2` and positive weights the rule
+/// automatically yields `n1 ∈ [1, n−1]`; the final clamp merely guards
+/// against floating-point pathologies.
+///
+/// ```
+/// use gb_core::ba::split_processors;
+///
+/// // 30% / 70% of the weight on 10 processors: a 3 / 7 split is exact.
+/// assert_eq!(split_processors(0.3, 0.7, 10), (3, 7));
+/// // Even a sliver of weight gets one processor.
+/// assert_eq!(split_processors(0.001, 0.999, 2), (1, 1));
+/// ```
+///
+/// # Panics
+/// Panics if `n < 2` or either weight is not positive and finite.
+pub fn split_processors(w1: f64, w2: f64, n: usize) -> (usize, usize) {
+    assert!(n >= 2, "cannot split {n} < 2 processors");
+    assert!(
+        w1.is_finite() && w1 > 0.0 && w2.is_finite() && w2 > 0.0,
+        "weights must be positive and finite (got {w1}, {w2})"
+    );
+    let alpha_hat = w1 / (w1 + w2);
+    let ideal = alpha_hat * n as f64;
+    let floor = ideal.floor();
+    let d = ideal - floor;
+    let pick_floor = d <= alpha_hat;
+    let n1 = if pick_floor { floor } else { floor + 1.0 } as usize;
+    let n1 = n1.clamp(1, n - 1);
+    (n1, n - n1)
+}
+
+/// Runs BA, splitting `p` into at most `n` subproblems.
+///
+/// ```
+/// use gb_core::ba::ba;
+/// use gb_core::synthetic_alpha::FixedAlpha;
+///
+/// // BA needs no knowledge of the class parameter α.
+/// let partition = ba(FixedAlpha::new(8.0, 0.25), 8);
+/// assert_eq!(partition.len(), 8);
+/// assert!(partition.check_conservation(1e-12));
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn ba<P: Bisectable>(p: P, n: usize) -> Partition<P> {
+    let mut rec = NoRecord;
+    ba_rec(p, n, &mut rec)
+}
+
+/// Runs BA and additionally returns the bisection tree of the run.
+pub fn ba_traced<P: Bisectable>(p: P, n: usize) -> (Partition<P>, BisectionTree) {
+    let mut tree = BisectionTree::with_pieces_capacity(n);
+    let partition = ba_rec(p, n, &mut tree);
+    (partition, tree)
+}
+
+/// BA with an arbitrary recorder.
+pub fn ba_rec<P: Bisectable, R: Recorder>(p: P, n: usize, rec: &mut R) -> Partition<P> {
+    assert!(n > 0, "BA needs at least one processor");
+    let total = p.weight();
+    let root = rec.root(total);
+    let pieces = ba_ranged_pieces(p, n, root, 0, rec);
+    Partition::new(
+        pieces.into_iter().map(|rp| rp.problem).collect(),
+        total,
+        n,
+    )
+}
+
+/// A subproblem together with the contiguous processor range BA assigned
+/// to it — the paper's communication-free free-processor management.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangedPiece<P> {
+    /// The subproblem.
+    pub problem: P,
+    /// First processor (0-based) of the range assigned to this piece.
+    pub first_proc: usize,
+    /// Number of processors assigned (1 unless the piece turned atomic
+    /// while still holding a larger range).
+    pub procs: usize,
+    /// The bisection-tree leaf of this piece ([`NodeId::DUMMY`] untraced).
+    pub node: NodeId,
+}
+
+impl<P> RangedPiece<P> {
+    /// The half-open processor range `[first_proc, first_proc + procs)`.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.first_proc..self.first_proc + self.procs
+    }
+}
+
+/// Runs BA and returns each piece with its processor range; the piece of
+/// range `[i, j]` resides on processor `i` (the paper's invariant).
+pub fn ba_with_ranges<P: Bisectable>(p: P, n: usize) -> Vec<RangedPiece<P>> {
+    assert!(n > 0, "BA needs at least one processor");
+    let mut rec = NoRecord;
+    let root = rec.root(p.weight());
+    ba_ranged_pieces(p, n, root, 0, &mut rec)
+}
+
+/// Iterative BA work loop (explicit stack: BA recursion depth is
+/// `O(log N / α)` in the worst case, but an explicit stack makes the
+/// function immune to pathological inputs).
+fn ba_ranged_pieces<P: Bisectable, R: Recorder>(
+    p: P,
+    n: usize,
+    root: NodeId,
+    base: usize,
+    rec: &mut R,
+) -> Vec<RangedPiece<P>> {
+    let mut out = Vec::with_capacity(n);
+    let mut stack: Vec<(P, usize, usize, NodeId)> = vec![(p, n, base, root)];
+    while let Some((q, m, first, id)) = stack.pop() {
+        if m == 1 || !q.can_bisect() {
+            out.push(RangedPiece {
+                problem: q,
+                first_proc: first,
+                procs: m,
+                node: id,
+            });
+            continue;
+        }
+        let (q1, q2) = q.bisect();
+        let (n1, n2) = split_processors(q1.weight(), q2.weight(), m);
+        let (id1, id2) = rec.record(id, q1.weight(), q2.weight());
+        // q1 stays on the first processor of the range; q2 is sent to the
+        // processor just past q1's range.
+        stack.push((q2, n2, first + n1, id2));
+        stack.push((q1, n1, first, id1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::ba_upper_bound;
+    use crate::synthetic_alpha::{AtomicAfter, CycleAlpha, FixedAlpha};
+    use proptest::prelude::*;
+
+    /// Brute-force optimal split for cross-checking the closed-form rule.
+    fn brute_force_split(w1: f64, w2: f64, n: usize) -> f64 {
+        (1..n)
+            .map(|n1| (w1 / n1 as f64).max(w2 / (n - n1) as f64))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    #[test]
+    fn split_examples() {
+        // Equal weights, even n: perfect halves.
+        assert_eq!(split_processors(1.0, 1.0, 10), (5, 5));
+        // 30/70 of 10 processors → 3/7 exactly.
+        assert_eq!(split_processors(3.0, 7.0, 10), (3, 7));
+        // Tiny fraction still gets one processor.
+        assert_eq!(split_processors(0.001, 0.999, 2), (1, 1));
+        assert_eq!(split_processors(0.999, 0.001, 2), (1, 1));
+    }
+
+    #[test]
+    fn split_is_optimal_vs_brute_force() {
+        let weights = [0.01, 0.1, 0.25, 0.33, 0.49, 0.5];
+        for &a in &weights {
+            let w1 = a;
+            let w2 = 1.0 - a;
+            for n in 2..=60 {
+                let (n1, n2) = split_processors(w1, w2, n);
+                assert_eq!(n1 + n2, n);
+                assert!(n1 >= 1 && n2 >= 1);
+                let got = (w1 / n1 as f64).max(w2 / n2 as f64);
+                let best = brute_force_split(w1, w2, n);
+                assert!(
+                    got <= best + 1e-12,
+                    "w1={w1} n={n}: rule gives {got}, optimum {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_satisfies_lemma_4() {
+        // Lemma 4: max(w1/n1, w2/n2) ≤ w(p)/(N−1).
+        for i in 1..100 {
+            let w1 = i as f64 / 200.0; // α̂ ∈ (0, 0.5]
+            let w2 = 1.0 - w1;
+            for n in 2..=64 {
+                let (n1, n2) = split_processors(w1, w2, n);
+                let lhs = (w1 / n1 as f64).max(w2 / n2 as f64);
+                assert!(
+                    lhs <= 1.0 / (n - 1) as f64 + 1e-12,
+                    "w1={w1} n={n}: {lhs} > 1/(n-1)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ba_single_processor() {
+        let part = ba(FixedAlpha::new(4.0, 0.4), 1);
+        assert_eq!(part.len(), 1);
+        assert_eq!(part.ratio(), 1.0);
+    }
+
+    #[test]
+    fn ba_produces_n_pieces_and_conserves_weight() {
+        for n in 1..=80 {
+            let part = ba(FixedAlpha::new(1.0, 0.31), n);
+            assert_eq!(part.len(), n, "n = {n}");
+            assert!(part.check_conservation(1e-9));
+        }
+    }
+
+    #[test]
+    fn ba_traced_counts() {
+        let (part, tree) = ba_traced(FixedAlpha::new(1.0, 0.42), 23);
+        assert_eq!(part.len(), 23);
+        assert_eq!(tree.bisection_count(), 22);
+        assert!(tree.verify_alpha(0.42, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn ba_ranges_partition_processors() {
+        let pieces = ba_with_ranges(FixedAlpha::new(1.0, 0.27), 37);
+        // Ranges must tile [0, 37) without gaps or overlaps.
+        let mut sorted = pieces.clone();
+        sorted.sort_by_key(|p| p.first_proc);
+        let mut next = 0;
+        for piece in &sorted {
+            assert_eq!(piece.first_proc, next, "gap or overlap at {next}");
+            assert!(piece.procs >= 1);
+            next += piece.procs;
+        }
+        assert_eq!(next, 37);
+        // Fully divisible problems: each piece uses exactly one processor.
+        assert!(sorted.iter().all(|p| p.procs == 1));
+    }
+
+    #[test]
+    fn ba_atomic_piece_keeps_its_whole_range() {
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        let pieces = ba_with_ranges(p, 16);
+        // Pieces of weight 0.25 are atomic; 4 pieces of 4 processors each.
+        assert_eq!(pieces.len(), 4);
+        assert!(pieces.iter().all(|p| p.procs == 4));
+    }
+
+    #[test]
+    fn ba_ratio_within_theorem_7() {
+        for &alpha in &[0.05, 0.1, 0.2, 1.0 / 3.0, 0.5] {
+            for &n in &[2usize, 5, 16, 100, 512, 4096] {
+                let part = ba(FixedAlpha::new(1.0, alpha), n);
+                let bound = ba_upper_bound(alpha, n);
+                assert!(
+                    part.ratio() <= bound + 1e-9,
+                    "alpha={alpha} n={n}: ratio {} > bound {bound}",
+                    part.ratio()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ba_needs_no_alpha_knowledge() {
+        // BA on a class whose α it was never told: still valid and bounded.
+        let p = CycleAlpha::new(1.0, &[0.45, 0.18, 0.5]);
+        let part = ba(p, 40);
+        assert_eq!(part.len(), 40);
+        assert!(part.ratio() <= ba_upper_bound(0.18, 40) + 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_rule_matches_brute_force(
+            frac in 0.001f64..=0.999,
+            n in 2usize..200,
+        ) {
+            let w1 = frac;
+            let w2 = 1.0 - frac;
+            let (n1, n2) = split_processors(w1, w2, n);
+            prop_assert_eq!(n1 + n2, n);
+            prop_assert!(n1 >= 1 && n2 >= 1);
+            let got = (w1 / n1 as f64).max(w2 / n2 as f64);
+            prop_assert!(got <= brute_force_split(w1, w2, n) + 1e-12);
+            // Lemma 4.
+            prop_assert!(got <= 1.0 / (n - 1) as f64 + 1e-12);
+        }
+
+        #[test]
+        fn prop_ba_piece_count_and_conservation(
+            alpha in 0.01f64..=0.5,
+            n in 1usize..300,
+        ) {
+            let part = ba(FixedAlpha::new(1.0, alpha), n);
+            prop_assert_eq!(part.len(), n);
+            prop_assert!(part.check_conservation(1e-9));
+            prop_assert!(part.ratio() <= ba_upper_bound(alpha, n) + 1e-9);
+        }
+
+        #[test]
+        fn prop_ba_ranges_tile(
+            alpha in 0.05f64..=0.5,
+            n in 1usize..200,
+        ) {
+            let mut pieces = ba_with_ranges(FixedAlpha::new(1.0, alpha), n);
+            pieces.sort_by_key(|p| p.first_proc);
+            let mut next = 0;
+            for piece in &pieces {
+                prop_assert_eq!(piece.first_proc, next);
+                next += piece.procs;
+            }
+            prop_assert_eq!(next, n);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Weight-oblivious ("blind") variants: what knowing the weights buys.
+//!
+//! Definition 1 assumes "the weight of a problem can be calculated (or
+//! approximated) easily once it is generated"; the paper contrasts this
+//! with Kumar et al. \[10\], whose very similar *α-splitting* model assumes
+//! the weight is **unknown** to the load balancing algorithm. These
+//! variants make the comparison concrete: they use the same bisectors but
+//! never look at a weight.
+//!
+//! * [`blind_hf`] — bisect pieces in breadth-first (generation) order:
+//!   without weights, "the heaviest piece" is unknowable, and BFS order
+//!   is the natural fair schedule. Produces the perfectly balanced
+//!   partition when bisectors are exact halves, but its worst case decays
+//!   to `Θ(N·(1−α)^{log₂ N})` because a heavy piece may be bisected only
+//!   once per generation.
+//! * [`blind_ba`] — BA with the processor split fixed to `⌈N/2⌉ / ⌊N/2⌋`:
+//!   without weights the proportional best-approximation rule is
+//!   unavailable.
+//!
+//! Both remain correct load balancers (weights conserved, ≤ N pieces);
+//! the `ablation` bench quantifies the quality gap against the
+//! weight-aware algorithms.
+
+use std::collections::VecDeque;
+
+use crate::partition::Partition;
+use crate::problem::Bisectable;
+
+/// Weight-oblivious HF: bisects pieces in generation (BFS) order until
+/// `n` pieces exist.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn blind_hf<P: Bisectable>(p: P, n: usize) -> Partition<P> {
+    assert!(n > 0, "blind HF needs at least one processor");
+    let total = p.weight();
+    let mut queue: VecDeque<P> = VecDeque::with_capacity(n);
+    let mut done: Vec<P> = Vec::new();
+    queue.push_back(p);
+    while queue.len() + done.len() < n {
+        let Some(q) = queue.pop_front() else {
+            break;
+        };
+        if !q.can_bisect() {
+            done.push(q);
+            continue;
+        }
+        let (a, b) = q.bisect();
+        queue.push_back(a);
+        queue.push_back(b);
+    }
+    done.extend(queue);
+    Partition::new(done, total, n)
+}
+
+/// Weight-oblivious BA: splits `n` processors as evenly as possible at
+/// every bisection, ignoring the subproblem weights.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn blind_ba<P: Bisectable>(p: P, n: usize) -> Partition<P> {
+    assert!(n > 0, "blind BA needs at least one processor");
+    let total = p.weight();
+    let mut pieces: Vec<P> = Vec::with_capacity(n);
+    let mut stack: Vec<(P, usize)> = vec![(p, n)];
+    while let Some((q, m)) = stack.pop() {
+        if m == 1 || !q.can_bisect() {
+            pieces.push(q);
+            continue;
+        }
+        let (a, b) = q.bisect();
+        let n1 = m.div_ceil(2);
+        stack.push((b, m - n1));
+        stack.push((a, n1));
+    }
+    Partition::new(pieces, total, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ba::ba;
+    use crate::hf::hf;
+    use crate::rng::{u64_to_unit_f64, SplitMix64};
+    use crate::synthetic_alpha::{AtomicAfter, FixedAlpha};
+
+    #[derive(Debug, Clone, Copy)]
+    struct RandomSplit {
+        w: f64,
+        seed: u64,
+    }
+
+    impl Bisectable for RandomSplit {
+        fn weight(&self) -> f64 {
+            self.w
+        }
+
+        fn bisect(&self) -> (Self, Self) {
+            let u = u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+            let frac = 0.1 + 0.4 * u;
+            (
+                Self {
+                    w: frac * self.w,
+                    seed: SplitMix64::derive(self.seed, 1),
+                },
+                Self {
+                    w: (1.0 - frac) * self.w,
+                    seed: SplitMix64::derive(self.seed, 2),
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn blind_variants_produce_valid_partitions() {
+        for seed in 0..5 {
+            let p = RandomSplit { w: 1.0, seed };
+            for &n in &[1usize, 2, 31, 128] {
+                for part in [blind_hf(p, n), blind_ba(p, n)] {
+                    assert_eq!(part.len(), n);
+                    assert!(part.check_conservation(1e-9));
+                    assert!(part.ratio() >= 1.0 - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_halves_make_blindness_free() {
+        // With exact 1/2-bisectors and N a power of two, weight knowledge
+        // is worthless: all variants coincide.
+        let p = FixedAlpha::new(1.0, 0.5);
+        let n = 64;
+        assert!(blind_hf(p, n).same_weights_as(&hf(p, n)));
+        assert!(blind_ba(p, n).same_weights_as(&ba(p, n)));
+    }
+
+    #[test]
+    fn weights_pay_off_on_skewed_instances() {
+        // On skewed instances the weight-aware algorithms win clearly.
+        let mut blind_worse = 0;
+        let trials = 30;
+        for seed in 0..trials {
+            let p = RandomSplit { w: 1.0, seed };
+            let n = 256;
+            let aware = hf(p, n).ratio();
+            let blind = blind_hf(p, n).ratio();
+            assert!(aware <= blind + 1e-9, "HF is instance-optimal");
+            if blind > 1.25 * aware {
+                blind_worse += 1;
+            }
+        }
+        assert!(
+            blind_worse > trials / 2,
+            "blindness should usually cost >25% ({blind_worse}/{trials})"
+        );
+    }
+
+    #[test]
+    fn blind_ba_worse_than_ba_on_average() {
+        let n = 256;
+        let avg = |f: &dyn Fn(RandomSplit) -> f64| {
+            (0..40).map(|seed| f(RandomSplit { w: 1.0, seed })).sum::<f64>() / 40.0
+        };
+        let aware = avg(&|p| ba(p, n).ratio());
+        let blind = avg(&|p| blind_ba(p, n).ratio());
+        assert!(
+            blind > aware,
+            "expected blind BA ({blind}) to trail weight-aware BA ({aware})"
+        );
+    }
+
+    #[test]
+    fn atomic_problems_handled() {
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        assert_eq!(blind_hf(p, 32).len(), 4);
+        assert_eq!(blind_ba(p, 32).len(), 4);
+    }
+}

@@ -1,0 +1,347 @@
+//! Worst-case performance guarantees (Theorems 2, 7 and 8).
+//!
+//! All bounds are on the **ratio** `max_i w(p_i) / (w(p)/N)`; a perfectly
+//! balanced partition has ratio 1.
+//!
+//! ## Provenance and OCR caveats
+//!
+//! The available text of the paper is an OCR capture that garbled most
+//! formulas. The formulas below were *reconstructed* from the derivation
+//! steps that survived intact (see `DESIGN.md` §2 for the full audit
+//! trail); the key consistency anchors are
+//!
+//! * the PHF phase-2 termination argument, which requires exactly
+//!   `r_α (1−α)^I ≤ 1 ⟺ (1−α)^{I+⌈1/α⌉−2} ≤ α` — pinning
+//!   [`r_hf`] to `1/(α(1−α)^{⌈1/α⌉−2})`,
+//! * Lemma 4 (re-derived and property-tested in [`crate::ba`](mod@crate::ba)),
+//! * the Theorem 7 proof skeleton `(1) × (3) × (2)` with the factor `e`
+//!   from Lemma 6 at `θ = 1−α`,
+//! * the Theorem 8 corollary "choose `θ ≥ 1/ln(1+ε)` to be within `1+ε`
+//!   of HF's guarantee", pinning [`r_bahf`] to `e^{(1−α)/θ} · r_α`.
+//!
+//! Every bound is verified against actual algorithm runs by property tests
+//! (in this crate and in `gb-problems`), so a reconstruction error would
+//! surface as a test failure, not as silent misinformation.
+
+use crate::error::{check_alpha, check_theta};
+
+/// `⌈x⌉` as `i32`, robust against values that are integers up to
+/// floating-point noise (e.g. `1/(1/3) = 3.0000000000000004`).
+fn ceil_robust(x: f64) -> i32 {
+    let eps = 1e-9 * x.abs().max(1.0);
+    (x - eps).ceil() as i32
+}
+
+/// `⌊x⌋` as `i32`, robust against floating-point noise.
+#[cfg_attr(not(test), allow(dead_code))]
+fn floor_robust(x: f64) -> i32 {
+    let eps = 1e-9 * x.abs().max(1.0);
+    (x + eps).floor() as i32
+}
+
+/// Theorem 2: the HF performance guarantee
+/// `r_α = 1 / (α (1−α)^{⌈1/α⌉ − 2})`.
+///
+/// `r_{1/2} = 2`; `r_α → e/α` as `α → 0`.
+///
+/// ```
+/// use gb_core::bounds::r_hf;
+/// assert!((r_hf(0.5) - 2.0).abs() < 1e-12);
+/// assert!((r_hf(1.0 / 3.0) - 4.5).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// Panics if `alpha ∉ (0, 1/2]`.
+pub fn r_hf(alpha: f64) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    let exponent = ceil_robust(1.0 / alpha) - 2;
+    debug_assert!(exponent >= 0);
+    1.0 / (alpha * (1.0 - alpha).powi(exponent))
+}
+
+/// Theorem 7: the BA performance guarantee
+/// `e / (α (1−α)^{⌈1/(2α)⌉ − 1})` (reconstruction; see module docs).
+///
+/// # Panics
+/// Panics if `alpha ∉ (0, 1/2]`.
+pub fn r_ba(alpha: f64) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    let exponent = ceil_robust(1.0 / (2.0 * alpha)) - 1;
+    debug_assert!(exponent >= 0);
+    std::f64::consts::E / (alpha * (1.0 - alpha).powi(exponent))
+}
+
+/// Theorem 8: the BA-HF performance guarantee
+/// `e^{(1−α)/θ} · r_α` (reconstruction; see module docs).
+///
+/// Choosing `θ ≥ 1/ln(1+ε)` makes this at most `(1+ε) · r_α`.
+///
+/// # Panics
+/// Panics if `alpha ∉ (0, 1/2]` or `theta ≤ 0`.
+pub fn r_bahf(alpha: f64, theta: f64) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    check_theta(theta).expect("invalid theta");
+    ((1.0 - alpha) / theta).exp() * r_hf(alpha)
+}
+
+/// Lemma 5 (reconstruction): for `N ≤ 1/α`, BA's ratio is at most
+/// `N (1−α)^{⌊N/2⌋}` (equivalently `max_i w(p_i) ≤ w(p)(1−α)^{⌊N/2⌋}`).
+///
+/// # Panics
+/// Panics if `alpha ∉ (0, 1/2]` or `n == 0`.
+pub fn lemma5_ratio_bound(alpha: f64, n: usize) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0);
+    n as f64 * (1.0 - alpha).powi((n / 2) as i32)
+}
+
+/// The trivial caps valid for any algorithm that bisects at least once on
+/// `n ≥ 2` processors: the heaviest piece is at most `(1−α)·w(p)`, and the
+/// ratio can never exceed `n` (one piece holding everything).
+fn trivial_cap(alpha: f64, n: usize) -> f64 {
+    if n >= 2 {
+        n as f64 * (1.0 - alpha)
+    } else {
+        1.0
+    }
+}
+
+/// Tightest available worst-case ratio bound for HF on `n` processors.
+///
+/// Combines Theorem 2 with the `α ≥ 1/3 ⇒ 2` special case (Theorem 6 of
+/// the companion paper \[1\], quoted in the text's remark after Theorem 2)
+/// and the trivial caps. This is what the "worst-case ub" rows of Table 1
+/// report for HF.
+pub fn hf_upper_bound(alpha: f64, n: usize) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0);
+    if n == 1 {
+        return 1.0;
+    }
+    let mut bound = r_hf(alpha).min(trivial_cap(alpha, n));
+    if alpha >= 1.0 / 3.0 - 1e-12 {
+        bound = bound.min(2.0);
+    }
+    bound
+}
+
+/// Tightest available worst-case ratio bound for BA on `n` processors
+/// (Theorem 7, Lemma 5 for `n ≤ 1/α`, trivial caps) — the Table 1 "ub"
+/// rows for BA.
+pub fn ba_upper_bound(alpha: f64, n: usize) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0);
+    if n == 1 {
+        return 1.0;
+    }
+    let mut bound = r_ba(alpha).min(trivial_cap(alpha, n));
+    if (n as f64) <= 1.0 / alpha + 1e-9 {
+        bound = bound.min(lemma5_ratio_bound(alpha, n));
+    }
+    bound
+}
+
+/// Tightest available worst-case ratio bound for BA-HF on `n` processors
+/// (Theorem 8, pure-HF regime below the switch threshold, trivial caps) —
+/// the Table 1 "ub" rows for BA-HF.
+pub fn bahf_upper_bound(alpha: f64, theta: f64, n: usize) -> f64 {
+    check_alpha(alpha).expect("invalid alpha");
+    check_theta(theta).expect("invalid theta");
+    assert!(n > 0);
+    if n == 1 {
+        return 1.0;
+    }
+    let mut bound = r_bahf(alpha, theta).min(trivial_cap(alpha, n));
+    if (n as f64) < theta / alpha + 1.0 {
+        // Below the threshold BA-HF *is* HF.
+        bound = bound.min(hf_upper_bound(alpha, n));
+    }
+    bound
+}
+
+/// PHF phase-1 threshold: subproblems heavier than `w(p) · r_α / N` are
+/// certainly bisected by HF and may be bisected eagerly in parallel.
+pub fn phf_phase1_threshold(total_weight: f64, alpha: f64, n: usize) -> f64 {
+    assert!(n > 0);
+    total_weight * r_hf(alpha) / n as f64
+}
+
+/// Upper bound on the number of phase-2 iterations of PHF: each iteration
+/// shrinks the maximum weight by `(1−α)`, starting at most at
+/// `w(p)·r_α/N` and never dropping below `w(p)/N`, so
+/// `I ≤ ⌈ln r_α / ln(1/(1−α))⌉` — a constant for fixed α.
+pub fn phf_phase2_max_iterations(alpha: f64) -> usize {
+    check_alpha(alpha).expect("invalid alpha");
+    let i = r_hf(alpha).ln() / (1.0 / (1.0 - alpha)).ln();
+    ceil_robust(i).max(0) as usize
+}
+
+/// The number of extra clean-up rounds needed by the §3.4 phase-1 scheme:
+/// after the BA′ cascade no remaining subproblem is heavier than
+/// `(w(p)/N) · r_ba(α)`, and each round shrinks the maximum by `(1−α)`
+/// until it is at most `(w(p)/N) · r_hf(α)`.
+pub fn phf_phase1_cleanup_rounds(alpha: f64) -> usize {
+    check_alpha(alpha).expect("invalid alpha");
+    let gap = (r_ba(alpha) / r_hf(alpha)).ln() / (1.0 / (1.0 - alpha)).ln();
+    ceil_robust(gap).max(0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() <= eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn r_hf_reference_values() {
+        // α = 1/2: ⌈2⌉−2 = 0 ⇒ r = 1/α = 2.
+        assert_close(r_hf(0.5), 2.0, 1e-12);
+        // α = 1/3: exponent 1 ⇒ r = 1/((1/3)(2/3)) = 4.5.
+        assert_close(r_hf(1.0 / 3.0), 4.5, 1e-9);
+        // α = 1/4: exponent 2 ⇒ r = 4 / (3/4)^2 = 64/9.
+        assert_close(r_hf(0.25), 64.0 / 9.0, 1e-9);
+    }
+
+    #[test]
+    fn r_hf_approaches_e_over_alpha() {
+        // (1−α)^{-(1/α−2)} → e as α → 0.
+        for &alpha in &[0.01, 0.001] {
+            let ratio = r_hf(alpha) * alpha / std::f64::consts::E;
+            assert!((ratio - 1.0).abs() < 0.05, "alpha = {alpha}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn r_hf_monotone_decreasing_in_alpha() {
+        let mut prev = f64::INFINITY;
+        for i in 1..=100 {
+            let alpha = i as f64 / 200.0;
+            let r = r_hf(alpha);
+            assert!(
+                r <= prev + 1e-9,
+                "r_hf not monotone at alpha = {alpha}: {r} > {prev}"
+            );
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn r_ba_dominates_r_hf() {
+        // The paper: "Our bound on the performance guarantee of Algorithm BA
+        // is not as good as the one for Algorithm HF."
+        for i in 1..=100 {
+            let alpha = i as f64 / 200.0;
+            assert!(
+                r_ba(alpha) >= r_hf(alpha),
+                "alpha = {alpha}: r_ba {} < r_hf {}",
+                r_ba(alpha),
+                r_hf(alpha)
+            );
+        }
+    }
+
+    #[test]
+    fn r_bahf_converges_to_r_hf_for_large_theta() {
+        let alpha = 0.2;
+        assert!(r_bahf(alpha, 1.0) > r_hf(alpha));
+        let big = r_bahf(alpha, 1e6);
+        assert_close(big, r_hf(alpha), 1e-3);
+        // Monotone decreasing in θ.
+        assert!(r_bahf(alpha, 1.0) > r_bahf(alpha, 2.0));
+        assert!(r_bahf(alpha, 2.0) > r_bahf(alpha, 3.0));
+    }
+
+    #[test]
+    fn epsilon_corollary_of_theorem_8() {
+        // θ ≥ 1/ln(1+ε) ⇒ r_bahf ≤ (1+ε)·r_hf.
+        for &eps in &[0.01f64, 0.1, 0.5, 1.0] {
+            let theta = 1.0 / (1.0 + eps).ln();
+            for &alpha in &[0.05, 0.2, 0.5] {
+                assert!(
+                    r_bahf(alpha, theta) <= (1.0 + eps) * r_hf(alpha) + 1e-9,
+                    "eps={eps} alpha={alpha}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_are_one_for_single_processor() {
+        assert_eq!(hf_upper_bound(0.3, 1), 1.0);
+        assert_eq!(ba_upper_bound(0.3, 1), 1.0);
+        assert_eq!(bahf_upper_bound(0.3, 1.0, 1), 1.0);
+    }
+
+    #[test]
+    fn hf_bound_uses_special_case_for_large_alpha() {
+        // α ≥ 1/3: the companion-paper bound of 2 beats r_α = 4.5.
+        assert_close(hf_upper_bound(1.0 / 3.0, 100), 2.0, 1e-12);
+        assert_close(hf_upper_bound(0.4, 100), 2.0, 1e-12);
+        // Small n: the trivial cap n(1−α) can be tighter still.
+        assert_close(hf_upper_bound(0.4, 2), 1.2, 1e-12);
+    }
+
+    #[test]
+    fn ba_bound_uses_lemma_5_for_small_n() {
+        let alpha = 0.01;
+        let n = 32; // n ≤ 1/α = 100
+        let lemma5 = lemma5_ratio_bound(alpha, n);
+        assert!(ba_upper_bound(alpha, n) <= lemma5 + 1e-12);
+        assert!(ba_upper_bound(alpha, n) < r_ba(alpha));
+    }
+
+    #[test]
+    fn bahf_bound_reduces_to_hf_below_threshold() {
+        let alpha = 0.1;
+        let theta = 2.0; // threshold = 21
+        assert_close(
+            bahf_upper_bound(alpha, theta, 16),
+            hf_upper_bound(alpha, 16),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn phase2_iterations_reference() {
+        // α = 1/2: r = 2, shrink factor 2 ⇒ exactly 1 iteration.
+        assert_eq!(phf_phase2_max_iterations(0.5), 1);
+        // Small α: roughly (1/α)·ln(1/α) + ⌈1/α⌉ — finite and modest.
+        let i = phf_phase2_max_iterations(0.05);
+        assert!((10..200).contains(&i), "i = {i}");
+    }
+
+    #[test]
+    fn phase1_threshold_scales_with_weight_and_n() {
+        let t = phf_phase1_threshold(100.0, 0.5, 10);
+        assert_close(t, 100.0 * 2.0 / 10.0, 1e-12);
+        assert_close(
+            phf_phase1_threshold(200.0, 0.5, 10),
+            2.0 * t,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn cleanup_rounds_are_small_constants() {
+        for &alpha in &[0.05, 0.1, 0.25, 0.5] {
+            let rounds = phf_phase1_cleanup_rounds(alpha);
+            assert!(rounds <= 64, "alpha = {alpha}: {rounds}");
+        }
+    }
+
+    #[test]
+    fn ceil_floor_robust_handle_noise() {
+        assert_eq!(ceil_robust(3.0000000000000004), 3);
+        assert_eq!(ceil_robust(3.1), 4);
+        assert_eq!(floor_robust(2.9999999999999996), 3);
+        assert_eq!(floor_robust(2.9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid alpha")]
+    fn r_hf_rejects_alpha_above_half() {
+        r_hf(0.6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type shared across the workspace's core layer.
+
+use std::fmt;
+
+/// Errors reported by the load-balancing algorithms and model validators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A bisection parameter α outside the admissible interval `(0, 1/2]`.
+    InvalidAlpha(f64),
+    /// A requested processor count of zero.
+    ZeroProcessors,
+    /// A θ threshold parameter that is not strictly positive and finite.
+    InvalidTheta(f64),
+    /// A problem weight that is not strictly positive and finite.
+    InvalidWeight(f64),
+    /// A bisection violated the α-bisector contract.
+    ///
+    /// Carries the parent weight, the two child weights and the α that was
+    /// claimed for the class.
+    BisectionContract {
+        /// Weight of the problem that was bisected.
+        parent: f64,
+        /// Weight of the first (by convention lighter) child.
+        left: f64,
+        /// Weight of the second child.
+        right: f64,
+        /// The α the class claims to guarantee.
+        alpha: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidAlpha(a) => {
+                write!(f, "bisection parameter alpha = {a} outside (0, 1/2]")
+            }
+            Error::ZeroProcessors => write!(f, "processor count must be at least 1"),
+            Error::InvalidTheta(t) => write!(f, "theta = {t} must be positive and finite"),
+            Error::InvalidWeight(w) => write!(f, "weight = {w} must be positive and finite"),
+            Error::BisectionContract {
+                parent,
+                left,
+                right,
+                alpha,
+            } => write!(
+                f,
+                "bisection of weight {parent} into ({left}, {right}) violates the \
+                 alpha-bisector contract for alpha = {alpha}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Validates that `alpha` lies in the admissible interval `(0, 1/2]`.
+pub fn check_alpha(alpha: f64) -> Result<f64> {
+    if alpha.is_finite() && alpha > 0.0 && alpha <= 0.5 {
+        Ok(alpha)
+    } else {
+        Err(Error::InvalidAlpha(alpha))
+    }
+}
+
+/// Validates that `theta` is a positive finite threshold parameter.
+pub fn check_theta(theta: f64) -> Result<f64> {
+    if theta.is_finite() && theta > 0.0 {
+        Ok(theta)
+    } else {
+        Err(Error::InvalidTheta(theta))
+    }
+}
+
+/// Validates that `w` is a positive finite weight.
+pub fn check_weight(w: f64) -> Result<f64> {
+    if w.is_finite() && w > 0.0 {
+        Ok(w)
+    } else {
+        Err(Error::InvalidWeight(w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_range() {
+        assert!(check_alpha(0.25).is_ok());
+        assert!(check_alpha(0.5).is_ok());
+        assert!(check_alpha(0.0).is_err());
+        assert!(check_alpha(0.500001).is_err());
+        assert!(check_alpha(f64::NAN).is_err());
+        assert!(check_alpha(-0.1).is_err());
+    }
+
+    #[test]
+    fn theta_range() {
+        assert!(check_theta(1.0).is_ok());
+        assert!(check_theta(0.0).is_err());
+        assert!(check_theta(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn weight_range() {
+        assert!(check_weight(1e-300).is_ok());
+        assert!(check_weight(0.0).is_err());
+        assert!(check_weight(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_messages_mention_offender() {
+        let s = Error::InvalidAlpha(0.7).to_string();
+        assert!(s.contains("0.7"));
+        let s = Error::BisectionContract {
+            parent: 1.0,
+            left: 0.01,
+            right: 0.99,
+            alpha: 0.1,
+        }
+        .to_string();
+        assert!(s.contains("0.01") && s.contains("alpha = 0.1"));
+    }
+}

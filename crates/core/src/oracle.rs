@@ -1,0 +1,177 @@
+//! An exhaustive optimality oracle for small instances.
+//!
+//! On a *deterministic* problem (bisection a pure function of the value),
+//! every bisection-based algorithm chooses an **ancestor-closed** set of
+//! `N−1` nodes of the same infinite bisection tree to bisect; the achieved
+//! maximum is the heaviest resulting leaf. [`optimal_max_weight`] searches
+//! *all* such sets (exponential — intended for cross-checking at small
+//! `N`) and returns the true optimum.
+//!
+//! A simple exchange argument shows HF attains this optimum: node weights
+//! strictly decrease downward (fractions are < 1), so the `N−1` globally
+//! heaviest nodes form an ancestor-closed set, and any ancestor-closed
+//! set of `N−1` bisections leaves some piece at least as heavy as the
+//! `N`-th heaviest node — which is exactly HF's maximum. The oracle tests
+//! pin this argument down mechanically, guarding both the HF
+//! implementation and the determinism contract.
+
+use crate::problem::Bisectable;
+
+/// The minimum achievable maximum piece weight over *all* ways of
+/// performing at most `n − 1` bisections on `p`.
+///
+/// Runs in time exponential in `n`; intended for `n ≤ 10`.
+///
+/// # Panics
+/// Panics if `n == 0` or `n > 16` (guard against accidental blow-up).
+pub fn optimal_max_weight<P: Bisectable + Clone>(p: P, n: usize) -> f64 {
+    assert!(n > 0, "need at least one processor");
+    assert!(n <= 16, "oracle is exponential; use n <= 16");
+    let mut best = f64::INFINITY;
+    let mut pieces = vec![p];
+    search(&mut pieces, n, &mut best);
+    best
+}
+
+fn max_weight<P: Bisectable>(pieces: &[P]) -> f64 {
+    pieces
+        .iter()
+        .map(|q| q.weight())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn search<P: Bisectable + Clone>(pieces: &mut Vec<P>, n: usize, best: &mut f64) {
+    let current = max_weight(pieces);
+    if pieces.len() == n {
+        if current < *best {
+            *best = current;
+        }
+        return;
+    }
+    // Plain exhaustive branching: try bisecting every piece. (Bisecting
+    // never increases the maximum, so stopping early with fewer than `n`
+    // pieces is never strictly better and need not be branched on — except
+    // when everything is atomic, handled below.)
+    for i in 0..pieces.len() {
+        if !pieces[i].can_bisect() {
+            continue;
+        }
+        let q = pieces[i].clone();
+        let (a, b) = q.bisect();
+        let removed = pieces.swap_remove(i);
+        pieces.push(a);
+        pieces.push(b);
+        search(pieces, n, best);
+        pieces.pop();
+        pieces.pop();
+        pieces.push(removed);
+        let last = pieces.len() - 1;
+        pieces.swap(i, last);
+    }
+    // If nothing was bisectable, record what we have.
+    if pieces.iter().all(|q| !q.can_bisect()) && current < *best {
+        *best = current;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ba::ba;
+    use crate::hf::hf;
+    use crate::rng::SplitMix64;
+    use crate::synthetic_alpha::{AtomicAfter, FixedAlpha};
+
+    /// Local copy of the seeded stochastic model (gb-core cannot depend on
+    /// gb-problems).
+    #[derive(Debug, Clone, Copy)]
+    struct RandomSplit {
+        w: f64,
+        seed: u64,
+    }
+
+    impl Bisectable for RandomSplit {
+        fn weight(&self) -> f64 {
+            self.w
+        }
+
+        fn bisect(&self) -> (Self, Self) {
+            let u = crate::rng::u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+            let frac = 0.1 + 0.4 * u;
+            (
+                Self {
+                    w: frac * self.w,
+                    seed: SplitMix64::derive(self.seed, 1),
+                },
+                Self {
+                    w: (1.0 - frac) * self.w,
+                    seed: SplitMix64::derive(self.seed, 2),
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn hf_attains_the_optimum_fixed_alpha() {
+        for &alpha in &[0.2, 1.0 / 3.0, 0.5] {
+            for n in 1..=8 {
+                let p = FixedAlpha::new(1.0, alpha);
+                let opt = optimal_max_weight(p, n);
+                let got = hf(p, n).max_weight();
+                assert!(
+                    (got - opt).abs() <= 1e-12,
+                    "alpha={alpha} n={n}: HF {got} vs optimum {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hf_attains_the_optimum_random_instances() {
+        for seed in 0..25 {
+            let p = RandomSplit { w: 1.0, seed };
+            for n in 2..=7 {
+                let opt = optimal_max_weight(p, n);
+                let got = hf(p, n).max_weight();
+                assert!(
+                    (got - opt).abs() <= 1e-12,
+                    "seed={seed} n={n}: HF {got} vs optimum {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ba_never_beats_the_optimum() {
+        for seed in 0..15 {
+            let p = RandomSplit { w: 1.0, seed };
+            for n in 2..=7 {
+                let opt = optimal_max_weight(p, n);
+                let got = ba(p, n).max_weight();
+                assert!(got >= opt - 1e-12, "seed={seed} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_handles_atomic_problems() {
+        // Atomic below 0.3: only 4 pieces are reachable; the oracle must
+        // still return the best achievable (0.25), not loop forever.
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        let opt = optimal_max_weight(p, 8);
+        assert!((opt - 0.25).abs() < 1e-12, "opt = {opt}");
+        assert_eq!(hf(p, 8).max_weight(), opt);
+    }
+
+    #[test]
+    fn single_processor_returns_input_weight() {
+        let p = FixedAlpha::new(3.5, 0.4);
+        assert_eq!(optimal_max_weight(p, 1), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn oversized_n_is_rejected() {
+        optimal_max_weight(FixedAlpha::new(1.0, 0.5), 17);
+    }
+}

@@ -1,0 +1,200 @@
+//! Partitions and load-balance quality metrics.
+//!
+//! A load-balancing algorithm turns one problem of weight `w(p)` into at
+//! most `N` subproblems. [`Partition`] owns the resulting pieces plus the
+//! bookkeeping needed to evaluate the paper's quality measure, the
+//! **ratio** `max_i w(p_i) / (w(p)/N)` against the ideal perfectly balanced
+//! weight `w(p)/N` (a ratio of 1 is perfect balance; Theorems 2, 7 and 8
+//! bound it from above for HF, BA and BA-HF respectively).
+
+use crate::problem::Bisectable;
+
+/// The result of a load-balancing run: pieces plus quality bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition<P> {
+    pieces: Vec<P>,
+    total_weight: f64,
+    requested: usize,
+}
+
+impl<P: Bisectable> Partition<P> {
+    /// Builds a partition from pieces.
+    ///
+    /// `total_weight` is the weight of the original problem and `requested`
+    /// the processor count `N` the algorithm was asked to fill. The number
+    /// of pieces may be smaller than `requested` when atomic problems stop
+    /// bisection early; it can never be larger.
+    ///
+    /// # Panics
+    /// Panics if there are no pieces, or more pieces than `requested`.
+    pub fn new(pieces: Vec<P>, total_weight: f64, requested: usize) -> Self {
+        assert!(!pieces.is_empty(), "a partition needs at least one piece");
+        assert!(
+            pieces.len() <= requested,
+            "{} pieces exceed the requested {requested} processors",
+            pieces.len()
+        );
+        Self {
+            pieces,
+            total_weight,
+            requested,
+        }
+    }
+
+    /// Number of pieces actually produced.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// `false` — partitions always contain at least one piece; provided for
+    /// API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// The processor count `N` the run was asked to fill.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// Borrows the pieces.
+    pub fn pieces(&self) -> &[P] {
+        &self.pieces
+    }
+
+    /// Consumes the partition, yielding the pieces.
+    pub fn into_pieces(self) -> Vec<P> {
+        self.pieces
+    }
+
+    /// The weights of the pieces, in production order.
+    pub fn weights(&self) -> Vec<f64> {
+        self.pieces.iter().map(|p| p.weight()).collect()
+    }
+
+    /// The weights of the pieces, sorted ascending. Two runs computed "the
+    /// same partition" exactly when these vectors are equal.
+    pub fn sorted_weights(&self) -> Vec<f64> {
+        let mut w = self.weights();
+        w.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
+        w
+    }
+
+    /// Weight of the heaviest piece — the quantity all algorithms minimise.
+    pub fn max_weight(&self) -> f64 {
+        self.pieces
+            .iter()
+            .map(|p| p.weight())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Weight of the lightest piece.
+    pub fn min_weight(&self) -> f64 {
+        self.pieces
+            .iter()
+            .map(|p| p.weight())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Weight of the original problem.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The ideal perfectly balanced piece weight `w(p)/N`.
+    pub fn ideal_weight(&self) -> f64 {
+        self.total_weight / self.requested as f64
+    }
+
+    /// The paper's quality measure: `max_i w(p_i) / (w(p)/N)`; 1 is perfect.
+    pub fn ratio(&self) -> f64 {
+        self.max_weight() / self.ideal_weight()
+    }
+
+    /// Ratio of heaviest to lightest piece (a secondary imbalance metric).
+    pub fn spread(&self) -> f64 {
+        self.max_weight() / self.min_weight()
+    }
+
+    /// Checks that piece weights sum to the original weight within the
+    /// given relative tolerance (weight conservation across bisections).
+    pub fn check_conservation(&self, rel_tol: f64) -> bool {
+        let sum: f64 = self.pieces.iter().map(|p| p.weight()).sum();
+        (sum - self.total_weight).abs() <= rel_tol * self.total_weight.abs().max(1.0)
+    }
+
+    /// `true` if the two partitions consist of identical weight multisets
+    /// (bit-exact, after sorting).
+    pub fn same_weights_as<Q: Bisectable>(&self, other: &Partition<Q>) -> bool {
+        self.sorted_weights() == other.sorted_weights()
+    }
+
+    /// `true` if the two partitions' sorted weights agree within the given
+    /// relative tolerance entry by entry.
+    pub fn approx_same_weights_as<Q: Bisectable>(&self, other: &Partition<Q>, rel_tol: f64) -> bool {
+        let a = self.sorted_weights();
+        let b = other.sorted_weights();
+        a.len() == b.len()
+            && a.iter()
+                .zip(&b)
+                .all(|(x, y)| (x - y).abs() <= rel_tol * x.abs().max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic_alpha::FixedAlpha;
+
+    fn pieces(ws: &[f64]) -> Vec<FixedAlpha> {
+        ws.iter().map(|&w| FixedAlpha::new(w, 0.5)).collect()
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let p = Partition::new(pieces(&[1.0, 3.0, 2.0, 2.0]), 8.0, 4);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.max_weight(), 3.0);
+        assert_eq!(p.min_weight(), 1.0);
+        assert_eq!(p.ideal_weight(), 2.0);
+        assert!((p.ratio() - 1.5).abs() < 1e-12);
+        assert!((p.spread() - 3.0).abs() < 1e-12);
+        assert!(p.check_conservation(1e-12));
+    }
+
+    #[test]
+    fn fewer_pieces_than_requested_raise_ratio() {
+        // 2 pieces on 4 processors: ideal is total/4, so the ratio reflects
+        // the idle processors.
+        let p = Partition::new(pieces(&[4.0, 4.0]), 8.0, 4);
+        assert!((p.ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_weights_and_equality() {
+        let a = Partition::new(pieces(&[2.0, 1.0, 3.0]), 6.0, 3);
+        let b = Partition::new(pieces(&[3.0, 2.0, 1.0]), 6.0, 3);
+        assert!(a.same_weights_as(&b));
+        let c = Partition::new(pieces(&[3.0, 2.0, 1.0 + 1e-13]), 6.0, 3);
+        assert!(!a.same_weights_as(&c));
+        assert!(a.approx_same_weights_as(&c, 1e-9));
+    }
+
+    #[test]
+    fn conservation_detects_loss() {
+        let p = Partition::new(pieces(&[1.0, 1.0]), 3.0, 2);
+        assert!(!p.check_conservation(1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one piece")]
+    fn empty_partition_panics() {
+        let _ = Partition::<FixedAlpha>::new(vec![], 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn too_many_pieces_panics() {
+        let _ = Partition::new(pieces(&[1.0, 1.0]), 2.0, 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! The abstract problem model: weights and bisections.
+//!
+//! Following Definition 1 of the paper, a class `P` of problems with weight
+//! function `w : P → R+` has **α-bisectors** (`0 < α ≤ 1/2`) if every
+//! `p ∈ P` can be efficiently divided into `p1, p2 ∈ P` with
+//! `w(p1) + w(p2) = w(p)` and `w(p1), w(p2) ∈ [α·w(p), (1−α)·w(p)]`.
+//!
+//! [`Bisectable`] captures the operational part (weigh, bisect);
+//! [`AlphaBisectable`] additionally exposes the class guarantee α so that
+//! algorithms that need it (PHF's threshold, BA-HF's switch-over) and the
+//! worst-case bounds can be evaluated.
+//!
+//! **Determinism contract.** `bisect` must be a *pure function of the
+//! problem value*: bisecting equal values yields equal children. Every
+//! problem class in this workspace honours this (randomised classes carry
+//! an explicit seed), which is what makes "PHF produces the same partition
+//! as HF" testable bit-for-bit.
+
+use crate::error::{Error, Result};
+
+/// A problem that can be weighed and split into two subproblems.
+pub trait Bisectable: Sized {
+    /// The weight (resource demand — CPU load, memory, …) of this problem.
+    ///
+    /// Must be positive and finite for bisectable problems.
+    fn weight(&self) -> f64;
+
+    /// Splits the problem into two subproblems whose weights sum to
+    /// `self.weight()`.
+    ///
+    /// Implementations must be deterministic (see the module docs) and
+    /// should only be called when [`can_bisect`](Bisectable::can_bisect)
+    /// returns `true`.
+    fn bisect(&self) -> (Self, Self);
+
+    /// Whether this problem can still be bisected.
+    ///
+    /// The paper's model assumes indefinitely divisible problems; concrete
+    /// classes (a single finite element, a one-cell grid, …) become atomic
+    /// at some point. Algorithms treat atomic problems as final pieces,
+    /// which may leave processors idle — the paper explicitly allows
+    /// partitions into fewer than `N` subproblems.
+    fn can_bisect(&self) -> bool {
+        true
+    }
+}
+
+/// A [`Bisectable`] problem from a class with a known α guarantee.
+pub trait AlphaBisectable: Bisectable {
+    /// The α of Definition 1: every bisection of every problem in the class
+    /// produces children with weight in `[α·w, (1−α)·w]`.
+    fn alpha(&self) -> f64;
+}
+
+/// Checks one bisection against the α-bisector contract.
+///
+/// `tol` is a relative tolerance absorbing floating-point rounding (the
+/// weights of children are usually computed as products of the parent
+/// weight with a fraction).
+pub fn validate_bisection(parent: f64, left: f64, right: f64, alpha: f64, tol: f64) -> Result<()> {
+    let sum_ok = (left + right - parent).abs() <= tol * parent.abs().max(1.0);
+    let lo = alpha * parent * (1.0 - tol);
+    let hi = (1.0 - alpha) * parent * (1.0 + tol);
+    let range_ok = left >= lo && left <= hi && right >= lo && right <= hi;
+    if sum_ok && range_ok {
+        Ok(())
+    } else {
+        Err(Error::BisectionContract {
+            parent,
+            left,
+            right,
+            alpha,
+        })
+    }
+}
+
+/// A convenience view of a problem as a pure weight split.
+///
+/// Used by code that only needs weights (the simulated machine, the
+/// renderer) without caring about the concrete problem type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedSplit {
+    /// Weight of the lighter child divided by the parent weight.
+    pub fraction: f64,
+}
+
+impl WeightedSplit {
+    /// Computes the split fractions of a bisection `(parent → l, r)`.
+    ///
+    /// Returns the fraction of the *lighter* side, i.e. the realised
+    /// bisection parameter `α̂ ∈ (0, 1/2]`.
+    pub fn observed(parent: f64, left: f64, right: f64) -> Self {
+        let frac = left.min(right) / parent;
+        Self { fraction: frac }
+    }
+}
+
+/// Measures the realised bisection quality `α̂` of a whole run.
+///
+/// Feeding every `(parent, left, right)` triple of a bisection tree into
+/// this accumulator yields the empirical α of the instance: the minimum
+/// over all bisections of `min(w1, w2)/w`. Concrete problem classes whose
+/// α cannot be established analytically report this instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaObserver {
+    min_fraction: f64,
+    max_fraction: f64,
+    count: u64,
+}
+
+impl Default for AlphaObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AlphaObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self {
+            min_fraction: f64::INFINITY,
+            max_fraction: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one bisection.
+    pub fn record(&mut self, parent: f64, left: f64, right: f64) {
+        let f = WeightedSplit::observed(parent, left, right).fraction;
+        self.min_fraction = self.min_fraction.min(f);
+        self.max_fraction = self.max_fraction.max(f);
+        self.count += 1;
+    }
+
+    /// The empirical α (worst split fraction seen), or `None` if nothing
+    /// was recorded.
+    pub fn alpha(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min_fraction)
+    }
+
+    /// The best (most balanced) split fraction seen.
+    pub fn best_fraction(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max_fraction)
+    }
+
+    /// Number of bisections recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_exact_split() {
+        assert!(validate_bisection(10.0, 4.0, 6.0, 0.4, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_weight_loss() {
+        assert!(validate_bisection(10.0, 4.0, 5.0, 0.3, 1e-12).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_alpha_violation() {
+        // 1.0 < α·w = 2.0: too small a piece.
+        assert!(validate_bisection(10.0, 1.0, 9.0, 0.2, 1e-12).is_err());
+    }
+
+    #[test]
+    fn validate_tolerates_rounding() {
+        let w = 1.0;
+        let l = 0.3 * w;
+        let r = w - l;
+        assert!(validate_bisection(w, l + 1e-15, r, 0.3, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn observed_fraction_picks_lighter_side() {
+        let s = WeightedSplit::observed(10.0, 7.0, 3.0);
+        assert!((s.fraction - 0.3).abs() < 1e-12);
+        let s = WeightedSplit::observed(10.0, 3.0, 7.0);
+        assert!((s.fraction - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_observer_tracks_worst_split() {
+        let mut obs = AlphaObserver::new();
+        assert_eq!(obs.alpha(), None);
+        obs.record(1.0, 0.5, 0.5);
+        obs.record(1.0, 0.2, 0.8);
+        obs.record(1.0, 0.45, 0.55);
+        assert!((obs.alpha().unwrap() - 0.2).abs() < 1e-12);
+        assert!((obs.best_fraction().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(obs.count(), 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Small self-contained problem classes for tests, docs and worst-case
+//! exploration.
+//!
+//! The full stochastic model of the paper's §4 (`α̂ ~ U[l, u]` i.i.d. per
+//! bisection) lives in the `gb-problems` crate; the classes here are the
+//! deterministic skeletons used by unit tests, doctests and the adversarial
+//! bound-tightness experiments:
+//!
+//! * [`FixedAlpha`] — every bisection splits exactly `α / (1−α)`; the
+//!   classic worst-case shape for heaviest-first analysis.
+//! * [`CycleAlpha`] — bisections cycle deterministically through a list of
+//!   split fractions (depth-dependent adversaries).
+//! * [`AtomicAfter`] — wraps [`FixedAlpha`] but refuses to bisect below a
+//!   weight floor, exercising the `can_bisect` paths of all algorithms.
+
+use crate::problem::{AlphaBisectable, Bisectable};
+
+/// A problem whose bisections always split `α` / `1−α`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedAlpha {
+    weight: f64,
+    alpha: f64,
+}
+
+impl FixedAlpha {
+    /// Creates a problem of the given weight in the class with parameter
+    /// `alpha ∈ (0, 1/2]`.
+    ///
+    /// # Panics
+    /// Panics on invalid weight or α.
+    pub fn new(weight: f64, alpha: f64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "invalid weight {weight}");
+        assert!(
+            alpha.is_finite() && alpha > 0.0 && alpha <= 0.5,
+            "invalid alpha {alpha}"
+        );
+        Self { weight, alpha }
+    }
+}
+
+impl Bisectable for FixedAlpha {
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        (
+            Self {
+                weight: self.alpha * self.weight,
+                alpha: self.alpha,
+            },
+            Self {
+                weight: (1.0 - self.alpha) * self.weight,
+                alpha: self.alpha,
+            },
+        )
+    }
+}
+
+impl AlphaBisectable for FixedAlpha {
+    fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+/// A problem whose split fraction depends deterministically on the depth:
+/// bisections at depth `d` use `fractions[d % fractions.len()]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleAlpha {
+    weight: f64,
+    depth: usize,
+    fractions: std::sync::Arc<[f64]>,
+}
+
+impl CycleAlpha {
+    /// Creates the root problem.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty or any fraction is outside `(0, 1/2]`.
+    pub fn new(weight: f64, fractions: &[f64]) -> Self {
+        assert!(!fractions.is_empty(), "need at least one fraction");
+        for &f in fractions {
+            assert!(
+                f.is_finite() && f > 0.0 && f <= 0.5,
+                "fraction {f} outside (0, 1/2]"
+            );
+        }
+        assert!(weight.is_finite() && weight > 0.0);
+        Self {
+            weight,
+            depth: 0,
+            fractions: fractions.into(),
+        }
+    }
+
+    /// The class guarantee: the smallest fraction in the cycle.
+    pub fn min_fraction(&self) -> f64 {
+        self.fractions.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl Bisectable for CycleAlpha {
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        let f = self.fractions[self.depth % self.fractions.len()];
+        let mk = |w: f64| Self {
+            weight: w,
+            depth: self.depth + 1,
+            fractions: self.fractions.clone(),
+        };
+        (mk(f * self.weight), mk((1.0 - f) * self.weight))
+    }
+}
+
+impl AlphaBisectable for CycleAlpha {
+    fn alpha(&self) -> f64 {
+        self.min_fraction()
+    }
+}
+
+/// A [`FixedAlpha`]-style problem that becomes atomic below a weight floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtomicAfter {
+    inner: FixedAlpha,
+    floor: f64,
+}
+
+impl AtomicAfter {
+    /// Creates a problem of weight `weight` splitting at `alpha` that can
+    /// no longer be bisected once its weight is at most `floor`.
+    pub fn new(weight: f64, alpha: f64, floor: f64) -> Self {
+        assert!(floor >= 0.0 && floor.is_finite());
+        Self {
+            inner: FixedAlpha::new(weight, alpha),
+            floor,
+        }
+    }
+}
+
+impl Bisectable for AtomicAfter {
+    fn weight(&self) -> f64 {
+        self.inner.weight()
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        debug_assert!(self.can_bisect(), "bisect called on atomic problem");
+        let (a, b) = self.inner.bisect();
+        (
+            Self {
+                inner: a,
+                floor: self.floor,
+            },
+            Self {
+                inner: b,
+                floor: self.floor,
+            },
+        )
+    }
+
+    fn can_bisect(&self) -> bool {
+        self.inner.weight() > self.floor
+    }
+}
+
+impl AlphaBisectable for AtomicAfter {
+    fn alpha(&self) -> f64 {
+        self.inner.alpha()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::validate_bisection;
+
+    #[test]
+    fn fixed_alpha_splits_exactly() {
+        let p = FixedAlpha::new(8.0, 0.25);
+        let (a, b) = p.bisect();
+        assert_eq!(a.weight(), 2.0);
+        assert_eq!(b.weight(), 6.0);
+        assert!(validate_bisection(8.0, a.weight(), b.weight(), 0.25, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn fixed_alpha_is_deterministic() {
+        let p = FixedAlpha::new(3.0, 0.4);
+        assert_eq!(p.bisect(), p.bisect());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid alpha")]
+    fn fixed_alpha_rejects_bad_alpha() {
+        FixedAlpha::new(1.0, 0.75);
+    }
+
+    #[test]
+    fn cycle_alpha_cycles_through_fractions() {
+        let p = CycleAlpha::new(1.0, &[0.5, 0.25]);
+        let (a, _) = p.bisect(); // depth 0 uses 0.5
+        assert!((a.weight() - 0.5).abs() < 1e-12);
+        let (aa, ab) = a.bisect(); // depth 1 uses 0.25
+        assert!((aa.weight() - 0.125).abs() < 1e-12);
+        assert!((ab.weight() - 0.375).abs() < 1e-12);
+        assert!((p.alpha() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn atomic_after_stops_bisecting() {
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        assert!(p.can_bisect());
+        let (a, _) = p.bisect();
+        assert!((a.weight() - 0.5).abs() < 1e-12);
+        let (aa, _) = a.bisect();
+        assert!(!aa.can_bisect(), "weight 0.25 <= floor 0.3 must be atomic");
+    }
+}

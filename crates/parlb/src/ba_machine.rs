@@ -1,0 +1,117 @@
+//! Algorithm BA on the simulated machine: a communication cascade with
+//! **zero global operations**.
+//!
+//! "The management of free processors is very simple and does not
+//! introduce any communication overhead. With each subproblem q, we simply
+//! store the range `[i, j]` of processors available for subproblems
+//! resulting from q. […] In this way, each processor can locally determine
+//! to which free processor it should send a newly generated subproblem,
+//! and no overhead is incurred for the management of free processors at
+//! all. This is one of the main advantages of Algorithm BA." (§3.4)
+//!
+//! A problem holding range `[i, j]` lives on processor `i`; bisecting it
+//! keeps `p1` (with `[i, i+N1−1]`) on `i` and sends `p2` (with
+//! `[i+N1, j]`) to processor `i+N1`. The makespan is the depth of the
+//! bisection tree in `(t_bisect + t_send)` steps — `O(log N)` for fixed α
+//! because each step cuts the processor count by at least a `(1 − α/2)`
+//! factor (§3.2).
+
+use gb_core::ba::split_processors;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use gb_core::tree::{NoRecord, Recorder};
+use gb_pram::machine::Machine;
+
+/// Runs BA as a cascade over the processor range `[0, n)` of `machine`.
+///
+/// # Panics
+/// Panics if `n == 0` or `n > machine.procs()`.
+pub fn ba_on_machine<P: Bisectable>(machine: &mut Machine, p: P, n: usize) -> Partition<P> {
+    assert!(n > 0, "BA needs at least one processor");
+    assert!(
+        n <= machine.procs(),
+        "partition width {n} exceeds machine size {}",
+        machine.procs()
+    );
+    let total = p.weight();
+    let mut rec = NoRecord;
+    let root = rec.root(total);
+    let mut pieces: Vec<P> = Vec::with_capacity(n);
+    // (problem, procs, first processor of range, tree node)
+    let mut stack = vec![(p, n, 0usize, root)];
+    while let Some((q, m, base, id)) = stack.pop() {
+        if m == 1 || !q.can_bisect() {
+            pieces.push(q);
+            continue;
+        }
+        let (q1, q2) = q.bisect();
+        let (n1, n2) = split_processors(q1.weight(), q2.weight(), m);
+        let (id1, id2) = rec.record(id, q1.weight(), q2.weight());
+        machine.bisect(base);
+        machine.send(base, base + n1);
+        stack.push((q2, n2, base + n1, id2));
+        stack.push((q1, n1, base, id1));
+    }
+    Partition::new(pieces, total, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::ba::ba;
+    use gb_core::synthetic_alpha::FixedAlpha;
+
+    #[test]
+    fn zero_global_communication() {
+        let mut m = Machine::with_paper_costs(128);
+        ba_on_machine(&mut m, FixedAlpha::new(1.0, 0.23), 128);
+        assert_eq!(m.metrics().global_ops, 0);
+        assert_eq!(m.metrics().barriers, 0);
+        assert_eq!(m.metrics().global_communication(), 0);
+    }
+
+    #[test]
+    fn partition_matches_plain_ba() {
+        let p = FixedAlpha::new(3.0, 0.37);
+        let mut m = Machine::with_paper_costs(64);
+        let on_machine = ba_on_machine(&mut m, p, 64);
+        let plain = ba(p, 64);
+        assert!(on_machine.same_weights_as(&plain));
+    }
+
+    #[test]
+    fn makespan_is_logarithmic_for_half_splits() {
+        // α = 1/2: the cascade is a perfect binary tree; depth log2 N,
+        // each level costing t_bisect + t_send = 2.
+        for k in 1..=10u32 {
+            let n = 1usize << k;
+            let mut m = Machine::with_paper_costs(n);
+            ba_on_machine(&mut m, FixedAlpha::new(1.0, 0.5), n);
+            assert_eq!(m.makespan(), 2 * k as u64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn makespan_grows_slowly_even_for_skewed_splits() {
+        // α = 0.1: depth is bounded by log_{1/(1−α/2)} N (§3.2); verify the
+        // makespan stays well below linear.
+        let n = 1 << 14;
+        let mut m = Machine::with_paper_costs(n);
+        ba_on_machine(&mut m, FixedAlpha::new(1.0, 0.1), n);
+        let bound = 2.0 * ((n as f64).ln() / (1.0f64 / 0.95).ln()).ceil();
+        assert!(
+            (m.makespan() as f64) <= bound,
+            "makespan {} exceeds depth bound {bound}",
+            m.makespan()
+        );
+        assert!(m.makespan() < n as u64 / 4, "not sublinear");
+    }
+
+    #[test]
+    fn counts_bisections_and_sends() {
+        let mut m = Machine::with_paper_costs(40);
+        ba_on_machine(&mut m, FixedAlpha::new(1.0, 0.4), 40);
+        assert_eq!(m.metrics().bisections, 39);
+        assert_eq!(m.metrics().sends, 39);
+    }
+}

@@ -1,0 +1,191 @@
+//! Algorithm **BA-HF** on the simulated machine (§3.3, Figure 4).
+//!
+//! The BA phase runs as the communication-free range cascade of
+//! [`crate::ba_machine`]; once a subproblem's processor count drops below
+//! the threshold `θ/α + 1`, the paper offers two implementations of the
+//! second phase:
+//!
+//! * **sequential HF** ([`TailAlgorithm::SequentialHf`]) — the fragment's
+//!   first processor partitions it locally with HF and distributes the
+//!   pieces inside its range; constant extra work per processor when both
+//!   α and θ are constants (free-processor management is trivial);
+//! * **PHF** ([`TailAlgorithm::Phf`]) — needed for running-time `O(log N)`
+//!   when `θ/α` is allowed to be large; global operations are then scoped
+//!   to the fragment's processor range.
+
+use gb_core::ba::split_processors;
+use gb_core::bahf::switch_threshold;
+use gb_core::hf::hf_traced;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use gb_pram::machine::Machine;
+
+use crate::phf::phf_on_range;
+
+/// How BA-HF partitions fragments below the `θ/α + 1` threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailAlgorithm {
+    /// Sequential HF on the fragment's first processor.
+    SequentialHf,
+    /// PHF scoped to the fragment's processor range.
+    Phf,
+}
+
+/// Runs BA-HF over the processor range `[0, n)` of `machine`.
+///
+/// # Panics
+/// Panics if `n == 0`, `n > machine.procs()`, `alpha ∉ (0, 1/2]` or
+/// `theta ≤ 0`.
+pub fn ba_hf_on_machine<P: Bisectable>(
+    machine: &mut Machine,
+    p: P,
+    n: usize,
+    alpha: f64,
+    theta: f64,
+    tail: TailAlgorithm,
+) -> Partition<P> {
+    assert!(n > 0, "BA-HF needs at least one processor");
+    assert!(
+        n <= machine.procs(),
+        "partition width {n} exceeds machine size {}",
+        machine.procs()
+    );
+    let threshold = switch_threshold(alpha, theta);
+    let total = p.weight();
+    let mut pieces: Vec<P> = Vec::with_capacity(n);
+
+    // BA cascade while the fragment is wide enough.
+    let mut fragments: Vec<(P, usize, usize)> = Vec::new(); // (problem, procs, base)
+    let mut stack: Vec<(P, usize, usize)> = vec![(p, n, 0)];
+    while let Some((q, m, base)) = stack.pop() {
+        if (m as f64) < threshold || m == 1 || !q.can_bisect() {
+            fragments.push((q, m, base));
+            continue;
+        }
+        let (q1, q2) = q.bisect();
+        let (n1, n2) = split_processors(q1.weight(), q2.weight(), m);
+        machine.bisect(base);
+        machine.send(base, base + n1);
+        stack.push((q2, n2, base + n1));
+        stack.push((q1, n1, base));
+    }
+
+    // Second phase per fragment.
+    for (q, m, base) in fragments {
+        if m == 1 || !q.can_bisect() {
+            pieces.push(q);
+            continue;
+        }
+        match tail {
+            TailAlgorithm::SequentialHf => {
+                let (sub, tree) = hf_traced(q, m);
+                for _ in 0..tree.bisection_count() {
+                    machine.bisect(base);
+                }
+                for off in 1..sub.len() {
+                    machine.send(base, base + off);
+                }
+                pieces.extend(sub.into_pieces());
+            }
+            TailAlgorithm::Phf => {
+                let (sub, _) = phf_on_range(machine, q, base, m, alpha);
+                pieces.extend(sub.into_pieces());
+            }
+        }
+    }
+    Partition::new(pieces, total, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::bahf::ba_hf;
+    use gb_core::synthetic_alpha::FixedAlpha;
+
+    #[test]
+    fn matches_sequential_bahf_for_both_tails() {
+        let alpha = 0.3;
+        let theta = 1.0;
+        let p = FixedAlpha::new(1.0, alpha);
+        for &n in &[2usize, 9, 32, 100] {
+            let seq = ba_hf(p, n, alpha, theta);
+            for tail in [TailAlgorithm::SequentialHf, TailAlgorithm::Phf] {
+                let mut m = Machine::with_paper_costs(n);
+                let par = ba_hf_on_machine(&mut m, p, n, alpha, theta, tail);
+                assert!(
+                    par.approx_same_weights_as(&seq, 1e-12),
+                    "n={n} tail={tail:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ba_phase_has_no_global_communication() {
+        // With the sequential tail, BA-HF needs no global ops at all.
+        let mut m = Machine::with_paper_costs(256);
+        ba_hf_on_machine(
+            &mut m,
+            FixedAlpha::new(1.0, 0.2),
+            256,
+            0.2,
+            1.0,
+            TailAlgorithm::SequentialHf,
+        );
+        assert_eq!(m.metrics().global_communication(), 0);
+    }
+
+    #[test]
+    fn phf_tail_scopes_globals_to_fragments() {
+        // With the PHF tail, global ops happen only over fragment ranges:
+        // their cost is log(fragment) = O(log(θ/α)), not log(N).
+        let alpha = 0.25;
+        let theta = 2.0; // threshold = 9
+        let n = 512;
+        let mut m = Machine::with_paper_costs(n);
+        ba_hf_on_machine(
+            &mut m,
+            FixedAlpha::new(1.0, alpha),
+            n,
+            alpha,
+            theta,
+            TailAlgorithm::Phf,
+        );
+        assert!(m.metrics().global_ops > 0);
+        // Makespan stays well below sequential HF's 2(N−1).
+        assert!(m.makespan() < 2 * (n as u64 - 1) / 4);
+    }
+
+    #[test]
+    fn makespan_logarithmic_for_fixed_alpha_theta() {
+        let alpha = 0.3;
+        let mut last = 0;
+        for k in [6u32, 10, 14] {
+            let n = 1usize << k;
+            let mut m = Machine::with_paper_costs(n);
+            ba_hf_on_machine(
+                &mut m,
+                FixedAlpha::new(1.0, alpha),
+                n,
+                alpha,
+                1.0,
+                TailAlgorithm::SequentialHf,
+            );
+            let t = m.makespan();
+            assert!(t < (n as u64) / 2, "n={n}: makespan {t}");
+            last = t;
+        }
+        // Makespan for N = 2^14 is still tiny (double-digit range).
+        assert!(last < 200, "makespan {last}");
+    }
+
+    #[test]
+    fn tiny_theta_degenerates_to_ba() {
+        let p = FixedAlpha::new(1.0, 0.4);
+        let n = 64;
+        let mut m1 = Machine::with_paper_costs(n);
+        let a = ba_hf_on_machine(&mut m1, p, n, 0.4, 1e-9, TailAlgorithm::SequentialHf);
+        let b = gb_core::ba::ba(p, n);
+        assert!(a.same_weights_as(&b));
+    }
+}

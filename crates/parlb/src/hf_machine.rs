@@ -1,0 +1,90 @@
+//! Sequential HF on the simulated machine — the `Θ(N)` baseline.
+//!
+//! "Algorithm HF is a sequential algorithm that bisects only one problem
+//! at a time. Hence, the time for load balancing grows (at least) linearly
+//! with the number of processors." (§3)
+//!
+//! Processor 0 performs all `N−1` bisections back to back and transmits
+//! one subproblem to each of the other processors, so the makespan is
+//! `(N−1)·t_bisect + (N−1)·t_send` under the default cost model — the
+//! curve the `O(log N)` algorithms are compared against in the model-time
+//! study (experiment E-RT).
+
+use gb_core::hf::hf_traced;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use gb_pram::machine::Machine;
+
+/// Runs sequential HF on processor 0 of `machine`, charging every
+/// bisection and every distribution send.
+///
+/// # Panics
+/// Panics if `n == 0` or `n > machine.procs()`.
+pub fn hf_on_machine<P: Bisectable>(machine: &mut Machine, p: P, n: usize) -> Partition<P> {
+    assert!(n > 0, "HF needs at least one processor");
+    assert!(
+        n <= machine.procs(),
+        "partition width {n} exceeds machine size {}",
+        machine.procs()
+    );
+    let (partition, tree) = hf_traced(p, n);
+    for _ in 0..tree.bisection_count() {
+        machine.bisect(0);
+    }
+    // Distribute: piece 0 stays on processor 0; every other piece is sent
+    // to its processor.
+    for i in 1..partition.len() {
+        machine.send(0, i);
+    }
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::hf::hf;
+    use gb_core::synthetic_alpha::FixedAlpha;
+    use gb_pram::cost::CostModel;
+
+    #[test]
+    fn makespan_is_linear_in_n() {
+        for &n in &[2usize, 8, 64, 256] {
+            let mut m = Machine::with_paper_costs(n);
+            let part = hf_on_machine(&mut m, FixedAlpha::new(1.0, 0.4), n);
+            assert_eq!(part.len(), n);
+            assert_eq!(m.makespan(), 2 * (n as u64 - 1));
+            assert_eq!(m.metrics().bisections, n as u64 - 1);
+            assert_eq!(m.metrics().sends, n as u64 - 1);
+            assert_eq!(m.metrics().global_communication(), 0);
+        }
+    }
+
+    #[test]
+    fn partition_matches_plain_hf() {
+        let p = FixedAlpha::new(2.0, 0.3);
+        let mut m = Machine::with_paper_costs(32);
+        let on_machine = hf_on_machine(&mut m, p, 32);
+        let plain = hf(p, 32);
+        assert!(on_machine.same_weights_as(&plain));
+    }
+
+    #[test]
+    fn custom_costs_are_respected() {
+        let cost = CostModel {
+            t_bisect: 3,
+            t_send: 5,
+            t_global_factor: 1,
+        };
+        let mut m = Machine::new(4, cost);
+        hf_on_machine(&mut m, FixedAlpha::new(1.0, 0.5), 4);
+        assert_eq!(m.makespan(), 3 * 3 + 3 * 5);
+    }
+
+    #[test]
+    fn single_processor_is_free() {
+        let mut m = Machine::with_paper_costs(1);
+        let part = hf_on_machine(&mut m, FixedAlpha::new(1.0, 0.5), 1);
+        assert_eq!(part.len(), 1);
+        assert_eq!(m.makespan(), 0);
+    }
+}

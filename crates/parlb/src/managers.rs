@@ -1,0 +1,386 @@
+//! Free-processor management strategies (§3.4).
+//!
+//! "For Algorithm PHF, the problem of managing the free processors is the
+//! most challenging. In the first phase, it can be the case that a large
+//! number of processors bisect problems in parallel simultaneously and
+//! need to get access to a free processor […] Depending on the machine
+//! model, various solutions employing distributed data structures for
+//! managing the free processors may be applicable: (randomized) work
+//! stealing \[3\], dynamic embeddings \[5, 11\], etc."
+//!
+//! The paper works out the **range-based** scheme (a BA′ cascade plus a
+//! constant number of clean-up rounds — what [`crate::phf`](mod@crate::phf) uses); this
+//! module implements the alternatives it name-drops so they can be
+//! compared on the simulated machine:
+//!
+//! * [`Manager::Ranges`] — processor ranges travel with the subproblems;
+//!   send targets are computed locally at zero acquisition cost. Pieces
+//!   that end on a single processor while still heavy are finished in
+//!   synchronised clean-up rounds, exactly as in §3.4.
+//! * [`Manager::RandomProbing`] — the work-stealing-flavoured scheme: a
+//!   bisecting processor probes uniformly random processors (one round
+//!   trip each) until it hits a free one. Cheap while most of the
+//!   machine is free; the tail pays a coupon-collector premium.
+//! * [`Manager::CentralDirectory`] — a single processor hands out free
+//!   ids; every acquisition is a round trip through `P0`, which
+//!   serialises concurrent acquisitions into a `Θ(N)` bottleneck.
+//!
+//! All three complete the *same* logical phase 1 — afterwards no piece is
+//! heavier than the threshold `w(p)·r_α/N` — so they produce identical
+//! piece multisets and differ only in time and communication, which is
+//! exactly the §3.4 trade-off. [`compare_managers`] measures it.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use gb_core::ba::split_processors;
+use gb_core::bounds::phf_phase1_threshold;
+use gb_core::error::check_alpha;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use gb_core::rng::Xoshiro256StarStar;
+use gb_pram::machine::Machine;
+
+/// A free-processor management strategy for the phase-1 cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Manager {
+    /// The paper's range scheme (zero acquisition cost) with clean-up
+    /// rounds (§3.4).
+    Ranges,
+    /// Probe seeded-random processors until a free one answers; each
+    /// probe costs one round trip (`2·t_send`) for the asker. The probe
+    /// race is resolved in event order (an idealisation: a real machine
+    /// would need an atomic claim, costing the same round trip).
+    RandomProbing {
+        /// Seed of the probe sequence (determinism).
+        seed: u64,
+    },
+    /// Ask processor 0 for the next free id; `P0` serves requests
+    /// sequentially, one `t_send`-long service slot each.
+    CentralDirectory,
+}
+
+impl Manager {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Manager::Ranges => "ranges",
+            Manager::RandomProbing { .. } => "random-probing",
+            Manager::CentralDirectory => "central-directory",
+        }
+    }
+
+    /// The managers compared by the study (probing seeded by `seed`).
+    pub fn all(seed: u64) -> [Manager; 3] {
+        [
+            Manager::Ranges,
+            Manager::RandomProbing { seed },
+            Manager::CentralDirectory,
+        ]
+    }
+}
+
+/// Runs the logical phase 1 of PHF ("bisect while heavier than
+/// `w(p)·r_α/N`") under the given manager, charging `machine` for every
+/// bisection, probe, directory round trip and transmission. Returns the
+/// phase-1 piece set — identical across managers.
+///
+/// # Panics
+/// Panics if `n == 0`, `n > machine.procs()` or `alpha ∉ (0, 1/2]`.
+pub fn cascade_with_manager<P: Bisectable>(
+    machine: &mut Machine,
+    p: P,
+    n: usize,
+    alpha: f64,
+    manager: Manager,
+) -> Partition<P> {
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0, "cascade needs at least one processor");
+    assert!(n <= machine.procs(), "cascade exceeds machine size");
+    let total = p.weight();
+    let threshold = phf_phase1_threshold(total, alpha, n);
+    let t_send = machine.cost_model().t_send;
+
+    let mut assigned = vec![false; n];
+    assigned[0] = true;
+    let mut free_left = n - 1;
+    let mut rng = match manager {
+        Manager::RandomProbing { seed } => Some(Xoshiro256StarStar::seed_from_u64(seed)),
+        _ => None,
+    };
+    let mut directory_clock: u64 = 0;
+    let mut next_free_scan = 1usize;
+
+    // Event queue: (ready time, tiebreak, slot id); slots own the pieces.
+    // `span` is only meaningful under the Ranges manager.
+    let mut slots: Vec<Option<(P, usize, usize)>> = Vec::new();
+    let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    slots.push(Some((p, 0, n)));
+    queue.push(Reverse((0, seq, 0)));
+    seq += 1;
+
+    // Settled pieces with the processor they live on.
+    let mut settled: Vec<(P, usize)> = Vec::with_capacity(n);
+
+    while let Some(Reverse((time, _, id))) = queue.pop() {
+        let (q, proc, span) = slots[id].take().expect("queued slot");
+        machine.wait_until(proc, time);
+        let range_exhausted = matches!(manager, Manager::Ranges) && span <= 1;
+        if q.weight() <= threshold || !q.can_bisect() || range_exhausted || free_left == 0 {
+            settled.push((q, proc));
+            continue;
+        }
+        let (q1, q2) = q.bisect();
+        machine.bisect(proc);
+
+        // Acquire a free processor for q2.
+        let (target, span1, span2) = match manager {
+            Manager::Ranges => {
+                let (n1, n2) = split_processors(q1.weight(), q2.weight(), span);
+                (proc + n1, n1, n2)
+            }
+            Manager::RandomProbing { .. } => {
+                let rng = rng.as_mut().expect("probing rng");
+                let mut target;
+                loop {
+                    target = rng.range_usize(n);
+                    machine.advance(proc, 2 * t_send); // probe round trip
+                    if !assigned[target] {
+                        break;
+                    }
+                }
+                (target, 0, 0)
+            }
+            Manager::CentralDirectory => {
+                // Request to P0 (t_send), serial service slot (t_send),
+                // reply back (t_send).
+                let request_arrival = machine.time_of(proc) + t_send;
+                directory_clock = directory_clock.max(request_arrival) + t_send;
+                machine.wait_until(0, directory_clock);
+                machine.wait_until(proc, directory_clock + t_send);
+                while next_free_scan < n && assigned[next_free_scan] {
+                    next_free_scan += 1;
+                }
+                (next_free_scan.min(n - 1), 0, 0)
+            }
+        };
+        debug_assert!(!assigned[target], "acquired an occupied processor");
+        assigned[target] = true;
+        free_left -= 1;
+
+        let arrival = machine.send(proc, target);
+        let continue_at = machine.time_of(proc);
+        slots.push(Some((q1, proc, span1)));
+        queue.push(Reverse((continue_at, seq, slots.len() - 1)));
+        seq += 1;
+        slots.push(Some((q2, target, span2)));
+        queue.push(Reverse((arrival, seq, slots.len() - 1)));
+        seq += 1;
+    }
+
+    // Clean-up rounds (Ranges only): pieces parked on a single processor
+    // may still exceed the threshold; bisect them in synchronised rounds
+    // against freshly numbered free processors (one global op per round).
+    if matches!(manager, Manager::Ranges) {
+        loop {
+            machine.global("free-procs", 0, n);
+            // Split the settled set into still-heavy and done pieces.
+            let mut heavy: Vec<(P, usize)> = Vec::new();
+            let mut rest: Vec<(P, usize)> = Vec::with_capacity(settled.len());
+            for (q, proc) in settled.drain(..) {
+                if q.weight() > threshold && q.can_bisect() {
+                    heavy.push((q, proc));
+                } else {
+                    rest.push((q, proc));
+                }
+            }
+            if heavy.is_empty() || free_left == 0 {
+                rest.extend(heavy);
+                settled = rest;
+                break;
+            }
+            heavy.sort_by(|a, b| {
+                b.0.weight()
+                    .partial_cmp(&a.0.weight())
+                    .expect("NaN weight")
+                    .then(a.1.cmp(&b.1))
+            });
+            let free: Vec<usize> = (0..n).filter(|&i| !assigned[i]).collect();
+            settled = rest;
+            for (k, (q, proc)) in heavy.into_iter().enumerate() {
+                if k < free.len() {
+                    let target = free[k];
+                    let (q1, q2) = q.bisect();
+                    machine.bisect(proc);
+                    machine.send(proc, target);
+                    assigned[target] = true;
+                    free_left -= 1;
+                    settled.push((q1, proc));
+                    settled.push((q2, target));
+                } else {
+                    settled.push((q, proc)); // out of free processors
+                }
+            }
+        }
+    }
+
+    Partition::new(settled.into_iter().map(|(q, _)| q).collect(), total, n)
+}
+
+/// Makespans of the same phase 1 under each manager (same problem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerComparison {
+    /// Range scheme makespan.
+    pub ranges: u64,
+    /// Random-probing makespan.
+    pub probing: u64,
+    /// Central-directory makespan.
+    pub central: u64,
+}
+
+/// Runs the cascade once per manager and reports the makespans.
+pub fn compare_managers<P: Bisectable + Clone>(
+    p: P,
+    n: usize,
+    alpha: f64,
+    seed: u64,
+) -> ManagerComparison {
+    let run = |manager: Manager| {
+        let mut machine = Machine::with_paper_costs(n);
+        cascade_with_manager(&mut machine, p.clone(), n, alpha, manager);
+        machine.makespan()
+    };
+    ManagerComparison {
+        ranges: run(Manager::Ranges),
+        probing: run(Manager::RandomProbing { seed }),
+        central: run(Manager::CentralDirectory),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::rng::{u64_to_unit_f64, SplitMix64};
+    use gb_core::synthetic_alpha::FixedAlpha;
+
+    #[derive(Debug, Clone, Copy)]
+    struct RandomSplit {
+        w: f64,
+        seed: u64,
+    }
+
+    impl Bisectable for RandomSplit {
+        fn weight(&self) -> f64 {
+            self.w
+        }
+
+        fn bisect(&self) -> (Self, Self) {
+            let u = u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+            let frac = 0.1 + 0.4 * u;
+            (
+                Self {
+                    w: frac * self.w,
+                    seed: SplitMix64::derive(self.seed, 1),
+                },
+                Self {
+                    w: (1.0 - frac) * self.w,
+                    seed: SplitMix64::derive(self.seed, 2),
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn all_managers_produce_the_same_pieces() {
+        for seed in 0..6 {
+            let p = RandomSplit { w: 1.0, seed };
+            let n = 128;
+            let mut parts = Vec::new();
+            for manager in Manager::all(99) {
+                let mut m = Machine::with_paper_costs(n);
+                parts.push(cascade_with_manager(&mut m, p, n, 0.1, manager));
+            }
+            assert!(parts[0].same_weights_as(&parts[1]), "seed={seed}");
+            assert!(parts[0].same_weights_as(&parts[2]), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn pieces_respect_the_threshold() {
+        let p = RandomSplit { w: 1.0, seed: 3 };
+        let n = 256;
+        let threshold = gb_core::bounds::phf_phase1_threshold(1.0, 0.1, n);
+        for manager in Manager::all(4) {
+            let mut m = Machine::with_paper_costs(n);
+            let part = cascade_with_manager(&mut m, p, n, 0.1, manager);
+            assert!(
+                part.pieces().iter().all(|q| q.weight() <= threshold),
+                "{}",
+                manager.name()
+            );
+            assert!(part.check_conservation(1e-9));
+        }
+    }
+
+    #[test]
+    fn ranges_cheapest_central_worst_at_scale() {
+        let p = RandomSplit { w: 1.0, seed: 5 };
+        let cmp = compare_managers(p, 1 << 12, 0.1, 42);
+        assert!(
+            cmp.ranges <= cmp.probing,
+            "ranges {} vs probing {}",
+            cmp.ranges,
+            cmp.probing
+        );
+        assert!(
+            cmp.probing < cmp.central,
+            "probing {} vs central {}",
+            cmp.probing,
+            cmp.central
+        );
+        // The directory serialises one service slot per acquisition; with
+        // most of 2^12 pieces needing one, the makespan is Ω(N)-ish.
+        assert!(cmp.central > cmp.ranges * 4);
+    }
+
+    #[test]
+    fn probing_is_deterministic_per_seed() {
+        let p = FixedAlpha::new(1.0, 0.3);
+        let run = |seed| {
+            let mut m = Machine::with_paper_costs(64);
+            cascade_with_manager(&mut m, p, 64, 0.3, Manager::RandomProbing { seed });
+            m.makespan()
+        };
+        assert_eq!(run(7), run(7));
+        // Different probe seeds may cost differently but never change the
+        // pieces.
+        let mut m1 = Machine::with_paper_costs(64);
+        let a = cascade_with_manager(&mut m1, p, 64, 0.3, Manager::RandomProbing { seed: 1 });
+        let mut m2 = Machine::with_paper_costs(64);
+        let b = cascade_with_manager(&mut m2, p, 64, 0.3, Manager::RandomProbing { seed: 2 });
+        assert!(a.approx_same_weights_as(&b, 1e-12));
+    }
+
+    #[test]
+    fn ranges_manager_matches_phf_phase1_threshold_semantics() {
+        // After phase 1 under any manager, bisecting has strictly stopped:
+        // every piece is at or below the threshold, and the number of
+        // bisections equals pieces - 1.
+        let p = RandomSplit { w: 1.0, seed: 11 };
+        let n = 512;
+        let mut m = Machine::with_paper_costs(n);
+        let part = cascade_with_manager(&mut m, p, n, 0.2, Manager::Ranges);
+        assert_eq!(m.metrics().bisections as usize, part.len() - 1);
+        assert!(part.len() <= n);
+    }
+
+    #[test]
+    fn single_processor_is_a_noop() {
+        let p = FixedAlpha::new(1.0, 0.4);
+        let mut m = Machine::with_paper_costs(1);
+        let part = cascade_with_manager(&mut m, p, 1, 0.4, Manager::Ranges);
+        assert_eq!(part.len(), 1);
+        assert_eq!(m.makespan(), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! PHF with real threads: HF-quality partitions computed by parallel
+//! batch bisection on the work-stealing pool.
+//!
+//! The simulated-machine [`crate::phf`](mod@crate::phf) establishes the paper's cost
+//! claims; this module carries the same algorithmic idea to actual
+//! threads, so applications can get HF's (instance-optimal) partition
+//! while paying bisection latency only `O(log N + I)` deep instead of
+//! `N−1` deep:
+//!
+//! * pieces heavier than the phase-1 threshold `w(p)·r_α/N` are bisected
+//!   eagerly, each task recursing into both children (a parallel
+//!   cascade);
+//! * the surviving pieces are refined in synchronised rounds; each round
+//!   bisects — in parallel on the pool — every piece within a `(1−α)`
+//!   factor of the current maximum (capped by the remaining budget,
+//!   heaviest first), exactly the Figure 2 window rule.
+//!
+//! The result is bit-identical to [`gb_core::hf::hf`] for the same
+//! reasons PHF's is (Theorem 3), which the tests verify.
+
+use std::sync::Arc;
+
+use gb_core::bounds::phf_phase1_threshold;
+use gb_core::error::check_alpha;
+use gb_core::heap::WeightHeap;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use parking_lot::Mutex;
+
+use crate::pool::{PoolHandle, ThreadPool, WaitGroup};
+
+/// Runs the parallel-HF scheme on the pool; returns HF's partition.
+///
+/// # Panics
+/// Panics if `n == 0` or `alpha ∉ (0, 1/2]`.
+pub fn par_phf<P>(pool: &ThreadPool, p: P, n: usize, alpha: f64) -> Partition<P>
+where
+    P: Bisectable + Send + 'static,
+{
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0, "par_phf needs at least one processor");
+    let total = p.weight();
+    if n == 1 {
+        return Partition::new(vec![p], total, 1);
+    }
+    let threshold = phf_phase1_threshold(total, alpha, n);
+
+    // ---- Phase 1: parallel cascade over the > threshold region ----------
+    let settled: Arc<Mutex<Vec<P>>> = Arc::new(Mutex::new(Vec::with_capacity(n)));
+    let wg = Arc::new(WaitGroup::new());
+    wg.add(1);
+    cascade(
+        pool.handle(),
+        p,
+        threshold,
+        Arc::clone(&settled),
+        Arc::clone(&wg),
+    );
+    wg.wait();
+    let pieces = std::mem::take(&mut *settled.lock());
+
+    // ---- Phase 2: synchronised window rounds ------------------------------
+    // The sequential coordinator picks each round's batch; the bisections
+    // themselves run in parallel on the pool.
+    let mut heap: WeightHeap<P> = WeightHeap::with_capacity(n);
+    let mut atomic_pieces: Vec<P> = Vec::new();
+    for q in pieces {
+        if q.can_bisect() {
+            heap.push(q.weight(), q);
+        } else {
+            atomic_pieces.push(q);
+        }
+    }
+    let mut count = heap.len() + atomic_pieces.len();
+    while count < n && !heap.is_empty() {
+        let m = heap.peek_weight().expect("non-empty heap");
+        let window = m * (1.0 - alpha);
+        let budget = n - count;
+        let mut batch: Vec<P> = Vec::new();
+        while batch.len() < budget {
+            match heap.peek_weight() {
+                Some(w) if w >= window => {
+                    batch.push(heap.pop().expect("peeked").1);
+                }
+                _ => break,
+            }
+        }
+        debug_assert!(!batch.is_empty());
+        count += batch.len();
+
+        // Bisect the whole batch in parallel.
+        let children: Arc<Mutex<Vec<(P, P)>>> =
+            Arc::new(Mutex::new(Vec::with_capacity(batch.len())));
+        let wg = Arc::new(WaitGroup::new());
+        wg.add(batch.len());
+        let handle = pool.handle();
+        for q in batch {
+            let children = Arc::clone(&children);
+            let wg = Arc::clone(&wg);
+            handle.spawn(move || {
+                let pair = q.bisect();
+                children.lock().push(pair);
+                wg.done();
+            });
+        }
+        wg.wait();
+        for (a, b) in std::mem::take(&mut *children.lock()) {
+            for q in [a, b] {
+                if q.can_bisect() {
+                    heap.push(q.weight(), q);
+                } else {
+                    atomic_pieces.push(q);
+                }
+            }
+        }
+    }
+
+    let mut pieces = atomic_pieces;
+    pieces.extend(heap.into_sorted_vec().into_iter().map(|(_, q)| q));
+    Partition::new(pieces, total, n)
+}
+
+/// Phase 1: recursively bisect everything heavier than `threshold`,
+/// spawning the right child as a new task.
+fn cascade<P>(
+    handle: PoolHandle,
+    p: P,
+    threshold: f64,
+    settled: Arc<Mutex<Vec<P>>>,
+    wg: Arc<WaitGroup>,
+) where
+    P: Bisectable + Send + 'static,
+{
+    let respawn = handle.clone();
+    handle.spawn(move || {
+        let mut q = p;
+        loop {
+            if q.weight() <= threshold || !q.can_bisect() {
+                settled.lock().push(q);
+                break;
+            }
+            let (a, b) = q.bisect();
+            wg.add(1);
+            cascade(
+                respawn.clone(),
+                b,
+                threshold,
+                Arc::clone(&settled),
+                Arc::clone(&wg),
+            );
+            q = a;
+        }
+        wg.done();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::hf::hf;
+    use gb_core::rng::{u64_to_unit_f64, SplitMix64};
+    use gb_core::synthetic_alpha::{AtomicAfter, FixedAlpha};
+
+    #[derive(Debug, Clone, Copy)]
+    struct RandomSplit {
+        w: f64,
+        lo: f64,
+        seed: u64,
+    }
+
+    impl Bisectable for RandomSplit {
+        fn weight(&self) -> f64 {
+            self.w
+        }
+
+        fn bisect(&self) -> (Self, Self) {
+            let u = u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+            let frac = self.lo + (0.5 - self.lo) * u;
+            let mk = |w, lane| Self {
+                w,
+                lo: self.lo,
+                seed: SplitMix64::derive(self.seed, lane),
+            };
+            (mk(frac * self.w, 1), mk((1.0 - frac) * self.w, 2))
+        }
+    }
+
+    #[test]
+    fn matches_hf_fixed_alpha() {
+        let pool = ThreadPool::new(4);
+        for &alpha in &[0.2, 0.35, 0.5] {
+            for &n in &[1usize, 2, 17, 100, 512] {
+                let p = FixedAlpha::new(1.0, alpha);
+                let par = par_phf(&pool, p, n, alpha);
+                let seq = hf(p, n);
+                assert!(
+                    par.approx_same_weights_as(&seq, 1e-12),
+                    "alpha={alpha} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hf_random_instances_bit_exact() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..15 {
+            let p = RandomSplit {
+                w: 1.0,
+                lo: 0.15,
+                seed,
+            };
+            let par = par_phf(&pool, p, 200, 0.15);
+            let seq = hf(p, 200);
+            assert!(par.same_weights_as(&seq), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_identical_despite_scheduling() {
+        let pool = ThreadPool::new(8);
+        let p = RandomSplit {
+            w: 1.0,
+            lo: 0.1,
+            seed: 42,
+        };
+        let first = par_phf(&pool, p, 333, 0.1);
+        for _ in 0..4 {
+            assert!(first.same_weights_as(&par_phf(&pool, p, 333, 0.1)));
+        }
+    }
+
+    #[test]
+    fn atomic_pieces_cap_the_count() {
+        let pool = ThreadPool::new(2);
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        let par = par_phf(&pool, p, 64, 0.5);
+        assert_eq!(par.len(), 4);
+        assert!(par.check_conservation(1e-12));
+    }
+
+    #[test]
+    fn conservative_alpha_still_exact() {
+        let pool = ThreadPool::new(4);
+        let p = RandomSplit {
+            w: 1.0,
+            lo: 0.3,
+            seed: 5,
+        };
+        let par = par_phf(&pool, p, 128, 0.05);
+        assert!(par.same_weights_as(&hf(p, 128)));
+    }
+}

@@ -1,0 +1,476 @@
+//! Algorithm **PHF** — Parallel HF (Figure 2) on the simulated machine.
+//!
+//! PHF parallelises HF while guaranteeing that *no subproblem is bisected
+//! unless it would also have been bisected by the sequential Algorithm HF*
+//! — so it computes exactly the same partition (Theorem 3), in `O(log N)`
+//! model time for fixed α.
+//!
+//! **Phase 1** eagerly bisects everything heavier than the threshold
+//! `w(p)·r_α/N`: such subproblems are *certainly* bisected by HF, because
+//! HF's final maximum is at most the threshold (Theorem 2). Free-processor
+//! management follows §3.4: first a **BA′ cascade** — Algorithm BA, except
+//! that it refuses to bisect subproblems at or below the threshold — which
+//! needs no communication at all thanks to processor ranges; then a small
+//! number of synchronised **clean-up rounds** (constant for fixed α) in
+//! which the remaining over-threshold pieces are bisected against freshly
+//! numbered free processors. A barrier (step (b)) ends the phase.
+//!
+//! **Phase 2** runs synchronised iterations of steps (c)–(h) of Figure 2:
+//!
+//! 1. `m` := maximum remaining weight (reduce-max, `O(log N)`);
+//! 2. `h` := how many processors hold a subproblem of weight at least
+//!    `m(1−α)`, numbered by a prefix computation;
+//! 3. if `h ≤ f` all of them bisect; otherwise the `f` heaviest are
+//!    selected (parallel selection — "only in the last iteration") and
+//!    bisect; each sends one child to the next free processor;
+//! 4. `f := f − min(h, f)`; barrier if `f > 0`.
+//!
+//! Correctness of the batch: none of the bisections of an iteration can
+//! create a subproblem heavier than `m(1−α)`, so HF — which processes
+//! subproblems in decreasing weight order — would bisect the entire batch
+//! before touching any of its children, and the budget `f` never lets the
+//! batch exceed the bisections HF has left. Each iteration multiplies the
+//! maximum weight by at most `(1−α)` while the maximum can never drop
+//! below `w(p)/N`, so the iteration count is at most
+//! `⌈ln r_α / ln(1/(1−α))⌉ + 1` — a constant for fixed α
+//! ([`gb_core::bounds::phf_phase2_max_iterations`]).
+
+use std::collections::VecDeque;
+
+use gb_core::ba::split_processors;
+use gb_core::bounds::phf_phase1_threshold;
+use gb_core::error::check_alpha;
+use gb_core::partition::Partition;
+use gb_core::problem::Bisectable;
+use gb_pram::collectives::{enumerate_where, reduce_max, select_heaviest};
+use gb_pram::machine::Machine;
+
+/// Diagnostics of a PHF run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhfReport {
+    /// The phase-1 threshold `w(p)·r_α/N`.
+    pub threshold: f64,
+    /// Bisections performed by the BA′ cascade of phase 1.
+    pub cascade_bisections: u64,
+    /// Clean-up rounds needed after the cascade (constant for fixed α).
+    pub cleanup_rounds: usize,
+    /// Iterations of phase 2.
+    pub phase2_iterations: usize,
+    /// Whether the `h > f` selection branch was ever taken.
+    pub selection_used: bool,
+}
+
+/// Runs PHF over the processor range `[0, n)` of `machine`.
+///
+/// Returns the partition (identical to [`gb_core::hf::hf`] on the same
+/// input — Theorem 3) and the run diagnostics.
+///
+/// ```
+/// use gb_core::hf::hf;
+/// use gb_core::synthetic_alpha::FixedAlpha;
+/// use gb_parlb::phf::phf;
+/// use gb_pram::machine::Machine;
+///
+/// let p = FixedAlpha::new(1.0, 0.4);
+/// let mut machine = Machine::with_paper_costs(32);
+/// let (partition, report) = phf(&mut machine, p, 32, 0.4);
+///
+/// // Theorem 3: the same partition as sequential HF …
+/// assert!(partition.approx_same_weights_as(&hf(p, 32), 1e-12));
+/// // … computed with global communication metered by the machine.
+/// assert!(machine.metrics().global_communication() > 0);
+/// assert!(report.phase2_iterations <= 4);
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0`, `n > machine.procs()` or `alpha ∉ (0, 1/2]`.
+pub fn phf<P: Bisectable>(
+    machine: &mut Machine,
+    p: P,
+    n: usize,
+    alpha: f64,
+) -> (Partition<P>, PhfReport) {
+    phf_on_range(machine, p, 0, n, alpha)
+}
+
+/// Runs PHF over the processor range `[base, base + n)` — the form used
+/// as the second phase of BA-HF (§3.3).
+///
+/// # Panics
+/// Panics if the range is empty or out of bounds, or `alpha ∉ (0, 1/2]`.
+pub fn phf_on_range<P: Bisectable>(
+    machine: &mut Machine,
+    p: P,
+    base: usize,
+    n: usize,
+    alpha: f64,
+) -> (Partition<P>, PhfReport) {
+    check_alpha(alpha).expect("invalid alpha");
+    assert!(n > 0, "PHF needs at least one processor");
+    assert!(
+        base + n <= machine.procs(),
+        "range [{base}, {}) exceeds machine size {}",
+        base + n,
+        machine.procs()
+    );
+    let total = p.weight();
+    let threshold = phf_phase1_threshold(total, alpha, n);
+    let mut report = PhfReport {
+        threshold,
+        cascade_bisections: 0,
+        cleanup_rounds: 0,
+        phase2_iterations: 0,
+        selection_used: false,
+    };
+    if n == 1 {
+        return (Partition::new(vec![p], total, 1), report);
+    }
+
+    // slots[i] = the subproblem currently residing on processor base+i.
+    let mut slots: Vec<Option<P>> = std::iter::repeat_with(|| None).take(n).collect();
+
+    // Before the first bisection, w(p), N and α are broadcast.
+    machine.global("broadcast", base, n);
+
+    // ---- Phase 1a: the BA′ cascade (§3.4) --------------------------------
+    // BA over processor ranges, except that subproblems at or below the
+    // threshold are left unbisected on the first processor of their range.
+    let mut stack: Vec<(P, usize, usize)> = vec![(p, n, 0)];
+    while let Some((q, m, off)) = stack.pop() {
+        if m == 1 || q.weight() <= threshold || !q.can_bisect() {
+            slots[off] = Some(q);
+            continue; // processors off+1 .. off+m−1 remain free
+        }
+        let (q1, q2) = q.bisect();
+        let (n1, n2) = split_processors(q1.weight(), q2.weight(), m);
+        machine.bisect(base + off);
+        machine.send(base + off, base + off + n1);
+        report.cascade_bisections += 1;
+        stack.push((q2, n2, off + n1));
+        stack.push((q1, n1, off));
+    }
+
+    // ---- Phase 1b: clean-up rounds ---------------------------------------
+    // Pieces that ended on a single processor may still exceed the
+    // threshold; bisect all of them per synchronised round, pairing them
+    // with freshly numbered free processors.
+    loop {
+        // Determine & number heavy pieces and free processors (global op).
+        let heavy = enumerate_where(machine, base, n, &slots, |s| {
+            s.as_ref()
+                .is_some_and(|q| q.weight() > threshold && q.can_bisect())
+        });
+        if heavy.is_empty() {
+            break;
+        }
+        let free: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+        // Heaviest first (determinism + graceful behaviour should free
+        // processors run short, which cannot happen for divisible classes).
+        let mut heavy = heavy;
+        heavy.sort_by(|&a, &b| {
+            let wa = slots[a].as_ref().expect("heavy slot").weight();
+            let wb = slots[b].as_ref().expect("heavy slot").weight();
+            wb.partial_cmp(&wa).expect("NaN weight").then(a.cmp(&b))
+        });
+        let take = heavy.len().min(free.len());
+        for j in 0..take {
+            let i = heavy[j];
+            let fp = free[j];
+            let q = slots[i].take().expect("heavy slot");
+            let (q1, q2) = q.bisect();
+            machine.bisect(base + i);
+            machine.send(base + i, base + fp);
+            slots[i] = Some(q1);
+            slots[fp] = Some(q2);
+        }
+        report.cleanup_rounds += 1;
+        if take == 0 {
+            break; // out of free processors (atomic-problem corner case)
+        }
+    }
+
+    // Step (b): barrier — all processors finish phase 1 together.
+    machine.barrier(base, n);
+
+    // Step (c): count the free processors and number them 1..f.
+    let free_idx = enumerate_where(machine, base, n, &slots, |s| s.is_none());
+    let mut free: VecDeque<usize> = free_idx.into_iter().collect();
+    let mut f = free.len();
+
+    // ---- Phase 2: Figure 2 steps (d)–(h) ---------------------------------
+    while f > 0 {
+        // (d) the maximum weight among remaining bisectable subproblems.
+        let m_w = reduce_max(
+            machine,
+            base,
+            n,
+            slots
+                .iter()
+                .map(|s| s.as_ref().and_then(|q| q.can_bisect().then(|| q.weight()))),
+        );
+        let Some(m_w) = m_w else {
+            break; // everything is atomic: fewer than n pieces
+        };
+        report.phase2_iterations += 1;
+
+        // (e) number the processors holding subproblems within the window.
+        let window = m_w * (1.0 - alpha);
+        let mut chosen = enumerate_where(machine, base, n, &slots, |s| {
+            s.as_ref()
+                .is_some_and(|q| q.can_bisect() && q.weight() >= window)
+        });
+
+        if chosen.len() > f {
+            // (3b) h > f: determine the f heaviest subproblems (selection).
+            report.selection_used = true;
+            let weighted: Vec<(f64, usize)> = chosen
+                .iter()
+                .map(|&i| (slots[i].as_ref().expect("candidate").weight(), i))
+                .collect();
+            let top = select_heaviest(machine, base, n, &weighted, f);
+            chosen = top.into_iter().map(|k| weighted[k].1).collect();
+        }
+        debug_assert!(!chosen.is_empty(), "the maximum itself is in the window");
+
+        // (f)/(g): bisect and ship one child to the next free processor.
+        for &i in &chosen {
+            let fp = free.pop_front().expect("free processor available");
+            let q = slots[i].take().expect("chosen slot");
+            let (q1, q2) = q.bisect();
+            machine.bisect(base + i);
+            // Acquiring the id of the j-th free processor costs "a single
+            // request to another processor whose id it can determine
+            // locally" (§3.1) — one round trip for the bisecting
+            // processor, overlapped across the batch.
+            machine.advance(base + i, 2 * machine.cost_model().t_send);
+            machine.send(base + i, base + fp);
+            slots[i] = Some(q1);
+            slots[fp] = Some(q2);
+        }
+        f -= chosen.len();
+
+        // (h) barrier unless the load balancing just finished.
+        if f > 0 {
+            machine.barrier(base, n);
+        }
+    }
+
+    let pieces: Vec<P> = slots.into_iter().flatten().collect();
+    (Partition::new(pieces, total, n), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::bounds::phf_phase2_max_iterations;
+    use gb_core::hf::hf;
+    use gb_core::synthetic_alpha::{AtomicAfter, FixedAlpha};
+    use proptest::prelude::*;
+
+    /// A miniature copy of the synthetic stochastic model (kept local so
+    /// gb-parlb does not depend on gb-problems; the full-size equality
+    /// tests across crates live in the workspace integration tests).
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct RandomSplit {
+        w: f64,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    }
+
+    impl Bisectable for RandomSplit {
+        fn weight(&self) -> f64 {
+            self.w
+        }
+
+        fn bisect(&self) -> (Self, Self) {
+            let u = gb_core::rng::u64_to_unit_f64(gb_core::rng::SplitMix64::derive(self.seed, 0));
+            let frac = self.lo + (self.hi - self.lo) * u;
+            let mk = |w, lane| Self {
+                w,
+                lo: self.lo,
+                hi: self.hi,
+                seed: gb_core::rng::SplitMix64::derive(self.seed, lane),
+            };
+            (mk(frac * self.w, 1), mk((1.0 - frac) * self.w, 2))
+        }
+    }
+
+    #[test]
+    fn phf_equals_hf_fixed_alpha() {
+        for &alpha in &[0.12, 0.25, 1.0 / 3.0, 0.45, 0.5] {
+            for &n in &[2usize, 3, 7, 16, 33, 100, 256] {
+                let p = FixedAlpha::new(1.0, alpha);
+                let mut m = Machine::with_paper_costs(n);
+                let (par, _) = phf(&mut m, p, n, alpha);
+                let seq = hf(p, n);
+                assert!(
+                    par.approx_same_weights_as(&seq, 1e-12),
+                    "alpha={alpha} n={n}: PHF != HF"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phf_equals_hf_random_splits_bit_exact() {
+        for seed in 0..20 {
+            let p = RandomSplit {
+                w: 1.0,
+                lo: 0.1,
+                hi: 0.5,
+                seed,
+            };
+            let n = 64;
+            let mut m = Machine::with_paper_costs(n);
+            let (par, _) = phf(&mut m, p, n, 0.1);
+            let seq = hf(p, n);
+            // Same bisected nodes ⇒ identical multiplication chains ⇒
+            // bit-exact equality of the sorted weight vectors.
+            assert!(par.same_weights_as(&seq), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn phase2_iterations_within_constant_bound() {
+        for &alpha in &[0.1, 0.2, 1.0 / 3.0, 0.5] {
+            for seed in 0..10 {
+                let p = RandomSplit {
+                    w: 1.0,
+                    lo: alpha,
+                    hi: 0.5,
+                    seed,
+                };
+                let n = 512;
+                let mut m = Machine::with_paper_costs(n);
+                let (_, report) = phf(&mut m, p, n, alpha);
+                let bound = phf_phase2_max_iterations(alpha) + 1;
+                assert!(
+                    report.phase2_iterations <= bound,
+                    "alpha={alpha} seed={seed}: {} iterations > {bound}",
+                    report.phase2_iterations
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_is_polylogarithmic() {
+        // For fixed α the model time is O(log N): check that doubling N
+        // adds roughly a constant (not a factor) to the makespan.
+        let alpha = 0.25;
+        let time_at = |k: u32| {
+            let n = 1usize << k;
+            let p = RandomSplit {
+                w: 1.0,
+                lo: alpha,
+                hi: 0.5,
+                seed: 7,
+            };
+            let mut m = Machine::with_paper_costs(n);
+            phf(&mut m, p, n, alpha);
+            m.makespan()
+        };
+        // The per-iteration cost is Θ(log N) and the iteration count is a
+        // constant for fixed α, so the makespan is O(log N): going from
+        // 2^10 to 2^16 (a 64× size increase) may raise it by at most a
+        // small factor, and at 2^16 it is far below linear.
+        let t10 = time_at(10);
+        let t16 = time_at(16);
+        assert!(t16 < 4 * t10, "t(2^16) = {t16} vs t(2^10) = {t10}");
+        assert!(t16 < (1u64 << 16) / 16, "makespan {t16} not sublinear");
+    }
+
+    #[test]
+    fn single_processor_short_circuits() {
+        let mut m = Machine::with_paper_costs(1);
+        let (part, report) = phf(&mut m, FixedAlpha::new(1.0, 0.5), 1, 0.5);
+        assert_eq!(part.len(), 1);
+        assert_eq!(report.phase2_iterations, 0);
+        assert_eq!(m.makespan(), 0);
+    }
+
+    #[test]
+    fn atomic_problems_leave_processors_idle() {
+        // Weight 1, atomic below 0.3 ⇒ only 4 pieces on 16 processors.
+        let p = AtomicAfter::new(1.0, 0.5, 0.3);
+        let mut m = Machine::with_paper_costs(16);
+        let (part, _) = phf(&mut m, p, 16, 0.5);
+        assert_eq!(part.len(), 4);
+        assert!(part.check_conservation(1e-12));
+    }
+
+    #[test]
+    fn runs_on_a_sub_range() {
+        // PHF on processors [8, 16) must not touch clocks outside.
+        let p = FixedAlpha::new(1.0, 0.4);
+        let mut m = Machine::with_paper_costs(32);
+        let (part, _) = phf_on_range(&mut m, p, 8, 8, 0.4);
+        assert_eq!(part.len(), 8);
+        for i in 0..8 {
+            assert_eq!(m.time_of(i), 0, "P{i} should be untouched");
+        }
+        for i in 16..32 {
+            assert_eq!(m.time_of(i), 0, "P{i} should be untouched");
+        }
+        assert!(m.time_of(8) > 0);
+    }
+
+    #[test]
+    fn selection_branch_reported_when_taken() {
+        // With α close to 1/2 and the threshold equal to 2·w/N, phase 1
+        // leaves many equal pieces and phase 2 finishes in one or two big
+        // batches; with very small n and skewed splits the h > f branch
+        // triggers. Just assert the flag is consistent: if never taken,
+        // every iteration had h ≤ f.
+        let p = RandomSplit {
+            w: 1.0,
+            lo: 0.4,
+            hi: 0.5,
+            seed: 3,
+        };
+        let mut m = Machine::with_paper_costs(48);
+        let (part, report) = phf(&mut m, p, 48, 0.4);
+        assert_eq!(part.len(), 48);
+        // (Smoke: the report is populated.)
+        assert!(report.threshold > 0.0);
+        assert!(report.phase2_iterations >= 1 || report.cascade_bisections >= 47);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_phf_equals_hf(
+            seed in any::<u64>(),
+            lo10 in 2u32..=50,      // lo ∈ [0.02, 0.5]
+            n in 2usize..200,
+        ) {
+            let lo = lo10 as f64 / 100.0;
+            let p = RandomSplit { w: 1.0, lo, hi: 0.5, seed };
+            let mut m = Machine::with_paper_costs(n);
+            let (par, _) = phf(&mut m, p, n, lo);
+            let seq = hf(p, n);
+            prop_assert!(par.same_weights_as(&seq));
+            prop_assert!(par.check_conservation(1e-9));
+        }
+
+        #[test]
+        fn prop_phf_global_ops_scale_with_iterations(
+            seed in any::<u64>(),
+            n in 4usize..300,
+        ) {
+            let alpha = 0.2;
+            let p = RandomSplit { w: 1.0, lo: alpha, hi: 0.5, seed };
+            let mut m = Machine::with_paper_costs(n);
+            let (_, report) = phf(&mut m, p, n, alpha);
+            // Global communication is bounded by a constant (for fixed α)
+            // number of collectives, NOT by n.
+            let per_iter = 4; // reduce-max + enumerate + select + barrier
+            let budget = (report.phase2_iterations + report.cleanup_rounds + 4) * per_iter;
+            prop_assert!(
+                m.metrics().global_communication() <= budget as u64,
+                "{} global ops > budget {budget}",
+                m.metrics().global_communication()
+            );
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Collective operations: compute the value *and* charge the machine.
+//!
+//! The paper's Figure 2 shades the steps that involve "a form of global
+//! communication (communication involving more than two processors at a
+//! time)": broadcasting `w(p)`, `N` and `α`; computing the maximum weight
+//! `m`; counting the `h` processors above the `(1−α)`-window; numbering
+//! free processors (prefix sums); and selecting the `f` heaviest
+//! subproblems. On the idealised machine each costs `O(log N)` (simple
+//! prefix computations or a parallel selection/sorting algorithm, see
+//! JáJá \[8\]).
+//!
+//! Each helper below performs the actual computation on the algorithm's
+//! data *and* charges the machine exactly one global operation over the
+//! participating processor range, so algorithm code reads like the paper's
+//! pseudocode while every shaded step is metered.
+
+use crate::machine::Machine;
+
+/// Broadcast: makes `value` known to all processors in the range; costs
+/// one global operation. Returns the value (for pseudocode symmetry).
+pub fn broadcast<T>(machine: &mut Machine, base: usize, scope: usize, value: T) -> T {
+    machine.global("broadcast", base, scope);
+    value
+}
+
+/// Maximum over per-processor contributions (`None` = processor holds
+/// nothing); costs one global operation.
+pub fn reduce_max(
+    machine: &mut Machine,
+    base: usize,
+    scope: usize,
+    values: impl IntoIterator<Item = Option<f64>>,
+) -> Option<f64> {
+    machine.global("reduce-max", base, scope);
+    values
+        .into_iter()
+        .flatten()
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
+}
+
+/// Counts contributions satisfying a predicate (a prefix computation);
+/// costs one global operation.
+pub fn count_where<T>(
+    machine: &mut Machine,
+    base: usize,
+    scope: usize,
+    values: impl IntoIterator<Item = T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> usize {
+    machine.global("count", base, scope);
+    values.into_iter().filter(|v| pred(v)).count()
+}
+
+/// Enumerates (ranks) the items satisfying a predicate — the "number them
+/// from 1 to h" steps, a prefix-sum computation; costs one global
+/// operation. Returns the indices of the matching items in order.
+pub fn enumerate_where<T>(
+    machine: &mut Machine,
+    base: usize,
+    scope: usize,
+    values: &[T],
+    mut pred: impl FnMut(&T) -> bool,
+) -> Vec<usize> {
+    machine.global("prefix-enumerate", base, scope);
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| pred(v))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Selects the indices of the `k` heaviest entries of `(weight, id)` pairs
+/// (descending weight, ties by ascending id — the machine's deterministic
+/// tie-break); a parallel selection/sorting step; costs one global
+/// operation.
+pub fn select_heaviest(
+    machine: &mut Machine,
+    base: usize,
+    scope: usize,
+    weighted: &[(f64, usize)],
+    k: usize,
+) -> Vec<usize> {
+    machine.global("select", base, scope);
+    let mut order: Vec<usize> = (0..weighted.len()).collect();
+    order.sort_by(|&a, &b| {
+        weighted[b]
+            .0
+            .partial_cmp(&weighted[a].0)
+            .expect("NaN weight")
+            .then_with(|| weighted[a].1.cmp(&weighted[b].1))
+    });
+    order.truncate(k);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_returns_value_and_charges() {
+        let mut m = Machine::with_paper_costs(8);
+        let v = broadcast(&mut m, 0, 8, 42u32);
+        assert_eq!(v, 42);
+        assert_eq!(m.metrics().global_ops, 1);
+        assert_eq!(m.makespan(), 3);
+    }
+
+    #[test]
+    fn reduce_max_ignores_empty_processors() {
+        let mut m = Machine::with_paper_costs(4);
+        let got = reduce_max(&mut m, 0, 4, [Some(1.0), None, Some(3.5), Some(2.0)]);
+        assert_eq!(got, Some(3.5));
+        let none = reduce_max(&mut m, 0, 4, [None, None]);
+        assert_eq!(none, None);
+        assert_eq!(m.metrics().global_ops, 2);
+    }
+
+    #[test]
+    fn count_and_enumerate_agree() {
+        let mut m = Machine::with_paper_costs(4);
+        let values = [5.0, 1.0, 7.0, 3.0];
+        let c = count_where(&mut m, 0, 4, values, |&v| v >= 3.0);
+        assert_eq!(c, 3);
+        let idx = enumerate_where(&mut m, 0, 4, &values, |&v| v >= 3.0);
+        assert_eq!(idx, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn select_heaviest_orders_and_breaks_ties() {
+        let mut m = Machine::with_paper_costs(4);
+        let weighted = [(2.0, 10), (5.0, 11), (5.0, 3), (1.0, 4)];
+        let top = select_heaviest(&mut m, 0, 4, &weighted, 3);
+        // 5.0@3 before 5.0@11 (tie → smaller id), then 2.0.
+        assert_eq!(top, vec![2, 1, 0]);
+        let all = select_heaviest(&mut m, 0, 4, &weighted, 10);
+        assert_eq!(all.len(), 4);
+    }
+}

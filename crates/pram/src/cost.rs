@@ -1,0 +1,80 @@
+//! The machine cost model.
+
+/// Time costs of the machine's primitive operations, in abstract units.
+///
+/// The defaults are exactly the paper's assumptions: unit bisection, unit
+/// send, and `⌈log₂ P⌉` for any operation involving global communication.
+/// The paper notes that "our results can easily be adapted to different
+/// assumptions about the time for bisections and for interprocessor
+/// communication" — hence every knob is public.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Time for one bisection on one processor.
+    pub t_bisect: u64,
+    /// Time to transmit one subproblem between two processors.
+    pub t_send: u64,
+    /// Multiplier for global operations: a collective over `p` processors
+    /// costs `t_global_factor · ⌈log₂ p⌉` (minimum 1 for `p > 1`).
+    pub t_global_factor: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            t_bisect: 1,
+            t_send: 1,
+            t_global_factor: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// The paper's model: all defaults.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Cost of a global operation (broadcast, reduction, prefix sums,
+    /// selection, barrier) over `p` processors.
+    pub fn global_cost(&self, p: usize) -> u64 {
+        if p <= 1 {
+            0
+        } else {
+            self.t_global_factor * (usize::BITS - (p - 1).leading_zeros()) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_cost_is_ceil_log2() {
+        let c = CostModel::default();
+        assert_eq!(c.global_cost(1), 0);
+        assert_eq!(c.global_cost(2), 1);
+        assert_eq!(c.global_cost(3), 2);
+        assert_eq!(c.global_cost(4), 2);
+        assert_eq!(c.global_cost(5), 3);
+        assert_eq!(c.global_cost(1024), 10);
+        assert_eq!(c.global_cost(1025), 11);
+    }
+
+    #[test]
+    fn global_factor_scales() {
+        let c = CostModel {
+            t_global_factor: 3,
+            ..CostModel::default()
+        };
+        assert_eq!(c.global_cost(8), 9);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let c = CostModel::paper();
+        assert_eq!(c.t_bisect, 1);
+        assert_eq!(c.t_send, 1);
+        assert_eq!(c.t_global_factor, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gb-pram — a simulator of the paper's parallel machine model
+//!
+//! The paper analyses its parallel algorithms in an idealised PRAM-like
+//! message-passing model (§3):
+//!
+//! * bisecting a problem costs **one unit of time** on one processor;
+//! * transmitting a subproblem to another processor costs **one unit**;
+//! * "standard operations like computing the maximum weight of all
+//!   subproblems generated so far or sorting a subset of these subproblems
+//!   according to their weights can be done in time `O(log N)`" — the
+//!   shaded *global* steps of Figure 2;
+//! * acquiring the id of a free processor costs constant time (its
+//!   realisation is the free-processor-management schemes of §3.4).
+//!
+//! We do not own a 1999 parallel machine, so this crate *is* the machine:
+//! a deterministic discrete-time simulator with one logical clock per
+//! processor, explicit message timing, explicit `⌈log₂ P⌉`-cost
+//! collectives and full instrumentation (bisection, send, global-op and
+//! barrier counters plus the makespan). The running-time claims of the
+//! paper — HF is `Θ(N)`, PHF/BA/BA-HF are `O(log N)` for fixed α, BA needs
+//! **zero** global operations — are statements about this cost model, and
+//! `gb-simstudy::runtime` measures them on this simulator.
+//!
+//! The machine knows nothing about problems or algorithms; it only meters
+//! time and communication. The algorithms live in `gb-parlb`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod cost;
+pub mod machine;
+pub mod metrics;
+pub mod topology;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use machine::Machine;
+pub use metrics::Metrics;
+pub use topology::Topology;
+pub use trace::{Trace, TraceEvent};

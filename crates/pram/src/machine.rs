@@ -1,0 +1,412 @@
+//! The simulated machine: per-processor clocks and metered operations.
+
+use crate::cost::CostModel;
+use crate::metrics::Metrics;
+use crate::topology::Topology;
+use crate::trace::{Trace, TraceEvent};
+
+/// A deterministic discrete-time simulation of the paper's machine model.
+///
+/// Each of the `P` processors has a local clock. Algorithms drive the
+/// machine through the metered primitives:
+///
+/// * [`bisect`](Machine::bisect) — one bisection on one processor,
+/// * [`send`](Machine::send) — one point-to-point transmission,
+/// * [`global`](Machine::global) / [`barrier`](Machine::barrier) —
+///   synchronising collectives over a processor range at `⌈log₂ scope⌉`
+///   cost,
+/// * [`advance`](Machine::advance) — explicit local computation.
+///
+/// The machine does not hold problems; algorithms keep their own problem
+/// state and tell the machine what happened, which keeps the simulator
+/// reusable across HF/PHF/BA/BA-HF (and any future algorithm).
+///
+/// ```
+/// use gb_pram::machine::Machine;
+///
+/// let mut m = Machine::with_paper_costs(4);
+/// m.bisect(0);                    // P0 bisects: 1 time unit
+/// m.send(0, 2);                   // P0 → P2: 1 more unit, P2 now at t=2
+/// m.barrier(0, 4);                // all sync to max + ⌈log₂ 4⌉
+/// assert_eq!(m.makespan(), 4);
+/// assert_eq!(m.metrics().bisections, 1);
+/// assert_eq!(m.metrics().global_communication(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    now: Vec<u64>,
+    cost: CostModel,
+    topology: Topology,
+    metrics: Metrics,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Creates a machine with `p ≥ 1` processors, all clocks at 0.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn new(p: usize, cost: CostModel) -> Self {
+        Self::with_topology(p, cost, Topology::Complete)
+    }
+
+    /// Creates a machine with the paper's default cost model (on the
+    /// idealised fully connected interconnect).
+    pub fn with_paper_costs(p: usize) -> Self {
+        Self::new(p, CostModel::paper())
+    }
+
+    /// Creates a machine whose sends and collectives are charged by an
+    /// explicit interconnect [`Topology`]. [`Topology::Complete`]
+    /// reproduces the paper's idealised model exactly.
+    pub fn with_topology(p: usize, cost: CostModel, topology: Topology) -> Self {
+        assert!(p > 0, "a machine needs at least one processor");
+        Self {
+            now: vec![0; p],
+            cost,
+            topology,
+            metrics: Metrics::default(),
+            trace: None,
+        }
+    }
+
+    /// The interconnect topology in force.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Enables event tracing (off by default; tracing allocates).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.now.len()
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The local clock of processor `i`.
+    pub fn time_of(&self, i: usize) -> u64 {
+        self.now[i]
+    }
+
+    /// The makespan: the latest local clock.
+    pub fn makespan(&self) -> u64 {
+        self.now.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The instrumentation counters so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Advances processor `i` by `dt` units of local computation.
+    pub fn advance(&mut self, i: usize, dt: u64) {
+        self.now[i] += dt;
+    }
+
+    /// Ensures processor `i`'s clock is at least `t` (e.g. waiting for a
+    /// message that arrives at `t`).
+    pub fn wait_until(&mut self, i: usize, t: u64) {
+        if self.now[i] < t {
+            self.now[i] = t;
+        }
+    }
+
+    /// Processor `i` performs one bisection.
+    pub fn bisect(&mut self, i: usize) {
+        self.now[i] += self.cost.t_bisect;
+        self.metrics.bisections += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Bisect {
+                proc: i,
+                t: self.now[i],
+            });
+        }
+    }
+
+    /// Processor `from` sends a subproblem to processor `to`; occupies the
+    /// sender for `t_send` and delivers at the sender's new local time.
+    /// The receiver's clock advances to the arrival time (it was waiting).
+    /// Returns the arrival time.
+    pub fn send(&mut self, from: usize, to: usize) -> u64 {
+        assert_ne!(from, to, "a processor cannot send to itself");
+        let hops = self.topology.distance(self.now.len(), from, to).max(1);
+        self.now[from] += self.cost.t_send * hops;
+        let arrival = self.now[from];
+        self.wait_until(to, arrival);
+        self.metrics.sends += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Send {
+                from,
+                to,
+                t: arrival,
+            });
+        }
+        arrival
+    }
+
+    /// A global operation (broadcast / reduction / prefix sums / selection)
+    /// over the processor range `[base, base + scope)`: synchronises the
+    /// range to its latest clock plus `⌈log₂ scope⌉`.
+    ///
+    /// Returns the completion time.
+    pub fn global(&mut self, label: &'static str, base: usize, scope: usize) -> u64 {
+        let t = self.sync_range(base, scope) + self.collective_time(scope);
+        for i in base..base + scope {
+            self.now[i] = t;
+        }
+        self.metrics.global_ops += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Global { label, scope, t });
+        }
+        t
+    }
+
+    /// A barrier over the processor range `[base, base + scope)`; same
+    /// cost as a global operation but counted separately.
+    pub fn barrier(&mut self, base: usize, scope: usize) -> u64 {
+        let t = self.sync_range(base, scope) + self.collective_time(scope);
+        for i in base..base + scope {
+            self.now[i] = t;
+        }
+        self.metrics.barriers += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.push(TraceEvent::Barrier { scope, t });
+        }
+        t
+    }
+
+    /// The time one collective over `scope` processors costs on this
+    /// machine's interconnect.
+    fn collective_time(&self, scope: usize) -> u64 {
+        self.cost.t_global_factor * self.topology.collective_cost(self.now.len(), scope)
+    }
+
+    /// The latest clock within `[base, base + scope)` (no cost, no count).
+    pub fn sync_range(&self, base: usize, scope: usize) -> u64 {
+        assert!(scope >= 1 && base + scope <= self.now.len());
+        self.now[base..base + scope]
+            .iter()
+            .copied()
+            .max()
+            .expect("non-empty range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clocks_start_at_zero() {
+        let m = Machine::with_paper_costs(4);
+        assert_eq!(m.procs(), 4);
+        assert_eq!(m.makespan(), 0);
+        for i in 0..4 {
+            assert_eq!(m.time_of(i), 0);
+        }
+    }
+
+    #[test]
+    fn bisect_and_send_advance_clocks() {
+        let mut m = Machine::with_paper_costs(3);
+        m.bisect(0); // t=1 on P0
+        let arrival = m.send(0, 2); // P0 t=2, P2 waits until 2
+        assert_eq!(arrival, 2);
+        assert_eq!(m.time_of(0), 2);
+        assert_eq!(m.time_of(2), 2);
+        assert_eq!(m.time_of(1), 0);
+        assert_eq!(m.metrics().bisections, 1);
+        assert_eq!(m.metrics().sends, 1);
+    }
+
+    #[test]
+    fn receiver_is_not_rewound() {
+        let mut m = Machine::with_paper_costs(2);
+        m.advance(1, 10);
+        m.bisect(0);
+        m.send(0, 1); // arrives at 2, but P1 is already at 10
+        assert_eq!(m.time_of(1), 10);
+    }
+
+    #[test]
+    fn global_synchronises_range() {
+        let mut m = Machine::with_paper_costs(8);
+        m.advance(3, 7);
+        let t = m.global("reduce-max", 0, 8);
+        assert_eq!(t, 7 + 3); // max clock 7 + ceil(log2 8)
+        for i in 0..8 {
+            assert_eq!(m.time_of(i), 10);
+        }
+        assert_eq!(m.metrics().global_ops, 1);
+        assert_eq!(m.metrics().barriers, 0);
+    }
+
+    #[test]
+    fn scoped_global_leaves_outsiders_alone() {
+        let mut m = Machine::with_paper_costs(8);
+        m.advance(1, 5);
+        m.global("local", 0, 4);
+        assert_eq!(m.time_of(0), 7); // 5 + log2(4)
+        assert_eq!(m.time_of(5), 0);
+    }
+
+    #[test]
+    fn barrier_counts_separately() {
+        let mut m = Machine::with_paper_costs(4);
+        m.barrier(0, 4);
+        assert_eq!(m.metrics().barriers, 1);
+        assert_eq!(m.metrics().global_ops, 0);
+        assert_eq!(m.metrics().global_communication(), 1);
+    }
+
+    #[test]
+    fn single_processor_collectives_are_free() {
+        let mut m = Machine::with_paper_costs(1);
+        let t = m.global("noop", 0, 1);
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let mut m = Machine::with_paper_costs(2);
+        assert!(m.trace().is_none());
+        m.enable_trace();
+        m.bisect(0);
+        m.send(0, 1);
+        m.barrier(0, 2);
+        let tr = m.trace().unwrap();
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        Machine::with_paper_costs(0);
+    }
+
+    #[test]
+    fn ring_topology_charges_distance() {
+        use crate::topology::Topology;
+        let mut m = Machine::with_topology(8, CostModel::paper(), Topology::Ring);
+        m.send(0, 4); // 4 hops on an 8-ring
+        assert_eq!(m.time_of(0), 4);
+        assert_eq!(m.time_of(4), 4);
+        // Collective over the whole ring costs its diameter.
+        let t = m.global("reduce", 0, 8);
+        assert_eq!(t, 4 + 4);
+    }
+
+    #[test]
+    fn complete_topology_matches_legacy_costs() {
+        use crate::topology::Topology;
+        let mut a = Machine::with_paper_costs(16);
+        let mut b = Machine::with_topology(16, CostModel::paper(), Topology::Complete);
+        for m in [&mut a, &mut b] {
+            m.bisect(3);
+            m.send(3, 9);
+            m.global("x", 0, 16);
+            m.barrier(0, 16);
+        }
+        assert_eq!(a.makespan(), b.makespan());
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(b.topology(), Topology::Complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send to itself")]
+    fn self_send_panics() {
+        let mut m = Machine::with_paper_costs(2);
+        m.send(1, 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::topology::Topology;
+    use proptest::prelude::*;
+
+    /// A random machine operation.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Bisect(usize),
+        Send(usize, usize),
+        Advance(usize, u64),
+        Global(usize, usize),
+        Barrier(usize, usize),
+    }
+
+    fn op_strategy(p: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..p).prop_map(Op::Bisect),
+            (0..p, 0..p).prop_map(|(a, b)| Op::Send(a, b)),
+            (0..p, 0u64..20).prop_map(|(a, d)| Op::Advance(a, d)),
+            (0..p, 1..=p).prop_map(|(b, s)| Op::Global(b, s)),
+            (0..p, 1..=p).prop_map(|(b, s)| Op::Barrier(b, s)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clocks_never_go_backwards(
+            ops in prop::collection::vec(op_strategy(8), 0..200),
+            topo_idx in 0usize..Topology::ALL.len(),
+        ) {
+            let topology = Topology::ALL[topo_idx];
+            let mut m = Machine::with_topology(8, CostModel::paper(), topology);
+            let mut counted = Metrics::default();
+            let mut prev = [0u64; 8];
+            for op in ops {
+                match op {
+                    Op::Bisect(i) => {
+                        m.bisect(i);
+                        counted.bisections += 1;
+                    }
+                    Op::Send(a, b) if a != b => {
+                        let arrival = m.send(a, b);
+                        counted.sends += 1;
+                        prop_assert!(arrival >= prev[a]);
+                        prop_assert!(m.time_of(b) >= arrival);
+                    }
+                    Op::Send(..) => {}
+                    Op::Advance(i, d) => m.advance(i, d),
+                    Op::Global(b, s) if b + s <= 8 => {
+                        let t = m.global("p", b, s);
+                        counted.global_ops += 1;
+                        // Everyone in scope lands exactly at t.
+                        for i in b..b + s {
+                            prop_assert_eq!(m.time_of(i), t);
+                        }
+                    }
+                    Op::Global(..) => {}
+                    Op::Barrier(b, s) if b + s <= 8 => {
+                        m.barrier(b, s);
+                        counted.barriers += 1;
+                    }
+                    Op::Barrier(..) => {}
+                }
+                // Monotonicity of every clock.
+                for (i, slot) in prev.iter_mut().enumerate() {
+                    prop_assert!(m.time_of(i) >= *slot, "clock {i} went backwards");
+                    *slot = m.time_of(i);
+                }
+            }
+            prop_assert_eq!(m.metrics(), counted);
+            prop_assert_eq!(m.makespan(), (0..8).map(|i| m.time_of(i)).max().unwrap());
+        }
+    }
+}

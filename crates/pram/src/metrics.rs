@@ -1,0 +1,39 @@
+//! Instrumentation counters of a machine run.
+
+/// Counters accumulated by a [`crate::Machine`] during an algorithm run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// Number of bisections performed.
+    pub bisections: u64,
+    /// Number of point-to-point subproblem transmissions.
+    pub sends: u64,
+    /// Number of global operations (broadcasts, reductions, prefix sums,
+    /// selections) — the shaded steps of Figure 2. Zero for Algorithm BA.
+    pub global_ops: u64,
+    /// Number of barrier synchronisations.
+    pub barriers: u64,
+}
+
+impl Metrics {
+    /// Total count of operations involving more than two processors at a
+    /// time — the paper's notion of "global communication".
+    pub fn global_communication(&self) -> u64 {
+        self.global_ops + self.barriers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_communication_sums_collectives_and_barriers() {
+        let m = Metrics {
+            bisections: 10,
+            sends: 10,
+            global_ops: 3,
+            barriers: 2,
+        };
+        assert_eq!(m.global_communication(), 5);
+    }
+}

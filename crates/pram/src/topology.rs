@@ -1,0 +1,266 @@
+//! Interconnect topologies: what the idealised model costs on real wires.
+//!
+//! §2 of the paper assumes collectives in `O(log N)` and notes this "is
+//! satisfied by the idealized PRAM model, which can be simulated on many
+//! realistic architectures with at most logarithmic slowdown"; §3.4 cites
+//! hypercube embeddings (Heun \[5\], Leighton \[11\]) for the free-processor
+//! management. This module supplies the standard topologies so the claim
+//! can be *measured* rather than assumed:
+//!
+//! * [`Topology::Complete`] — the paper's idealised machine: unit-latency
+//!   point-to-point links, `⌈log₂ s⌉` collectives (the default; all
+//!   recorded results use it);
+//! * [`Topology::Hypercube`] — Hamming-distance links, dimension-deep
+//!   collectives: the classic host for PRAM simulations;
+//! * [`Topology::Mesh2D`] — Manhattan distance on a near-square grid,
+//!   diameter-bound collectives;
+//! * [`Topology::Ring`] — the stress case: `Θ(s)` diameter makes both
+//!   BA's long cascade hops and PHF's collectives expensive;
+//! * [`Topology::Tree`] — a complete binary tree (switch hierarchy):
+//!   logarithmic but with a root bottleneck constant.
+//!
+//! A topology provides two numbers the [`crate::Machine`] consumes: the
+//! hop distance of a point-to-point send and the cost of a collective
+//! over a contiguous processor range (modelled as a spanning-tree sweep
+//! of the sub-network, i.e. proportional to the sub-network diameter —
+//! a standard, slightly optimistic abstraction; see each variant's docs).
+
+/// An interconnect shape for the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Fully connected, unit latency; collectives in `⌈log₂ s⌉` — the
+    /// paper's model.
+    #[default]
+    Complete,
+    /// Binary hypercube over the next power of two of `p` processors;
+    /// the distance between ranks is their Hamming distance, and a
+    /// collective over `s` processors sweeps a `⌈log₂ s⌉`-dimensional
+    /// subcube.
+    Hypercube,
+    /// Near-square 2-D mesh (no wraparound); Manhattan distances, and
+    /// collectives pay the sub-mesh diameter `2·(⌈√s⌉ − 1)` (clamped
+    /// below by the logarithmic lower bound).
+    Mesh2D,
+    /// Bidirectional ring; distances up to `⌊p/2⌋`, collectives pay the
+    /// sub-ring diameter `⌊s/2⌋`.
+    Ring,
+    /// Complete binary tree with processors at all nodes (heap order);
+    /// distance through the lowest common ancestor, collectives pay twice
+    /// the sub-tree height.
+    Tree,
+}
+
+impl Topology {
+    /// All topologies, idealised first.
+    pub const ALL: [Topology; 5] = [
+        Topology::Complete,
+        Topology::Hypercube,
+        Topology::Mesh2D,
+        Topology::Ring,
+        Topology::Tree,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Complete => "complete",
+            Topology::Hypercube => "hypercube",
+            Topology::Mesh2D => "mesh2d",
+            Topology::Ring => "ring",
+            Topology::Tree => "tree",
+        }
+    }
+
+    /// Hop distance between ranks `a` and `b` on a `p`-processor machine.
+    ///
+    /// Always ≥ 1 for `a ≠ b` (and 0 for `a == b`).
+    pub fn distance(&self, p: usize, a: usize, b: usize) -> u64 {
+        debug_assert!(a < p && b < p);
+        if a == b {
+            return 0;
+        }
+        match self {
+            Topology::Complete => 1,
+            Topology::Hypercube => u64::from(((a ^ b) as u64).count_ones()),
+            Topology::Mesh2D => {
+                let side = mesh_side(p);
+                let (ar, ac) = (a / side, a % side);
+                let (br, bc) = (b / side, b % side);
+                (ar.abs_diff(br) + ac.abs_diff(bc)) as u64
+            }
+            Topology::Ring => {
+                let d = a.abs_diff(b);
+                d.min(p - d) as u64
+            }
+            Topology::Tree => {
+                // Heap order: node i has parent (i−1)/2; distance =
+                // depth(a) + depth(b) − 2·depth(lca).
+                let (mut x, mut y) = (a + 1, b + 1); // 1-based heap ranks
+                let mut dist = 0u64;
+                while x != y {
+                    if x > y {
+                        x /= 2;
+                    } else {
+                        y /= 2;
+                    }
+                    dist += 1;
+                }
+                dist
+            }
+        }
+    }
+
+    /// Cost of a collective (broadcast / reduction / prefix / barrier)
+    /// over `scope` contiguous processors of a `p`-processor machine.
+    pub fn collective_cost(&self, p: usize, scope: usize) -> u64 {
+        if scope <= 1 {
+            return 0;
+        }
+        let log = ceil_log2(scope);
+        match self {
+            Topology::Complete | Topology::Hypercube => log,
+            Topology::Mesh2D => {
+                let side = mesh_side(scope);
+                (2 * (side - 1)).max(log as usize) as u64
+            }
+            Topology::Ring => (scope / 2).max(1) as u64,
+            Topology::Tree => {
+                let _ = p;
+                2 * log
+            }
+        }
+    }
+
+    /// The graph diameter of the full machine (for reporting).
+    pub fn diameter(&self, p: usize) -> u64 {
+        if p <= 1 {
+            return 0;
+        }
+        match self {
+            Topology::Complete => 1,
+            Topology::Hypercube => ceil_log2(p),
+            Topology::Mesh2D => {
+                let side = mesh_side(p);
+                (2 * (side - 1)) as u64
+            }
+            Topology::Ring => (p / 2) as u64,
+            Topology::Tree => 2 * ceil_log2(p),
+        }
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+fn ceil_log2(x: usize) -> u64 {
+    debug_assert!(x >= 1);
+    (usize::BITS - (x - 1).leading_zeros()) as u64
+}
+
+/// Side length of the smallest near-square mesh holding `p` processors.
+fn mesh_side(p: usize) -> usize {
+    (p as f64).sqrt().ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_are_metrics_on_samples() {
+        // Symmetry, identity and the triangle inequality over a sample of
+        // rank triples, for every topology.
+        let p = 64;
+        let ranks = [0usize, 1, 7, 8, 31, 32, 63];
+        for t in Topology::ALL {
+            for &a in &ranks {
+                assert_eq!(t.distance(p, a, a), 0, "{t:?}");
+                for &b in &ranks {
+                    let dab = t.distance(p, a, b);
+                    assert_eq!(dab, t.distance(p, b, a), "{t:?} symmetry");
+                    if a != b {
+                        assert!(dab >= 1, "{t:?} positivity");
+                        assert!(dab <= t.diameter(p), "{t:?} diameter");
+                    }
+                    for &c in &ranks {
+                        let dac = t.distance(p, a, c);
+                        let dcb = t.distance(p, c, b);
+                        assert!(dab <= dac + dcb, "{t:?} triangle");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_distances_are_hamming() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.distance(16, 0b0000, 0b1111), 4);
+        assert_eq!(t.distance(16, 0b0101, 0b0100), 1);
+        assert_eq!(t.diameter(16), 4);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let t = Topology::Ring;
+        assert_eq!(t.distance(10, 0, 9), 1);
+        assert_eq!(t.distance(10, 0, 5), 5);
+        assert_eq!(t.diameter(10), 5);
+    }
+
+    #[test]
+    fn mesh_distance_is_manhattan() {
+        let t = Topology::Mesh2D;
+        // p = 16 ⇒ 4×4 mesh; rank 0 = (0,0), rank 15 = (3,3).
+        assert_eq!(t.distance(16, 0, 15), 6);
+        assert_eq!(t.distance(16, 0, 3), 3);
+        assert_eq!(t.diameter(16), 6);
+    }
+
+    #[test]
+    fn tree_distance_via_lca() {
+        let t = Topology::Tree;
+        // Heap: rank0 root; ranks 1,2 children; 3..6 grandchildren.
+        assert_eq!(t.distance(7, 1, 2), 2);
+        assert_eq!(t.distance(7, 3, 4), 2);
+        assert_eq!(t.distance(7, 3, 6), 4);
+        assert_eq!(t.distance(7, 0, 3), 2);
+    }
+
+    #[test]
+    fn collective_costs_ordered_by_diameter() {
+        // Tiny scopes are dominated by constant-factor modelling choices
+        // (a 2-node sub-mesh is charged its 2x1 bounding box); the
+        // ordering claim is about asymptotics, so start at 8.
+        for scope in [8usize, 64, 1024] {
+            let p = 1024;
+            let complete = Topology::Complete.collective_cost(p, scope);
+            let cube = Topology::Hypercube.collective_cost(p, scope);
+            let mesh = Topology::Mesh2D.collective_cost(p, scope);
+            let ring = Topology::Ring.collective_cost(p, scope);
+            assert_eq!(complete, cube);
+            assert!(mesh >= complete, "scope {scope}");
+            assert!(ring >= mesh, "scope {scope}");
+        }
+    }
+
+    #[test]
+    fn singleton_collectives_are_free() {
+        for t in Topology::ALL {
+            assert_eq!(t.collective_cost(64, 1), 0);
+        }
+    }
+
+    #[test]
+    fn complete_matches_the_papers_model() {
+        assert_eq!(Topology::Complete.collective_cost(1024, 1024), 10);
+        assert_eq!(Topology::Complete.collective_cost(1024, 513), 10);
+        assert_eq!(Topology::Complete.distance(8, 2, 5), 1);
+    }
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+    }
+}

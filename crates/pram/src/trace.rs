@@ -1,0 +1,119 @@
+//! Optional event tracing for debugging and the examples.
+
+/// One machine event, with the local time at which it completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Processor `proc` finished a bisection at time `t`.
+    Bisect {
+        /// Processor id.
+        proc: usize,
+        /// Completion time.
+        t: u64,
+    },
+    /// Processor `from` finished sending a subproblem to `to` at time `t`.
+    Send {
+        /// Sending processor.
+        from: usize,
+        /// Receiving processor.
+        to: usize,
+        /// Completion (arrival) time.
+        t: u64,
+    },
+    /// A global operation over `scope` processors completed at time `t`.
+    Global {
+        /// A short label ("broadcast", "reduce-max", "select", …).
+        label: &'static str,
+        /// Number of processors involved.
+        scope: usize,
+        /// Completion time.
+        t: u64,
+    },
+    /// A barrier over `scope` processors completed at time `t`.
+    Barrier {
+        /// Number of processors involved.
+        scope: usize,
+        /// Completion time.
+        t: u64,
+    },
+}
+
+/// A recording of machine events (when enabled on the machine).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub(crate) fn push(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the trace as one line per event (for examples/debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                TraceEvent::Bisect { proc, t } => {
+                    out.push_str(&format!("t={t:>6} P{proc}: bisect\n"));
+                }
+                TraceEvent::Send { from, to, t } => {
+                    out.push_str(&format!("t={t:>6} P{from} -> P{to}: send\n"));
+                }
+                TraceEvent::Global { label, scope, t } => {
+                    out.push_str(&format!("t={t:>6} global[{scope}]: {label}\n"));
+                }
+                TraceEvent::Barrier { scope, t } => {
+                    out.push_str(&format!("t={t:>6} barrier[{scope}]\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_each_event_kind() {
+        let mut tr = Trace::new();
+        tr.push(TraceEvent::Bisect { proc: 0, t: 1 });
+        tr.push(TraceEvent::Send { from: 0, to: 3, t: 2 });
+        tr.push(TraceEvent::Global {
+            label: "reduce-max",
+            scope: 8,
+            t: 5,
+        });
+        tr.push(TraceEvent::Barrier { scope: 8, t: 8 });
+        let s = tr.render();
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("P0: bisect"));
+        assert!(s.contains("P0 -> P3: send"));
+        assert!(s.contains("global[8]: reduce-max"));
+        assert!(s.contains("barrier[8]"));
+        assert_eq!(tr.len(), 4);
+        assert!(!tr.is_empty());
+    }
+}

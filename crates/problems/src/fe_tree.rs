@@ -1,0 +1,522 @@
+//! FE-trees: unbalanced binary trees from adaptive recursive substructuring.
+//!
+//! The paper's motivating application is a parallel finite-element solver
+//! whose "recursive substructuring phase yields an unbalanced binary tree
+//! (called FE-tree). In order to parallelize the main part of the
+//! computation, the FE-tree must be split into subtrees that can be
+//! distributed among the available processors."
+//!
+//! We model an FE-tree as a binary tree with a positive cost per node
+//! (assembly/elimination work of that substructure). A **problem** is a
+//! connected fragment of the tree: a subtree root minus a set of already
+//! cut-away subtrees. Its **bisection** removes the tree edge whose lower
+//! endpoint's effective subtree cost is closest to half the fragment's
+//! weight — the natural "useful bisection method for FE-trees" of \[1\].
+//! Cutting an edge splits a tree fragment into two tree fragments, so the
+//! class is closed under bisection; weights are additive by construction.
+//!
+//! The generator simulates adaptive refinement: starting from a root
+//! region, repeatedly refine a leaf (biased towards recently refined
+//! regions to create the *unbalanced* trees adaptive FEM produces).
+
+use std::sync::Arc;
+
+use gb_core::problem::Bisectable;
+use gb_core::rng::Xoshiro256StarStar;
+
+/// An immutable FE-tree shared by all problems derived from it.
+#[derive(Debug)]
+pub struct FeTree {
+    cost: Vec<f64>,
+    parent: Vec<Option<u32>>,
+    children: Vec<Option<(u32, u32)>>,
+    subtree_cost: Vec<f64>,
+    subtree_size: Vec<u32>,
+    /// Euler-tour entry index; `tin[v]..tout[v]` spans v's subtree.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl FeTree {
+    /// Builds an FE-tree by simulated adaptive refinement.
+    ///
+    /// Starts from a single root region and performs `refinements` steps;
+    /// each step picks a leaf — with probability `bias` the most recently
+    /// created leaf (deep, unbalanced refinement), otherwise a uniformly
+    /// random leaf — and splits it into two child regions with costs
+    /// uniform in `[0.5, 1.5)`. The result has `2·refinements + 1` nodes.
+    ///
+    /// # Panics
+    /// Panics if `bias ∉ [0, 1]`.
+    pub fn adaptive(refinements: usize, bias: f64, seed: u64) -> Arc<Self> {
+        assert!((0.0..=1.0).contains(&bias), "bias {bias} outside [0, 1]");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_nodes = 2 * refinements + 1;
+        let mut cost = Vec::with_capacity(n_nodes);
+        let mut parent: Vec<Option<u32>> = Vec::with_capacity(n_nodes);
+        let mut children: Vec<Option<(u32, u32)>> = Vec::with_capacity(n_nodes);
+        cost.push(rng.range_f64(0.5, 1.5));
+        parent.push(None);
+        children.push(None);
+        let mut leaves: Vec<u32> = vec![0];
+        for _ in 0..refinements {
+            let pick = if rng.next_f64() < bias {
+                leaves.len() - 1
+            } else {
+                rng.range_usize(leaves.len())
+            };
+            let v = leaves.swap_remove(pick);
+            let l = cost.len() as u32;
+            for _ in 0..2 {
+                cost.push(rng.range_f64(0.5, 1.5));
+                parent.push(Some(v));
+                children.push(None);
+            }
+            children[v as usize] = Some((l, l + 1));
+            leaves.push(l);
+            leaves.push(l + 1);
+        }
+        Arc::new(Self::finish(cost, parent, children))
+    }
+
+    /// Builds a perfectly balanced FE-tree of the given depth with unit
+    /// node costs — the best case for bisection-based balancing.
+    pub fn balanced(depth: u32) -> Arc<Self> {
+        let n_nodes = (1usize << (depth + 1)) - 1;
+        let cost = vec![1.0; n_nodes];
+        let mut parent = vec![None; n_nodes];
+        let mut children = vec![None; n_nodes];
+        #[allow(clippy::needless_range_loop)] // v indexes three arrays at once
+        for v in 0..n_nodes {
+            let l = 2 * v + 1;
+            if l + 1 < n_nodes {
+                children[v] = Some((l as u32, l as u32 + 1));
+                parent[l] = Some(v as u32);
+                parent[l + 1] = Some(v as u32);
+            }
+        }
+        Arc::new(Self::finish(cost, parent, children))
+    }
+
+    /// Builds a maximally unbalanced "caterpillar" FE-tree: a spine of
+    /// `spine` internal nodes, each with one leaf child — the worst case
+    /// produced by strictly local refinement.
+    pub fn caterpillar(spine: usize, seed: u64) -> Arc<Self> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n_nodes = 2 * spine + 1;
+        let mut cost = Vec::with_capacity(n_nodes);
+        let mut parent: Vec<Option<u32>> = Vec::with_capacity(n_nodes);
+        let mut children: Vec<Option<(u32, u32)>> = Vec::with_capacity(n_nodes);
+        cost.push(rng.range_f64(0.5, 1.5));
+        parent.push(None);
+        children.push(None);
+        let mut spine_node = 0u32;
+        for _ in 0..spine {
+            let l = cost.len() as u32;
+            for _ in 0..2 {
+                cost.push(rng.range_f64(0.5, 1.5));
+                parent.push(Some(spine_node));
+                children.push(None);
+            }
+            children[spine_node as usize] = Some((l, l + 1));
+            spine_node = l + 1; // continue the spine on the right child
+        }
+        Arc::new(Self::finish(cost, parent, children))
+    }
+
+    /// Completes derived data (subtree sums, Euler tour) from the raw
+    /// structure.
+    fn finish(
+        cost: Vec<f64>,
+        parent: Vec<Option<u32>>,
+        children: Vec<Option<(u32, u32)>>,
+    ) -> Self {
+        let n = cost.len();
+        let mut subtree_cost = vec![0.0; n];
+        let mut subtree_size = vec![0u32; n];
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        // Iterative post-order: (node, expanded?).
+        let mut timer = 0u32;
+        let mut stack: Vec<(u32, bool)> = vec![(0, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            let vi = v as usize;
+            if expanded {
+                let (mut c, mut s) = (cost[vi], 1u32);
+                if let Some((l, r)) = children[vi] {
+                    c += subtree_cost[l as usize] + subtree_cost[r as usize];
+                    s += subtree_size[l as usize] + subtree_size[r as usize];
+                }
+                subtree_cost[vi] = c;
+                subtree_size[vi] = s;
+                tout[vi] = timer;
+            } else {
+                tin[vi] = timer;
+                timer += 1;
+                stack.push((v, true));
+                if let Some((l, r)) = children[vi] {
+                    stack.push((r, false));
+                    stack.push((l, false));
+                }
+            }
+        }
+        Self {
+            cost,
+            parent,
+            children,
+            subtree_cost,
+            subtree_size,
+            tin,
+            tout,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// `true` if the tree has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+
+    /// Total cost of all nodes.
+    pub fn total_cost(&self) -> f64 {
+        self.subtree_cost[0]
+    }
+
+    /// `true` iff `a` is an ancestor of `b` or equal to it.
+    pub fn in_subtree(&self, b: u32, a: u32) -> bool {
+        self.tin[a as usize] <= self.tin[b as usize]
+            && self.tout[b as usize] <= self.tout[a as usize]
+    }
+
+    /// The parent of `v`, if any.
+    pub fn parent_of(&self, v: u32) -> Option<u32> {
+        self.parent[v as usize]
+    }
+
+    /// Wraps the whole tree into the root problem.
+    pub fn root_problem(self: &Arc<Self>) -> FeTreeProblem {
+        FeTreeProblem {
+            tree: Arc::clone(self),
+            root: 0,
+            cut: Vec::new(),
+        }
+    }
+}
+
+/// A connected tree fragment: `subtree(root)` minus the subtrees rooted at
+/// the (disjoint) `cut` nodes. The problem type of the FE-tree class.
+#[derive(Debug, Clone)]
+pub struct FeTreeProblem {
+    tree: Arc<FeTree>,
+    root: u32,
+    /// Roots of cut-away subtrees, each strictly inside `subtree(root)`,
+    /// pairwise disjoint, kept sorted for deterministic arithmetic.
+    cut: Vec<u32>,
+}
+
+impl FeTreeProblem {
+    /// The root node of this fragment.
+    pub fn fragment_root(&self) -> u32 {
+        self.root
+    }
+
+    /// Number of nodes in this fragment.
+    pub fn node_count(&self) -> u32 {
+        let mut n = self.tree.subtree_size[self.root as usize];
+        for &c in &self.cut {
+            n -= self.tree.subtree_size[c as usize];
+        }
+        n
+    }
+
+    /// Visits every active node of the fragment, calling `f(node)`;
+    /// traversal is depth-first from the fragment root, skipping cut
+    /// subtrees.
+    pub fn for_each_node<F: FnMut(u32)>(&self, mut f: F) {
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            if self.cut.contains(&v) {
+                continue;
+            }
+            f(v);
+            if let Some((l, r)) = self.tree.children[v as usize] {
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+    }
+
+    /// Effective subtree cost of every active node (cut subtrees excluded),
+    /// as `(node, cost)` pairs in post-order.
+    fn effective_costs(&self) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut stack: Vec<(u32, bool)> = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if self.cut.contains(&v) {
+                continue;
+            }
+            if expanded {
+                let mut c = self.tree.cost[v as usize];
+                if let Some((l, r)) = self.tree.children[v as usize] {
+                    c += acc.get(&l).copied().unwrap_or(0.0);
+                    c += acc.get(&r).copied().unwrap_or(0.0);
+                }
+                acc.insert(v, c);
+                out.push((v, c));
+            } else {
+                stack.push((v, true));
+                if let Some((l, r)) = self.tree.children[v as usize] {
+                    stack.push((r, false));
+                    stack.push((l, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// The edge-cut node the next bisection will split at (for tests):
+    /// the non-root active node whose effective subtree cost is closest to
+    /// half the fragment weight (ties: smallest Euler index).
+    pub fn best_cut(&self) -> Option<u32> {
+        let w = self.weight();
+        let half = w / 2.0;
+        let mut best: Option<(f64, u32, u32)> = None; // (|eff-half|, tin, node)
+        for (v, eff) in self.effective_costs() {
+            if v == self.root {
+                continue;
+            }
+            let key = (eff - half).abs();
+            let tin = self.tree.tin[v as usize];
+            match best {
+                Some((bk, bt, _)) if (bk, bt) <= (key, tin) => {}
+                _ => best = Some((key, tin, v)),
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+}
+
+impl PartialEq for FeTreeProblem {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.tree, &other.tree)
+            && self.root == other.root
+            && self.cut == other.cut
+    }
+}
+
+impl Bisectable for FeTreeProblem {
+    fn weight(&self) -> f64 {
+        let mut w = self.tree.subtree_cost[self.root as usize];
+        for &c in &self.cut {
+            w -= self.tree.subtree_cost[c as usize];
+        }
+        w
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        let v = self
+            .best_cut()
+            .expect("bisect called on an atomic FE-tree fragment");
+        // Fragment 1: subtree(v) minus the cut roots inside it.
+        let mut cut_in = Vec::new();
+        let mut cut_out = Vec::new();
+        for &c in &self.cut {
+            if self.tree.in_subtree(c, v) {
+                cut_in.push(c);
+            } else {
+                cut_out.push(c);
+            }
+        }
+        let p1 = Self {
+            tree: Arc::clone(&self.tree),
+            root: v,
+            cut: cut_in,
+        };
+        // Fragment 2: the remainder — same root, v added to the cut.
+        let mut cut2 = cut_out;
+        cut2.push(v);
+        cut2.sort_unstable();
+        let p2 = Self {
+            tree: Arc::clone(&self.tree),
+            root: self.root,
+            cut: cut2,
+        };
+        (p1, p2)
+    }
+
+    fn can_bisect(&self) -> bool {
+        self.node_count() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical_alpha;
+    use gb_core::ba::ba;
+    use gb_core::hf::{hf, hf_traced};
+
+    #[test]
+    fn adaptive_tree_shape() {
+        let t = FeTree::adaptive(100, 0.5, 7);
+        assert_eq!(t.len(), 201);
+        assert!(t.total_cost() > 0.0);
+        // Subtree sizes are consistent: root covers everything.
+        assert_eq!(t.subtree_size[0] as usize, t.len());
+    }
+
+    #[test]
+    fn balanced_tree_shape() {
+        let t = FeTree::balanced(4);
+        assert_eq!(t.len(), 31);
+        assert_eq!(t.total_cost(), 31.0);
+    }
+
+    #[test]
+    fn euler_intervals_nest() {
+        let t = FeTree::adaptive(50, 0.3, 9);
+        for v in 0..t.len() as u32 {
+            assert!(t.in_subtree(v, 0), "root spans all");
+            assert!(t.in_subtree(v, v), "reflexive");
+            if let Some(p) = t.parent_of(v) {
+                assert!(t.in_subtree(v, p));
+                assert!(!t.in_subtree(p, v));
+            }
+        }
+    }
+
+    #[test]
+    fn bisection_conserves_weight_and_nodes() {
+        let t = FeTree::adaptive(200, 0.6, 11);
+        let p = t.root_problem();
+        let (a, b) = p.bisect();
+        assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9);
+        assert_eq!(a.node_count() + b.node_count(), p.node_count());
+        assert!(a.weight() > 0.0 && b.weight() > 0.0);
+    }
+
+    #[test]
+    fn bisection_is_deterministic() {
+        let t = FeTree::adaptive(80, 0.4, 13);
+        let p = t.root_problem();
+        assert_eq!(p.bisect(), p.bisect());
+    }
+
+    #[test]
+    fn single_node_is_atomic() {
+        let t = FeTree::adaptive(0, 0.0, 1);
+        assert_eq!(t.len(), 1);
+        assert!(!t.root_problem().can_bisect());
+    }
+
+    #[test]
+    fn hf_partitions_fe_tree() {
+        let t = FeTree::adaptive(2000, 0.5, 17);
+        let p = t.root_problem();
+        let total = p.weight();
+        let part = hf(p, 32);
+        assert_eq!(part.len(), 32);
+        let sum: f64 = part.weights().iter().sum();
+        assert!((sum - total).abs() < 1e-6 * total);
+        // Large trees with bounded node costs balance well.
+        assert!(part.ratio() < 2.5, "ratio {}", part.ratio());
+    }
+
+    #[test]
+    fn ba_partitions_fe_tree() {
+        let t = FeTree::adaptive(2000, 0.5, 19);
+        let part = ba(t.root_problem(), 32);
+        assert_eq!(part.len(), 32);
+        assert!(part.check_conservation(1e-9));
+    }
+
+    #[test]
+    fn caterpillar_still_has_usable_bisectors() {
+        // Even the degenerate caterpillar admits reasonable cuts because
+        // the best-edge rule can split anywhere along the spine.
+        let t = FeTree::caterpillar(500, 23);
+        let alpha = empirical_alpha(&t.root_problem(), 16).unwrap();
+        assert!(alpha > 0.2, "alpha {alpha}");
+    }
+
+    #[test]
+    fn balanced_tree_bisects_near_half() {
+        let t = FeTree::balanced(10);
+        let p = t.root_problem();
+        let (a, b) = p.bisect();
+        let frac = a.weight().min(b.weight()) / p.weight();
+        // Cutting a child subtree of the root on a complete unit-cost tree
+        // removes (2^10 − 1)/(2^11 − 1) ≈ 0.4998 of the weight.
+        assert!(frac > 0.49, "frac {frac}");
+    }
+
+    #[test]
+    fn observed_alpha_is_good_for_adaptive_trees() {
+        for seed in 0..5 {
+            let t = FeTree::adaptive(1500, 0.5, seed);
+            let alpha = empirical_alpha(&t.root_problem(), 64).unwrap();
+            assert!(alpha > 0.15, "seed {seed}: alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn fragments_partition_all_tree_nodes() {
+        let t = FeTree::adaptive(300, 0.5, 29);
+        let (part, tree) = hf_traced(t.root_problem(), 16);
+        assert_eq!(tree.leaf_count(), 16);
+        let mut counted = 0u32;
+        let mut seen = vec![false; t.len()];
+        for piece in part.pieces() {
+            counted += piece.node_count();
+            piece.for_each_node(|v| {
+                assert!(!seen[v as usize], "node {v} in two fragments");
+                seen[v as usize] = true;
+            });
+        }
+        assert_eq!(counted as usize, t.len());
+        assert!(seen.iter().all(|&s| s));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_adaptive_trees_bisect_soundly(
+            refinements in 1usize..150,
+            bias in 0.0f64..=1.0,
+            seed in any::<u64>(),
+        ) {
+            let t = FeTree::adaptive(refinements, bias, seed);
+            prop_assert_eq!(t.len(), 2 * refinements + 1);
+            let p = t.root_problem();
+            prop_assert!(p.can_bisect());
+            let (a, b) = p.bisect();
+            prop_assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9);
+            prop_assert_eq!(a.node_count() + b.node_count(), t.len() as u32);
+            prop_assert!(a.weight() > 0.0 && b.weight() > 0.0);
+        }
+
+        #[test]
+        fn prop_full_partitions_tile_the_tree(
+            refinements in 4usize..120,
+            seed in any::<u64>(),
+            n in 2usize..16,
+        ) {
+            let t = FeTree::adaptive(refinements, 0.5, seed);
+            let part = gb_core::hf::hf(t.root_problem(), n);
+            let covered: u32 = part.pieces().iter().map(|p| p.node_count()).sum();
+            prop_assert_eq!(covered as usize, t.len());
+            prop_assert!(part.check_conservation(1e-9));
+        }
+    }
+}

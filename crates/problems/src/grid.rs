@@ -1,0 +1,409 @@
+//! 2-D load grids: domain decomposition by recursive weighted median cuts.
+//!
+//! The paper cites "domain decomposition in the process of chip layout"
+//! \[12\] as an application. We model a rectangular domain as a grid of
+//! cells with positive loads. A **problem** is an axis-aligned
+//! sub-rectangle; its **bisection** cuts along the longer side at the
+//! grid line that splits the load as evenly as possible (the classic
+//! recursive-coordinate-bisection / weighted median cut).
+//!
+//! Rectangle weights are answered in O(1) from a summed-area table, and a
+//! cut line is located by binary search over the monotone cumulative load,
+//! so a bisection costs `O(log(side length))`.
+
+use std::sync::Arc;
+
+use gb_core::problem::Bisectable;
+use gb_core::rng::Xoshiro256StarStar;
+
+/// An immutable load grid shared by all problems derived from it.
+#[derive(Debug)]
+pub struct Grid {
+    rows: usize,
+    cols: usize,
+    /// Summed-area table: `sat[r][c]` = total load of cells `[0,r) × [0,c)`,
+    /// flattened row-major with `cols + 1` columns.
+    sat: Vec<f64>,
+}
+
+impl Grid {
+    /// Builds a grid from row-major loads.
+    ///
+    /// # Panics
+    /// Panics if the grid is empty, `loads.len() != rows*cols` or any load
+    /// is not strictly positive and finite.
+    pub fn new(rows: usize, cols: usize, loads: &[f64]) -> Arc<Self> {
+        assert!(rows > 0 && cols > 0, "empty grid");
+        assert_eq!(loads.len(), rows * cols, "loads size mismatch");
+        let w = cols + 1;
+        let mut sat = vec![0.0; (rows + 1) * w];
+        for r in 0..rows {
+            let mut row_acc = 0.0;
+            for c in 0..cols {
+                let load = loads[r * cols + c];
+                assert!(load.is_finite() && load > 0.0, "invalid load {load}");
+                row_acc += load;
+                sat[(r + 1) * w + (c + 1)] = sat[r * w + (c + 1)] + row_acc;
+            }
+        }
+        Arc::new(Self { rows, cols, sat })
+    }
+
+    /// A grid with loads uniform in `[0.5, 1.5)`.
+    pub fn uniform(rows: usize, cols: usize, seed: u64) -> Arc<Self> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let loads: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(0.5, 1.5)).collect();
+        Self::new(rows, cols, &loads)
+    }
+
+    /// A grid with a flat background plus `k` Gaussian load hotspots —
+    /// the irregular domains that motivate dynamic load balancing.
+    pub fn hotspots(rows: usize, cols: usize, k: usize, seed: u64) -> Arc<Self> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let spots: Vec<(f64, f64, f64, f64)> = (0..k)
+            .map(|_| {
+                (
+                    rng.range_f64(0.0, rows as f64),
+                    rng.range_f64(0.0, cols as f64),
+                    rng.range_f64(5.0, 50.0),                         // amplitude
+                    rng.range_f64(0.02, 0.15) * rows.max(cols) as f64, // radius
+                )
+            })
+            .collect();
+        let mut loads = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut v = 1.0;
+                for &(sr, sc, amp, rad) in &spots {
+                    let d2 = (r as f64 - sr).powi(2) + (c as f64 - sc).powi(2);
+                    v += amp * (-d2 / (2.0 * rad * rad)).exp();
+                }
+                loads.push(v);
+            }
+        }
+        Self::new(rows, cols, &loads)
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Load of the rectangle `[r0, r1) × [c0, c1)` in O(1).
+    pub fn rect_load(&self, r0: usize, c0: usize, r1: usize, c1: usize) -> f64 {
+        debug_assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        let w = self.cols + 1;
+        self.sat[r1 * w + c1] - self.sat[r0 * w + c1] - self.sat[r1 * w + c0]
+            + self.sat[r0 * w + c0]
+    }
+
+    /// Total load.
+    pub fn total_load(&self) -> f64 {
+        self.rect_load(0, 0, self.rows, self.cols)
+    }
+
+    /// Wraps the whole grid into the root problem.
+    pub fn root_problem(self: &Arc<Self>) -> GridProblem {
+        GridProblem {
+            grid: Arc::clone(self),
+            r0: 0,
+            c0: 0,
+            r1: self.rows,
+            c1: self.cols,
+        }
+    }
+}
+
+/// An axis-aligned sub-rectangle of a [`Grid`]; the problem type of this
+/// class.
+#[derive(Debug, Clone)]
+pub struct GridProblem {
+    grid: Arc<Grid>,
+    r0: usize,
+    c0: usize,
+    r1: usize,
+    c1: usize,
+}
+
+impl GridProblem {
+    /// The rectangle `(r0, c0, r1, c1)` (half-open).
+    pub fn rect(&self) -> (usize, usize, usize, usize) {
+        (self.r0, self.c0, self.r1, self.c1)
+    }
+
+    /// Number of cells.
+    pub fn cells(&self) -> usize {
+        (self.r1 - self.r0) * (self.c1 - self.c0)
+    }
+
+    /// `true` if the next cut is horizontal (splitting rows).
+    pub fn cuts_rows(&self) -> bool {
+        self.r1 - self.r0 >= self.c1 - self.c0
+    }
+
+    /// Finds the interior split index `m ∈ (lo, hi)` for which the prefix
+    /// load `prefix(m)` is closest to half the total, by binary search over
+    /// the monotone prefix (ties: lower index).
+    fn median_cut(lo: usize, hi: usize, prefix: impl Fn(usize) -> f64, half: f64) -> usize {
+        debug_assert!(hi - lo >= 2);
+        let (mut a, mut b) = (lo + 1, hi - 1);
+        // Invariant: the optimum is in [a, b].
+        while a < b {
+            let m = (a + b) / 2;
+            if prefix(m) < half {
+                a = m + 1;
+            } else {
+                b = m;
+            }
+        }
+        // `a` is the smallest index with prefix ≥ half (or hi−1); compare
+        // with its predecessor.
+        if a > lo + 1 && (prefix(a - 1) - half).abs() <= (prefix(a) - half).abs() {
+            a - 1
+        } else {
+            a
+        }
+    }
+}
+
+impl PartialEq for GridProblem {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.grid, &other.grid) && self.rect() == other.rect()
+    }
+}
+
+impl Bisectable for GridProblem {
+    fn weight(&self) -> f64 {
+        self.grid.rect_load(self.r0, self.c0, self.r1, self.c1)
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        debug_assert!(self.can_bisect());
+        let half = self.weight() / 2.0;
+        let mut a = self.clone();
+        let mut b = self.clone();
+        if self.cuts_rows() {
+            let m = Self::median_cut(
+                self.r0,
+                self.r1,
+                |m| self.grid.rect_load(self.r0, self.c0, m, self.c1),
+                half,
+            );
+            a.r1 = m;
+            b.r0 = m;
+        } else {
+            let m = Self::median_cut(
+                self.c0,
+                self.c1,
+                |m| self.grid.rect_load(self.r0, self.c0, self.r1, m),
+                half,
+            );
+            a.c1 = m;
+            b.c0 = m;
+        }
+        (a, b)
+    }
+
+    fn can_bisect(&self) -> bool {
+        // Need at least two lines along the cut dimension.
+        if self.cuts_rows() {
+            self.r1 - self.r0 >= 2
+        } else {
+            self.c1 - self.c0 >= 2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical_alpha;
+    use gb_core::ba::ba;
+    use gb_core::hf::hf;
+
+    #[test]
+    fn sat_answers_rect_loads() {
+        // 2×3 grid:
+        //   1 2 3
+        //   4 5 6
+        let g = Grid::new(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(g.total_load(), 21.0);
+        assert_eq!(g.rect_load(0, 0, 1, 3), 6.0);
+        assert_eq!(g.rect_load(1, 0, 2, 3), 15.0);
+        assert_eq!(g.rect_load(0, 1, 2, 2), 7.0);
+        assert_eq!(g.rect_load(1, 2, 2, 3), 6.0);
+        assert_eq!(g.rect_load(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn bisection_conserves_load_and_tiles() {
+        let g = Grid::uniform(64, 48, 3);
+        let p = g.root_problem();
+        let (a, b) = p.bisect();
+        assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9 * p.weight());
+        assert_eq!(a.cells() + b.cells(), p.cells());
+        // 64 rows ≥ 48 cols: the cut splits rows.
+        assert_eq!(a.rect().1, 0);
+        assert_eq!(a.rect().3, 48);
+    }
+
+    #[test]
+    fn median_cut_is_near_half_on_uniform_grids() {
+        let g = Grid::uniform(101, 97, 5);
+        let p = g.root_problem();
+        let (a, b) = p.bisect();
+        let frac = a.weight().min(b.weight()) / p.weight();
+        assert!(frac > 0.47, "frac {frac}");
+    }
+
+    #[test]
+    fn median_cut_beats_every_other_line() {
+        let g = Grid::hotspots(40, 33, 3, 7);
+        let p = g.root_problem();
+        let (a, _) = p.bisect();
+        let (_, _, m, _) = a.rect();
+        let half = p.weight() / 2.0;
+        let chosen = (g.rect_load(0, 0, m, 33) - half).abs();
+        for line in 1..40 {
+            let d = (g.rect_load(0, 0, line, 33) - half).abs();
+            assert!(chosen <= d + 1e-9, "line {line} beats chosen cut {m}");
+        }
+    }
+
+    #[test]
+    fn single_cell_is_atomic() {
+        let g = Grid::new(1, 1, &[3.0]);
+        let p = g.root_problem();
+        assert!(!p.can_bisect());
+        assert_eq!(p.weight(), 3.0);
+    }
+
+    #[test]
+    fn single_row_cuts_columns() {
+        let g = Grid::new(1, 8, &[1.0; 8]);
+        let p = g.root_problem();
+        assert!(!p.cuts_rows());
+        let (a, b) = p.bisect();
+        assert_eq!(a.weight(), 4.0);
+        assert_eq!(b.weight(), 4.0);
+    }
+
+    #[test]
+    fn hf_partitions_grid_well() {
+        let g = Grid::hotspots(128, 128, 5, 9);
+        let p = g.root_problem();
+        let part = hf(p, 64);
+        assert_eq!(part.len(), 64);
+        assert!(part.check_conservation(1e-9));
+        assert!(part.ratio() < 3.0, "ratio {}", part.ratio());
+    }
+
+    #[test]
+    fn ba_partitions_grid() {
+        let g = Grid::uniform(96, 96, 13);
+        let part = ba(g.root_problem(), 48);
+        assert_eq!(part.len(), 48);
+        assert!(part.check_conservation(1e-9));
+    }
+
+    #[test]
+    fn atomic_cells_cap_piece_count() {
+        let g = Grid::uniform(2, 2, 1);
+        let part = hf(g.root_problem(), 16);
+        assert_eq!(part.len(), 4);
+    }
+
+    #[test]
+    fn empirical_alpha_is_high_for_uniform_grids() {
+        let g = Grid::uniform(256, 256, 21);
+        let alpha = empirical_alpha(&g.root_problem(), 64).unwrap();
+        assert!(alpha > 0.4, "alpha {alpha}");
+    }
+
+    #[test]
+    fn pieces_tile_the_grid() {
+        let g = Grid::uniform(32, 32, 31);
+        let part = hf(g.root_problem(), 17);
+        let mut covered = vec![false; 32 * 32];
+        for piece in part.pieces() {
+            let (r0, c0, r1, c1) = piece.rect();
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    assert!(!covered[r * 32 + c], "cell ({r},{c}) covered twice");
+                    covered[r * 32 + c] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&x| x));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use gb_core::problem::Bisectable;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_sat_matches_naive_sums(
+            rows in 1usize..12,
+            cols in 1usize..12,
+            seed in any::<u64>(),
+            r0 in 0usize..12, r1 in 0usize..12,
+            c0 in 0usize..12, c1 in 0usize..12,
+        ) {
+            let mut rng = gb_core::rng::Xoshiro256StarStar::seed_from_u64(seed);
+            let loads: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(0.1, 2.0)).collect();
+            let g = Grid::new(rows, cols, &loads);
+            let (r0, r1) = (r0.min(rows), r1.min(rows));
+            let (c0, c1) = (c0.min(cols), c1.min(cols));
+            prop_assume!(r0 <= r1 && c0 <= c1);
+            let naive: f64 = (r0..r1)
+                .flat_map(|r| (c0..c1).map(move |c| (r, c)))
+                .map(|(r, c)| loads[r * cols + c])
+                .sum();
+            let fast = g.rect_load(r0, c0, r1, c1);
+            prop_assert!((naive - fast).abs() <= 1e-9 * naive.abs().max(1.0));
+        }
+
+        #[test]
+        fn prop_median_cut_is_optimal_line(
+            rows in 2usize..24,
+            cols in 1usize..24,
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(rows >= cols); // force a row cut
+            let g = Grid::uniform(rows, cols, seed);
+            let p = g.root_problem();
+            let (a, _) = p.bisect();
+            let (_, _, m, _) = a.rect();
+            let half = p.weight() / 2.0;
+            let chosen = (g.rect_load(0, 0, m, cols) - half).abs();
+            for line in 1..rows {
+                let d = (g.rect_load(0, 0, line, cols) - half).abs();
+                prop_assert!(chosen <= d + 1e-9, "line {line} beats {m}");
+            }
+        }
+
+        #[test]
+        fn prop_bisection_tiles_and_conserves(
+            rows in 1usize..20,
+            cols in 1usize..20,
+            seed in any::<u64>(),
+        ) {
+            let g = Grid::hotspots(rows, cols, 2, seed);
+            let p = g.root_problem();
+            if p.can_bisect() {
+                let (a, b) = p.bisect();
+                prop_assert_eq!(a.cells() + b.cells(), p.cells());
+                prop_assert!(a.cells() > 0 && b.cells() > 0);
+                prop_assert!(
+                    (a.weight() + b.weight() - p.weight()).abs() <= 1e-9 * p.weight()
+                );
+            } else {
+                prop_assert_eq!(p.cells(), 1);
+            }
+        }
+    }
+}

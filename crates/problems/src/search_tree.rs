@@ -1,0 +1,318 @@
+//! Backtrack-search spaces (Karp–Zhang style).
+//!
+//! §2 of the paper notes that "problems might correspond to […] parts of
+//! the search space for an optimization problem (cf. \[9\])", citing Karp
+//! and Zhang's randomized parallel backtrack search. We model a search
+//! space as a materialised irregular tree with a positive cost per node
+//! (the work of expanding that search node): a **problem** is a connected
+//! fragment of the tree — a subtree minus already donated subtrees — and
+//! a **bisection** donates the best-splitting subtree, exactly the
+//! "donate part of your subtree to an idle processor" move of
+//! work-donation schedulers.
+//!
+//! Unlike the binary FE-trees of [`crate::fe_tree`], search trees have
+//! irregular branching (0–`max_branch` children per node, seeded), which
+//! exercises the load balancers on bushier, more skewed shapes. The
+//! fragment/cut machinery mirrors the FE-tree class.
+
+use std::sync::Arc;
+
+use gb_core::problem::Bisectable;
+use gb_core::rng::Xoshiro256StarStar;
+
+/// An immutable search tree shared by all problems derived from it.
+#[derive(Debug)]
+pub struct SearchTree {
+    cost: Vec<f64>,
+    children: Vec<Vec<u32>>,
+    subtree_cost: Vec<f64>,
+    subtree_size: Vec<u32>,
+    tin: Vec<u32>,
+    tout: Vec<u32>,
+}
+
+impl SearchTree {
+    /// Generates a random search tree of roughly `target_nodes` nodes.
+    ///
+    /// Nodes spawn 0..=`max_branch` children (geometric-ish, seeded);
+    /// expansion costs are uniform in `[0.5, 1.5)`. Generation proceeds
+    /// breadth-first until the budget is exhausted, so trees are ragged
+    /// but connected.
+    ///
+    /// # Panics
+    /// Panics if `target_nodes == 0` or `max_branch < 2`.
+    pub fn random(target_nodes: usize, max_branch: usize, seed: u64) -> Arc<Self> {
+        assert!(target_nodes > 0, "need at least one node");
+        assert!(max_branch >= 2, "need branching >= 2");
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut cost = vec![rng.range_f64(0.5, 1.5)];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut frontier = std::collections::VecDeque::from([0u32]);
+        while let Some(v) = frontier.pop_front() {
+            if cost.len() >= target_nodes {
+                break;
+            }
+            // Between 0 and max_branch children, biased towards bushiness
+            // early (so the tree does not die out).
+            let max_kids = max_branch.min(target_nodes - cost.len());
+            let kids = if cost.len() < 8 {
+                max_kids.max(1)
+            } else {
+                rng.range_usize(max_kids + 1)
+            };
+            for _ in 0..kids {
+                let c = cost.len() as u32;
+                cost.push(rng.range_f64(0.5, 1.5));
+                children.push(Vec::new());
+                children[v as usize].push(c);
+                frontier.push_back(c);
+            }
+        }
+        Arc::new(Self::finish(cost, children))
+    }
+
+    fn finish(cost: Vec<f64>, children: Vec<Vec<u32>>) -> Self {
+        let n = cost.len();
+        let mut subtree_cost = vec![0.0; n];
+        let mut subtree_size = vec![0u32; n];
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut timer = 0u32;
+        let mut stack: Vec<(u32, bool)> = vec![(0, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            let vi = v as usize;
+            if expanded {
+                let mut c = cost[vi];
+                let mut s = 1u32;
+                for &ch in &children[vi] {
+                    c += subtree_cost[ch as usize];
+                    s += subtree_size[ch as usize];
+                }
+                subtree_cost[vi] = c;
+                subtree_size[vi] = s;
+                tout[vi] = timer;
+            } else {
+                tin[vi] = timer;
+                timer += 1;
+                stack.push((v, true));
+                for &ch in children[vi].iter().rev() {
+                    stack.push((ch, false));
+                }
+            }
+        }
+        Self {
+            cost,
+            children,
+            subtree_cost,
+            subtree_size,
+            tin,
+            tout,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// `true` if the tree has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cost.is_empty()
+    }
+
+    /// Total expansion cost.
+    pub fn total_cost(&self) -> f64 {
+        self.subtree_cost[0]
+    }
+
+    /// `true` iff `b` lies in the subtree rooted at `a`.
+    pub fn in_subtree(&self, b: u32, a: u32) -> bool {
+        self.tin[a as usize] <= self.tin[b as usize]
+            && self.tout[b as usize] <= self.tout[a as usize]
+    }
+
+    /// Wraps the whole space into the root problem.
+    pub fn root_problem(self: &Arc<Self>) -> SearchTreeProblem {
+        SearchTreeProblem {
+            tree: Arc::clone(self),
+            root: 0,
+            cut: Vec::new(),
+        }
+    }
+}
+
+/// A connected fragment of a [`SearchTree`]: `subtree(root)` minus the
+/// subtrees rooted at the `cut` nodes.
+#[derive(Debug, Clone)]
+pub struct SearchTreeProblem {
+    tree: Arc<SearchTree>,
+    root: u32,
+    cut: Vec<u32>,
+}
+
+impl SearchTreeProblem {
+    /// Number of nodes in this fragment.
+    pub fn node_count(&self) -> u32 {
+        let mut s = self.tree.subtree_size[self.root as usize];
+        for &c in &self.cut {
+            s -= self.tree.subtree_size[c as usize];
+        }
+        s
+    }
+
+    /// Effective (fragment-restricted) subtree cost of every active node,
+    /// post-order.
+    fn effective_costs(&self) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        let mut acc: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        let mut stack: Vec<(u32, bool)> = vec![(self.root, false)];
+        while let Some((v, expanded)) = stack.pop() {
+            if self.cut.contains(&v) {
+                continue;
+            }
+            let vi = v as usize;
+            if expanded {
+                let mut c = self.tree.cost[vi];
+                for ch in &self.tree.children[vi] {
+                    c += acc.get(ch).copied().unwrap_or(0.0);
+                }
+                acc.insert(v, c);
+                out.push((v, c));
+            } else {
+                stack.push((v, true));
+                for &ch in self.tree.children[vi].iter().rev() {
+                    stack.push((ch, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// The donation the next bisection makes: the non-root active node
+    /// whose effective cost is closest to half the fragment weight.
+    pub fn best_donation(&self) -> Option<u32> {
+        let half = self.weight() / 2.0;
+        let mut best: Option<(f64, u32, u32)> = None;
+        for (v, eff) in self.effective_costs() {
+            if v == self.root {
+                continue;
+            }
+            let key = (eff - half).abs();
+            let tin = self.tree.tin[v as usize];
+            match best {
+                Some((bk, bt, _)) if (bk, bt) <= (key, tin) => {}
+                _ => best = Some((key, tin, v)),
+            }
+        }
+        best.map(|(_, _, v)| v)
+    }
+}
+
+impl PartialEq for SearchTreeProblem {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.tree, &other.tree) && self.root == other.root && self.cut == other.cut
+    }
+}
+
+impl Bisectable for SearchTreeProblem {
+    fn weight(&self) -> f64 {
+        let mut w = self.tree.subtree_cost[self.root as usize];
+        for &c in &self.cut {
+            w -= self.tree.subtree_cost[c as usize];
+        }
+        w
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        let v = self
+            .best_donation()
+            .expect("bisect called on an atomic fragment");
+        let mut cut_in = Vec::new();
+        let mut cut_out = Vec::new();
+        for &c in &self.cut {
+            if self.tree.in_subtree(c, v) {
+                cut_in.push(c);
+            } else {
+                cut_out.push(c);
+            }
+        }
+        let donated = Self {
+            tree: Arc::clone(&self.tree),
+            root: v,
+            cut: cut_in,
+        };
+        let mut cut2 = cut_out;
+        cut2.push(v);
+        cut2.sort_unstable();
+        let rest = Self {
+            tree: Arc::clone(&self.tree),
+            root: self.root,
+            cut: cut2,
+        };
+        (donated, rest)
+    }
+
+    fn can_bisect(&self) -> bool {
+        self.node_count() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical_alpha;
+    use gb_core::ba::ba;
+    use gb_core::hf::hf;
+
+    #[test]
+    fn generator_hits_the_budget() {
+        let t = SearchTree::random(5000, 4, 7);
+        assert!(t.len() >= 4000 && t.len() <= 5003, "{} nodes", t.len());
+        assert_eq!(t.subtree_size[0] as usize, t.len());
+        assert!(t.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn bisection_conserves_cost_and_nodes() {
+        let t = SearchTree::random(2000, 5, 9);
+        let p = t.root_problem();
+        let (a, b) = p.bisect();
+        assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9);
+        assert_eq!(a.node_count() + b.node_count(), p.node_count());
+    }
+
+    #[test]
+    fn bisection_is_deterministic() {
+        let t = SearchTree::random(500, 3, 11);
+        let p = t.root_problem();
+        assert_eq!(p.bisect(), p.bisect());
+    }
+
+    #[test]
+    fn hf_and_ba_partition_search_spaces() {
+        let t = SearchTree::random(8000, 6, 13);
+        let p = t.root_problem();
+        for part in [hf(p.clone(), 48), ba(p.clone(), 48)] {
+            assert_eq!(part.len(), 48);
+            assert!(part.check_conservation(1e-9));
+            let covered: u32 = part.pieces().iter().map(|q| q.node_count()).sum();
+            assert_eq!(covered as usize, t.len());
+        }
+    }
+
+    #[test]
+    fn bushy_trees_have_good_bisectors() {
+        for seed in 0..4 {
+            let t = SearchTree::random(4000, 8, seed);
+            let alpha = empirical_alpha(&t.root_problem(), 64).unwrap();
+            assert!(alpha > 0.1, "seed {seed}: alpha {alpha}");
+        }
+    }
+
+    #[test]
+    fn single_node_fragments_are_atomic() {
+        let t = SearchTree::random(1, 2, 3);
+        assert_eq!(t.len(), 1);
+        assert!(!t.root_problem().can_bisect());
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's stochastic model (§4): `α̂ ~ U[l, u]` i.i.d. per bisection.
+//!
+//! > "Assume that the actual bisection parameter α̂ is drawn uniformly at
+//! > random from the interval `[l, u]`, `0 < l ≤ u ≤ 1/2`, and that all
+//! > `N−1` bisection steps are independent and identically distributed."
+//!
+//! [`SyntheticProblem`] realises this model *deterministically*: every
+//! problem carries a seed; the split fraction of a node and the seeds of
+//! its two children are pure functions of that seed. Two algorithms
+//! bisecting the same node therefore observe bit-identical children —
+//! the property that makes "PHF computes the same partition as HF"
+//! verifiable exactly (Theorem 3 tests).
+//!
+//! The distribution matches the model: the fraction is
+//! `l + (u − l) · U` with `U` uniform in `[0, 1)` derived by hashing the
+//! node seed, and child seeds are independent hash lanes, so along any
+//! path (and across any antichain) of the bisection tree the fractions
+//! are i.i.d. uniform.
+
+use gb_core::problem::{AlphaBisectable, Bisectable};
+use gb_core::rng::{u64_to_unit_f64, SplitMix64};
+
+/// A weight-only problem following the paper's stochastic model.
+///
+/// ```
+/// use gb_core::problem::{AlphaBisectable, Bisectable};
+/// use gb_problems::synthetic::SyntheticProblem;
+///
+/// let p = SyntheticProblem::new(1.0, 0.1, 0.5, 7);
+/// let (a, b) = p.bisect();
+/// assert!((a.weight() + b.weight() - 1.0).abs() < 1e-12);
+/// assert!(a.weight().min(b.weight()) >= 0.1 * (1.0 - 1e-12));
+/// assert_eq!(p.alpha(), 0.1);          // the class guarantee is l
+/// assert_eq!(p.bisect(), (a, b));      // bisection is deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticProblem {
+    weight: f64,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+}
+
+impl SyntheticProblem {
+    /// Creates a root problem of weight `weight` whose bisection fractions
+    /// are uniform in `[lo, hi]` (`0 < lo ≤ hi ≤ 1/2`), seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics on an invalid weight or interval.
+    pub fn new(weight: f64, lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "invalid weight {weight}");
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi && hi <= 0.5,
+            "invalid fraction interval [{lo}, {hi}]"
+        );
+        Self {
+            weight,
+            lo,
+            hi,
+            seed,
+        }
+    }
+
+    /// The interval `[l, u]` the split fractions are drawn from.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The seed identifying this node of the (virtual) infinite bisection
+    /// tree.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The split fraction this node will use when bisected — exposed so
+    /// tests can predict bisections.
+    pub fn split_fraction(&self) -> f64 {
+        let u = u64_to_unit_f64(SplitMix64::derive(self.seed, 0));
+        self.lo + (self.hi - self.lo) * u
+    }
+}
+
+impl Bisectable for SyntheticProblem {
+    fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        let frac = self.split_fraction();
+        let s1 = SplitMix64::derive(self.seed, 1);
+        let s2 = SplitMix64::derive(self.seed, 2);
+        (
+            Self {
+                weight: frac * self.weight,
+                lo: self.lo,
+                hi: self.hi,
+                seed: s1,
+            },
+            Self {
+                weight: (1.0 - frac) * self.weight,
+                lo: self.lo,
+                hi: self.hi,
+                seed: s2,
+            },
+        )
+    }
+}
+
+impl AlphaBisectable for SyntheticProblem {
+    /// The class guarantee is the lower end of the fraction interval.
+    fn alpha(&self) -> f64 {
+        self.lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_core::hf::hf_traced;
+    use gb_core::problem::validate_bisection;
+    use gb_core::stats::Welford;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisection_is_deterministic() {
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, 99);
+        assert_eq!(p.bisect(), p.bisect());
+        let q = SyntheticProblem::new(1.0, 0.1, 0.5, 100);
+        assert_ne!(p.bisect().0.weight(), q.bisect().0.weight());
+    }
+
+    #[test]
+    fn fractions_respect_interval() {
+        let mut p = SyntheticProblem::new(1.0, 0.2, 0.3, 7);
+        for _ in 0..200 {
+            let f = p.split_fraction();
+            assert!((0.2..=0.3).contains(&f), "fraction {f}");
+            let (a, b) = p.bisect();
+            assert!(validate_bisection(p.weight(), a.weight(), b.weight(), 0.2, 1e-9).is_ok());
+            p = b; // follow the heavy side
+        }
+    }
+
+    #[test]
+    fn fractions_are_uniformish_over_the_tree() {
+        // Sample fractions across a wide antichain; mean should be close
+        // to the interval midpoint and min/max should approach the ends.
+        let root = SyntheticProblem::new(1.0, 0.1, 0.5, 1234);
+        let (_, tree) = hf_traced(root, 4096);
+        let mut acc = Welford::new();
+        for (_, node) in tree.iter() {
+            if let Some((l, _)) = node.children {
+                let wl = tree.node(l).weight;
+                let f = (wl / node.weight).min(1.0 - wl / node.weight);
+                acc.push(f);
+            }
+        }
+        assert_eq!(acc.count(), 4095);
+        assert!((acc.mean() - 0.3).abs() < 0.01, "mean {}", acc.mean());
+        assert!(acc.min() < 0.105, "min {}", acc.min());
+        assert!(acc.max() > 0.495, "max {}", acc.max());
+        // Uniform on [0.1, 0.5] has variance (0.4)^2/12 ≈ 0.01333.
+        assert!((acc.variance() - 0.4 * 0.4 / 12.0).abs() < 0.002);
+    }
+
+    #[test]
+    fn alpha_is_interval_low_end() {
+        let p = SyntheticProblem::new(2.0, 0.17, 0.42, 5);
+        assert_eq!(p.alpha(), 0.17);
+        assert_eq!(p.interval(), (0.17, 0.42));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fraction interval")]
+    fn rejects_interval_above_half() {
+        SyntheticProblem::new(1.0, 0.2, 0.6, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fraction interval")]
+    fn rejects_zero_low_end() {
+        SyntheticProblem::new(1.0, 0.0, 0.5, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_children_conserve_weight(
+            seed in any::<u64>(),
+            lo in 0.01f64..=0.5,
+            span in 0.0f64..=0.49,
+            weight in 0.1f64..1e9,
+        ) {
+            let hi = (lo + span).min(0.5);
+            let p = SyntheticProblem::new(weight, lo, hi, seed);
+            let (a, b) = p.bisect();
+            prop_assert!((a.weight() + b.weight() - weight).abs() <= 1e-9 * weight);
+            prop_assert!(a.weight() >= lo * weight * (1.0 - 1e-12));
+            prop_assert!(b.weight() >= lo * weight * (1.0 - 1e-12));
+            // Child seeds differ from each other and the parent.
+            prop_assert!(a.seed() != b.seed());
+            prop_assert!(a.seed() != p.seed());
+        }
+    }
+}

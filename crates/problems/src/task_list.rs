@@ -1,0 +1,303 @@
+//! Task lists split at a random pivot.
+//!
+//! §4 of the paper motivates the uniform-`α̂` stochastic model with exactly
+//! this class:
+//!
+//! > "Such an assumption is valid, for example, if the problems are
+//! > represented by lists of elements taken from an ordered set, and if a
+//! > list is bisected by choosing a random pivot element and partitioning
+//! > the list into those elements that are smaller than the pivot and
+//! > those that are larger."
+//!
+//! A [`TaskList`] is an ordered sequence of tasks with positive costs; a
+//! [`TaskListProblem`] is a contiguous range of it. Bisection draws a
+//! (seed-deterministic) pivot position and splits the range. Weights are
+//! range sums answered in O(1) from a prefix-sum table, so weight
+//! conservation is exact by construction.
+
+use std::sync::Arc;
+
+use gb_core::problem::Bisectable;
+use gb_core::rng::{SplitMix64, Xoshiro256StarStar};
+
+/// An immutable ordered collection of weighted tasks, shared by all
+/// subproblems derived from it.
+#[derive(Debug)]
+pub struct TaskList {
+    /// Cost of each task (positive).
+    costs: Vec<f64>,
+    /// `prefix[i]` = sum of costs of tasks `0..i`; `prefix[len]` = total.
+    prefix: Vec<f64>,
+}
+
+impl TaskList {
+    /// Builds a task list from explicit costs.
+    ///
+    /// # Panics
+    /// Panics if `costs` is empty or contains a non-positive or non-finite
+    /// cost.
+    pub fn new(costs: Vec<f64>) -> Arc<Self> {
+        assert!(!costs.is_empty(), "empty task list");
+        let mut prefix = Vec::with_capacity(costs.len() + 1);
+        prefix.push(0.0);
+        let mut acc = 0.0;
+        for &c in &costs {
+            assert!(c.is_finite() && c > 0.0, "invalid task cost {c}");
+            acc += c;
+            prefix.push(acc);
+        }
+        Arc::new(Self { costs, prefix })
+    }
+
+    /// Generates `n` tasks with costs uniform in `[0.5, 1.5)`.
+    pub fn uniform(n: usize, seed: u64) -> Arc<Self> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        Self::new((0..n).map(|_| rng.range_f64(0.5, 1.5)).collect())
+    }
+
+    /// Generates `n` tasks with heavy-tailed (bounded Pareto-like) costs —
+    /// the irregular workloads dynamic load balancing exists for.
+    pub fn heavy_tailed(n: usize, seed: u64) -> Arc<Self> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        Self::new(
+            (0..n)
+                .map(|_| {
+                    let u = rng.next_f64().max(1e-6);
+                    // Pareto(1.5) truncated to [1, 100].
+                    (u.powf(-1.0 / 1.5)).min(100.0)
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// `true` if the list holds no tasks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+
+    /// Total cost of tasks in `start..end`.
+    pub fn range_cost(&self, start: usize, end: usize) -> f64 {
+        self.prefix[end] - self.prefix[start]
+    }
+
+    /// Cost of a single task.
+    pub fn cost(&self, i: usize) -> f64 {
+        self.costs[i]
+    }
+
+    /// Wraps the whole list into the root problem.
+    pub fn root_problem(self: &Arc<Self>, seed: u64) -> TaskListProblem {
+        TaskListProblem {
+            list: Arc::clone(self),
+            start: 0,
+            end: self.len(),
+            seed,
+        }
+    }
+}
+
+/// A contiguous range of a [`TaskList`]; the problem type of this class.
+#[derive(Debug, Clone)]
+pub struct TaskListProblem {
+    list: Arc<TaskList>,
+    start: usize,
+    end: usize,
+    seed: u64,
+}
+
+impl TaskListProblem {
+    /// The half-open task range this problem covers.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of tasks in this problem.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the range is empty (never produced by bisection).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The pivot position this problem will split at (for tests).
+    fn pivot(&self) -> usize {
+        // A pivot position in (start, end) — both sides non-empty. The
+        // draw is a pure function of the problem seed.
+        let span = self.end - self.start - 1;
+        let r = SplitMix64::derive(self.seed, 0);
+        self.start + 1 + (r % span as u64) as usize
+    }
+}
+
+impl PartialEq for TaskListProblem {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.list, &other.list)
+            && self.start == other.start
+            && self.end == other.end
+            && self.seed == other.seed
+    }
+}
+
+impl Bisectable for TaskListProblem {
+    fn weight(&self) -> f64 {
+        self.list.range_cost(self.start, self.end)
+    }
+
+    fn bisect(&self) -> (Self, Self) {
+        debug_assert!(self.can_bisect());
+        let mid = self.pivot();
+        let s1 = SplitMix64::derive(self.seed, 1);
+        let s2 = SplitMix64::derive(self.seed, 2);
+        (
+            Self {
+                list: Arc::clone(&self.list),
+                start: self.start,
+                end: mid,
+                seed: s1,
+            },
+            Self {
+                list: Arc::clone(&self.list),
+                start: mid,
+                end: self.end,
+                seed: s2,
+            },
+        )
+    }
+
+    fn can_bisect(&self) -> bool {
+        self.len() >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::empirical_alpha;
+    use gb_core::ba::ba;
+    use gb_core::hf::hf;
+
+    #[test]
+    fn prefix_sums_answer_range_costs() {
+        let list = TaskList::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(list.range_cost(0, 4), 10.0);
+        assert_eq!(list.range_cost(1, 3), 5.0);
+        assert_eq!(list.range_cost(2, 2), 0.0);
+        assert_eq!(list.cost(3), 4.0);
+        assert_eq!(list.len(), 4);
+    }
+
+    #[test]
+    fn bisection_splits_range_without_loss() {
+        let list = TaskList::uniform(100, 3);
+        let p = list.root_problem(17);
+        let (a, b) = p.bisect();
+        assert_eq!(a.range().end, b.range().start);
+        assert_eq!(a.range().start, 0);
+        assert_eq!(b.range().end, 100);
+        assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn bisection_is_deterministic() {
+        let list = TaskList::uniform(64, 5);
+        let p = list.root_problem(1);
+        let (a1, b1) = p.bisect();
+        let (a2, b2) = p.bisect();
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn single_task_is_atomic() {
+        let list = TaskList::new(vec![2.5]);
+        let p = list.root_problem(0);
+        assert!(!p.can_bisect());
+        assert_eq!(p.weight(), 2.5);
+    }
+
+    #[test]
+    fn hf_partitions_tasks_exactly() {
+        let list = TaskList::uniform(1000, 11);
+        let p = list.root_problem(42);
+        let total = p.weight();
+        let part = hf(p, 16);
+        assert_eq!(part.len(), 16);
+        let sum: f64 = part.weights().iter().sum();
+        assert!((sum - total).abs() < 1e-6);
+        // Uniform task costs on 1000 tasks balance quite well.
+        assert!(part.ratio() < 2.0, "ratio {}", part.ratio());
+    }
+
+    #[test]
+    fn ba_handles_atomic_tails() {
+        // 8 tasks on 16 processors: at most 8 pieces; some processors idle.
+        let list = TaskList::uniform(8, 2);
+        let part = ba(list.root_problem(3), 16);
+        assert!(part.len() <= 8);
+        assert!(part.check_conservation(1e-9));
+    }
+
+    #[test]
+    fn empirical_alpha_is_positive_and_reported() {
+        let list = TaskList::uniform(4096, 9);
+        let alpha = empirical_alpha(&list.root_problem(4), 64).unwrap();
+        assert!(alpha > 0.0 && alpha <= 0.5, "alpha {alpha}");
+    }
+
+    #[test]
+    fn heavy_tailed_costs_are_bounded() {
+        let list = TaskList::heavy_tailed(500, 21);
+        for i in 0..500 {
+            let c = list.cost(i);
+            assert!((1.0..=100.0).contains(&c), "cost {c}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_pivot_always_interior(
+            len in 2usize..500,
+            seed in any::<u64>(),
+            gen_seed in any::<u64>(),
+        ) {
+            let list = TaskList::uniform(len, gen_seed);
+            let p = list.root_problem(seed);
+            let (a, b) = p.bisect();
+            prop_assert!(!a.is_empty() && !b.is_empty());
+            prop_assert_eq!(a.len() + b.len(), len);
+            prop_assert!((a.weight() + b.weight() - p.weight()).abs() < 1e-9 * p.weight());
+        }
+
+        #[test]
+        fn prop_partition_assigns_every_task_once(
+            len in 8usize..2000,
+            n in 2usize..32,
+            seed in any::<u64>(),
+        ) {
+            let list = TaskList::heavy_tailed(len, seed);
+            let part = gb_core::ba::ba(list.root_problem(seed ^ 1), n);
+            let mut covered = vec![false; len];
+            for piece in part.pieces() {
+                for t in piece.range() {
+                    prop_assert!(!covered[t]);
+                    covered[t] = true;
+                }
+            }
+            prop_assert!(covered.iter().all(|&c| c));
+        }
+    }
+}

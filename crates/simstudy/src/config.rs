@@ -1,0 +1,201 @@
+//! Experiment configuration.
+
+use gb_core::bounds::{ba_upper_bound, bahf_upper_bound, hf_upper_bound};
+use gb_core::error::{check_alpha, check_theta};
+
+/// The three load-balancing algorithms the study compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Best Approximation of ideal weight (§3.2).
+    Ba,
+    /// The BA/HF combination with threshold θ (§3.3).
+    BaHf,
+    /// Heaviest problem First (the sequential yardstick; PHF computes the
+    /// identical partition, so it is not simulated separately — exactly as
+    /// in the paper: "Since Algorithm PHF produces the same partitioning
+    /// as Algorithm HF, no separate experiments were conducted").
+    Hf,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's Table 1 order.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Ba, Algorithm::BaHf, Algorithm::Hf];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Ba => "BA",
+            Algorithm::BaHf => "BA-HF",
+            Algorithm::Hf => "HF",
+        }
+    }
+
+    /// The worst-case ratio bound for this algorithm under `cfg` at size
+    /// `n` — the "ub" rows of Table 1.
+    pub fn upper_bound(&self, cfg: &StudyConfig, n: usize) -> f64 {
+        // The class guarantee of the stochastic model U[l, u] is α = l.
+        match self {
+            Algorithm::Ba => ba_upper_bound(cfg.lo, n),
+            Algorithm::BaHf => bahf_upper_bound(cfg.lo, cfg.theta, n),
+            Algorithm::Hf => hf_upper_bound(cfg.lo, n),
+        }
+    }
+}
+
+/// Parameters of one simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyConfig {
+    /// Lower end of the `α̂` interval (also the class guarantee α).
+    pub lo: f64,
+    /// Upper end of the `α̂` interval.
+    pub hi: f64,
+    /// BA-HF threshold parameter θ.
+    pub theta: f64,
+    /// Trials per configuration (the paper uses 1000).
+    pub trials: usize,
+    /// Master seed; every trial seed is derived from it.
+    pub seed: u64,
+}
+
+impl StudyConfig {
+    /// The paper's Table 1 configuration: `α̂ ~ U[0.01, 0.5]`, θ = 1,
+    /// 1000 trials.
+    pub fn table1() -> Self {
+        Self::new(0.01, 0.5, 1.0, 1000, 0x5EED_1999)
+    }
+
+    /// The paper's Figure 5 configuration: `α̂ ~ U[0.1, 0.5]`, θ = 1.
+    pub fn fig5() -> Self {
+        Self::new(0.1, 0.5, 1.0, 1000, 0x5EED_1999)
+    }
+
+    /// Creates a configuration, validating all parameters.
+    ///
+    /// # Panics
+    /// Panics on an invalid interval, θ, or a zero trial count.
+    pub fn new(lo: f64, hi: f64, theta: f64, trials: usize, seed: u64) -> Self {
+        check_alpha(lo).expect("invalid interval low end");
+        check_alpha(hi).expect("invalid interval high end");
+        assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
+        check_theta(theta).expect("invalid theta");
+        assert!(trials > 0, "need at least one trial");
+        Self {
+            lo,
+            hi,
+            theta,
+            trials,
+            seed,
+        }
+    }
+
+    /// Replaces the interval.
+    pub fn with_interval(mut self, lo: f64, hi: f64) -> Self {
+        check_alpha(lo).expect("invalid interval low end");
+        check_alpha(hi).expect("invalid interval high end");
+        assert!(lo <= hi);
+        self.lo = lo;
+        self.hi = hi;
+        self
+    }
+
+    /// Replaces θ.
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        check_theta(theta).expect("invalid theta");
+        self.theta = theta;
+        self
+    }
+
+    /// Replaces the trial count.
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials > 0);
+        self.trials = trials;
+        self
+    }
+
+    /// The trial count actually used at problem size `n`: the configured
+    /// count, thinned for very large `N` so the full sweep stays tractable
+    /// on one machine (the effective counts are printed with every table).
+    pub fn trials_for(&self, n: usize) -> usize {
+        let factor = if n <= 1 << 12 {
+            1.0
+        } else if n <= 1 << 16 {
+            0.3
+        } else if n <= 1 << 18 {
+            0.06
+        } else {
+            0.025
+        };
+        ((self.trials as f64 * factor).round() as usize).clamp(1, self.trials)
+    }
+
+    /// The seed of trial `trial` at size `n` — a pure function, so any
+    /// subset of trials can be re-run in isolation.
+    pub fn trial_seed(&self, n: usize, trial: usize) -> u64 {
+        use gb_core::rng::SplitMix64;
+        SplitMix64::derive(self.seed ^ (n as u64).rotate_left(17), trial as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let t1 = StudyConfig::table1();
+        assert_eq!((t1.lo, t1.hi), (0.01, 0.5));
+        assert_eq!(t1.theta, 1.0);
+        assert_eq!(t1.trials, 1000);
+        let f5 = StudyConfig::fig5();
+        assert_eq!((f5.lo, f5.hi), (0.1, 0.5));
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_stable() {
+        let cfg = StudyConfig::table1();
+        let a = cfg.trial_seed(1024, 0);
+        let b = cfg.trial_seed(1024, 1);
+        let c = cfg.trial_seed(2048, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, cfg.trial_seed(1024, 0));
+    }
+
+    #[test]
+    fn trial_thinning_schedule() {
+        let cfg = StudyConfig::table1();
+        assert_eq!(cfg.trials_for(1 << 10), 1000);
+        assert_eq!(cfg.trials_for(1 << 14), 300);
+        assert_eq!(cfg.trials_for(1 << 18), 60);
+        assert_eq!(cfg.trials_for(1 << 20), 25);
+        // Never zero, never above the configured count.
+        let tiny = cfg.with_trials(1);
+        assert_eq!(tiny.trials_for(1 << 20), 1);
+    }
+
+    #[test]
+    fn algorithm_names_and_bounds() {
+        let cfg = StudyConfig::fig5();
+        for alg in Algorithm::ALL {
+            assert!(!alg.name().is_empty());
+            let ub = alg.upper_bound(&cfg, 256);
+            assert!(ub.is_finite() && ub >= 1.0);
+        }
+        // HF's bound is the strongest; BA-HF's approaches it for large θ
+        // (at θ = 1 the Theorem-8 factor e^{(1−α)/θ} ≈ e can exceed BA's
+        // bound — the paper claims convergence to HF, not dominance of BA).
+        let ba = Algorithm::Ba.upper_bound(&cfg, 1 << 16);
+        let bahf = Algorithm::BaHf.upper_bound(&cfg, 1 << 16);
+        let hf = Algorithm::Hf.upper_bound(&cfg, 1 << 16);
+        assert!(hf <= bahf && hf <= ba, "hf={hf} bahf={bahf} ba={ba}");
+        let bahf_big_theta = Algorithm::BaHf.upper_bound(&cfg.with_theta(20.0), 1 << 16);
+        assert!(bahf_big_theta < ba);
+        assert!((bahf_big_theta - hf) / hf < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn reversed_interval_panics() {
+        StudyConfig::new(0.4, 0.2, 1.0, 10, 0);
+    }
+}

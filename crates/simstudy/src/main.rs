@@ -1,0 +1,397 @@
+//! `simstudy` — command-line front end for the simulation study.
+//!
+//! ```text
+//! simstudy <experiment> [options]
+//!
+//! experiments:
+//!   table1     Table 1 (ub + min/avg/max ratios, U[0.01, 0.5])
+//!   fig5       Figure 5 (average ratio curves, U[0.1, 0.5])
+//!   theta      the BA-HF theta study
+//!   variance   the variance remarks
+//!   nonpow2    non-power-of-two N comparison
+//!   runtime    the model-time study on the simulated machine
+//!   endtoend   balancing overhead + processing time (extension)
+//!   classes    realistic problem classes vs the abstract model (extension)
+//!   topology   hypercube/mesh/ring interconnects vs the ideal machine (extension)
+//!   tightness  adversarial attainment of the worst-case bounds (extension)
+//!   depth      bisection-tree depths vs the analytic bounds (extension)
+//!   all        every experiment, paper parameters (long!)
+//!
+//! options:
+//!   --lo F --hi F     alpha-hat interval            (per-experiment default)
+//!   --theta F         BA-HF threshold               (default 1.0)
+//!   --trials K        base trials per configuration (default 1000)
+//!   --min-log K       smallest log2 N               (default 5)
+//!   --max-log K       largest log2 N                (default 20)
+//!   --seed S          master seed                   (default 0x5EED1999)
+//!   --threads T       worker threads                (default: all cores)
+//!   --csv             emit CSV instead of tables
+//!   --svg FILE        additionally write an SVG chart (fig5, runtime)
+//! ```
+
+use gb_simstudy::config::StudyConfig;
+use gb_simstudy::run::default_threads;
+use gb_simstudy::{
+    classes, depth, endtoend, fig5, nonpow2, runtime, table1, theta, tightness, topology_study,
+    variance,
+};
+
+#[derive(Debug, Clone)]
+struct Options {
+    lo: Option<f64>,
+    hi: Option<f64>,
+    theta: f64,
+    trials: usize,
+    min_log: u32,
+    max_log: u32,
+    seed: u64,
+    threads: usize,
+    csv: bool,
+    svg: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            lo: None,
+            hi: None,
+            theta: 1.0,
+            trials: 1000,
+            min_log: 5,
+            max_log: 20,
+            seed: 0x5EED_1999,
+            threads: default_threads(),
+            csv: false,
+            svg: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opt = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--lo" => opt.lo = Some(value("--lo")?.parse().map_err(|e| format!("--lo: {e}"))?),
+            "--hi" => opt.hi = Some(value("--hi")?.parse().map_err(|e| format!("--hi: {e}"))?),
+            "--theta" => {
+                opt.theta = value("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--trials" => {
+                opt.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
+            }
+            "--min-log" => {
+                opt.min_log = value("--min-log")?
+                    .parse()
+                    .map_err(|e| format!("--min-log: {e}"))?
+            }
+            "--max-log" => {
+                opt.max_log = value("--max-log")?
+                    .parse()
+                    .map_err(|e| format!("--max-log: {e}"))?
+            }
+            "--seed" => {
+                opt.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--threads" => {
+                opt.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--csv" => opt.csv = true,
+            "--svg" => opt.svg = Some(value("--svg")?.clone()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opt.min_log > opt.max_log {
+        return Err("--min-log must not exceed --max-log".to_string());
+    }
+    Ok(opt)
+}
+
+fn config(opt: &Options, default_lo: f64, default_hi: f64) -> StudyConfig {
+    StudyConfig::new(
+        opt.lo.unwrap_or(default_lo),
+        opt.hi.unwrap_or(default_hi),
+        opt.theta,
+        opt.trials,
+        opt.seed,
+    )
+}
+
+fn report_claims(label: &str, violations: Vec<String>) {
+    if violations.is_empty() {
+        println!("claims[{label}]: all reproduced");
+    } else {
+        println!("claims[{label}]: {} violation(s)", violations.len());
+        for v in violations {
+            println!("  ! {v}");
+        }
+    }
+}
+
+fn run_table1(opt: &Options) {
+    let cfg = config(opt, 0.01, 0.5);
+    let t = table1::table1(&cfg, opt.min_log..=opt.max_log, opt.threads);
+    if opt.csv {
+        print!("{}", table1::to_csv(&t));
+    } else {
+        print!("{}", table1::render(&t));
+        report_claims("table1", table1::check_claims(&t));
+    }
+}
+
+fn run_fig5(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let f = fig5::fig5(&cfg, opt.min_log..=opt.max_log, opt.threads);
+    if opt.csv {
+        print!("{}", fig5::to_csv(&f));
+    } else {
+        print!("{}", fig5::render(&f));
+        report_claims("fig5", fig5::check_claims(&f));
+    }
+    if let Some(path) = &opt.svg {
+        write_svg(path, &fig5::to_svg(&f));
+    }
+}
+
+fn write_svg(path: &str, svg: &str) {
+    match std::fs::write(path, svg) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn run_theta(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let logs: Vec<u32> = (opt.min_log..=opt.max_log.min(opt.min_log + 7))
+        .step_by(2)
+        .collect();
+    let s = theta::theta_study(&cfg, &[0.5, 1.0, 2.0, 3.0, 4.0], &logs, opt.threads);
+    if opt.csv {
+        print!("{}", theta::to_csv(&s));
+    } else {
+        print!("{}", theta::render(&s));
+        report_claims("theta", theta::check_claims(&s));
+    }
+}
+
+fn run_variance(opt: &Options) {
+    let cfg = config(opt, 0.01, 0.5);
+    let n = 1usize << opt.min_log.max(9);
+    let s = variance::variance_study(&cfg, &variance::default_intervals(), n, opt.threads);
+    if opt.csv {
+        print!("{}", variance::to_csv(&s));
+    } else {
+        print!("{}", variance::render(&s));
+        report_claims("variance", variance::check_claims(&s));
+    }
+}
+
+fn run_nonpow2(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let s = nonpow2::nonpow2_study(&cfg, &[100, 1000, 3000, 100_000], opt.threads);
+    if opt.csv {
+        print!("{}", nonpow2::to_csv(&s));
+    } else {
+        print!("{}", nonpow2::render(&s));
+        report_claims("nonpow2", nonpow2::check_claims(&s));
+    }
+}
+
+fn run_runtime(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let s = runtime::runtime_study(&cfg, opt.min_log..=opt.max_log);
+    if opt.csv {
+        print!("{}", runtime::to_csv(&s));
+    } else {
+        print!("{}", runtime::render(&s));
+        report_claims("runtime", runtime::check_claims(&s));
+    }
+    if let Some(path) = &opt.svg {
+        write_svg(path, &runtime::to_svg(&s));
+    }
+}
+
+fn run_depth(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let logs: Vec<u32> = (opt.min_log..=opt.max_log.min(16)).step_by(3).collect();
+    let s = depth::depth_study(&cfg, &logs);
+    if opt.csv {
+        print!("{}", depth::to_csv(&s));
+    } else {
+        print!("{}", depth::render(&s));
+        report_claims("depth", depth::check_claims(&s));
+    }
+}
+
+fn run_tightness(opt: &Options) {
+    let s = tightness::tightness_study(&tightness::default_alphas(), &tightness::default_sizes());
+    if opt.csv {
+        print!("{}", tightness::to_csv(&s));
+    } else {
+        print!("{}", tightness::render(&s));
+        report_claims("tightness", tightness::check_claims(&s));
+    }
+}
+
+fn run_topology(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let logs: Vec<u32> = (opt.min_log..=opt.max_log.min(16)).step_by(2).collect();
+    let s = topology_study::topology_study(&cfg, &logs);
+    if opt.csv {
+        print!("{}", topology_study::to_csv(&s));
+    } else {
+        print!("{}", topology_study::render(&s));
+        report_claims("topology", topology_study::check_claims(&s));
+    }
+}
+
+fn run_classes(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let n = 1usize << opt.min_log.max(5);
+    let s = classes::classes_study(&cfg, n);
+    if opt.csv {
+        print!("{}", classes::to_csv(&s));
+    } else {
+        print!("{}", classes::render(&s));
+        report_claims("classes", classes::check_claims(&s));
+    }
+}
+
+fn run_endtoend(opt: &Options) {
+    let cfg = config(opt, 0.1, 0.5);
+    let n = 1usize << opt.max_log.min(14).max(opt.min_log);
+    let s = endtoend::end_to_end_study(&cfg, n, &endtoend::default_grains());
+    if opt.csv {
+        print!("{}", endtoend::to_csv(&s));
+    } else {
+        print!("{}", endtoend::render(&s));
+        report_claims("endtoend", endtoend::check_claims(&s));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((experiment, rest)) = args.split_first() else {
+        eprintln!(
+            "usage: simstudy <table1|fig5|theta|variance|nonpow2|runtime|endtoend|classes|\
+             topology|tightness|all> [options]"
+        );
+        eprintln!("       (see crate docs for the option list)");
+        std::process::exit(2);
+    };
+    let opt = match parse_options(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match experiment.as_str() {
+        "table1" => run_table1(&opt),
+        "fig5" => run_fig5(&opt),
+        "theta" => run_theta(&opt),
+        "variance" => run_variance(&opt),
+        "nonpow2" => run_nonpow2(&opt),
+        "runtime" => run_runtime(&opt),
+        "endtoend" => run_endtoend(&opt),
+        "classes" => run_classes(&opt),
+        "topology" => run_topology(&opt),
+        "tightness" => run_tightness(&opt),
+        "depth" => run_depth(&opt),
+        "all" => {
+            run_table1(&opt);
+            println!();
+            run_fig5(&opt);
+            println!();
+            run_theta(&opt);
+            println!();
+            run_variance(&opt);
+            println!();
+            run_nonpow2(&opt);
+            println!();
+            run_runtime(&opt);
+            println!();
+            run_endtoend(&opt);
+            println!();
+            run_classes(&opt);
+            println!();
+            run_topology(&opt);
+            println!();
+            run_tightness(&opt);
+            println!();
+            run_depth(&opt);
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let opt = parse(&[]).unwrap();
+        assert_eq!(opt.trials, 1000);
+        assert_eq!((opt.min_log, opt.max_log), (5, 20));
+        assert_eq!(opt.theta, 1.0);
+        assert!(opt.lo.is_none() && opt.hi.is_none());
+        assert!(!opt.csv);
+        assert!(opt.svg.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opt = parse(&[
+            "--lo", "0.05", "--hi", "0.4", "--theta", "2.5", "--trials", "77", "--min-log", "6",
+            "--max-log", "9", "--seed", "123", "--threads", "3", "--csv", "--svg", "out.svg",
+        ])
+        .unwrap();
+        assert_eq!(opt.lo, Some(0.05));
+        assert_eq!(opt.hi, Some(0.4));
+        assert_eq!(opt.theta, 2.5);
+        assert_eq!(opt.trials, 77);
+        assert_eq!((opt.min_log, opt.max_log), (6, 9));
+        assert_eq!(opt.seed, 123);
+        assert_eq!(opt.threads, 3);
+        assert!(opt.csv);
+        assert_eq!(opt.svg.as_deref(), Some("out.svg"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "abc"]).is_err());
+        assert!(parse(&["--min-log", "9", "--max-log", "5"]).is_err());
+    }
+
+    #[test]
+    fn config_uses_defaults_unless_overridden() {
+        let opt = parse(&[]).unwrap();
+        let cfg = config(&opt, 0.1, 0.5);
+        assert_eq!((cfg.lo, cfg.hi), (0.1, 0.5));
+        let opt = parse(&["--lo", "0.2"]).unwrap();
+        let cfg = config(&opt, 0.1, 0.5);
+        assert_eq!((cfg.lo, cfg.hi), (0.2, 0.5));
+    }
+}

@@ -1,0 +1,320 @@
+//! Dependency-free SVG line charts for the experiment artifacts.
+//!
+//! The paper's Figure 5 is a line chart; this module renders our
+//! reproduction (and the model-time study) as standalone SVG so the
+//! repository can ship visual artifacts without a plotting dependency.
+//! The output is deliberately simple: axes with ticks, one polyline per
+//! series, a legend — enough to eyeball curve shapes and crossovers.
+
+use std::fmt::Write as _;
+
+/// One named curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in ascending x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart appearance and scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSpec {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Use `log₂` scale on the y axis (for the model-time study).
+    pub log_y: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        Self {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_y: false,
+            width: 720,
+            height: 440,
+        }
+    }
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+const PALETTE: [&str; 6] = [
+    "#1b6ca8", "#c0392b", "#1e8449", "#8e44ad", "#b7950b", "#34495e",
+];
+
+/// Renders a line chart as an SVG document.
+///
+/// # Panics
+/// Panics if no series has at least one point, or a value is not finite
+/// (or non-positive while `log_y` is set).
+pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!pts.is_empty(), "nothing to plot");
+    let map_y = |y: f64| -> f64 {
+        if spec.log_y {
+            assert!(y > 0.0, "log scale needs positive values, got {y}");
+            y.log2()
+        } else {
+            y
+        }
+    };
+    for &(x, y) in &pts {
+        assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(map_y(y));
+        y_max = y_max.max(map_y(y));
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // A little headroom.
+    let y_pad = 0.06 * (y_max - y_min);
+    let (y_lo, y_hi) = (y_min - y_pad, y_max + y_pad);
+
+    let plot_w = spec.width as f64 - MARGIN_L - MARGIN_R;
+    let plot_h = spec.height as f64 - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = |y: f64| MARGIN_T + (1.0 - (map_y(y) - y_lo) / (y_hi - y_lo)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#,
+        w = spec.width,
+        h = spec.height
+    );
+    let _ = write!(
+        svg,
+        r##"<rect width="{w}" height="{h}" fill="#ffffff"/>"##,
+        w = spec.width,
+        h = spec.height
+    );
+    // Title and axis labels.
+    let _ = write!(
+        svg,
+        r#"<text x="{x}" y="22" text-anchor="middle" font-size="15" font-weight="bold">{t}</text>"#,
+        x = spec.width / 2,
+        t = escape(&spec.title)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{x}" y="{y}" text-anchor="middle">{t}</text>"#,
+        x = MARGIN_L + plot_w / 2.0,
+        y = spec.height as f64 - 10.0,
+        t = escape(&spec.x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{y}" text-anchor="middle" transform="rotate(-90 14 {y})">{t}</text>"#,
+        y = MARGIN_T + plot_h / 2.0,
+        t = escape(&spec.y_label)
+    );
+    // Plot frame.
+    let _ = write!(
+        svg,
+        r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#444444"/>"##,
+        x = MARGIN_L,
+        y = MARGIN_T,
+        w = plot_w,
+        h = plot_h
+    );
+    // Ticks: 5 on each axis, with grid lines.
+    for k in 0..=4 {
+        let fx = x_min + (x_max - x_min) * k as f64 / 4.0;
+        let px = sx(fx);
+        let _ = write!(
+            svg,
+            r##"<line x1="{px}" y1="{y0}" x2="{px}" y2="{y1}" stroke="#dddddd"/><text x="{px}" y="{ty}" text-anchor="middle">{label}</text>"##,
+            y0 = MARGIN_T,
+            y1 = MARGIN_T + plot_h,
+            ty = MARGIN_T + plot_h + 16.0,
+            label = tick_label(fx),
+        );
+        let fy = y_lo + (y_hi - y_lo) * k as f64 / 4.0;
+        let py = MARGIN_T + (1.0 - k as f64 / 4.0) * plot_h;
+        let shown = if spec.log_y { 2f64.powf(fy) } else { fy };
+        let _ = write!(
+            svg,
+            r##"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="#dddddd"/><text x="{tx}" y="{tyy}" text-anchor="end">{label}</text>"##,
+            x0 = MARGIN_L,
+            x1 = MARGIN_L + plot_w,
+            tx = MARGIN_L - 6.0,
+            tyy = py + 4.0,
+            label = tick_label(shown),
+        );
+    }
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for &(x, y) in &s.points {
+            let _ = write!(path, "{:.1},{:.1} ", sx(x), sy(y));
+        }
+        let _ = write!(
+            svg,
+            r#"<polyline points="{p}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            p = path.trim_end()
+        );
+        for &(x, y) in &s.points {
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}"/>"#,
+                sx(x),
+                sy(y)
+            );
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+        let lx = spec.width as f64 - MARGIN_R + 12.0;
+        let _ = write!(
+            svg,
+            r#"<line x1="{lx}" y1="{ly}" x2="{x2}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{tx}" y="{ty}">{name}</text>"#,
+            x2 = lx + 22.0,
+            tx = lx + 28.0,
+            ty = ly + 4.0,
+            name = escape(&s.name)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-2..1e6).contains(&a) {
+        format!("{v:.1e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series {
+                name: "BA".into(),
+                points: vec![(5.0, 2.2), (10.0, 2.9), (20.0, 3.9)],
+            },
+            Series {
+                name: "HF".into(),
+                points: vec![(5.0, 1.7), (10.0, 1.73), (20.0, 1.73)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_polylines_and_legend() {
+        let svg = line_chart(&ChartSpec::default(), &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">BA</text>"));
+        assert!(svg.contains(">HF</text>"));
+        // 5 ticks per axis.
+        assert!(svg.matches("#dddddd").count() >= 10);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let spec = ChartSpec {
+            title: "a < b & c".into(),
+            ..ChartSpec::default()
+        };
+        let svg = line_chart(&spec, &demo_series());
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn log_scale_positions_decades_evenly() {
+        let spec = ChartSpec {
+            log_y: true,
+            ..ChartSpec::default()
+        };
+        let series = vec![Series {
+            name: "t".into(),
+            points: vec![(0.0, 1.0), (1.0, 1024.0), (2.0, 1_048_576.0)],
+        }];
+        let svg = line_chart(&spec, &series);
+        // The polyline's three y-coordinates are evenly spaced in log
+        // space: extract them and compare gaps.
+        let poly = svg.split("points=\"").nth(1).unwrap();
+        let coords: Vec<f64> = poly
+            .split('"')
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|pair| pair.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        let gap1 = coords[0] - coords[1];
+        let gap2 = coords[1] - coords[2];
+        assert!((gap1 - gap2).abs() < 1.0, "{coords:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_input_panics() {
+        line_chart(&ChartSpec::default(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "log scale needs positive")]
+    fn log_scale_rejects_zero() {
+        let spec = ChartSpec {
+            log_y: true,
+            ..ChartSpec::default()
+        };
+        line_chart(
+            &spec,
+            &[Series {
+                name: "bad".into(),
+                points: vec![(0.0, 0.0)],
+            }],
+        );
+    }
+
+    #[test]
+    fn constant_series_does_not_collapse() {
+        let svg = line_chart(
+            &ChartSpec::default(),
+            &[Series {
+                name: "flat".into(),
+                points: vec![(0.0, 1.0), (1.0, 1.0)],
+            }],
+        );
+        assert!(svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Trial execution: one ratio per (algorithm, size, trial), summarised
+//! over many trials.
+
+use gb_core::ba::ba;
+use gb_core::bahf::ba_hf;
+use gb_core::hf::hf;
+use gb_core::stats::{Summary, Welford};
+use gb_problems::synthetic::SyntheticProblem;
+
+use crate::config::{Algorithm, StudyConfig};
+
+/// Runs one trial: balances a fresh instance of the stochastic model onto
+/// `n` processors with `alg` and returns the observed ratio
+/// `max_i w(p_i) / (w(p)/N)`.
+pub fn run_trial(alg: Algorithm, cfg: &StudyConfig, n: usize, trial: usize) -> f64 {
+    let p = SyntheticProblem::new(1.0, cfg.lo, cfg.hi, cfg.trial_seed(n, trial));
+    match alg {
+        Algorithm::Hf => hf(p, n).ratio(),
+        Algorithm::Ba => ba(p, n).ratio(),
+        Algorithm::BaHf => ba_hf(p, n, cfg.lo, cfg.theta).ratio(),
+    }
+}
+
+/// Summarises [`run_trial`] over `cfg.trials_for(n)` trials.
+///
+/// Trials are independent and seeded individually, so they are farmed out
+/// to `threads` OS threads (pass 1 for strictly sequential execution);
+/// per-trial results are identical either way, only the accumulation order
+/// differs, and min/max/mean/variance are order-insensitive up to float
+/// associativity.
+pub fn ratio_summary(alg: Algorithm, cfg: &StudyConfig, n: usize, threads: usize) -> Summary {
+    let trials = cfg.trials_for(n);
+    let threads = threads.clamp(1, trials);
+    if threads == 1 {
+        let mut acc = Welford::new();
+        for t in 0..trials {
+            acc.push(run_trial(alg, cfg, n, t));
+        }
+        return acc.summary();
+    }
+    let mut acc = Welford::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|lane| {
+                scope.spawn(move || {
+                    let mut local = Welford::new();
+                    let mut t = lane;
+                    while t < trials {
+                        local.push(run_trial(alg, cfg, n, t));
+                        t += threads;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            acc.merge(&h.join().expect("trial worker panicked"));
+        }
+    });
+    acc.summary()
+}
+
+/// A sensible default worker count for the harness.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_are_deterministic() {
+        let cfg = StudyConfig::fig5().with_trials(10);
+        for alg in Algorithm::ALL {
+            let a = run_trial(alg, &cfg, 64, 3);
+            let b = run_trial(alg, &cfg, 64, 3);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parallel_summary_matches_sequential() {
+        let cfg = StudyConfig::fig5().with_trials(64);
+        for alg in Algorithm::ALL {
+            let seq = ratio_summary(alg, &cfg, 128, 1);
+            let par = ratio_summary(alg, &cfg, 128, 4);
+            assert_eq!(seq.count, par.count);
+            assert_eq!(seq.min, par.min);
+            assert_eq!(seq.max, par.max);
+            assert!((seq.mean - par.mean).abs() < 1e-9);
+            assert!((seq.variance - par.variance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ratios_are_at_least_one_and_below_ub() {
+        let cfg = StudyConfig::fig5().with_trials(50);
+        let n = 256;
+        for alg in Algorithm::ALL {
+            let s = ratio_summary(alg, &cfg, n, 2);
+            assert!(s.min >= 1.0 - 1e-9, "{}: min {}", alg.name(), s.min);
+            let ub = alg.upper_bound(&cfg, n);
+            assert!(
+                s.max <= ub + 1e-9,
+                "{}: max {} above ub {}",
+                alg.name(),
+                s.max,
+                ub
+            );
+        }
+    }
+
+    #[test]
+    fn hf_beats_bahf_beats_ba_on_average() {
+        // The paper's headline simulation finding: "In all experiments,
+        // Algorithm HF performed best and Algorithm BA-HF outperformed
+        // Algorithm BA."
+        let cfg = StudyConfig::fig5().with_trials(100);
+        for &n in &[64usize, 1024] {
+            let hf = ratio_summary(Algorithm::Hf, &cfg, n, 2).mean;
+            let bahf = ratio_summary(Algorithm::BaHf, &cfg, n, 2).mean;
+            let ba = ratio_summary(Algorithm::Ba, &cfg, n, 2).mean;
+            assert!(
+                hf <= bahf && bahf <= ba,
+                "n={n}: hf={hf} bahf={bahf} ba={ba}"
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The **θ study**: influence of BA-HF's threshold parameter (§4, prose).
+//!
+//! "Finally, we studied the influence of the threshold parameter θ on the
+//! average-case performance of Algorithm BA-HF for the case
+//! `α̂ ~ U[0.1, 0.5]`. We observed that the improvement of the average
+//! ratio was approximately 10% when θ increased from 1.0 to 2.0 and
+//! another 5% when θ = 3.0. So we can expect a sufficient balancing
+//! quality from Algorithm BA-HF using relatively small values of θ."
+//!
+//! [`theta_study`] sweeps θ over a list of values at several sizes and
+//! reports, per θ, the average ratio (averaged over the sizes) and its
+//! improvement relative to θ = 1.0.
+
+use crate::config::{Algorithm, StudyConfig};
+use crate::report::{render_csv, render_table};
+use crate::run::ratio_summary;
+
+/// Results of one θ value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThetaPoint {
+    /// The threshold parameter.
+    pub theta: f64,
+    /// Average BA-HF ratio per size (aligned with `ThetaStudy::logs`).
+    pub avg_per_size: Vec<f64>,
+    /// Mean of `avg_per_size`.
+    pub avg: f64,
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThetaStudy {
+    /// The base configuration (its θ field is overridden per point).
+    pub cfg: StudyConfig,
+    /// Sizes used, as `log₂ N`.
+    pub logs: Vec<u32>,
+    /// One point per θ value.
+    pub points: Vec<ThetaPoint>,
+}
+
+/// Runs the sweep.
+pub fn theta_study(
+    cfg: &StudyConfig,
+    thetas: &[f64],
+    logs: &[u32],
+    threads: usize,
+) -> ThetaStudy {
+    let points = thetas
+        .iter()
+        .map(|&theta| {
+            let c = cfg.with_theta(theta);
+            let avg_per_size: Vec<f64> = logs
+                .iter()
+                .map(|&k| ratio_summary(Algorithm::BaHf, &c, 1usize << k, threads).mean)
+                .collect();
+            let avg = avg_per_size.iter().sum::<f64>() / avg_per_size.len() as f64;
+            ThetaPoint {
+                theta,
+                avg_per_size,
+                avg,
+            }
+        })
+        .collect();
+    ThetaStudy {
+        cfg: *cfg,
+        logs: logs.to_vec(),
+        points,
+    }
+}
+
+/// The improvement (in percent) of each point's average ratio over the
+/// θ = 1.0 baseline, measured on the excess over the ideal ratio 1.
+/// Returns `None` when the sweep has no θ = 1.0 point.
+pub fn improvements_vs_theta1(study: &ThetaStudy) -> Option<Vec<(f64, f64)>> {
+    let base = study
+        .points
+        .iter()
+        .find(|p| (p.theta - 1.0).abs() < 1e-12)?
+        .avg;
+    Some(
+        study
+            .points
+            .iter()
+            .map(|p| (p.theta, 100.0 * (base - p.avg) / base))
+            .collect(),
+    )
+}
+
+/// Renders the sweep.
+pub fn render(study: &ThetaStudy) -> String {
+    let mut header = vec!["theta".to_string()];
+    header.extend(study.logs.iter().map(|k| format!("2^{k}")));
+    header.push("avg".to_string());
+    header.push("improvement".to_string());
+    let improvements = improvements_vs_theta1(study);
+    let rows: Vec<Vec<String>> = study
+        .points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut row = vec![format!("{}", p.theta)];
+            row.extend(p.avg_per_size.iter().map(|v| format!("{v:.3}")));
+            row.push(format!("{:.3}", p.avg));
+            row.push(match &improvements {
+                Some(imp) => format!("{:+.1}%", imp[i].1),
+                None => "-".to_string(),
+            });
+            row
+        })
+        .collect();
+    format!(
+        "Theta study — BA-HF, alpha ~ U[{}, {}]\n\n{}",
+        study.cfg.lo,
+        study.cfg.hi,
+        render_table(&header, &rows)
+    )
+}
+
+/// CSV form of the sweep.
+pub fn to_csv(study: &ThetaStudy) -> String {
+    let mut header = vec!["theta".to_string()];
+    header.extend(study.logs.iter().map(|k| format!("log{k}")));
+    header.push("avg".to_string());
+    let rows = study
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = vec![format!("{}", p.theta)];
+            row.extend(p.avg_per_size.iter().map(|v| format!("{v}")));
+            row.push(format!("{}", p.avg));
+            row
+        })
+        .collect::<Vec<_>>();
+    render_csv(&header, &rows)
+}
+
+/// Verifies the paper's qualitative claim: the average ratio improves
+/// monotonically in θ over the swept values (diminishing returns are
+/// reported, not asserted). Returns violations.
+pub fn check_claims(study: &ThetaStudy) -> Vec<String> {
+    let mut bad = Vec::new();
+    for w in study.points.windows(2) {
+        if w[0].theta < w[1].theta && w[1].avg > w[0].avg + 0.02 {
+            bad.push(format!(
+                "avg ratio worsened from theta {} ({:.3}) to {} ({:.3})",
+                w[0].theta, w[0].avg, w[1].theta, w[1].avg
+            ));
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> ThetaStudy {
+        let cfg = StudyConfig::fig5().with_trials(60);
+        theta_study(&cfg, &[1.0, 2.0, 3.0], &[6, 9], 2)
+    }
+
+    #[test]
+    fn sweep_covers_all_thetas_and_sizes() {
+        let s = small_study();
+        assert_eq!(s.points.len(), 3);
+        for p in &s.points {
+            assert_eq!(p.avg_per_size.len(), 2);
+            assert!(p.avg >= 1.0);
+        }
+    }
+
+    #[test]
+    fn larger_theta_does_not_hurt() {
+        let s = small_study();
+        assert!(check_claims(&s).is_empty(), "{:?}", check_claims(&s));
+    }
+
+    #[test]
+    fn improvements_are_relative_to_theta_one() {
+        let s = small_study();
+        let imp = improvements_vs_theta1(&s).unwrap();
+        assert_eq!(imp.len(), 3);
+        assert!((imp[0].1).abs() < 1e-9, "theta=1 improves 0%");
+    }
+
+    #[test]
+    fn render_mentions_every_theta() {
+        let s = small_study();
+        let txt = render(&s);
+        for t in ["1", "2", "3"] {
+            assert!(txt.contains(t));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! FEM substructuring: partition an adaptive FE-tree across processors.
+//!
+//! ```text
+//! cargo run --release --example fem_partition
+//! ```
+//!
+//! The paper's motivating application: a parallel finite-element solver
+//! performs adaptive recursive substructuring, producing an *unbalanced*
+//! binary FE-tree whose subtrees must be distributed over the processors.
+//! This example generates such a tree, measures its empirical bisector
+//! quality α̂, partitions it with HF and BA, and prints per-processor
+//! loads plus the speedup bound implied by the achieved balance.
+
+use gb_problems::empirical_alpha;
+use gb_problems::fe_tree::FeTree;
+use good_bisectors::prelude::*;
+
+fn main() {
+    let refinements = 4000;
+    let n = 32;
+
+    for (label, bias) in [("moderately adaptive (bias 0.5)", 0.5), ("strongly adaptive (bias 0.9)", 0.9)] {
+        let tree = FeTree::adaptive(refinements, bias, 7);
+        let root = tree.root_problem();
+        println!("FE-tree, {label}: {} nodes, total cost {:.1}", tree.len(), tree.total_cost());
+
+        // How good are this class's bisectors in practice?
+        let alpha = empirical_alpha(&root, n).expect("tree is divisible");
+        println!("  empirical alpha over a {n}-way HF run: {alpha:.3}");
+
+        for (name, part) in [
+            ("HF", hf(root.clone(), n)),
+            ("BA", ba(root.clone(), n)),
+        ] {
+            let ratio = part.ratio();
+            // With max piece weight L and total W, the parallel solve time
+            // is ~L, versus W sequentially: speedup = W / L = N / ratio.
+            let speedup = n as f64 / ratio;
+            println!(
+                "  {name}: {count} fragments, ratio {ratio:.3}, implied speedup {speedup:.1}x of {n}",
+                count = part.len()
+            );
+            // Show the five heaviest fragments.
+            let mut weights = part.sorted_weights();
+            weights.reverse();
+            let head: Vec<String> = weights.iter().take(5).map(|w| format!("{w:.1}")).collect();
+            println!("      heaviest fragments: {} ...", head.join(", "));
+            // Sanity: fragments tile the tree.
+            let covered: u32 = part.pieces().iter().map(|p| p.node_count()).sum();
+            assert_eq!(covered as usize, tree.len());
+        }
+        println!();
+    }
+
+    // The degenerate caterpillar still balances: the best-edge cut can
+    // split anywhere along the spine.
+    let caterpillar = FeTree::caterpillar(2000, 3);
+    let part = hf(caterpillar.root_problem(), 16);
+    println!(
+        "caterpillar tree ({} nodes): HF ratio {:.3} on 16 processors",
+        caterpillar.len(),
+        part.ratio()
+    );
+}

@@ -1,0 +1,72 @@
+//! Domain decomposition of a 2-D load grid with hotspots, rendered.
+//!
+//! ```text
+//! cargo run --release --example grid_decomposition
+//! ```
+//!
+//! Models the paper's domain-decomposition application [12]: a
+//! rectangular domain whose per-cell load is a flat background plus a few
+//! strong hotspots (refined mesh regions, congested layout areas). The
+//! example partitions the domain with HF and BA, prints the resulting
+//! rectangle map as ASCII art, and compares the load balance.
+
+use gb_problems::grid::Grid;
+use good_bisectors::prelude::*;
+
+fn render_map(grid_shape: (usize, usize), parts: &Partition<gb_problems::grid::GridProblem>) -> String {
+    const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    let (rows, cols) = grid_shape;
+    // Downsample to at most 32x64 characters.
+    let (vr, vc) = (rows.min(24), cols.min(64));
+    let mut map = vec![vec![b'?'; vc]; vr];
+    for (i, piece) in parts.pieces().iter().enumerate() {
+        let (r0, c0, r1, c1) = piece.rect();
+        let glyph = GLYPHS[i % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // (r, c) index map and grid together
+        for r in 0..vr {
+            for c in 0..vc {
+                let rr = r * rows / vr;
+                let cc = c * cols / vc;
+                if rr >= r0 && rr < r1 && cc >= c0 && cc < c1 {
+                    map[r][c] = glyph;
+                }
+            }
+        }
+    }
+    map.into_iter()
+        .map(|row| String::from_utf8(row).expect("ascii"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let (rows, cols) = (96, 128);
+    let grid = Grid::hotspots(rows, cols, 4, 99);
+    let n = 24;
+    println!(
+        "grid {rows}x{cols}, 4 hotspots, total load {:.1}, {} processors\n",
+        grid.total_load(),
+        n
+    );
+
+    let hf_part = hf(grid.root_problem(), n);
+    let ba_part = ba(grid.root_problem(), n);
+
+    println!("HF decomposition (ratio {:.3}):", hf_part.ratio());
+    println!("{}\n", render_map((rows, cols), &hf_part));
+    println!("BA decomposition (ratio {:.3}):", ba_part.ratio());
+    println!("{}\n", render_map((rows, cols), &ba_part));
+
+    // Per-processor load bars for HF.
+    println!("per-processor load (HF):");
+    let ideal = hf_part.ideal_weight();
+    let mut weights = hf_part.weights();
+    weights.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    for (i, w) in weights.iter().enumerate() {
+        let bar = "#".repeat((w / ideal * 20.0).round() as usize);
+        println!("  P{i:<3} {w:8.1} {bar}");
+    }
+    println!("  (20 '#' = the ideal load {ideal:.1})");
+
+    assert!(hf_part.ratio() <= ba_part.ratio() + 0.75, "HF should be comparable or better");
+}

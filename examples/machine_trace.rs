@@ -1,0 +1,64 @@
+//! Watch the parallel algorithms run: a full event trace of PHF and BA on
+//! a small simulated machine.
+//!
+//! ```text
+//! cargo run --release --example machine_trace
+//! ```
+//!
+//! Prints, time-stamped, every bisection, send, collective and barrier
+//! that PHF (Figure 2) and BA perform on an 8-processor machine — the
+//! closest thing to stepping through the paper's pseudocode with a
+//! debugger. Note how BA's trace contains *no* global events at all,
+//! while PHF's phase structure (cascade → barrier → synchronised rounds)
+//! is clearly visible.
+
+use good_bisectors::parlb::ba_machine::ba_on_machine;
+use good_bisectors::prelude::*;
+
+fn main() {
+    let n = 8;
+    let alpha = 0.3;
+    let p = SyntheticProblem::new(1.0, alpha, 0.5, 5);
+
+    println!("=== PHF on {n} processors (alpha = {alpha}) ===");
+    let mut machine = Machine::with_paper_costs(n);
+    machine.enable_trace();
+    let (part, report) = phf(&mut machine, p, n, alpha);
+    print!("{}", machine.trace().expect("tracing on").render());
+    println!(
+        "makespan {}   bisections {}   sends {}   collectives {}   barriers {}",
+        machine.makespan(),
+        machine.metrics().bisections,
+        machine.metrics().sends,
+        machine.metrics().global_ops,
+        machine.metrics().barriers,
+    );
+    println!(
+        "threshold {:.4}, cascade bisections {}, cleanup rounds {}, phase-2 iterations {}",
+        report.threshold,
+        report.cascade_bisections,
+        report.cleanup_rounds,
+        report.phase2_iterations
+    );
+    println!("pieces: {:?}\n", rounded(&part.sorted_weights()));
+
+    println!("=== BA on {n} processors (no global communication) ===");
+    let mut machine = Machine::with_paper_costs(n);
+    machine.enable_trace();
+    let part = ba_on_machine(&mut machine, p, n);
+    print!("{}", machine.trace().expect("tracing on").render());
+    println!(
+        "makespan {}   bisections {}   sends {}   global ops {}",
+        machine.makespan(),
+        machine.metrics().bisections,
+        machine.metrics().sends,
+        machine.metrics().global_communication(),
+    );
+    println!("pieces: {:?}", rounded(&part.sorted_weights()));
+
+    assert_eq!(machine.metrics().global_communication(), 0);
+}
+
+fn rounded(ws: &[f64]) -> Vec<f64> {
+    ws.iter().map(|w| (w * 1e4).round() / 1e4).collect()
+}

@@ -1,0 +1,77 @@
+//! Quickstart: balance one problem with all three algorithms and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the paper's core loop: take a problem with α-bisectors,
+//! split it onto N processors with HF / BA / BA-HF, inspect the achieved
+//! ratio against the ideal `w(p)/N` and the worst-case guarantees, then
+//! re-run HF as PHF on the simulated parallel machine and check both the
+//! Theorem 3 equality and the O(log N) model time.
+
+use good_bisectors::prelude::*;
+
+fn main() {
+    // The paper's stochastic model: every bisection splits at a fraction
+    // drawn (deterministically from a seed) uniformly from [0.1, 0.5].
+    let (lo, hi) = (0.1, 0.5);
+    let problem = SyntheticProblem::new(1.0, lo, hi, 2024);
+    let n = 64;
+
+    println!("problem: weight 1.0, alpha-hat ~ U[{lo}, {hi}], N = {n}\n");
+
+    // --- the three algorithms --------------------------------------------
+    let hf_part = hf(problem, n);
+    let ba_part = ba(problem, n);
+    let bahf_part = ba_hf(problem, n, lo, 1.0);
+
+    println!("algorithm   ratio    worst-case bound");
+    println!(
+        "HF        {:7.3}    {:7.3}",
+        hf_part.ratio(),
+        hf_upper_bound(lo, n)
+    );
+    println!(
+        "BA-HF     {:7.3}    {:7.3}   (theta = 1.0)",
+        bahf_part.ratio(),
+        bahf_upper_bound(lo, 1.0, n)
+    );
+    println!(
+        "BA        {:7.3}    {:7.3}",
+        ba_part.ratio(),
+        ba_upper_bound(lo, n)
+    );
+
+    assert!(hf_part.ratio() <= bahf_part.ratio() + 1e-9);
+    assert!(bahf_part.ratio() <= ba_part.ratio() + 1e-9);
+    println!("\nordering HF <= BA-HF <= BA reproduced (the paper's headline result)");
+
+    // --- the bisection tree ----------------------------------------------
+    let (_, tree) = hf_traced(problem, 8);
+    println!("\nHF bisection tree for N = 8 (weights):");
+    print!("{}", tree.render_ascii(10));
+
+    // --- PHF on the simulated machine -------------------------------------
+    let mut machine = Machine::with_paper_costs(n);
+    let (phf_part, report) = phf(&mut machine, problem, n, lo);
+    assert!(phf_part.same_weights_as(&hf_part));
+    println!("\nPHF on the simulated machine:");
+    println!("  partition identical to HF : yes (Theorem 3)");
+    println!("  model time                : {} units", machine.makespan());
+    println!("  sequential HF would need  : {} units", 2 * (n - 1));
+    println!("  phase-2 iterations        : {}", report.phase2_iterations);
+    println!(
+        "  global operations         : {}",
+        machine.metrics().global_communication()
+    );
+
+    // --- BA with real threads ---------------------------------------------
+    let pool = ThreadPool::with_available_parallelism();
+    let par = good_bisectors::parlb::par_ba(&pool, problem, n);
+    assert!(par.same_weights_as(&ba_part));
+    println!(
+        "\npar_ba on {} worker threads: identical to sequential BA",
+        pool.workers()
+    );
+}

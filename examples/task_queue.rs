@@ -1,0 +1,65 @@
+//! Distributing a heavy-tailed task list: the paper's random-pivot model
+//! end to end, including the θ trade-off of BA-HF.
+//!
+//! ```text
+//! cargo run --release --example task_queue
+//! ```
+//!
+//! A scheduler holds 100 000 tasks with heavy-tailed costs (the irregular
+//! workloads dynamic load balancing exists for) and must hand each of 48
+//! workers a contiguous run of the task order. Bisection = split a run at
+//! a random pivot — the example the paper gives for its `α̂ ~ U[l, u]`
+//! stochastic model. The example compares HF / BA-HF(θ) / BA and shows
+//! how θ moves BA-HF between the two extremes.
+
+use gb_problems::task_list::TaskList;
+use good_bisectors::prelude::*;
+
+fn main() {
+    let tasks = TaskList::heavy_tailed(100_000, 77);
+    let n = 48;
+    let root = tasks.root_problem(1);
+    let total = root.weight();
+    println!(
+        "{} tasks, total cost {:.0}, {} workers, ideal per-worker load {:.1}\n",
+        tasks.len(),
+        total,
+        n,
+        total / n as f64
+    );
+
+    // Empirical alpha of random-pivot splitting on this instance.
+    let alpha = gb_problems::empirical_alpha(&root, n).expect("divisible");
+    println!("empirical alpha of random-pivot bisection: {alpha:.4}\n");
+
+    let hf_part = hf(root.clone(), n);
+    println!("HF      ratio {:.3}", hf_part.ratio());
+    for theta in [0.25, 1.0, 4.0] {
+        let part = ba_hf(root.clone(), n, alpha.max(0.05), theta);
+        println!("BA-HF   ratio {:.3}   (theta = {theta})", part.ratio());
+    }
+    let ba_part = ba(root.clone(), n);
+    println!("BA      ratio {:.3}", ba_part.ratio());
+
+    // The balanced loads, as a histogram of piece sizes (HF).
+    println!("\nHF per-worker loads (sorted):");
+    let mut ws = hf_part.sorted_weights();
+    ws.reverse();
+    let ideal = hf_part.ideal_weight();
+    for chunk in ws.chunks(12) {
+        let row: Vec<String> = chunk.iter().map(|w| format!("{:5.0}", w)).collect();
+        println!("  {}", row.join(" "));
+    }
+    println!("  (ideal: {ideal:.0})");
+
+    // Every task is assigned to exactly one worker.
+    let mut covered = vec![false; tasks.len()];
+    for piece in hf_part.pieces() {
+        for t in piece.range() {
+            assert!(!covered[t], "task {t} assigned twice");
+            covered[t] = true;
+        }
+    }
+    assert!(covered.iter().all(|&c| c));
+    println!("\nall {} tasks assigned exactly once", tasks.len());
+}

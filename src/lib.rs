@@ -1,0 +1,74 @@
+//! # good-bisectors — facade crate
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > S. Bischof, R. Ebner, T. Erlebach.
+//! > *Parallel Load Balancing for Problems with Good Bisectors.*
+//! > IPPS/SPDP 1999.
+//!
+//! This crate re-exports the whole workspace under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`core`] — the α-bisector model, bisection trees, the sequential
+//!   algorithms HF / BA / BA-HF and the worst-case bounds of
+//!   Theorems 2, 7 and 8;
+//! * [`problems`] — concrete problem classes: the paper's stochastic model,
+//!   FE-trees from recursive substructuring, adaptive-quadrature regions,
+//!   2-D load grids and task lists;
+//! * [`pram`] — a deterministic discrete-event simulator of the paper's
+//!   PRAM-like machine model (unit-cost bisection and send, `Θ(log N)`
+//!   collectives);
+//! * [`parlb`] — the parallel algorithms: PHF / BA / BA-HF on the simulated
+//!   machine, plus a work-stealing fork-join pool for real-thread BA;
+//! * [`simstudy`] — the simulation-study harness that regenerates every
+//!   table and figure of the paper's evaluation section.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use good_bisectors::prelude::*;
+//!
+//! // The paper's stochastic model: every bisection splits at a fraction
+//! // drawn uniformly from [0.1, 0.5], i.i.d. (seeded, so reproducible).
+//! let problem = SyntheticProblem::new(1.0, 0.1, 0.5, 42);
+//!
+//! // Balance it onto 64 processors with the three algorithms.
+//! let hf = hf(problem.clone(), 64);
+//! let ba = ba(problem.clone(), 64);
+//! let bahf = ba_hf(problem, 64, 0.1, 1.0);
+//!
+//! // HF balances best, BA worst — the paper's headline simulation result.
+//! assert!(hf.ratio() <= bahf.ratio() + 1e-9);
+//! assert!(bahf.ratio() <= ba.ratio() + 1e-9);
+//! ```
+
+pub use gb_core as core;
+pub use gb_parlb as parlb;
+pub use gb_pram as pram;
+pub use gb_problems as problems;
+pub use gb_simstudy as simstudy;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use gb_core::ba::{ba, ba_traced, ba_with_ranges, split_processors};
+    pub use gb_core::bahf::{ba_hf, ba_hf_auto, ba_hf_traced};
+    pub use gb_core::bounds::{
+        ba_upper_bound, bahf_upper_bound, hf_upper_bound, r_ba, r_bahf, r_hf,
+    };
+    pub use gb_core::hf::{hf, hf_traced};
+    pub use gb_core::partition::Partition;
+    pub use gb_core::problem::{AlphaBisectable, Bisectable};
+    pub use gb_core::tree::{BisectionTree, NodeId};
+    pub use gb_parlb::par_ba::{par_ba, par_ba_hf};
+    pub use gb_parlb::par_phf::par_phf;
+    pub use gb_parlb::par_process::{balance_and_process, Balancer};
+    pub use gb_parlb::phf::phf;
+    pub use gb_parlb::pool::ThreadPool;
+    pub use gb_pram::machine::Machine;
+    pub use gb_pram::topology::Topology;
+    pub use gb_problems::synthetic::SyntheticProblem;
+}

@@ -1,0 +1,131 @@
+//! The worst-case guarantees of Theorems 2, 7 and 8 hold for every
+//! algorithm run we can produce — across problem classes, parameters and
+//! the stochastic model. These tests guard the *reconstructed* bound
+//! formulas (see DESIGN.md §2): if a reconstruction were too optimistic,
+//! some run would exceed it and fail here.
+
+use gb_problems::quadrature::Integrand;
+use gb_problems::synthetic::SyntheticProblem;
+use good_bisectors::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn dense_alpha_sweep_fixed_splits() {
+    // FixedAlpha is the classic near-worst-case shape: every bisection is
+    // as skewed as the class permits.
+    use gb_core::synthetic_alpha::FixedAlpha;
+    for i in 1..=50 {
+        let alpha = i as f64 / 100.0;
+        let p = FixedAlpha::new(1.0, alpha);
+        for &n in &[2usize, 3, 4, 7, 8, 15, 16, 64, 100, 1024] {
+            let r_hf = hf(p, n).ratio();
+            assert!(
+                r_hf <= hf_upper_bound(alpha, n) + 1e-9,
+                "HF alpha={alpha} n={n}: {r_hf} > {}",
+                hf_upper_bound(alpha, n)
+            );
+            let r_ba = ba(p, n).ratio();
+            assert!(
+                r_ba <= ba_upper_bound(alpha, n) + 1e-9,
+                "BA alpha={alpha} n={n}: {r_ba} > {}",
+                ba_upper_bound(alpha, n)
+            );
+            for &theta in &[0.5, 1.0, 2.0] {
+                let r = ba_hf(p, n, alpha, theta).ratio();
+                assert!(
+                    r <= bahf_upper_bound(alpha, theta, n) + 1e-9,
+                    "BA-HF alpha={alpha} theta={theta} n={n}: {r} > {}",
+                    bahf_upper_bound(alpha, theta, n)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_cycles_respect_bounds() {
+    use gb_core::synthetic_alpha::CycleAlpha;
+    // Alternating extreme and balanced splits tries to defeat averaging
+    // arguments in the analysis.
+    let patterns: &[&[f64]] = &[
+        &[0.05, 0.5],
+        &[0.5, 0.5, 0.05],
+        &[0.1, 0.45, 0.2, 0.5],
+        &[0.02, 0.5, 0.5, 0.5, 0.5],
+    ];
+    for fractions in patterns {
+        let p = CycleAlpha::new(1.0, fractions);
+        let alpha = p.min_fraction();
+        for &n in &[8usize, 61, 512] {
+            assert!(hf(p.clone(), n).ratio() <= hf_upper_bound(alpha, n) + 1e-9);
+            assert!(ba(p.clone(), n).ratio() <= ba_upper_bound(alpha, n) + 1e-9);
+            assert!(
+                ba_hf(p.clone(), n, alpha, 1.0).ratio()
+                    <= bahf_upper_bound(alpha, 1.0, n) + 1e-9
+            );
+        }
+    }
+}
+
+#[test]
+fn quadrature_class_alpha_is_sound() {
+    // The quadrature class computes its α analytically; the bounds must
+    // hold with that α for every algorithm.
+    for seed in 0..5 {
+        let integrand = Integrand::oscillatory(2, seed);
+        let root = integrand.unit_region(1e-12);
+        let alpha = root.alpha();
+        for &n in &[16usize, 100] {
+            assert!(hf(root.clone(), n).ratio() <= hf_upper_bound(alpha, n) + 1e-9);
+            assert!(ba(root.clone(), n).ratio() <= ba_upper_bound(alpha, n) + 1e-9);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn prop_stochastic_model_within_bounds(
+        seed in any::<u64>(),
+        lo_pct in 1u32..=50,
+        span_pct in 0u32..=49,
+        n in 1usize..400,
+        theta in 0.25f64..4.0,
+    ) {
+        let lo = lo_pct as f64 / 100.0;
+        let hi = (lo + span_pct as f64 / 100.0).min(0.5);
+        let p = SyntheticProblem::new(1.0, lo, hi, seed);
+        prop_assert!(hf(p, n).ratio() <= hf_upper_bound(lo, n) + 1e-9);
+        prop_assert!(ba(p, n).ratio() <= ba_upper_bound(lo, n) + 1e-9);
+        prop_assert!(ba_hf(p, n, lo, theta).ratio() <= bahf_upper_bound(lo, theta, n) + 1e-9);
+    }
+
+    #[test]
+    fn prop_ratio_at_least_one(
+        seed in any::<u64>(),
+        n in 1usize..200,
+    ) {
+        // No algorithm can beat the perfectly balanced partition.
+        let p = SyntheticProblem::new(1.0, 0.2, 0.5, seed);
+        prop_assert!(hf(p, n).ratio() >= 1.0 - 1e-9);
+        prop_assert!(ba(p, n).ratio() >= 1.0 - 1e-9);
+        prop_assert!(ba_hf(p, n, 0.2, 1.0).ratio() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn prop_hf_is_optimal_among_the_three(
+        seed in any::<u64>(),
+        n in 1usize..200,
+    ) {
+        // Not a theorem per instance for BA-HF vs BA, but HF (greedy on
+        // the same deterministic bisection tree) never loses to either:
+        // every algorithm bisects nodes of the SAME infinite tree, and HF
+        // by construction always has the minimal maximum after each step.
+        // We assert the weaker, paper-verified ordering on this instance
+        // distribution: HF <= BA-HF + eps and HF <= BA + eps.
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+        let r_hf = hf(p, n).ratio();
+        prop_assert!(r_hf <= ba(p, n).ratio() + 1e-9);
+        prop_assert!(r_hf <= ba_hf(p, n, 0.1, 1.0).ratio() + 1e-9);
+    }
+}

@@ -1,0 +1,126 @@
+//! Cross-crate consistency: the same algorithm implemented on different
+//! substrates (plain, simulated machine, real threads) produces the same
+//! partition on the same deterministic problem.
+
+use gb_parlb::ba_machine::ba_on_machine;
+use gb_parlb::bahf_machine::{ba_hf_on_machine, TailAlgorithm};
+use gb_parlb::hf_machine::hf_on_machine;
+use gb_parlb::par_ba::{par_ba, par_ba_hf};
+use gb_pram::machine::Machine;
+use gb_problems::fe_tree::FeTree;
+use gb_problems::grid::Grid;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_problems::task_list::TaskList;
+use good_bisectors::prelude::*;
+
+#[test]
+fn ba_three_ways_synthetic() {
+    let pool = ThreadPool::new(4);
+    for seed in 0..8 {
+        let p = SyntheticProblem::new(1.0, 0.15, 0.5, seed);
+        let n = 160;
+        let plain = ba(p, n);
+        let mut m = Machine::with_paper_costs(n);
+        let simulated = ba_on_machine(&mut m, p, n);
+        let threaded = par_ba(&pool, p, n);
+        assert!(plain.same_weights_as(&simulated), "seed={seed}");
+        assert!(plain.same_weights_as(&threaded), "seed={seed}");
+    }
+}
+
+#[test]
+fn ba_hf_three_ways_synthetic() {
+    let pool = ThreadPool::new(4);
+    let (alpha, theta) = (0.2, 1.5);
+    for seed in 0..8 {
+        let p = SyntheticProblem::new(1.0, alpha, 0.5, seed);
+        let n = 96;
+        let plain = ba_hf(p, n, alpha, theta);
+        let mut m = Machine::with_paper_costs(n);
+        let sim_seq = ba_hf_on_machine(&mut m, p, n, alpha, theta, TailAlgorithm::SequentialHf);
+        let mut m2 = Machine::with_paper_costs(n);
+        let sim_phf = ba_hf_on_machine(&mut m2, p, n, alpha, theta, TailAlgorithm::Phf);
+        let threaded = par_ba_hf(&pool, p, n, alpha, theta);
+        assert!(plain.same_weights_as(&sim_seq), "seed={seed}");
+        assert!(plain.same_weights_as(&sim_phf), "seed={seed}");
+        assert!(plain.same_weights_as(&threaded), "seed={seed}");
+    }
+}
+
+#[test]
+fn hf_on_machine_matches_plain_on_real_classes() {
+    let tree = FeTree::adaptive(1500, 0.5, 21);
+    let grid = Grid::uniform(64, 64, 22);
+    let n = 48;
+
+    let mut m = Machine::with_paper_costs(n);
+    assert!(hf_on_machine(&mut m, tree.root_problem(), n)
+        .same_weights_as(&hf(tree.root_problem(), n)));
+
+    let mut m = Machine::with_paper_costs(n);
+    assert!(hf_on_machine(&mut m, grid.root_problem(), n)
+        .same_weights_as(&hf(grid.root_problem(), n)));
+}
+
+#[test]
+fn par_ba_on_task_lists() {
+    let pool = ThreadPool::new(4);
+    let tasks = TaskList::uniform(50_000, 5);
+    let p = tasks.root_problem(9);
+    let n = 64;
+    let plain = ba(p.clone(), n);
+    let threaded = par_ba(&pool, p, n);
+    assert!(plain.same_weights_as(&threaded));
+}
+
+#[test]
+fn hf_never_loses_to_ba_or_bahf_on_the_same_tree() {
+    // HF is per-instance optimal among bisection strategies that operate
+    // on the same deterministic bisection tree: the k globally heaviest
+    // nodes form an ancestor-closed set (weights shrink strictly downward)
+    // and any other ancestor-closed set of k bisections leaves a piece at
+    // least as heavy as the (k+1)-th heaviest node. BA and BA-HF choose
+    // *some* ancestor-closed set, so HF's max is never worse.
+    for seed in 0..50 {
+        let p = SyntheticProblem::new(1.0, 0.05, 0.5, seed);
+        for &n in &[7usize, 64, 333] {
+            let r_hf = hf(p, n).ratio();
+            assert!(r_hf <= ba(p, n).ratio() + 1e-12, "seed={seed} n={n}");
+            assert!(
+                r_hf <= ba_hf(p, n, 0.05, 1.0).ratio() + 1e-12,
+                "seed={seed} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn bahf_interpolates_between_ba_and_hf_in_theta() {
+    // As θ grows, BA-HF's partitions move from BA's towards HF's; measure
+    // via the average ratio over instances.
+    let n = 256;
+    let avg = |theta: f64| -> f64 {
+        (0..40)
+            .map(|seed| {
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, seed);
+                ba_hf(p, n, 0.1, theta).ratio()
+            })
+            .sum::<f64>()
+            / 40.0
+    };
+    let hf_avg = (0..40)
+        .map(|seed| hf(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n).ratio())
+        .sum::<f64>()
+        / 40.0;
+    let ba_avg = (0..40)
+        .map(|seed| ba(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n).ratio())
+        .sum::<f64>()
+        / 40.0;
+    let t_small = avg(0.05);
+    let t_mid = avg(1.0);
+    let t_big = avg(50.0);
+    // θ → 0 degenerates to BA; θ → ∞ becomes HF.
+    assert!((t_small - ba_avg).abs() < 1e-9, "{t_small} vs {ba_avg}");
+    assert!((t_big - hf_avg).abs() < 1e-9, "{t_big} vs {hf_avg}");
+    assert!(t_big <= t_mid + 1e-9 && t_mid <= t_small + 1e-9);
+}

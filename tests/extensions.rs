@@ -1,0 +1,99 @@
+//! Integration tests for the extension subsystems: free-processor
+//! managers, interconnect topologies, blind variants, the high-level
+//! balance-and-process driver and the search-tree class — exercised
+//! together across crates.
+
+use gb_parlb::managers::{cascade_with_manager, compare_managers, Manager};
+use gb_parlb::par_process::{balance_and_process, Balancer};
+use gb_pram::cost::CostModel;
+use gb_pram::machine::Machine;
+use gb_pram::topology::Topology;
+use gb_problems::search_tree::SearchTree;
+use gb_problems::synthetic::SyntheticProblem;
+use good_bisectors::prelude::*;
+
+#[test]
+fn managers_agree_on_real_problem_classes() {
+    let tree = SearchTree::random(4000, 5, 3);
+    let n = 64;
+    let mut reference = None;
+    for manager in Manager::all(7) {
+        let mut m = Machine::with_paper_costs(n);
+        let part = cascade_with_manager(&mut m, tree.root_problem(), n, 0.05, manager);
+        match &reference {
+            None => reference = Some(part),
+            Some(r) => assert!(part.approx_same_weights_as(r, 1e-9), "{}", manager.name()),
+        }
+    }
+}
+
+#[test]
+fn manager_costs_scale_differently() {
+    // Ranges stays flat-ish in the acquisition count, the central
+    // directory grows linearly with it.
+    let p8 = SyntheticProblem::new(1.0, 0.1, 0.5, 1);
+    let small = compare_managers(p8, 1 << 8, 0.1, 9);
+    let big = compare_managers(p8, 1 << 14, 0.1, 9);
+    let range_growth = big.ranges as f64 / small.ranges as f64;
+    let central_growth = big.central as f64 / small.central as f64;
+    assert!(
+        central_growth > 3.0 * range_growth,
+        "central {central_growth} vs ranges {range_growth}"
+    );
+}
+
+#[test]
+fn topology_slowdowns_are_ordered() {
+    let n = 1 << 10;
+    let p = SyntheticProblem::new(1.0, 0.15, 0.5, 5);
+    let time = |topology| {
+        let mut m = Machine::with_topology(n, CostModel::paper(), topology);
+        phf(&mut m, p, n, 0.15);
+        m.makespan()
+    };
+    let complete = time(Topology::Complete);
+    let hypercube = time(Topology::Hypercube);
+    let mesh = time(Topology::Mesh2D);
+    let ring = time(Topology::Ring);
+    assert!(complete <= hypercube);
+    assert!(hypercube <= mesh);
+    assert!(mesh <= ring);
+    // The §2 claim: the hypercube simulates the idealised model with at
+    // most logarithmic slowdown.
+    assert!(hypercube <= complete * 10, "hypercube {hypercube} vs {complete}");
+}
+
+#[test]
+fn blind_variants_lose_to_informed_on_every_class() {
+    use gb_core::blind::blind_hf;
+    let tree = SearchTree::random(6000, 4, 11);
+    let n = 48;
+    let aware = hf(tree.root_problem(), n).ratio();
+    let blind = blind_hf(tree.root_problem(), n).ratio();
+    assert!(aware <= blind + 1e-9);
+}
+
+#[test]
+fn balance_and_process_on_search_trees() {
+    let pool = ThreadPool::new(4);
+    let tree = SearchTree::random(10_000, 6, 13);
+    let root = tree.root_problem();
+    let total = root.weight();
+    // "Process" = count nodes; the sum must cover the whole space.
+    let counts = balance_and_process(&pool, root, 32, Balancer::Hf, |_, frag| {
+        (frag.node_count(), frag.weight())
+    });
+    let nodes: u32 = counts.iter().map(|(c, _)| c).sum();
+    let weight: f64 = counts.iter().map(|(_, w)| w).sum();
+    assert_eq!(nodes as usize, tree.len());
+    assert!((weight - total).abs() < 1e-6 * total);
+}
+
+#[test]
+fn par_phf_matches_hf_on_search_trees() {
+    let pool = ThreadPool::new(4);
+    let tree = SearchTree::random(3000, 4, 17);
+    let par = gb_parlb::par_phf::par_phf(&pool, tree.root_problem(), 40, 0.05);
+    let seq = hf(tree.root_problem(), 40);
+    assert!(par.same_weights_as(&seq));
+}

@@ -1,0 +1,105 @@
+//! The §3 running-time and communication claims, measured end to end on
+//! the simulated machine (the integration-level version of experiment
+//! E-RT).
+
+use gb_parlb::ba_machine::ba_on_machine;
+use gb_parlb::bahf_machine::{ba_hf_on_machine, TailAlgorithm};
+use gb_parlb::hf_machine::hf_on_machine;
+use gb_parlb::phf::phf;
+use gb_pram::machine::Machine;
+use gb_problems::synthetic::SyntheticProblem;
+use gb_simstudy::config::StudyConfig;
+use gb_simstudy::runtime::{check_claims, runtime_study};
+
+#[test]
+fn runtime_claims_reproduce_up_to_2_to_14() {
+    let cfg = StudyConfig::fig5().with_trials(1);
+    let study = runtime_study(&cfg, (5..=14).step_by(3));
+    let violations = check_claims(&study);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn hf_grows_linearly_phf_logarithmically() {
+    let alpha = 0.25;
+    let measure = |k: u32| -> (u64, u64) {
+        let n = 1usize << k;
+        let p = SyntheticProblem::new(1.0, alpha, 0.5, 1);
+        let mut m1 = Machine::with_paper_costs(n);
+        hf_on_machine(&mut m1, p, n);
+        let mut m2 = Machine::with_paper_costs(n);
+        phf(&mut m2, p, n, alpha);
+        (m1.makespan(), m2.makespan())
+    };
+    let (hf_10, phf_10) = measure(10);
+    let (hf_16, phf_16) = measure(16);
+    // HF exactly 64x; PHF within a small additive band.
+    assert_eq!(hf_16, 64 * (hf_10 + 2) - 2);
+    assert!(
+        phf_16 < 3 * phf_10,
+        "PHF grew too fast: {phf_10} -> {phf_16}"
+    );
+}
+
+#[test]
+fn ba_zero_globals_at_scale() {
+    for k in [8u32, 12, 16] {
+        let n = 1usize << k;
+        let p = SyntheticProblem::new(1.0, 0.1, 0.5, k as u64);
+        let mut m = Machine::with_paper_costs(n);
+        ba_on_machine(&mut m, p, n);
+        assert_eq!(m.metrics().global_communication(), 0, "k={k}");
+        assert_eq!(m.metrics().bisections, n as u64 - 1);
+        assert_eq!(m.metrics().sends, n as u64 - 1);
+    }
+}
+
+#[test]
+fn ba_beats_phf_beats_hf_in_model_time_at_scale() {
+    // §5: "the balancing quality was the best for Algorithm HF and the
+    // worst for Algorithm BA in all experiments" — the mirror image holds
+    // for running time: BA fastest, PHF in between, sequential HF slowest
+    // (at scale).
+    let n = 1 << 14;
+    let alpha = 0.2;
+    let p = SyntheticProblem::new(1.0, alpha, 0.5, 3);
+
+    let mut m_hf = Machine::with_paper_costs(n);
+    hf_on_machine(&mut m_hf, p, n);
+    let mut m_phf = Machine::with_paper_costs(n);
+    phf(&mut m_phf, p, n, alpha);
+    let mut m_ba = Machine::with_paper_costs(n);
+    ba_on_machine(&mut m_ba, p, n);
+
+    assert!(m_ba.makespan() < m_phf.makespan());
+    assert!(m_phf.makespan() < m_hf.makespan());
+}
+
+#[test]
+fn bahf_time_between_ba_and_phf() {
+    let n = 1 << 12;
+    let alpha = 0.2;
+    let p = SyntheticProblem::new(1.0, alpha, 0.5, 9);
+
+    let mut m_ba = Machine::with_paper_costs(n);
+    ba_on_machine(&mut m_ba, p, n);
+    let mut m_bahf = Machine::with_paper_costs(n);
+    ba_hf_on_machine(&mut m_bahf, p, n, alpha, 1.0, TailAlgorithm::SequentialHf);
+    let mut m_phf = Machine::with_paper_costs(n);
+    phf(&mut m_phf, p, n, alpha);
+
+    assert!(m_ba.makespan() <= m_bahf.makespan());
+    assert!(m_bahf.makespan() <= m_phf.makespan() * 2);
+}
+
+#[test]
+fn makespans_are_deterministic() {
+    let n = 1 << 10;
+    let p = SyntheticProblem::new(1.0, 0.1, 0.5, 42);
+    let run = || {
+        let mut m = Machine::with_paper_costs(n);
+        phf(&mut m, p, n, 0.1);
+        (m.makespan(), m.metrics())
+    };
+    assert_eq!(run(), run());
+}

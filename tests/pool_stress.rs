@@ -1,0 +1,118 @@
+//! Stress tests for the work-stealing pool and the real-threaded BA under
+//! heavier and more adversarial load than the unit tests.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use gb_parlb::par_ba::{par_ba, par_ba_hf};
+use gb_parlb::pool::{PoolHandle, ThreadPool, WaitGroup};
+use gb_problems::synthetic::SyntheticProblem;
+use good_bisectors::prelude::*;
+
+#[test]
+fn ten_thousand_flat_tasks() {
+    let pool = ThreadPool::new(8);
+    let wg = Arc::new(WaitGroup::new());
+    let count = Arc::new(AtomicUsize::new(0));
+    wg.add(10_000);
+    for _ in 0..10_000 {
+        let wg2 = Arc::clone(&wg);
+        let c = Arc::clone(&count);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+            wg2.done();
+        });
+    }
+    wg.wait();
+    assert_eq!(count.load(Ordering::Relaxed), 10_000);
+}
+
+#[test]
+fn deep_sequential_dependency_chain() {
+    // Each task spawns the next: maximum scheduling latency exposure.
+    let pool = ThreadPool::new(2);
+    let wg = Arc::new(WaitGroup::new());
+    let count = Arc::new(AtomicUsize::new(0));
+
+    fn chain(h: PoolHandle, left: usize, count: Arc<AtomicUsize>, wg: Arc<WaitGroup>) {
+        let h2 = h.clone();
+        wg.add(1);
+        h.spawn(move || {
+            count.fetch_add(1, Ordering::Relaxed);
+            if left > 0 {
+                chain(h2, left - 1, Arc::clone(&count), Arc::clone(&wg));
+            }
+            wg.done();
+        });
+    }
+
+    chain(pool.handle(), 5_000, Arc::clone(&count), Arc::clone(&wg));
+    wg.wait();
+    assert_eq!(count.load(Ordering::Relaxed), 5_001);
+}
+
+#[test]
+fn many_parallel_ba_runs_on_one_pool() {
+    let pool = Arc::new(ThreadPool::new(4));
+    let mut handles = Vec::new();
+    for t in 0..8u64 {
+        let pool2 = Arc::clone(&pool);
+        handles.push(std::thread::spawn(move || {
+            for seed in 0..6 {
+                let p = SyntheticProblem::new(1.0, 0.1, 0.5, t * 1000 + seed);
+                let n = 64 + (seed as usize) * 37;
+                let par = par_ba(&pool2, p, n);
+                let seq = ba(p, n);
+                assert!(par.same_weights_as(&seq), "t={t} seed={seed}");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("runner thread");
+    }
+}
+
+#[test]
+fn par_ba_at_width_16k() {
+    let pool = ThreadPool::new(8);
+    let p = SyntheticProblem::new(1.0, 0.2, 0.5, 404);
+    let n = 1 << 14;
+    let par = par_ba(&pool, p, n);
+    assert_eq!(par.len(), n);
+    assert!(par.check_conservation(1e-9));
+    assert!(par.same_weights_as(&ba(p, n)));
+}
+
+#[test]
+fn par_ba_hf_under_extreme_thetas() {
+    let pool = ThreadPool::new(4);
+    let p = SyntheticProblem::new(1.0, 0.25, 0.5, 7);
+    let n = 777;
+    for theta in [1e-6, 1e6] {
+        let par = par_ba_hf(&pool, p, n, 0.25, theta);
+        let seq = ba_hf(p, n, 0.25, theta);
+        assert!(par.same_weights_as(&seq), "theta={theta}");
+    }
+}
+
+#[test]
+fn pool_survives_panicless_heavy_mixed_load() {
+    // Mix flat tasks and BA runs; everything must complete.
+    let pool = Arc::new(ThreadPool::new(4));
+    let wg = Arc::new(WaitGroup::new());
+    let hits = Arc::new(AtomicUsize::new(0));
+    for i in 0..200 {
+        let wg2 = Arc::clone(&wg);
+        let h = Arc::clone(&hits);
+        wg.add(1);
+        pool.spawn(move || {
+            h.fetch_add(i, Ordering::Relaxed);
+            wg2.done();
+        });
+    }
+    let p = SyntheticProblem::new(1.0, 0.3, 0.5, 1);
+    let part = par_ba(&pool, p, 500);
+    wg.wait();
+    assert_eq!(part.len(), 500);
+    assert_eq!(hits.load(Ordering::Relaxed), (0..200).sum::<usize>());
+}

@@ -1,0 +1,121 @@
+//! Robustness at the edges of the numeric and parameter space: extreme
+//! weights, extreme α, degenerate sizes, huge sizes — nothing should
+//! panic, lose weight, or violate bounds.
+
+use gb_core::synthetic_alpha::FixedAlpha;
+use gb_parlb::phf::phf;
+use gb_pram::machine::Machine;
+use gb_problems::synthetic::SyntheticProblem;
+use good_bisectors::prelude::*;
+
+#[test]
+fn tiny_and_huge_weights() {
+    for &w in &[1e-300, 1e-30, 1e30, 1e300] {
+        let p = SyntheticProblem::new(w, 0.1, 0.5, 1);
+        let part = hf(p, 64);
+        assert_eq!(part.len(), 64);
+        assert!(part.check_conservation(1e-9), "w = {w}");
+        assert!(part.ratio().is_finite());
+        let part = ba(p, 64);
+        assert!(part.check_conservation(1e-9), "w = {w}");
+    }
+}
+
+#[test]
+fn alpha_at_the_boundaries() {
+    // α = 0.5 exactly (perfect splits) and α barely above zero.
+    let exact = FixedAlpha::new(1.0, 0.5);
+    assert!((hf(exact, 256).ratio() - 1.0).abs() < 1e-9);
+    assert!((ba(exact, 256).ratio() - 1.0).abs() < 1e-9);
+
+    let skewed = FixedAlpha::new(1.0, 1e-6);
+    let part = hf(skewed, 8);
+    assert_eq!(part.len(), 8);
+    assert!(part.check_conservation(1e-9));
+    // With pathological α the ratio approaches the trivial cap N(1−α).
+    assert!(part.ratio() <= 8.0);
+}
+
+#[test]
+fn n_equals_one_everywhere() {
+    let p = SyntheticProblem::new(2.5, 0.2, 0.5, 3);
+    assert_eq!(hf(p, 1).ratio(), 1.0);
+    assert_eq!(ba(p, 1).ratio(), 1.0);
+    assert_eq!(ba_hf(p, 1, 0.2, 1.0).ratio(), 1.0);
+    let mut m = Machine::with_paper_costs(1);
+    let (part, _) = phf(&mut m, p, 1, 0.2);
+    assert_eq!(part.len(), 1);
+    assert_eq!(m.makespan(), 0);
+}
+
+#[test]
+fn n_equals_two_is_a_single_bisection() {
+    let p = SyntheticProblem::new(1.0, 0.3, 0.5, 9);
+    let (a, b) = {
+        use gb_core::problem::Bisectable;
+        p.bisect()
+    };
+    let expect = {
+        let mut v = [a.weight(), b.weight()];
+        v.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+        v.to_vec()
+    };
+    assert_eq!(hf(p, 2).sorted_weights(), expect);
+    assert_eq!(ba(p, 2).sorted_weights(), expect);
+}
+
+#[test]
+fn large_n_full_stack() {
+    // A quarter-million pieces through every sequential algorithm.
+    let n = 1 << 18;
+    let p = SyntheticProblem::new(1.0, 0.1, 0.5, 7);
+    for part in [hf(p, n), ba(p, n), ba_hf(p, n, 0.1, 1.0)] {
+        assert_eq!(part.len(), n);
+        assert!(part.check_conservation(1e-6));
+        assert!(part.ratio() >= 1.0 && part.ratio() <= ba_upper_bound(0.1, n));
+    }
+}
+
+#[test]
+fn phf_with_mismatched_conservative_alpha_still_terminates() {
+    // Class is actually U[0.4, 0.5] but PHF is told α = 0.01: the
+    // threshold is far too high and phase 2 does all the work — slower,
+    // still exact.
+    let p = SyntheticProblem::new(1.0, 0.4, 0.5, 5);
+    let n = 128;
+    let mut m = Machine::with_paper_costs(n);
+    let (part, report) = phf(&mut m, p, n, 0.01);
+    assert!(part.same_weights_as(&hf(p, n)));
+    assert!(report.phase2_iterations > 0);
+}
+
+#[test]
+fn weights_spanning_many_orders_within_one_partition() {
+    // α near zero produces pieces spanning ~6 orders of magnitude; sums
+    // must still reconcile.
+    let p = FixedAlpha::new(1.0, 0.01);
+    let part = hf(p, 1000);
+    assert!(part.check_conservation(1e-9));
+    assert!(part.min_weight() > 0.0);
+    assert!(part.spread().is_finite());
+}
+
+#[test]
+fn machine_saturated_with_more_procs_than_pieces() {
+    // Machine has 64 processors but the problem supports only 4 pieces.
+    let p = gb_core::synthetic_alpha::AtomicAfter::new(1.0, 0.5, 0.3);
+    let mut m = Machine::with_paper_costs(64);
+    let (part, _) = phf(&mut m, p, 64, 0.5);
+    assert_eq!(part.len(), 4);
+    let mut m = Machine::with_paper_costs(64);
+    let part = gb_parlb::ba_machine::ba_on_machine(&mut m, p, 64);
+    assert_eq!(part.len(), 4);
+}
+
+#[test]
+fn pool_with_more_workers_than_work() {
+    let pool = ThreadPool::new(8);
+    let p = SyntheticProblem::new(1.0, 0.3, 0.5, 11);
+    let part = gb_parlb::par_ba::par_ba(&pool, p, 2);
+    assert_eq!(part.len(), 2);
+}
