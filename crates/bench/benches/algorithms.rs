@@ -37,9 +37,7 @@ fn bench_algorithms(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                black_box(
-                    ba_hf(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n, 0.1, 1.0).ratio(),
-                )
+                black_box(ba_hf(SyntheticProblem::new(1.0, 0.1, 0.5, seed), n, 0.1, 1.0).ratio())
             })
         });
     }

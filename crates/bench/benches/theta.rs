@@ -13,7 +13,12 @@ use gb_simstudy::theta;
 fn artifact() {
     banner("Theta study — BA-HF average ratio vs theta, alpha ~ U[0.1, 0.5]");
     let cfg = bench_fig5_cfg();
-    let s = theta::theta_study(&cfg, &[0.5, 1.0, 2.0, 3.0, 4.0], &[6, 8, 10, 12], default_threads());
+    let s = theta::theta_study(
+        &cfg,
+        &[0.5, 1.0, 2.0, 3.0, 4.0],
+        &[6, 8, 10, 12],
+        default_threads(),
+    );
     print!("{}", theta::render(&s));
     if let Some(imp) = theta::improvements_vs_theta1(&s) {
         for (t, pct) in imp {

@@ -36,7 +36,9 @@ impl Bisectable for CostlyProblem {
         let mut acc = 0.0f64;
         let mut x = self.seed | 1;
         for _ in 0..self.work {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             acc += u64_to_unit_f64(x).sqrt();
         }
         black_box(acc);

@@ -12,7 +12,12 @@ use gb_simstudy::{nonpow2, variance};
 fn artifact() {
     banner("Variance study + non-power-of-two N");
     let cfg = bench_table1_cfg();
-    let s = variance::variance_study(&cfg, &variance::default_intervals(), 1 << 10, default_threads());
+    let s = variance::variance_study(
+        &cfg,
+        &variance::default_intervals(),
+        1 << 10,
+        default_threads(),
+    );
     print!("{}", variance::render(&s));
     let violations = variance::check_claims(&s);
     if violations.is_empty() {
@@ -23,7 +28,11 @@ fn artifact() {
         }
     }
     println!();
-    let np = nonpow2::nonpow2_study(&cfg.with_interval(0.1, 0.5), &[100, 1000, 3000], default_threads());
+    let np = nonpow2::nonpow2_study(
+        &cfg.with_interval(0.1, 0.5),
+        &[100, 1000, 3000],
+        default_threads(),
+    );
     print!("{}", nonpow2::render(&np));
     let violations = nonpow2::check_claims(&np);
     if violations.is_empty() {

@@ -95,11 +95,7 @@ pub fn ba_rec<P: Bisectable, R: Recorder>(p: P, n: usize, rec: &mut R) -> Partit
     let total = p.weight();
     let root = rec.root(total);
     let pieces = ba_ranged_pieces(p, n, root, 0, rec);
-    Partition::new(
-        pieces.into_iter().map(|rp| rp.problem).collect(),
-        total,
-        n,
-    )
+    Partition::new(pieces.into_iter().map(|rp| rp.problem).collect(), total, n)
 }
 
 /// A subproblem together with the contiguous processor range BA assigned

@@ -183,7 +183,7 @@ mod tests {
         let p = FixedAlpha::new(1.0, alpha);
         for &n in &[64usize, 256] {
             let r_hf = hf(p, n).ratio();
-            let r_bahf = ba_hf(p, n, alpha, 1.0, ).ratio();
+            let r_bahf = ba_hf(p, n, alpha, 1.0).ratio();
             let r_ba = ba(p, n).ratio();
             assert!(
                 r_hf <= r_bahf + 1e-9 && r_bahf <= r_ba + 1e-9,

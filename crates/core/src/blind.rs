@@ -160,7 +160,10 @@ mod tests {
     fn blind_ba_worse_than_ba_on_average() {
         let n = 256;
         let avg = |f: &dyn Fn(RandomSplit) -> f64| {
-            (0..40).map(|seed| f(RandomSplit { w: 1.0, seed })).sum::<f64>() / 40.0
+            (0..40)
+                .map(|seed| f(RandomSplit { w: 1.0, seed }))
+                .sum::<f64>()
+                / 40.0
         };
         let aware = avg(&|p| ba(p, n).ratio());
         let blind = avg(&|p| blind_ba(p, n).ratio());

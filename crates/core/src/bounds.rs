@@ -316,11 +316,7 @@ mod tests {
     fn phase1_threshold_scales_with_weight_and_n() {
         let t = phf_phase1_threshold(100.0, 0.5, 10);
         assert_close(t, 100.0 * 2.0 / 10.0, 1e-12);
-        assert_close(
-            phf_phase1_threshold(200.0, 0.5, 10),
-            2.0 * t,
-            1e-12,
-        );
+        assert_close(phf_phase1_threshold(200.0, 0.5, 10), 2.0 * t, 1e-12);
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod bahf;
 pub mod blind;
 pub mod bounds;
 pub mod error;
+pub mod fingerprint;
 pub mod heap;
 pub mod hf;
 pub mod oracle;

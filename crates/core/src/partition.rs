@@ -131,7 +131,11 @@ impl<P: Bisectable> Partition<P> {
 
     /// `true` if the two partitions' sorted weights agree within the given
     /// relative tolerance entry by entry.
-    pub fn approx_same_weights_as<Q: Bisectable>(&self, other: &Partition<Q>, rel_tol: f64) -> bool {
+    pub fn approx_same_weights_as<Q: Bisectable>(
+        &self,
+        other: &Partition<Q>,
+        rel_tol: f64,
+    ) -> bool {
         let a = self.sorted_weights();
         let b = other.sorted_weights();
         a.len() == b.len()

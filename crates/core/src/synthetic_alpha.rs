@@ -29,7 +29,10 @@ impl FixedAlpha {
     /// # Panics
     /// Panics on invalid weight or α.
     pub fn new(weight: f64, alpha: f64) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "invalid weight {weight}"
+        );
         assert!(
             alpha.is_finite() && alpha > 0.0 && alpha <= 0.5,
             "invalid alpha {alpha}"

@@ -78,8 +78,7 @@ where
     let partition = balancer.partition(p, pieces);
     let n = partition.len();
     let work = Arc::new(work);
-    let results: Arc<Mutex<Vec<Option<R>>>> =
-        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let results: Arc<Mutex<Vec<Option<R>>>> = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
     let wg = Arc::new(WaitGroup::new());
     wg.add(n);
     for (idx, piece) in partition.into_pieces().into_iter().enumerate() {
@@ -145,8 +144,18 @@ mod tests {
     fn deterministic_across_runs() {
         let pool = ThreadPool::new(4);
         let p = FixedAlpha::new(1.0, 0.22);
-        let run =
-            || balance_and_process(&pool, p, 33, Balancer::BaHf { alpha: 0.22, theta: 1.0 }, |i, piece| (i, piece.weight().to_bits()));
+        let run = || {
+            balance_and_process(
+                &pool,
+                p,
+                33,
+                Balancer::BaHf {
+                    alpha: 0.22,
+                    theta: 1.0,
+                },
+                |i, piece| (i, piece.weight().to_bits()),
+            )
+        };
         assert_eq!(run(), run());
     }
 

@@ -88,6 +88,14 @@ impl PoolHandle {
     pub fn workers(&self) -> usize {
         self.shared.stealers.len()
     }
+
+    /// Number of tasks sitting in the shared injector — work submitted
+    /// from outside the pool that no worker has picked up yet. A sustained
+    /// nonzero depth means the pool is saturated; serving layers export
+    /// this as a backlog signal.
+    pub fn injector_depth(&self) -> usize {
+        self.shared.injector.len()
+    }
 }
 
 /// The work-stealing pool. Dropping it waits for all queued tasks.
@@ -169,6 +177,11 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.shared.stealers.len()
+    }
+
+    /// Injector backlog (see [`PoolHandle::injector_depth`]).
+    pub fn injector_depth(&self) -> usize {
+        self.shared.injector.len()
     }
 }
 

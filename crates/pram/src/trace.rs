@@ -100,7 +100,11 @@ mod tests {
     fn render_formats_each_event_kind() {
         let mut tr = Trace::new();
         tr.push(TraceEvent::Bisect { proc: 0, t: 1 });
-        tr.push(TraceEvent::Send { from: 0, to: 3, t: 2 });
+        tr.push(TraceEvent::Send {
+            from: 0,
+            to: 3,
+            t: 2,
+        });
         tr.push(TraceEvent::Global {
             label: "reduce-max",
             scope: 8,

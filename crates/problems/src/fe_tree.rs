@@ -126,11 +126,7 @@ impl FeTree {
 
     /// Completes derived data (subtree sums, Euler tour) from the raw
     /// structure.
-    fn finish(
-        cost: Vec<f64>,
-        parent: Vec<Option<u32>>,
-        children: Vec<Option<(u32, u32)>>,
-    ) -> Self {
+    fn finish(cost: Vec<f64>, parent: Vec<Option<u32>>, children: Vec<Option<(u32, u32)>>) -> Self {
         let n = cost.len();
         let mut subtree_cost = vec![0.0; n];
         let mut subtree_size = vec![0u32; n];
@@ -303,9 +299,7 @@ impl FeTreeProblem {
 
 impl PartialEq for FeTreeProblem {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.tree, &other.tree)
-            && self.root == other.root
-            && self.cut == other.cut
+        Arc::ptr_eq(&self.tree, &other.tree) && self.root == other.root && self.cut == other.cut
     }
 }
 

@@ -65,7 +65,7 @@ impl Grid {
                 (
                     rng.range_f64(0.0, rows as f64),
                     rng.range_f64(0.0, cols as f64),
-                    rng.range_f64(5.0, 50.0),                         // amplitude
+                    rng.range_f64(5.0, 50.0), // amplitude
                     rng.range_f64(0.02, 0.15) * rows.max(cols) as f64, // radius
                 )
             })

@@ -74,9 +74,7 @@ impl Factor {
                     ((c * hi).exp() - (c * lo).exp()) / c
                 }
             }
-            Factor::Peak { peak, s } => {
-                (((hi - peak) / s).atan() - ((lo - peak) / s).atan()) / s
-            }
+            Factor::Peak { peak, s } => (((hi - peak) / s).atan() - ((lo - peak) / s).atan()) / s,
             Factor::Oscillatory { b, omega, phi } => {
                 if omega.abs() < 1e-12 {
                     (hi - lo) * (1.0 + b * phi.sin())
@@ -311,9 +309,7 @@ impl Region {
 
 impl PartialEq for Region {
     fn eq(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.integrand, &other.integrand)
-            && self.lo == other.lo
-            && self.hi == other.hi
+        Arc::ptr_eq(&self.integrand, &other.integrand) && self.lo == other.lo && self.hi == other.hi
     }
 }
 
@@ -513,9 +509,12 @@ mod prop_tests {
     fn factor_strategy() -> impl Strategy<Value = Factor> {
         prop_oneof![
             (-4.0f64..4.0).prop_map(|c| Factor::Exp { c }),
-            ((-0.2f64..1.2), (0.02f64..0.5))
-                .prop_map(|(peak, s)| Factor::Peak { peak, s }),
-            ((-0.95f64..0.95), (0.1f64..20.0), (0.0..std::f64::consts::TAU))
+            ((-0.2f64..1.2), (0.02f64..0.5)).prop_map(|(peak, s)| Factor::Peak { peak, s }),
+            (
+                (-0.95f64..0.95),
+                (0.1f64..20.0),
+                (0.0..std::f64::consts::TAU)
+            )
                 .prop_map(|(b, omega, phi)| Factor::Oscillatory { b, omega, phi }),
             ((0.05f64..2.0), (0i32..5)).prop_map(|(a, k)| Factor::Power { a, k }),
         ]

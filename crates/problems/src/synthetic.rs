@@ -48,7 +48,10 @@ impl SyntheticProblem {
     /// # Panics
     /// Panics on an invalid weight or interval.
     pub fn new(weight: f64, lo: f64, hi: f64, seed: u64) -> Self {
-        assert!(weight.is_finite() && weight > 0.0, "invalid weight {weight}");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "invalid weight {weight}"
+        );
         assert!(
             lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi && hi <= 0.5,
             "invalid fraction interval [{lo}, {hi}]"

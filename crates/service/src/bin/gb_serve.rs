@@ -1,0 +1,80 @@
+//! `gb-serve` — run the partition-serving daemon.
+//!
+//! ```text
+//! gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q]
+//!          [--cache-cap C] [--pool-threads T]
+//! ```
+//!
+//! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
+//! and serves until a client sends a `shutdown` frame.
+
+use std::process::ExitCode;
+
+use gb_service::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
+         [--cache-cap C] [--pool-threads T]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7117".into(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse_usize(&value("--workers"), "--workers"),
+            "--queue-cap" => {
+                config.queue_capacity = parse_usize(&value("--queue-cap"), "--queue-cap").max(1)
+            }
+            "--cache-cap" => {
+                config.cache_capacity = parse_usize(&value("--cache-cap"), "--cache-cap")
+            }
+            "--pool-threads" => {
+                config.pool_threads = parse_usize(&value("--pool-threads"), "--pool-threads")
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    config
+}
+
+fn parse_usize(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects an integer, got {text:?}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gb-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("gb-serve listening on {}", server.local_addr());
+    // Serve until a client asks us to stop (the `shutdown` frame); join()
+    // drains queued work before returning.
+    server.join();
+    println!("gb-serve: drained and stopped");
+    ExitCode::SUCCESS
+}

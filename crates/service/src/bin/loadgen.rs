@@ -1,0 +1,324 @@
+//! `loadgen` — drive a gb-service server with concurrent clients.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N]
+//!         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X]
+//!         [--deadline-ms MS]
+//! ```
+//!
+//! Without `--addr` an in-process server is spawned on an ephemeral port
+//! (and shut down gracefully at the end), so
+//! `cargo run -p gb-service --release --bin loadgen` is self-contained.
+//!
+//! `R` requests are spread over `K` connections. Problem seeds cycle
+//! through `D` distinct values, so with `R > D·|algorithms|` the run
+//! revisits earlier requests and exercises the server's result cache.
+//! Prints throughput, the client-observed latency distribution
+//! (p50/p95/p99) and the server's own `stats` snapshot.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use gb_service::client::Client;
+use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Request, Response};
+use gb_service::server::{Server, ServerConfig};
+use gb_service::spec::ProblemSpec;
+
+struct Options {
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
+    n: usize,
+    distinct: usize,
+    algorithms: Vec<Algorithm>,
+    theta: f64,
+    deadline_ms: Option<u64>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            clients: 8,
+            requests: 1000,
+            n: 64,
+            distinct: 64,
+            algorithms: Algorithm::ALL.to_vec(),
+            theta: 1.0,
+            deadline_ms: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
+         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = Some(value("--addr")),
+            "--clients" => opts.clients = parse_usize(&value("--clients"), "--clients").max(1),
+            "--requests" => opts.requests = parse_usize(&value("--requests"), "--requests"),
+            "--n" => opts.n = parse_usize(&value("--n"), "--n").max(1),
+            "--distinct" => opts.distinct = parse_usize(&value("--distinct"), "--distinct").max(1),
+            "--theta" => {
+                opts.theta = value("--theta").parse().unwrap_or_else(|_| {
+                    eprintln!("--theta expects a number");
+                    usage()
+                })
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms =
+                    Some(parse_usize(&value("--deadline-ms"), "--deadline-ms") as u64)
+            }
+            "--algorithms" => {
+                let list = value("--algorithms");
+                opts.algorithms = list
+                    .split(',')
+                    .map(|s| {
+                        Algorithm::from_name(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown algorithm {s:?}");
+                            usage()
+                        })
+                    })
+                    .collect();
+                if opts.algorithms.is_empty() {
+                    usage();
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn parse_usize(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} expects an integer, got {text:?}");
+        usage()
+    })
+}
+
+#[derive(Default)]
+struct ClientTally {
+    ok: u64,
+    cached: u64,
+    errors: Vec<(ErrorCode, u64)>,
+    latencies_us: Vec<u64>,
+}
+
+impl ClientTally {
+    fn record_error(&mut self, code: ErrorCode) {
+        for (c, n) in &mut self.errors {
+            if *c == code {
+                *n += 1;
+                return;
+            }
+        }
+        self.errors.push((code, 1));
+    }
+}
+
+fn request_for(opts: &Options, index: usize) -> Request {
+    let algorithm = opts.algorithms[index % opts.algorithms.len()];
+    let seed = (index / opts.algorithms.len()) % opts.distinct;
+    Request::Balance(BalanceRequest {
+        id: Some(index as u64),
+        algorithm,
+        n: opts.n,
+        theta: opts.theta,
+        deadline_ms: opts.deadline_ms,
+        // Piece weights are large; loadgen only needs ratio/bound.
+        want_pieces: false,
+        problem: ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.2,
+            hi: 0.5,
+            seed: seed as u64,
+        },
+    })
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).max(1) - 1;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() -> ExitCode {
+    let opts = Arc::new(parse_args());
+
+    // Spawn an in-process server unless one was pointed at.
+    let local_server = if opts.addr.is_none() {
+        match Server::start(ServerConfig::default()) {
+            Ok(s) => {
+                println!("loadgen: spawned in-process server on {}", s.local_addr());
+                Some(s)
+            }
+            Err(e) => {
+                eprintln!("loadgen: failed to start in-process server: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match &local_server {
+        Some(s) => s.local_addr(),
+        None => {
+            let text = opts.addr.as_deref().expect("addr flag present");
+            match text.parse() {
+                Ok(a) => a,
+                Err(_) => {
+                    eprintln!("loadgen: --addr must be HOST:PORT, got {text:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    println!(
+        "loadgen: {} requests over {} clients against {} (n={}, algorithms: {})",
+        opts.requests,
+        opts.clients,
+        addr,
+        opts.n,
+        opts.algorithms
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_index in 0..opts.clients {
+        let opts = Arc::clone(&opts);
+        handles.push(thread::spawn(move || -> Result<ClientTally, String> {
+            let mut client = Client::connect(addr)
+                .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+            let mut tally = ClientTally::default();
+            // Request k of client c is global index c + k·K: all clients
+            // interleave through the same seed cycle.
+            let mut index = client_index;
+            while index < opts.requests {
+                let request = request_for(&opts, index);
+                let sent = Instant::now();
+                let response = client
+                    .call(&request)
+                    .map_err(|e| format!("client {client_index}: call: {e}"))?;
+                let us = sent.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                tally.latencies_us.push(us);
+                match response {
+                    Response::Ok(ok) => {
+                        tally.ok += 1;
+                        if ok.cached {
+                            tally.cached += 1;
+                        }
+                    }
+                    Response::Error { code, .. } => tally.record_error(code),
+                    other => return Err(format!("client {client_index}: unexpected {other:?}")),
+                }
+                index += opts.clients;
+            }
+            Ok(tally)
+        }));
+    }
+
+    let mut ok = 0u64;
+    let mut cached = 0u64;
+    let mut errors: Vec<(ErrorCode, u64)> = Vec::new();
+    let mut latencies = Vec::with_capacity(opts.requests);
+    let mut failures = Vec::new();
+    for handle in handles {
+        match handle.join().expect("client thread panicked") {
+            Ok(tally) => {
+                ok += tally.ok;
+                cached += tally.cached;
+                latencies.extend(tally.latencies_us);
+                for (code, count) in tally.errors {
+                    match errors.iter_mut().find(|(c, _)| *c == code) {
+                        Some((_, n)) => *n += count,
+                        None => errors.push((code, count)),
+                    }
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let answered = latencies.len() as u64;
+    latencies.sort_unstable();
+    let throughput = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {answered} responses in {:.3} s  ({throughput:.0} req/s)",
+        elapsed.as_secs_f64()
+    );
+    println!(
+        "  ok {ok} (cached {cached}), p50 {} us, p95 {} us, p99 {} us, max {} us",
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+        latencies.last().copied().unwrap_or(0),
+    );
+    for (code, count) in &errors {
+        println!("  {}: {count}", code.name());
+    }
+    for failure in &failures {
+        eprintln!("loadgen: {failure}");
+    }
+
+    // Ask the server for its own view of the run.
+    match Client::connect(addr).and_then(|mut c| c.call(&Request::Stats)) {
+        Ok(Response::Stats(stats)) => {
+            let hit_rate = stats
+                .get("cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let total = stats
+                .get("requests")
+                .and_then(|r| r.get("total"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            println!(
+                "server: {total} requests served, cache hit rate {:.1}%",
+                hit_rate * 100.0
+            );
+            println!("server stats: {}", stats.encode());
+        }
+        Ok(other) => eprintln!("loadgen: unexpected stats reply {other:?}"),
+        Err(e) => eprintln!("loadgen: stats request failed: {e}"),
+    }
+
+    if let Some(server) = local_server {
+        server.shutdown();
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

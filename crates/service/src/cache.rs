@@ -1,0 +1,257 @@
+//! LRU result cache keyed by `(problem fingerprint, algorithm, N, θ)`.
+//!
+//! Because every [`ProblemSpec`](crate::spec::ProblemSpec) is
+//! deterministic and the algorithms are pure functions of the problem,
+//! a cache entry is not merely "a plausible answer" — it is byte-for-byte
+//! the partition the server would recompute. The cache therefore returns
+//! full responses, only the latency and `cached` flag differ.
+//!
+//! The implementation is a classic `HashMap` + recency list built from a
+//! `BTreeMap<u64, Key>` over a monotone touch counter: `O(log n)` per
+//! touch, no unsafe pointer chasing, deterministic iteration for tests.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::proto::Algorithm;
+
+/// Cache key: what uniquely determines a balance result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `ProblemSpec::fingerprint()` of the request's problem.
+    pub problem: u64,
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Processor count.
+    pub n: usize,
+    /// θ bit pattern (only meaningful for BA-HF; fixed for the others).
+    pub theta_bits: u64,
+}
+
+impl CacheKey {
+    /// Builds a key, normalising θ for algorithms that ignore it so
+    /// `hf, θ=1` and `hf, θ=2` share an entry.
+    pub fn new(problem: u64, algorithm: Algorithm, n: usize, theta: f64) -> Self {
+        let theta_bits = match algorithm {
+            Algorithm::BaHf => theta.to_bits(),
+            _ => 0,
+        };
+        Self {
+            problem,
+            algorithm,
+            n,
+            theta_bits,
+        }
+    }
+}
+
+/// A cached balance result (piece weights plus derived figures).
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Piece weights of the partition.
+    pub pieces: Vec<f64>,
+    /// Achieved ratio.
+    pub ratio: f64,
+    /// Analytic bound reported with the result.
+    pub bound: f64,
+    /// α used for the bound.
+    pub alpha: f64,
+}
+
+/// Bounded LRU cache with hit/miss/eviction accounting.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Entry>,
+    recency: BTreeMap<u64, CacheKey>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: CachedResult,
+    stamp: u64,
+}
+
+/// Counter snapshot for the stats endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheStats {
+    /// Lookup hits since start.
+    pub hits: u64,
+    /// Lookup misses since start.
+    pub misses: u64,
+    /// Entries evicted to respect capacity.
+    pub evictions: u64,
+    /// Current entry count.
+    pub len: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (`0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` results. A capacity of
+    /// `0` disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedResult> {
+        let stamp = self.tick();
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                self.recency.remove(&entry.stamp);
+                entry.stamp = stamp;
+                self.recency.insert(stamp, *key);
+                self.hits += 1;
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a result, evicting the least recently used
+    /// entry if the cache is full.
+    pub fn put(&mut self, key: CacheKey, value: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.tick();
+        if let Some(old) = self.map.insert(key, Entry { value, stamp }) {
+            self.recency.remove(&old.stamp);
+        }
+        self.recency.insert(stamp, key);
+        while self.map.len() > self.capacity {
+            let (&oldest, &victim) = self
+                .recency
+                .iter()
+                .next()
+                .expect("recency tracks every entry");
+            self.recency.remove(&oldest);
+            self.map.remove(&victim);
+            self.evictions += 1;
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(ratio: f64) -> CachedResult {
+        CachedResult {
+            pieces: vec![ratio],
+            ratio,
+            bound: 10.0,
+            alpha: 0.25,
+        }
+    }
+
+    fn key(problem: u64) -> CacheKey {
+        CacheKey::new(problem, Algorithm::Ba, 8, 1.0)
+    }
+
+    #[test]
+    fn hit_after_put_miss_before() {
+        let mut c = LruCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.put(key(1), result(1.5));
+        let got = c.get(&key(1)).expect("hit");
+        assert_eq!(got.ratio, 1.5);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(key(1), result(1.0));
+        c.put(key(2), result(2.0));
+        assert!(c.get(&key(1)).is_some()); // 2 is now LRU
+        c.put(key(3), result(3.0)); // evicts 2
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn theta_only_keys_bahf() {
+        let a = CacheKey::new(9, Algorithm::Hf, 4, 1.0);
+        let b = CacheKey::new(9, Algorithm::Hf, 4, 2.0);
+        assert_eq!(a, b);
+        let c = CacheKey::new(9, Algorithm::BaHf, 4, 1.0);
+        let d = CacheKey::new(9, Algorithm::BaHf, 4, 2.0);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put(key(1), result(1.0));
+        assert!(c.get(&key(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = LruCache::new(2);
+        c.put(key(1), result(1.0));
+        c.put(key(1), result(1.5));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)).unwrap().ratio, 1.5);
+    }
+}

@@ -1,0 +1,64 @@
+//! A minimal blocking client for the gb-service protocol.
+//!
+//! One request in flight per connection: [`Client::call`] writes a frame
+//! and blocks until the matching response line arrives. That is exactly
+//! the shape the load generator and tests need; pipelining clients can
+//! speak the protocol directly — it is just lines of JSON.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::proto::{Request, Response, MAX_FRAME};
+
+/// A blocking request/response connection to a gb-service server.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects with no read timeout (calls block until answered).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Self::connect_timeout(addr, None)
+    }
+
+    /// Connects and applies a read timeout to every call.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeout)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            writer: stream,
+            reader,
+        })
+    }
+
+    /// Sends a request and waits for its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.call_raw(&request.encode())
+    }
+
+    /// Sends a raw line (no newline) and decodes the response — lets
+    /// tests exercise the server's handling of malformed input.
+    pub fn call_raw(&mut self, line: &str) -> io::Result<Response> {
+        let mut frame = line.to_string();
+        frame.push('\n');
+        self.writer.write_all(frame.as_bytes())?;
+        let mut reply = String::new();
+        // take() guards against an endless line from a broken server.
+        let n = (&mut self.reader)
+            .take(2 * MAX_FRAME as u64)
+            .read_line(&mut reply)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::decode(reply.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}

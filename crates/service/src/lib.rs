@@ -1,0 +1,61 @@
+//! # gb-service — a partition-serving daemon
+//!
+//! A long-lived TCP service over the `gb-core`/`gb-parlb` balancing
+//! algorithms: clients describe a problem (any `gb-problems` class or the
+//! paper's synthetic model), pick an algorithm (`hf`, `ba`, `bahf`,
+//! `phf`) and a processor count `N`, and get back the partition's piece
+//! weights, the achieved ratio and the analytic worst-case bound for the
+//! α in effect.
+//!
+//! The daemon is production-shaped rather than a demo loop:
+//!
+//! * newline-delimited JSON protocol with explicit frame limits
+//!   ([`proto`]),
+//! * bounded admission queue with load shedding ([`shed`]),
+//! * deadline enforcement and graceful drain on shutdown ([`server`]),
+//! * an exact LRU result cache keyed by deterministic problem
+//!   fingerprints ([`cache`], `gb_core::fingerprint`),
+//! * live counters and log-bucketed latency histograms with p50/p95/p99
+//!   readout ([`metrics`]),
+//! * a blocking [`client`] plus two binaries: `gb-serve` (the daemon) and
+//!   `loadgen` (a concurrent load generator printing throughput and the
+//!   latency distribution).
+//!
+//! ```no_run
+//! use gb_service::proto::{Algorithm, BalanceRequest, Request, Response};
+//! use gb_service::server::{Server, ServerConfig};
+//! use gb_service::spec::ProblemSpec;
+//!
+//! let server = Server::start(ServerConfig::default())?;
+//! let mut client = gb_service::client::Client::connect(server.local_addr())?;
+//! let reply = client.call(&Request::Balance(BalanceRequest {
+//!     id: Some(1),
+//!     algorithm: Algorithm::BaHf,
+//!     n: 64,
+//!     theta: 1.0,
+//!     deadline_ms: Some(1000),
+//!     want_pieces: true,
+//!     problem: ProblemSpec::Synthetic { weight: 1.0, lo: 0.25, hi: 0.5, seed: 7 },
+//! }))?;
+//! if let Response::Ok(ok) = reply {
+//!     assert!(ok.ratio <= ok.bound);
+//! }
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod shed;
+pub mod spec;
+
+pub use client::Client;
+pub use proto::{Algorithm, ErrorCode, Request, Response};
+pub use server::{Server, ServerConfig};
+pub use spec::ProblemSpec;

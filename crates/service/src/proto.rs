@@ -1,0 +1,1142 @@
+//! Wire protocol: newline-delimited JSON frames.
+//!
+//! One request per line, one response per line, UTF-8, `\n` terminated.
+//! The JSON layer is hand-rolled (recursive-descent parser + writer) so
+//! the daemon stays free of registry dependencies; the subset is full
+//! JSON except that numbers are split into integer ([`Json::Int`]) and
+//! floating ([`Json::Num`]) forms so `u64`-sized ids and seeds up to
+//! `i64::MAX` round-trip exactly (floats use Rust's shortest-roundtrip
+//! formatting, so finite values round-trip bit-for-bit too).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"balance","algorithm":"bahf","n":64,"theta":1.0,
+//!  "problem":{"class":"synthetic","weight":1.0,"lo":0.1,"hi":0.5,"seed":7},
+//!  "id":1,"deadline_ms":250}
+//! {"op":"stats"}
+//! {"op":"ping"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id":1,"status":"ok","algorithm":"bahf","n":64,"cached":false,
+//!  "ratio":1.07,"bound":13.2,"alpha":0.1,"micros":412,"pieces":[...]}
+//! {"id":1,"status":"error","code":"overloaded","message":"queue full"}
+//! ```
+//!
+//! Frames longer than [`MAX_FRAME`] bytes are rejected before parsing —
+//! the reader surfaces [`FrameError::TooLong`] so the server can answer
+//! with a protocol error and resynchronise at the next newline.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read};
+
+use crate::spec::ProblemSpec;
+
+/// Hard ceiling on a single request/response line, in bytes.
+pub const MAX_FRAME: usize = 256 * 1024;
+
+/// Maximum nesting depth accepted by the JSON parser.
+const MAX_DEPTH: u32 = 32;
+
+// ---------------------------------------------------------------------------
+// JSON value model
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal (no fraction or exponent) within `i64`.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved, first key wins on lookup.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialises to compact JSON text.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    // Rust's Display for f64 is shortest-roundtrip, but
+                    // bare integers like `1` must stay distinguishable
+                    // from Int on re-parse; tag them with `.0`.
+                    let s = x.to_string();
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/inf; encode as null (decoded as such).
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_json_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document, requiring it to span the whole input.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal (expected {text})")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: accept but fold lone
+                            // surrogates to the replacement character.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+                                } else {
+                                    out.push('\u{fffd}');
+                                }
+                            } else {
+                                out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// The balancing algorithm to run for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sequential Heaviest-First (instance optimal).
+    Hf,
+    /// Best Approximation on the work-stealing pool.
+    Ba,
+    /// BA with sequential-HF tails (Algorithm BA-HF).
+    BaHf,
+    /// Parallelised HF (same partition as HF).
+    Phf,
+}
+
+impl Algorithm {
+    /// All algorithms, for iteration/metrics indexing.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::Hf,
+        Algorithm::Ba,
+        Algorithm::BaHf,
+        Algorithm::Phf,
+    ];
+
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Hf => "hf",
+            Algorithm::Ba => "ba",
+            Algorithm::BaHf => "bahf",
+            Algorithm::Phf => "phf",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "hf" => Some(Algorithm::Hf),
+            "ba" => Some(Algorithm::Ba),
+            "bahf" => Some(Algorithm::BaHf),
+            "phf" => Some(Algorithm::Phf),
+            _ => None,
+        }
+    }
+
+    /// Dense index for metrics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Algorithm::Hf => 0,
+            Algorithm::Ba => 1,
+            Algorithm::BaHf => 2,
+            Algorithm::Phf => 3,
+        }
+    }
+}
+
+/// A balancing request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// Processor count `N`.
+    pub n: usize,
+    /// BA-HF θ parameter (ignored by the other algorithms).
+    pub theta: f64,
+    /// Per-request deadline in milliseconds, enforced at dequeue time.
+    pub deadline_ms: Option<u64>,
+    /// Whether the response should include the piece weights.
+    pub want_pieces: bool,
+    /// The problem to balance.
+    pub problem: ProblemSpec,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a balancing algorithm.
+    Balance(BalanceRequest),
+    /// Return server statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain in-flight work and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Encodes the request as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// The JSON form of the request.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Stats => Json::Obj(vec![("op".into(), Json::Str("stats".into()))]),
+            Request::Ping => Json::Obj(vec![("op".into(), Json::Str("ping".into()))]),
+            Request::Shutdown => Json::Obj(vec![("op".into(), Json::Str("shutdown".into()))]),
+            Request::Balance(b) => {
+                let mut entries = vec![("op".into(), Json::Str("balance".into()))];
+                if let Some(id) = b.id {
+                    entries.push(("id".into(), Json::Int(id as i64)));
+                }
+                entries.push(("algorithm".into(), Json::Str(b.algorithm.name().into())));
+                entries.push(("n".into(), Json::Int(b.n as i64)));
+                entries.push(("theta".into(), Json::Num(b.theta)));
+                if let Some(d) = b.deadline_ms {
+                    entries.push(("deadline_ms".into(), Json::Int(d as i64)));
+                }
+                if !b.want_pieces {
+                    entries.push(("want_pieces".into(), Json::Bool(false)));
+                }
+                entries.push(("problem".into(), b.problem.to_json()));
+                Json::Obj(entries)
+            }
+        }
+    }
+
+    /// Decodes one request line.
+    pub fn decode(line: &str) -> Result<Request, ProtoError> {
+        let json = Json::parse(line).map_err(|e| ProtoError::bad(e.to_string()))?;
+        Self::from_json(&json)
+    }
+
+    /// Decodes a request from parsed JSON.
+    pub fn from_json(json: &Json) -> Result<Request, ProtoError> {
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::bad("missing \"op\""))?;
+        match op {
+            "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping),
+            "shutdown" => Ok(Request::Shutdown),
+            "balance" => {
+                let algorithm = json
+                    .get("algorithm")
+                    .and_then(Json::as_str)
+                    .and_then(Algorithm::from_name)
+                    .ok_or_else(|| {
+                        ProtoError::bad("\"algorithm\" must be one of hf|ba|bahf|phf")
+                    })?;
+                let n = json
+                    .get("n")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| ProtoError::bad("\"n\" must be a positive integer"))?;
+                if n == 0 || n > crate::spec::MAX_PROCESSORS as u64 {
+                    return Err(ProtoError::bad(format!(
+                        "\"n\" must be in 1..={}",
+                        crate::spec::MAX_PROCESSORS
+                    )));
+                }
+                let theta = match json.get("theta") {
+                    None => 1.0,
+                    Some(v) => v
+                        .as_f64()
+                        .filter(|t| t.is_finite() && *t > 0.0)
+                        .ok_or_else(|| ProtoError::bad("\"theta\" must be a positive number"))?,
+                };
+                let id = json.get("id").and_then(Json::as_u64);
+                let deadline_ms = json.get("deadline_ms").and_then(Json::as_u64);
+                let want_pieces = json
+                    .get("want_pieces")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true);
+                let problem = ProblemSpec::from_json(
+                    json.get("problem")
+                        .ok_or_else(|| ProtoError::bad("missing \"problem\""))?,
+                )?;
+                Ok(Request::Balance(BalanceRequest {
+                    id,
+                    algorithm,
+                    n: n as usize,
+                    theta,
+                    deadline_ms,
+                    want_pieces,
+                    problem,
+                }))
+            }
+            other => Err(ProtoError::bad(format!("unknown op \"{other}\""))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Machine-readable error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed or semantically invalid.
+    BadRequest,
+    /// The bounded request queue was full (load shed).
+    Overloaded,
+    /// The request's deadline expired before execution started.
+    Timeout,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// An unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "bad_request" => Some(ErrorCode::BadRequest),
+            "overloaded" => Some(ErrorCode::Overloaded),
+            "timeout" => Some(ErrorCode::Timeout),
+            "shutting_down" => Some(ErrorCode::ShuttingDown),
+            "internal" => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+
+    /// Dense index for metrics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            ErrorCode::BadRequest => 0,
+            ErrorCode::Overloaded => 1,
+            ErrorCode::Timeout => 2,
+            ErrorCode::ShuttingDown => 3,
+            ErrorCode::Internal => 4,
+        }
+    }
+
+    /// All codes, for metrics iteration.
+    pub const ALL: [ErrorCode; 5] = [
+        ErrorCode::BadRequest,
+        ErrorCode::Overloaded,
+        ErrorCode::Timeout,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ];
+}
+
+/// A successful balance result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceResponse {
+    /// Echo of the request id.
+    pub id: Option<u64>,
+    /// Algorithm that ran.
+    pub algorithm: Algorithm,
+    /// Processor count requested.
+    pub n: usize,
+    /// Achieved ratio `max_i w(p_i) / (w/N)`.
+    pub ratio: f64,
+    /// Analytic worst-case upper bound for the α in effect.
+    pub bound: f64,
+    /// The α used for the bound (class guarantee or empirical).
+    pub alpha: f64,
+    /// Whether the result came from the cache.
+    pub cached: bool,
+    /// Server-side latency in microseconds (receipt → response ready).
+    pub micros: u64,
+    /// Piece weights (empty when the request set `want_pieces: false`).
+    pub pieces: Vec<f64>,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Balancing succeeded.
+    Ok(BalanceResponse),
+    /// The request failed.
+    Error {
+        /// Echo of the request id, when one was parsed.
+        id: Option<u64>,
+        /// Error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Statistics snapshot (opaque JSON, see `metrics`).
+    Stats(Json),
+    /// Reply to `ping`.
+    Pong,
+}
+
+impl Response {
+    /// Encodes the response as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// The JSON form of the response.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("pong".into(), Json::Bool(true)),
+            ]),
+            Response::Stats(stats) => Json::Obj(vec![
+                ("status".into(), Json::Str("ok".into())),
+                ("stats".into(), stats.clone()),
+            ]),
+            Response::Error { id, code, message } => {
+                let mut entries = Vec::new();
+                if let Some(id) = id {
+                    entries.push(("id".into(), Json::Int(*id as i64)));
+                }
+                entries.push(("status".into(), Json::Str("error".into())));
+                entries.push(("code".into(), Json::Str(code.name().into())));
+                entries.push(("message".into(), Json::Str(message.clone())));
+                Json::Obj(entries)
+            }
+            Response::Ok(r) => {
+                let mut entries = Vec::new();
+                if let Some(id) = r.id {
+                    entries.push(("id".into(), Json::Int(id as i64)));
+                }
+                entries.push(("status".into(), Json::Str("ok".into())));
+                entries.push(("algorithm".into(), Json::Str(r.algorithm.name().into())));
+                entries.push(("n".into(), Json::Int(r.n as i64)));
+                entries.push(("cached".into(), Json::Bool(r.cached)));
+                entries.push(("ratio".into(), Json::Num(r.ratio)));
+                entries.push(("bound".into(), Json::Num(r.bound)));
+                entries.push(("alpha".into(), Json::Num(r.alpha)));
+                entries.push(("micros".into(), Json::Int(r.micros as i64)));
+                entries.push((
+                    "pieces".into(),
+                    Json::Arr(r.pieces.iter().map(|&w| Json::Num(w)).collect()),
+                ));
+                Json::Obj(entries)
+            }
+        }
+    }
+
+    /// Decodes one response line.
+    pub fn decode(line: &str) -> Result<Response, ProtoError> {
+        let json = Json::parse(line).map_err(|e| ProtoError::bad(e.to_string()))?;
+        let status = json
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError::bad("missing \"status\""))?;
+        match status {
+            "error" => {
+                let code = json
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorCode::from_name)
+                    .ok_or_else(|| ProtoError::bad("missing or unknown \"code\""))?;
+                Ok(Response::Error {
+                    id: json.get("id").and_then(Json::as_u64),
+                    code,
+                    message: json
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                })
+            }
+            "ok" => {
+                if json.get("pong").is_some() {
+                    return Ok(Response::Pong);
+                }
+                if let Some(stats) = json.get("stats") {
+                    return Ok(Response::Stats(stats.clone()));
+                }
+                let algorithm = json
+                    .get("algorithm")
+                    .and_then(Json::as_str)
+                    .and_then(Algorithm::from_name)
+                    .ok_or_else(|| ProtoError::bad("ok response missing \"algorithm\""))?;
+                let need_f64 = |key: &str| {
+                    json.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| ProtoError::bad(format!("missing numeric \"{key}\"")))
+                };
+                let pieces = json
+                    .get("pieces")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| ProtoError::bad("missing \"pieces\""))?
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| ProtoError::bad("bad piece weight"))
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                Ok(Response::Ok(BalanceResponse {
+                    id: json.get("id").and_then(Json::as_u64),
+                    algorithm,
+                    n: json
+                        .get("n")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| ProtoError::bad("missing \"n\""))?
+                        as usize,
+                    cached: json.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                    ratio: need_f64("ratio")?,
+                    bound: need_f64("bound")?,
+                    alpha: need_f64("alpha")?,
+                    micros: json.get("micros").and_then(Json::as_u64).unwrap_or(0),
+                    pieces,
+                }))
+            }
+            other => Err(ProtoError::bad(format!("unknown status \"{other}\""))),
+        }
+    }
+}
+
+/// A protocol-level error (malformed frame content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Description of what was wrong.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn bad(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Errors surfaced by [`FrameReader`].
+#[derive(Debug)]
+pub enum FrameError {
+    /// A line exceeded [`MAX_FRAME`] bytes before its newline arrived.
+    TooLong,
+    /// A line was not valid UTF-8.
+    NotUtf8,
+    /// Underlying socket error (includes clean EOF as `UnexpectedEof`).
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLong => write!(f, "frame exceeds {MAX_FRAME} bytes"),
+            FrameError::NotUtf8 => write!(f, "frame is not valid UTF-8"),
+            FrameError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental newline-delimited frame reader that tolerates read
+/// timeouts: a `WouldBlock`/`TimedOut` read returns control to the caller
+/// (yielding `Ok(None)`) while preserving any partial line, so servers
+/// can poll a shutdown flag between reads.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    pending: VecDeque<u8>,
+    /// When a frame overflows, remaining bytes up to the next newline are
+    /// discarded so the stream resynchronises.
+    discarding: bool,
+    eof: bool,
+}
+
+/// One poll step of the frame reader.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// No complete line yet (timeout or short read); call again.
+    Pending,
+    /// Peer closed the connection cleanly.
+    Eof,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a readable stream.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: vec![0u8; 8 * 1024],
+            pending: VecDeque::new(),
+            discarding: false,
+            eof: false,
+        }
+    }
+
+    /// Reads until a full line, a timeout, EOF or an error.
+    pub fn poll_line(&mut self) -> Result<Frame, FrameError> {
+        loop {
+            // Serve a complete line out of the pending buffer first.
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let oversized = pos > MAX_FRAME;
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop(); // newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                if self.discarding {
+                    self.discarding = false;
+                    continue; // swallowed the tail of an oversized frame
+                }
+                if oversized {
+                    // The whole line arrived in one batch but is over the
+                    // limit; it is already consumed, so no discard needed.
+                    return Err(FrameError::TooLong);
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Ok(Frame::Line(s)),
+                    Err(_) => Err(FrameError::NotUtf8),
+                };
+            }
+            if self.pending.len() > MAX_FRAME {
+                if !self.discarding {
+                    self.discarding = true;
+                    self.pending.clear();
+                    return Err(FrameError::TooLong);
+                }
+                self.pending.clear();
+            }
+            if self.eof {
+                return Ok(Frame::Eof);
+            }
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    // Any unterminated tail is dropped: frames end in \n.
+                    return Ok(Frame::Eof);
+                }
+                Ok(k) => {
+                    self.pending.extend(&self.buf[..k]);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Frame::Pending);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_basic_values() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "3.25",
+            "\"hi\\nthere\"",
+            "[1,2.5,\"x\",null]",
+            "{\"a\":1,\"b\":[true,{\"c\":\"d\"}]}",
+        ] {
+            let v = Json::parse(text).unwrap();
+            let round = Json::parse(&v.encode()).unwrap();
+            assert_eq!(v, round, "{text}");
+        }
+    }
+
+    #[test]
+    fn integers_and_floats_stay_distinct() {
+        assert_eq!(Json::parse("5").unwrap(), Json::Int(5));
+        assert_eq!(Json::parse("5.0").unwrap(), Json::Num(5.0));
+        // A float that prints without a fraction re-parses as a float.
+        let encoded = Json::Num(5.0).encode();
+        assert_eq!(Json::parse(&encoded).unwrap(), Json::Num(5.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "nan",
+            "--5",
+            "\u{1}",
+        ] {
+            assert!(Json::parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let mut s = String::new();
+        for _ in 0..100 {
+            s.push('[');
+        }
+        assert!(Json::parse(&s).is_err());
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::Balance(BalanceRequest {
+            id: Some(42),
+            algorithm: Algorithm::BaHf,
+            n: 64,
+            theta: 1.5,
+            deadline_ms: Some(250),
+            want_pieces: false,
+            problem: ProblemSpec::Synthetic {
+                weight: 2.0,
+                lo: 0.1,
+                hi: 0.5,
+                seed: 7,
+            },
+        });
+        let decoded = Request::decode(&req.encode()).unwrap();
+        assert_eq!(req, decoded);
+        for r in [Request::Stats, Request::Ping, Request::Shutdown] {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::Ok(BalanceResponse {
+            id: Some(1),
+            algorithm: Algorithm::Hf,
+            n: 8,
+            ratio: 1.25,
+            bound: 4.5,
+            alpha: 0.3,
+            cached: true,
+            micros: 917,
+            pieces: vec![0.25, 0.125, 0.625],
+        });
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        let err = Response::Error {
+            id: None,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        };
+        assert_eq!(Response::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn balance_request_validation() {
+        // n = 0 rejected.
+        let bad = r#"{"op":"balance","algorithm":"hf","n":0,"problem":{"class":"synthetic","weight":1.0,"lo":0.1,"hi":0.5,"seed":1}}"#;
+        assert!(Request::decode(bad).is_err());
+        // unknown algorithm rejected.
+        let bad = r#"{"op":"balance","algorithm":"rr","n":4,"problem":{"class":"synthetic","weight":1.0,"lo":0.1,"hi":0.5,"seed":1}}"#;
+        assert!(Request::decode(bad).is_err());
+        // negative theta rejected.
+        let bad = r#"{"op":"balance","algorithm":"hf","n":4,"theta":-1.0,"problem":{"class":"synthetic","weight":1.0,"lo":0.1,"hi":0.5,"seed":1}}"#;
+        assert!(Request::decode(bad).is_err());
+    }
+
+    #[test]
+    fn frame_reader_splits_lines_and_handles_eof() {
+        let data = b"alpha\nbeta\r\ngamma" as &[u8];
+        let mut fr = FrameReader::new(data);
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "alpha"));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "beta"));
+        // Unterminated tail is dropped at EOF.
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_then_resyncs() {
+        let mut data = vec![b'x'; MAX_FRAME + 10];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut fr = FrameReader::new(&data[..]);
+        assert!(matches!(fr.poll_line(), Err(FrameError::TooLong)));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "ok"));
+    }
+
+    #[test]
+    fn frame_reader_rejects_invalid_utf8() {
+        let data = b"\xff\xfe\n" as &[u8];
+        let mut fr = FrameReader::new(data);
+        assert!(matches!(fr.poll_line(), Err(FrameError::NotUtf8)));
+    }
+}

@@ -1,0 +1,613 @@
+//! The partition-serving daemon.
+//!
+//! ```text
+//!  clients ──TCP──▶ acceptor ──▶ connection threads (frame + parse)
+//!                                      │ try_push (shed when full)
+//!                                      ▼
+//!                              BoundedQueue<Job>
+//!                                      │ pop
+//!                                      ▼
+//!                               worker threads ──▶ gb-parlb ThreadPool
+//!                                      │                (BA / BA-HF / PHF)
+//!                                      ▼
+//!                            LRU cache + metrics, reply channel
+//! ```
+//!
+//! * **Admission** — each balance request is pushed to a bounded queue;
+//!   when it is full the connection answers `overloaded` immediately
+//!   ([`crate::shed`]).
+//! * **Deadlines** — `deadline_ms` is checked when a worker dequeues the
+//!   job; an expired request gets a `timeout` error instead of burning a
+//!   core on an answer nobody is waiting for.
+//! * **Caching** — results are cached by
+//!   `(problem fingerprint, algorithm, N, θ)`; specs are deterministic so
+//!   a hit is exact ([`crate::cache`]).
+//! * **Shutdown** — [`Server::shutdown`] (or a client `shutdown` frame)
+//!   closes the queue: queued work drains, new work is refused with
+//!   `shutting_down`, then all threads are joined.
+//!
+//! Control frames (`ping`, `stats`, `shutdown`) are answered directly on
+//! the connection thread — they must stay responsive even when the queue
+//! is saturated, that is the whole point of having them. The `shutdown`
+//! frame is acknowledged with a `pong` before draining begins.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use gb_parlb::ThreadPool;
+use parking_lot::Mutex;
+
+use crate::cache::{CacheKey, CachedResult, LruCache};
+use crate::metrics::ServiceMetrics;
+use crate::proto::{
+    Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
+    Request, Response,
+};
+use crate::shed::{BoundedQueue, PushError};
+
+/// How often blocked connection threads wake to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Hard cap on how long a connection waits for a worker to answer one
+/// job before giving up with an `internal` error (a worker died).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Smallest α used for bound computation, so bounds stay finite even for
+/// degenerate empirical measurements.
+const MIN_ALPHA: f64 = 1e-3;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Balance worker threads (0 = half the available parallelism, ≥ 2).
+    pub workers: usize,
+    /// Bounded request-queue capacity (load shed beyond this).
+    pub queue_capacity: usize,
+    /// LRU result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Threads in the work-stealing pool running BA/BA-HF/PHF
+    /// (0 = available parallelism).
+    pub pool_threads: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 256,
+            cache_capacity: 1024,
+            pool_threads: 0,
+        }
+    }
+}
+
+struct Job {
+    req: BalanceRequest,
+    received: Instant,
+    reply: mpsc::SyncSender<Response>,
+}
+
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: Mutex<LruCache>,
+    metrics: ServiceMetrics,
+    pool: ThreadPool,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    connections: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A running daemon. Dropping the handle shuts the server down.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and worker threads, and returns.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            (thread::available_parallelism().map_or(4, |n| n.get()) / 2).max(2)
+        } else {
+            config.workers
+        };
+        let pool_threads = if config.pool_threads == 0 {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.pool_threads
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            metrics: ServiceMetrics::new(),
+            pool: ThreadPool::new(pool_threads),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            connections: Mutex::new(Vec::new()),
+        });
+
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("gb-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn balance worker")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("gb-serve-acceptor".into())
+                .spawn(move || acceptor_loop(&shared, listener))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Initiates shutdown without blocking: refuses new work, wakes the
+    /// acceptor. Safe to call more than once.
+    pub fn trigger_shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+
+    /// Blocks until the server has shut down (triggered via
+    /// [`trigger_shutdown`](Self::trigger_shutdown), a client `shutdown`
+    /// frame, or [`shutdown`](Self::shutdown)) and all threads are joined.
+    pub fn join(mut self) {
+        self.join_all();
+    }
+
+    /// Graceful shutdown: drains queued work, joins every thread.
+    pub fn shutdown(self) {
+        self.trigger_shutdown();
+        self.join();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor exits only on shutdown, so the flag is set and the
+        // queue closed by now; workers drain and stop.
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let connections = std::mem::take(&mut *self.shared.connections.lock());
+        for c in connections {
+            let _ = c.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        trigger_shutdown(&self.shared);
+        self.join_all();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // Unblock the acceptor's blocking accept() with a dummy connection.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared2 = Arc::clone(shared);
+        let handle = thread::Builder::new()
+            .name("gb-serve-conn".into())
+            .spawn(move || handle_connection(&shared2, stream))
+            .expect("spawn connection thread");
+        shared.connections.lock().push(handle);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let mut reader = FrameReader::new(read_half);
+    loop {
+        match reader.poll_line() {
+            Ok(Frame::Pending) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Ok(Frame::Eof) => return,
+            Ok(Frame::Line(line)) => {
+                let done = matches!(dispatch_line(shared, &line, &mut writer), Err(()));
+                if done {
+                    return;
+                }
+            }
+            Err(FrameError::TooLong) => {
+                let resp = protocol_error(shared, "frame exceeds the maximum length");
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::NotUtf8) => {
+                let resp = protocol_error(shared, "frame is not valid UTF-8");
+                if write_response(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Io(_)) => return,
+        }
+    }
+}
+
+fn protocol_error(shared: &Shared, message: &str) -> Response {
+    shared.metrics.record_error(ErrorCode::BadRequest);
+    Response::Error {
+        id: None,
+        code: ErrorCode::BadRequest,
+        message: message.into(),
+    }
+}
+
+fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = resp.encode();
+    line.push('\n');
+    writer.write_all(line.as_bytes())
+}
+
+/// Handles one request line. `Err(())` means the connection should close.
+fn dispatch_line(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> Result<(), ()> {
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(e) => {
+            let resp = protocol_error(shared, &e.message);
+            return write_response(writer, &resp).map_err(|_| ());
+        }
+    };
+    match request {
+        Request::Ping => {
+            shared.metrics.record_control();
+            write_response(writer, &Response::Pong).map_err(|_| ())
+        }
+        Request::Stats => {
+            shared.metrics.record_control();
+            let resp = Response::Stats(stats_json(shared));
+            write_response(writer, &resp).map_err(|_| ())
+        }
+        Request::Shutdown => {
+            shared.metrics.record_control();
+            // Acknowledge before draining so the client gets an answer.
+            let result = write_response(writer, &Response::Pong).map_err(|_| ());
+            trigger_shutdown(shared);
+            result
+        }
+        Request::Balance(req) => {
+            let resp = submit_balance(shared, req);
+            write_response(writer, &resp).map_err(|_| ())
+        }
+    }
+}
+
+/// Queues a balance request and waits for its worker-produced response.
+fn submit_balance(shared: &Shared, req: BalanceRequest) -> Response {
+    let id = req.id;
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        req,
+        received: Instant::now(),
+        reply: reply_tx,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(resp) => resp,
+            Err(_) => {
+                shared.metrics.record_error(ErrorCode::Internal);
+                Response::Error {
+                    id,
+                    code: ErrorCode::Internal,
+                    message: "worker did not answer".into(),
+                }
+            }
+        },
+        Err((_, PushError::Full)) => {
+            shared.metrics.record_error(ErrorCode::Overloaded);
+            Response::Error {
+                id,
+                code: ErrorCode::Overloaded,
+                message: format!("request queue full ({})", shared.queue.capacity()),
+            }
+        }
+        Err((_, PushError::Closed)) => {
+            shared.metrics.record_error(ErrorCode::ShuttingDown);
+            Response::Error {
+                id,
+                code: ErrorCode::ShuttingDown,
+                message: "server is draining".into(),
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let resp = execute(shared, &job);
+        // A disconnected client is fine — drop the response.
+        let _ = job.reply.send(resp);
+    }
+}
+
+fn execute(shared: &Shared, job: &Job) -> Response {
+    let req = &job.req;
+    if let Some(deadline_ms) = req.deadline_ms {
+        if job.received.elapsed() > Duration::from_millis(deadline_ms) {
+            shared.metrics.record_error(ErrorCode::Timeout);
+            return Response::Error {
+                id: req.id,
+                code: ErrorCode::Timeout,
+                message: format!("deadline of {deadline_ms} ms expired in queue"),
+            };
+        }
+    }
+
+    let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
+    if let Some(hit) = shared.cache.lock().get(&key) {
+        let latency = job.received.elapsed();
+        shared.metrics.record_ok(req.algorithm, true, latency);
+        return ok_response(req, &hit, true, latency);
+    }
+
+    let problem = req.problem.build();
+    let alpha = req
+        .problem
+        .alpha_hint()
+        .or_else(|| problem.analytic_alpha())
+        .or_else(|| gb_problems::empirical_alpha(&problem, req.n))
+        .unwrap_or(0.25)
+        .clamp(MIN_ALPHA, 0.5);
+    let partition = match req.algorithm {
+        Algorithm::Hf => gb_core::hf::hf(problem, req.n),
+        Algorithm::Ba => gb_parlb::par_ba(&shared.pool, problem, req.n),
+        Algorithm::BaHf => gb_parlb::par_ba_hf(&shared.pool, problem, req.n, alpha, req.theta),
+        Algorithm::Phf => gb_parlb::par_phf(&shared.pool, problem, req.n, alpha),
+    };
+    let bound = match req.algorithm {
+        Algorithm::Hf | Algorithm::Phf => gb_core::hf_upper_bound(alpha, req.n),
+        Algorithm::Ba => gb_core::ba_upper_bound(alpha, req.n),
+        Algorithm::BaHf => gb_core::bahf_upper_bound(alpha, req.theta, req.n),
+    };
+    let result = CachedResult {
+        pieces: partition.sorted_weights(),
+        ratio: partition.ratio(),
+        bound,
+        alpha,
+    };
+    shared.cache.lock().put(key, result.clone());
+    let latency = job.received.elapsed();
+    shared.metrics.record_ok(req.algorithm, false, latency);
+    ok_response(req, &result, false, latency)
+}
+
+fn ok_response(
+    req: &BalanceRequest,
+    result: &CachedResult,
+    cached: bool,
+    latency: Duration,
+) -> Response {
+    Response::Ok(BalanceResponse {
+        id: req.id,
+        algorithm: req.algorithm,
+        n: req.n,
+        ratio: result.ratio,
+        bound: result.bound,
+        alpha: result.alpha,
+        cached,
+        micros: latency.as_micros().min(u64::MAX as u128) as u64,
+        pieces: if req.want_pieces {
+            result.pieces.clone()
+        } else {
+            Vec::new()
+        },
+    })
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let mut json = shared.metrics.to_json();
+    let cache = shared.cache.lock().stats();
+    if let Json::Obj(entries) = &mut json {
+        entries.push((
+            "cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::Int(cache.hits as i64)),
+                ("misses".into(), Json::Int(cache.misses as i64)),
+                ("evictions".into(), Json::Int(cache.evictions as i64)),
+                ("len".into(), Json::Int(cache.len as i64)),
+                ("capacity".into(), Json::Int(cache.capacity as i64)),
+                ("hit_rate".into(), Json::Num(cache.hit_rate())),
+            ]),
+        ));
+        entries.push((
+            "queue".into(),
+            Json::Obj(vec![
+                ("depth".into(), Json::Int(shared.queue.depth() as i64)),
+                ("capacity".into(), Json::Int(shared.queue.capacity() as i64)),
+            ]),
+        ));
+        entries.push((
+            "pool".into(),
+            Json::Obj(vec![
+                ("workers".into(), Json::Int(shared.pool.workers() as i64)),
+                (
+                    "injector_depth".into(),
+                    Json::Int(shared.pool.injector_depth() as i64),
+                ),
+            ]),
+        ));
+    }
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::spec::ProblemSpec;
+
+    fn test_server() -> Server {
+        Server::start(ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            pool_threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral port")
+    }
+
+    fn synth(seed: u64) -> ProblemSpec {
+        ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.25,
+            hi: 0.5,
+            seed,
+        }
+    }
+
+    fn balance(seed: u64, algorithm: Algorithm) -> Request {
+        Request::Balance(BalanceRequest {
+            id: Some(seed),
+            algorithm,
+            n: 16,
+            theta: 1.0,
+            deadline_ms: None,
+            want_pieces: true,
+            problem: synth(seed),
+        })
+    }
+
+    #[test]
+    fn ping_and_stats_round_trip() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert!(stats.get("uptime_ms").is_some());
+                assert!(stats.get("cache").is_some());
+                assert!(stats.get("queue").is_some());
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn balance_executes_and_caches() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let first = match client.call(&balance(7, Algorithm::Ba)).unwrap() {
+            Response::Ok(r) => r,
+            other => panic!("expected ok, got {other:?}"),
+        };
+        assert!(!first.cached);
+        assert!(first.ratio >= 1.0 && first.ratio <= first.bound);
+        assert_eq!(first.pieces.len(), 16);
+        let second = match client.call(&balance(7, Algorithm::Ba)).unwrap() {
+            Response::Ok(r) => r,
+            other => panic!("expected ok, got {other:?}"),
+        };
+        assert!(second.cached, "identical request must hit the cache");
+        assert_eq!(second.pieces, first.pieces);
+        server.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_times_out() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let req = Request::Balance(BalanceRequest {
+            id: Some(1),
+            algorithm: Algorithm::Hf,
+            n: 8,
+            theta: 1.0,
+            deadline_ms: Some(0),
+            want_pieces: false,
+            problem: synth(1),
+        });
+        // deadline 0 ms: by the time a worker dequeues it, it is late.
+        match client.call(&req).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+            Response::Ok(_) => {} // a fast worker can legitimately win the race
+            other => panic!("unexpected {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_bad_request_and_connection_survives() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        match client.call_raw("this is not json").unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The same connection still works.
+        assert!(matches!(
+            client.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_frame_stops_the_server() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        assert!(matches!(
+            client.call(&Request::Shutdown).unwrap(),
+            Response::Pong
+        ));
+        server.join();
+        // New connections are refused once the listener is gone; allow a
+        // beat for the OS to tear the socket down.
+        std::thread::sleep(Duration::from_millis(50));
+        let refused = Client::connect(addr)
+            .and_then(|mut c| c.call(&Request::Ping))
+            .is_err();
+        assert!(refused, "server still answering after shutdown");
+    }
+}

@@ -1,0 +1,175 @@
+//! Load shedding: a bounded MPMC queue that fails fast when full.
+//!
+//! The admission policy is deliberately *non-blocking*: when the queue is
+//! at capacity, [`BoundedQueue::try_push`] returns the job to the caller
+//! immediately so the connection thread can answer `overloaded` instead
+//! of stacking latency on every queued request behind it. Consumers block
+//! on [`BoundedQueue::pop`] until work arrives or the queue is closed and
+//! drained — closing is how graceful shutdown lets in-flight requests
+//! finish while refusing new ones.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity — shed the load.
+    Full,
+    /// The queue is closed — the server is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` pending items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue without blocking. On `Err` the item is handed
+    /// back so the caller can respond to the client.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock();
+        if state.closed {
+            return Err((item, PushError::Closed));
+        }
+        if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained (then returns `None` — the consumer should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            self.available.wait(&mut state);
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// consumers drain what is left and then observe `None`.
+    pub fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Number of items currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn sheds_when_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        match q.try_push(3) {
+            Err((item, PushError::Full)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_stops_consumers() {
+        let q = BoundedQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        match q.try_push(3) {
+            Err((_, PushError::Closed)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_blocks_until_item_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop());
+        thread::sleep(Duration::from_millis(30));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q = Arc::new(BoundedQueue::new(1024));
+        let mut producers = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..100 {
+                    while q.try_push(t * 100 + i).is_err() {
+                        thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut got = Vec::new();
+        while let Some(x) = q.pop() {
+            got.push(x);
+        }
+        assert_eq!(got.len(), 400);
+    }
+}

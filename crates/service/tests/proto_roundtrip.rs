@@ -1,0 +1,240 @@
+//! Property tests for the wire protocol: whatever the encoder produces,
+//! the decoder must reconstruct exactly; whatever violates the framing
+//! rules must be rejected, never mangled into a plausible request.
+
+use proptest::prelude::*;
+
+use gb_service::proto::{
+    Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
+    Request, Response, MAX_FRAME,
+};
+use gb_service::spec::ProblemSpec;
+
+fn algorithm() -> impl Strategy<Value = Algorithm> {
+    prop_oneof![
+        Just(Algorithm::Hf),
+        Just(Algorithm::Ba),
+        Just(Algorithm::BaHf),
+        Just(Algorithm::Phf),
+    ]
+}
+
+fn error_code() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::BadRequest),
+        Just(ErrorCode::Overloaded),
+        Just(ErrorCode::Timeout),
+        Just(ErrorCode::ShuttingDown),
+        Just(ErrorCode::Internal),
+    ]
+}
+
+fn problem_spec() -> impl Strategy<Value = ProblemSpec> {
+    prop_oneof![
+        (1u64..1_000_000, 0..1_000u64).prop_map(|(w, seed)| ProblemSpec::Synthetic {
+            weight: w as f64 / 1000.0,
+            lo: 0.1,
+            hi: 0.5,
+            seed,
+        }),
+        (1usize..5_000, 0..100u64).prop_map(|(refinements, seed)| ProblemSpec::FeTree {
+            refinements,
+            bias: 0.75,
+            seed,
+        }),
+        (1usize..100, 1usize..100, 0usize..5, 0..100u64).prop_map(
+            |(rows, cols, hotspots, seed)| ProblemSpec::Grid {
+                rows,
+                cols,
+                hotspots,
+                seed,
+            }
+        ),
+        (1usize..6, 1u64..50, 0..100u64).prop_map(|(dims, sharp, seed)| {
+            ProblemSpec::Quadrature {
+                dims,
+                sharpness: sharp as f64,
+                min_width: 0.01,
+                seed,
+            }
+        }),
+        (1usize..5_000, 2usize..16, 0..100u64).prop_map(|(nodes, branch, seed)| {
+            ProblemSpec::SearchTree {
+                nodes,
+                branch,
+                seed,
+            }
+        }),
+        (1usize..5_000, any::<bool>(), 0..100u64)
+            .prop_map(|(tasks, heavy, seed)| { ProblemSpec::TaskList { tasks, heavy, seed } }),
+    ]
+}
+
+fn balance_request() -> impl Strategy<Value = BalanceRequest> {
+    (
+        any::<bool>(),
+        0..u64::MAX / 2,
+        algorithm(),
+        1usize..4096,
+        1u64..100,
+        any::<bool>(),
+        problem_spec(),
+    )
+        .prop_map(
+            |(has_id, id, algorithm, n, theta_tenths, want_pieces, problem)| BalanceRequest {
+                id: has_id.then_some(id),
+                algorithm,
+                n,
+                theta: theta_tenths as f64 / 10.0,
+                deadline_ms: (id % 3 == 0).then_some(id % 10_000),
+                want_pieces,
+                problem,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn balance_requests_round_trip(req in balance_request()) {
+        let wire = Request::Balance(req);
+        let line = wire.encode();
+        prop_assert!(line.len() < MAX_FRAME, "encoded request too large");
+        prop_assert!(!line.contains('\n'), "frames must be single lines");
+        let decoded = Request::decode(&line);
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), wire);
+    }
+
+    #[test]
+    fn ok_responses_round_trip(
+        id in 0u64..u64::MAX / 2,
+        alg in algorithm(),
+        n in 1usize..4096,
+        ratio_m in 1_000u64..100_000,
+        micros in 0u64..10_000_000,
+        pieces in prop::collection::vec(1u64..1_000_000, 0..64),
+    ) {
+        let resp = Response::Ok(BalanceResponse {
+            id: Some(id),
+            algorithm: alg,
+            n,
+            ratio: ratio_m as f64 / 1000.0,
+            bound: ratio_m as f64 / 500.0,
+            alpha: 0.25,
+            cached: micros % 2 == 0,
+            micros,
+            pieces: pieces.iter().map(|&w| w as f64 / 1000.0).collect(),
+        });
+        let line = resp.encode();
+        prop_assert!(!line.contains('\n'));
+        let decoded = Response::decode(&line);
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), resp);
+    }
+
+    #[test]
+    fn error_responses_round_trip(
+        code in error_code(),
+        has_id in any::<bool>(),
+        id in 0u64..1_000_000,
+        msg_seed in 0u64..1_000,
+    ) {
+        let resp = Response::Error {
+            id: has_id.then_some(id),
+            code,
+            message: format!("failure #{msg_seed} with \"quotes\" and \\backslashes\\ and\tescapes"),
+        };
+        let decoded = Response::decode(&resp.encode());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded);
+        prop_assert_eq!(decoded.unwrap(), resp);
+    }
+
+    #[test]
+    fn arbitrary_json_survives_reencoding(
+        ints in prop::collection::vec(i64::MIN / 2..i64::MAX / 2, 1..8),
+        key_seed in 0u64..1_000,
+    ) {
+        // Build a nested document, encode, parse, re-encode: fixpoint.
+        let doc = Json::Obj(vec![
+            (format!("k{key_seed}"), Json::Arr(ints.iter().map(|&i| Json::Int(i)).collect())),
+            ("nested".into(), Json::Obj(vec![
+                ("f".into(), Json::Num(key_seed as f64 / 7.0)),
+                ("s".into(), Json::Str(format!("v{key_seed}\n\"end\""))),
+                ("b".into(), Json::Bool(key_seed % 2 == 0)),
+                ("z".into(), Json::Null),
+            ])),
+        ]);
+        let once = doc.encode();
+        let parsed = Json::parse(&once);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}", parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &doc);
+        prop_assert_eq!(parsed.encode(), once);
+    }
+
+    #[test]
+    fn mutated_frames_never_panic(req in balance_request(), cut in 1usize..200, flip in 0usize..200) {
+        // Truncations and byte edits must produce Err or a valid request —
+        // never a panic.
+        let line = Request::Balance(req).encode();
+        let truncated = &line[..line.len().saturating_sub(cut.min(line.len()))];
+        let _ = Request::decode(truncated);
+        let mut bytes = line.clone().into_bytes();
+        if !bytes.is_empty() {
+            let i = flip % bytes.len();
+            bytes[i] = bytes[i].wrapping_add(1);
+            if let Ok(s) = String::from_utf8(bytes) {
+                let _ = Request::decode(&s);
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_frames_are_rejected() {
+    for line in [
+        "",
+        "{}",
+        "[]",
+        "42",
+        "{\"op\":\"balance\"}",
+        "{\"op\":\"balance\",\"algorithm\":\"hf\",\"n\":4}",
+        "{\"op\":\"nope\"}",
+        "{\"op\":\"balance\",\"algorithm\":\"hf\",\"n\":4,\"problem\":{\"class\":\"synthetic\",\"weight\":-1.0,\"lo\":0.1,\"hi\":0.5,\"seed\":1}}",
+        "not json at all",
+        "{\"op\": \"balance\", \"algorithm\": \"hf\", \"n\": 1e99, \"problem\": {}}",
+    ] {
+        assert!(Request::decode(line).is_err(), "accepted {line:?}");
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_stream_resyncs() {
+    // A single line longer than MAX_FRAME must surface TooLong and the
+    // next (valid) line must still be readable.
+    let huge_padding = "x".repeat(MAX_FRAME + 1);
+    let stream = format!("{huge_padding}\n{}\n", Request::Ping.encode());
+    let mut reader = FrameReader::new(stream.as_bytes());
+    assert!(matches!(reader.poll_line(), Err(FrameError::TooLong)));
+    match reader.poll_line() {
+        Ok(Frame::Line(line)) => {
+            assert!(matches!(Request::decode(&line), Ok(Request::Ping)));
+        }
+        other => panic!("expected the ping line after resync, got {other:?}"),
+    }
+    assert!(matches!(reader.poll_line(), Ok(Frame::Eof)));
+}
+
+#[test]
+fn exactly_max_frame_is_accepted() {
+    // Boundary: a line of exactly MAX_FRAME bytes is legal.
+    let body = "y".repeat(MAX_FRAME);
+    let stream = format!("{body}\n");
+    let mut reader = FrameReader::new(stream.as_bytes());
+    match reader.poll_line() {
+        Ok(Frame::Line(line)) => assert_eq!(line.len(), MAX_FRAME),
+        other => panic!("expected max-size line, got {other:?}"),
+    }
+}

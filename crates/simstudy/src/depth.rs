@@ -88,7 +88,8 @@ pub fn depth_study(cfg: &StudyConfig, logs: &[u32]) -> DepthStudy {
             // BA-HF: BA phase depth + an HF tail over ≤ θ/α + 1
             // processors, which is itself depth-bounded like HF at that
             // width.
-            ba_depth_bound(alpha, n) + hf_depth_bound(alpha, (cfg.theta / alpha + 1.0) as usize + 1),
+            ba_depth_bound(alpha, n)
+                + hf_depth_bound(alpha, (cfg.theta / alpha + 1.0) as usize + 1),
         ];
         for i in 0..3 {
             rows.push(DepthRow {
@@ -165,7 +166,10 @@ pub fn check_claims(study: &DepthStudy) -> Vec<String> {
             ));
         }
         if r.min_depth > r.max_depth {
-            bad.push(format!("{} at 2^{}: empty measurement", r.algorithm, r.log_n));
+            bad.push(format!(
+                "{} at 2^{}: empty measurement",
+                r.algorithm, r.log_n
+            ));
         }
         // Depth is at least log2 N (a binary tree with N leaves).
         if (r.max_depth as f64) < r.log_n as f64 {

@@ -235,8 +235,7 @@ pub fn check_claims(study: &EndToEndStudy) -> Vec<String> {
             e.ba.balance_time, e.bahf.balance_time, e.phf.balance_time
         ));
     }
-    if !(e.phf.max_piece <= e.bahf.max_piece + 1e-12
-        && e.bahf.max_piece <= e.ba.max_piece + 1e-12)
+    if !(e.phf.max_piece <= e.bahf.max_piece + 1e-12 && e.bahf.max_piece <= e.ba.max_piece + 1e-12)
     {
         bad.push(format!(
             "quality order violated: phf {} / bahf {} / ba {}",
@@ -301,9 +300,7 @@ mod tests {
         let s = study();
         let e = &s.profiles;
         let g = 1234.5;
-        assert!(
-            (e.ba.total(g) - (e.ba.balance_time as f64 + e.ba.max_piece * g)).abs() < 1e-9
-        );
+        assert!((e.ba.total(g) - (e.ba.balance_time as f64 + e.ba.max_piece * g)).abs() < 1e-9);
     }
 
     #[test]

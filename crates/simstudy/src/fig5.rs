@@ -29,7 +29,11 @@ pub struct Fig5 {
 }
 
 /// Computes the Figure 5 series for `k ∈ logs`.
-pub fn fig5(cfg: &StudyConfig, logs: impl IntoIterator<Item = u32> + Clone, threads: usize) -> Fig5 {
+pub fn fig5(
+    cfg: &StudyConfig,
+    logs: impl IntoIterator<Item = u32> + Clone,
+    threads: usize,
+) -> Fig5 {
     let series = Algorithm::ALL.map(|alg| {
         logs.clone()
             .into_iter()
@@ -39,10 +43,7 @@ pub fn fig5(cfg: &StudyConfig, logs: impl IntoIterator<Item = u32> + Clone, thre
             })
             .collect()
     });
-    Fig5 {
-        cfg: *cfg,
-        series,
-    }
+    Fig5 { cfg: *cfg, series }
 }
 
 /// Renders the series as an ASCII chart plus a data table.

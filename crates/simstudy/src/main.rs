@@ -362,8 +362,25 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let opt = parse(&[
-            "--lo", "0.05", "--hi", "0.4", "--theta", "2.5", "--trials", "77", "--min-log", "6",
-            "--max-log", "9", "--seed", "123", "--threads", "3", "--csv", "--svg", "out.svg",
+            "--lo",
+            "0.05",
+            "--hi",
+            "0.4",
+            "--theta",
+            "2.5",
+            "--trials",
+            "77",
+            "--min-log",
+            "6",
+            "--max-log",
+            "9",
+            "--seed",
+            "123",
+            "--threads",
+            "3",
+            "--csv",
+            "--svg",
+            "out.svg",
         ])
         .unwrap();
         assert_eq!(opt.lo, Some(0.05));

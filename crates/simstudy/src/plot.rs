@@ -61,7 +61,10 @@ const PALETTE: [&str; 6] = [
 /// Panics if no series has at least one point, or a value is not finite
 /// (or non-positive while `log_y` is set).
 pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!pts.is_empty(), "nothing to plot");
     let map_y = |y: f64| -> f64 {
         if spec.log_y {
@@ -72,7 +75,10 @@ pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
         }
     };
     for &(x, y) in &pts {
-        assert!(x.is_finite() && y.is_finite(), "non-finite point ({x}, {y})");
+        assert!(
+            x.is_finite() && y.is_finite(),
+            "non-finite point ({x}, {y})"
+        );
     }
     let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -215,7 +221,9 @@ fn tick_label(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn chart_contains_bars() {
-        let chart = ascii_chart(
-            "demo",
-            &[(s("hf"), vec![(s("5"), 1.0), (s("6"), 2.0)])],
-        );
+        let chart = ascii_chart("demo", &[(s("hf"), vec![(s("5"), 1.0), (s("6"), 2.0)])]);
         assert!(chart.contains("demo"));
         assert!(chart.contains("#"));
     }

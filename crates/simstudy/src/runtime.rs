@@ -9,8 +9,8 @@
 //!   at every size while we are at it.
 
 use gb_core::hf::hf;
-use gb_parlb::bahf_machine::{ba_hf_on_machine, TailAlgorithm};
 use gb_parlb::ba_machine::ba_on_machine;
+use gb_parlb::bahf_machine::{ba_hf_on_machine, TailAlgorithm};
 use gb_parlb::hf_machine::hf_on_machine;
 use gb_parlb::phf::phf;
 use gb_pram::machine::Machine;
@@ -69,7 +69,14 @@ pub fn runtime_row(cfg: &StudyConfig, log_n: u32) -> RuntimeRow {
     ba_on_machine(&mut m_ba, p, n);
 
     let mut m_bahf = Machine::with_paper_costs(n);
-    ba_hf_on_machine(&mut m_bahf, p, n, alpha, cfg.theta, TailAlgorithm::SequentialHf);
+    ba_hf_on_machine(
+        &mut m_bahf,
+        p,
+        n,
+        alpha,
+        cfg.theta,
+        TailAlgorithm::SequentialHf,
+    );
 
     // Cross-check Theorem 3 against the plain sequential implementation
     // as well (hf() and hf_on_machine() share code, so also compare phf
@@ -102,7 +109,14 @@ pub fn runtime_study(cfg: &StudyConfig, logs: impl IntoIterator<Item = u32>) -> 
 /// Renders the study.
 pub fn render(study: &RuntimeStudy) -> String {
     let header: Vec<String> = [
-        "N", "HF time", "PHF time", "PHF glob", "PHF iter", "PHF=HF", "BA time", "BA glob",
+        "N",
+        "HF time",
+        "PHF time",
+        "PHF glob",
+        "PHF iter",
+        "PHF=HF",
+        "BA time",
+        "BA glob",
         "BA-HF time",
     ]
     .iter()
@@ -218,16 +232,17 @@ pub fn check_claims(study: &RuntimeStudy) -> Vec<String> {
         }
         // HF is linear: exactly 2(N−1) under the default costs.
         if r.hf_time != 2 * (r.n as u64 - 1) {
-            bad.push(format!(
-                "N=2^{}: HF time {} != 2(N-1)",
-                r.log_n, r.hf_time
-            ));
+            bad.push(format!("N=2^{}: HF time {} != 2(N-1)", r.log_n, r.hf_time));
         }
         // The parallel algorithms are far sublinear: within a generous
         // polylog budget (c · log² N for the synthetic α̂ intervals used).
         let log = r.log_n.max(1) as u64;
         let budget = 600 * log * log;
-        for (name, t) in [("PHF", r.phf_time), ("BA", r.ba_time), ("BA-HF", r.bahf_time)] {
+        for (name, t) in [
+            ("PHF", r.phf_time),
+            ("BA", r.ba_time),
+            ("BA-HF", r.bahf_time),
+        ] {
             if t > budget {
                 bad.push(format!(
                     "N=2^{}: {name} time {t} exceeds polylog budget {budget}",
@@ -288,10 +303,6 @@ mod tests {
         assert!(row.phf_time < row.hf_time, "phf {}", row.phf_time);
         let row12 = runtime_row(&cfg, 12);
         assert_eq!(row12.hf_time, 2 * (4096 - 1));
-        assert!(
-            row12.phf_time < row12.hf_time / 4,
-            "phf {}",
-            row12.phf_time
-        );
+        assert!(row12.phf_time < row12.hf_time / 4, "phf {}", row12.phf_time);
     }
 }

@@ -62,10 +62,7 @@ pub fn table1(cfg: &StudyConfig, logs: impl IntoIterator<Item = u32>, threads: u
             }
         })
         .collect();
-    Table1 {
-        cfg: *cfg,
-        columns,
-    }
+    Table1 { cfg: *cfg, columns }
 }
 
 /// Renders the table in the paper's layout: per algorithm, rows
@@ -122,7 +119,15 @@ pub fn render(t: &Table1) -> String {
 /// Renders the table as CSV (one row per algorithm × size).
 pub fn to_csv(t: &Table1) -> String {
     let header: Vec<String> = [
-        "algorithm", "log_n", "n", "trials", "ub", "min", "avg", "max", "var",
+        "algorithm",
+        "log_n",
+        "n",
+        "trials",
+        "ub",
+        "min",
+        "avg",
+        "max",
+        "var",
     ]
     .iter()
     .map(|s| s.to_string())

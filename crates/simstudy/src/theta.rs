@@ -38,12 +38,7 @@ pub struct ThetaStudy {
 }
 
 /// Runs the sweep.
-pub fn theta_study(
-    cfg: &StudyConfig,
-    thetas: &[f64],
-    logs: &[u32],
-    threads: usize,
-) -> ThetaStudy {
+pub fn theta_study(cfg: &StudyConfig, thetas: &[f64], logs: &[u32], threads: usize) -> ThetaStudy {
     let points = thetas
         .iter()
         .map(|&theta| {

@@ -97,11 +97,25 @@ fn probe(
 pub fn tightness_study(alphas: &[f64], sizes: &[usize]) -> TightnessStudy {
     let hf_points = alphas
         .iter()
-        .map(|&a| probe(a, sizes, |adv, n| hf(adv.clone(), n).ratio(), hf_upper_bound))
+        .map(|&a| {
+            probe(
+                a,
+                sizes,
+                |adv, n| hf(adv.clone(), n).ratio(),
+                hf_upper_bound,
+            )
+        })
         .collect();
     let ba_points = alphas
         .iter()
-        .map(|&a| probe(a, sizes, |adv, n| ba(adv.clone(), n).ratio(), ba_upper_bound))
+        .map(|&a| {
+            probe(
+                a,
+                sizes,
+                |adv, n| ba(adv.clone(), n).ratio(),
+                ba_upper_bound,
+            )
+        })
         .collect();
     TightnessStudy {
         hf: hf_points,

@@ -41,7 +41,13 @@ pub struct VarianceStudy {
 /// The paper's implied interval set: a very small `[l, 2l]`, a moderate
 /// `[l, 2l]`, and two wide intervals (including Table 1's and Figure 5's).
 pub fn default_intervals() -> Vec<(f64, f64)> {
-    vec![(0.01, 0.02), (0.05, 0.1), (0.2, 0.4), (0.01, 0.5), (0.1, 0.5)]
+    vec![
+        (0.01, 0.02),
+        (0.05, 0.1),
+        (0.2, 0.4),
+        (0.01, 0.5),
+        (0.1, 0.5),
+    ]
 }
 
 /// Runs the study at size `n` over the given intervals.
@@ -61,17 +67,19 @@ pub fn variance_study(
             }
         })
         .collect();
-    VarianceStudy {
-        cfg: *cfg,
-        n,
-        rows,
-    }
+    VarianceStudy { cfg: *cfg, n, rows }
 }
 
 /// Renders the study.
 pub fn render(study: &VarianceStudy) -> String {
     let header: Vec<String> = [
-        "interval", "algorithm", "mean", "std", "rel-std", "min", "max",
+        "interval",
+        "algorithm",
+        "mean",
+        "std",
+        "rel-std",
+        "min",
+        "max",
     ]
     .iter()
     .map(|s| s.to_string())

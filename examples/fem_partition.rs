@@ -19,19 +19,23 @@ fn main() {
     let refinements = 4000;
     let n = 32;
 
-    for (label, bias) in [("moderately adaptive (bias 0.5)", 0.5), ("strongly adaptive (bias 0.9)", 0.9)] {
+    for (label, bias) in [
+        ("moderately adaptive (bias 0.5)", 0.5),
+        ("strongly adaptive (bias 0.9)", 0.9),
+    ] {
         let tree = FeTree::adaptive(refinements, bias, 7);
         let root = tree.root_problem();
-        println!("FE-tree, {label}: {} nodes, total cost {:.1}", tree.len(), tree.total_cost());
+        println!(
+            "FE-tree, {label}: {} nodes, total cost {:.1}",
+            tree.len(),
+            tree.total_cost()
+        );
 
         // How good are this class's bisectors in practice?
         let alpha = empirical_alpha(&root, n).expect("tree is divisible");
         println!("  empirical alpha over a {n}-way HF run: {alpha:.3}");
 
-        for (name, part) in [
-            ("HF", hf(root.clone(), n)),
-            ("BA", ba(root.clone(), n)),
-        ] {
+        for (name, part) in [("HF", hf(root.clone(), n)), ("BA", ba(root.clone(), n))] {
             let ratio = part.ratio();
             // With max piece weight L and total W, the parallel solve time
             // is ~L, versus W sequentially: speedup = W / L = N / ratio.

@@ -13,7 +13,10 @@
 use gb_problems::grid::Grid;
 use good_bisectors::prelude::*;
 
-fn render_map(grid_shape: (usize, usize), parts: &Partition<gb_problems::grid::GridProblem>) -> String {
+fn render_map(
+    grid_shape: (usize, usize),
+    parts: &Partition<gb_problems::grid::GridProblem>,
+) -> String {
     const GLYPHS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
     let (rows, cols) = grid_shape;
     // Downsample to at most 32x64 characters.
@@ -68,5 +71,8 @@ fn main() {
     }
     println!("  (20 '#' = the ideal load {ideal:.1})");
 
-    assert!(hf_part.ratio() <= ba_part.ratio() + 0.75, "HF should be comparable or better");
+    assert!(
+        hf_part.ratio() <= ba_part.ratio() + 0.75,
+        "HF should be comparable or better"
+    );
 }

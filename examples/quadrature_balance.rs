@@ -66,7 +66,10 @@ fn main() {
     ] {
         let root = integrand.unit_region(1e-6);
         let alpha = root.alpha();
-        println!("{label}: class alpha = {alpha:.5}, weight (analytic work) = {:.4}", root.weight());
+        println!(
+            "{label}: class alpha = {alpha:.5}, weight (analytic work) = {:.4}",
+            root.weight()
+        );
 
         // Balance onto n regions with BA-HF (θ = 2 for a balance closer
         // to HF while keeping the parallel cascade).

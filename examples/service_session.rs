@@ -1,0 +1,132 @@
+//! A complete gb-service session in one process: start the daemon, run a
+//! few balance requests across algorithms and problem classes, show the
+//! cache doing its job, read the stats, shut down gracefully.
+//!
+//! ```text
+//! cargo run --release --example service_session
+//! ```
+
+use gb_service::client::Client;
+use gb_service::proto::{Algorithm, BalanceRequest, Request, Response};
+use gb_service::server::{Server, ServerConfig};
+use gb_service::spec::ProblemSpec;
+
+fn main() -> std::io::Result<()> {
+    let server = Server::start(ServerConfig::default())?;
+    println!("server on {}\n", server.local_addr());
+    let mut client = Client::connect(server.local_addr())?;
+
+    let jobs: Vec<(&str, Algorithm, usize, ProblemSpec)> = vec![
+        (
+            "synthetic, paper's stochastic model",
+            Algorithm::BaHf,
+            64,
+            ProblemSpec::Synthetic {
+                weight: 1.0,
+                lo: 0.25,
+                hi: 0.5,
+                seed: 7,
+            },
+        ),
+        (
+            "adaptive FE-tree",
+            Algorithm::Ba,
+            32,
+            ProblemSpec::FeTree {
+                refinements: 2000,
+                bias: 0.8,
+                seed: 11,
+            },
+        ),
+        (
+            "2-D load grid with hotspots",
+            Algorithm::Phf,
+            16,
+            ProblemSpec::Grid {
+                rows: 64,
+                cols: 64,
+                hotspots: 3,
+                seed: 3,
+            },
+        ),
+        (
+            "adaptive quadrature (Genz Gaussian peak)",
+            Algorithm::Hf,
+            24,
+            ProblemSpec::Quadrature {
+                dims: 3,
+                sharpness: 10.0,
+                min_width: 0.01,
+                seed: 5,
+            },
+        ),
+    ];
+
+    for (label, algorithm, n, problem) in &jobs {
+        let request = Request::Balance(BalanceRequest {
+            id: None,
+            algorithm: *algorithm,
+            n: *n,
+            theta: 1.0,
+            deadline_ms: Some(5_000),
+            want_pieces: false,
+            problem: problem.clone(),
+        });
+        match client.call(&request)? {
+            Response::Ok(ok) => println!(
+                "{label}\n  {} n={}: ratio {:.4} (bound {:.2}, alpha {:.3}) in {} us{}",
+                algorithm.name(),
+                n,
+                ok.ratio,
+                ok.bound,
+                ok.alpha,
+                ok.micros,
+                if ok.cached { " [cache]" } else { "" },
+            ),
+            other => println!("{label}: unexpected reply {other:?}"),
+        }
+    }
+
+    // Re-issue the first request: identical spec => served from cache.
+    let (label, algorithm, n, problem) = &jobs[0];
+    let request = Request::Balance(BalanceRequest {
+        id: None,
+        algorithm: *algorithm,
+        n: *n,
+        theta: 1.0,
+        deadline_ms: Some(5_000),
+        want_pieces: false,
+        problem: problem.clone(),
+    });
+    if let Response::Ok(ok) = client.call(&request)? {
+        println!(
+            "\nrepeat of \"{label}\": cached = {} ({} us)",
+            ok.cached, ok.micros
+        );
+    }
+
+    if let Response::Stats(stats) = client.call(&Request::Stats)? {
+        let cache = stats.get("cache").expect("cache stats");
+        println!(
+            "\ncache: {} hits / {} misses (hit rate {:.0}%)",
+            cache.get("hits").and_then(|v| v.as_u64()).unwrap_or(0),
+            cache.get("misses").and_then(|v| v.as_u64()).unwrap_or(0),
+            cache
+                .get("hit_rate")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+                * 100.0,
+        );
+        let p99 = stats
+            .get("latency")
+            .and_then(|l| l.get("overall"))
+            .and_then(|o| o.get("p99_us"))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        println!("p99 latency: {p99} us");
+    }
+
+    server.shutdown();
+    println!("\nserver drained and stopped");
+    Ok(())
+}

@@ -60,8 +60,7 @@ fn adversarial_cycles_respect_bounds() {
             assert!(hf(p.clone(), n).ratio() <= hf_upper_bound(alpha, n) + 1e-9);
             assert!(ba(p.clone(), n).ratio() <= ba_upper_bound(alpha, n) + 1e-9);
             assert!(
-                ba_hf(p.clone(), n, alpha, 1.0).ratio()
-                    <= bahf_upper_bound(alpha, 1.0, n) + 1e-9
+                ba_hf(p.clone(), n, alpha, 1.0).ratio() <= bahf_upper_bound(alpha, 1.0, n) + 1e-9
             );
         }
     }

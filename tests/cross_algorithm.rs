@@ -54,12 +54,14 @@ fn hf_on_machine_matches_plain_on_real_classes() {
     let n = 48;
 
     let mut m = Machine::with_paper_costs(n);
-    assert!(hf_on_machine(&mut m, tree.root_problem(), n)
-        .same_weights_as(&hf(tree.root_problem(), n)));
+    assert!(
+        hf_on_machine(&mut m, tree.root_problem(), n).same_weights_as(&hf(tree.root_problem(), n))
+    );
 
     let mut m = Machine::with_paper_costs(n);
-    assert!(hf_on_machine(&mut m, grid.root_problem(), n)
-        .same_weights_as(&hf(grid.root_problem(), n)));
+    assert!(
+        hf_on_machine(&mut m, grid.root_problem(), n).same_weights_as(&hf(grid.root_problem(), n))
+    );
 }
 
 #[test]

@@ -60,7 +60,10 @@ fn topology_slowdowns_are_ordered() {
     assert!(mesh <= ring);
     // The §2 claim: the hypercube simulates the idealised model with at
     // most logarithmic slowdown.
-    assert!(hypercube <= complete * 10, "hypercube {hypercube} vs {complete}");
+    assert!(
+        hypercube <= complete * 10,
+        "hypercube {hypercube} vs {complete}"
+    );
 }
 
 #[test]

@@ -1,0 +1,288 @@
+//! End-to-end test of the gb-service daemon: a real TCP server on an
+//! ephemeral port, hammered by concurrent clients running every
+//! algorithm, with the paper's guarantees checked on every response.
+
+use std::thread;
+use std::time::Duration;
+
+use gb_service::client::Client;
+use gb_service::proto::{Algorithm, BalanceRequest, Request, Response};
+use gb_service::server::{Server, ServerConfig};
+use gb_service::spec::ProblemSpec;
+
+const CLIENTS: usize = 32;
+const REQUESTS_PER_CLIENT: usize = 12;
+/// Synthetic class guarantee: α = LO for every instance.
+const LO: f64 = 0.25;
+const HI: f64 = 0.5;
+/// Distinct problem seeds — small enough that the run repeats requests
+/// and must produce cache hits.
+const DISTINCT_SEEDS: u64 = 8;
+
+fn spawn_server() -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        queue_capacity: 512,
+        cache_capacity: 256,
+        pool_threads: 2,
+    })
+    .expect("bind ephemeral port")
+}
+
+#[test]
+fn concurrent_clients_get_bounded_partitions_and_cache_hits() {
+    let server = spawn_server();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client_index| {
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for k in 0..REQUESTS_PER_CLIENT {
+                    let index = client_index * REQUESTS_PER_CLIENT + k;
+                    let algorithm = Algorithm::ALL[index % Algorithm::ALL.len()];
+                    let n = [4, 16, 64][index % 3];
+                    let request = Request::Balance(BalanceRequest {
+                        id: Some(index as u64),
+                        algorithm,
+                        n,
+                        theta: 1.0,
+                        deadline_ms: None,
+                        want_pieces: true,
+                        problem: ProblemSpec::Synthetic {
+                            weight: 1.0,
+                            lo: LO,
+                            hi: HI,
+                            seed: index as u64 % DISTINCT_SEEDS,
+                        },
+                    });
+                    let response = client.call(&request).expect("call");
+                    let ok = match response {
+                        Response::Ok(ok) => ok,
+                        other => panic!("client {client_index}: unexpected {other:?}"),
+                    };
+                    assert_eq!(ok.id, Some(index as u64));
+                    assert_eq!(ok.n, n);
+                    // The response's bound is computed for the α the
+                    // server established; for the synthetic class that α
+                    // is the class guarantee LO, so the analytic
+                    // worst-case bound must hold on every response.
+                    let expected_bound = match algorithm {
+                        Algorithm::Hf | Algorithm::Phf => gb_core::hf_upper_bound(LO, n),
+                        Algorithm::Ba => gb_core::ba_upper_bound(LO, n),
+                        Algorithm::BaHf => gb_core::bahf_upper_bound(LO, 1.0, n),
+                    };
+                    assert!(
+                        (ok.bound - expected_bound).abs() <= 1e-9 * expected_bound,
+                        "server bound {} != analytic bound {expected_bound}",
+                        ok.bound
+                    );
+                    assert!(
+                        ok.ratio >= 1.0 - 1e-9 && ok.ratio <= expected_bound + 1e-9,
+                        "ratio {} outside [1, {expected_bound}] for {algorithm:?} n={n}",
+                        ok.ratio
+                    );
+                    // Piece weights are a genuine partition of the root.
+                    assert_eq!(ok.pieces.len(), n);
+                    let total: f64 = ok.pieces.iter().sum();
+                    assert!(
+                        (total - 1.0).abs() < 1e-6,
+                        "pieces sum to {total}, not the root weight"
+                    );
+                    let max = ok.pieces.iter().cloned().fold(0.0f64, f64::max);
+                    let ideal = 1.0 / n as f64;
+                    assert!(
+                        (max / ideal - ok.ratio).abs() < 1e-9,
+                        "reported ratio inconsistent with pieces"
+                    );
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    // The run repeated (seed, algorithm, n) combinations, so the cache
+    // must have served a nonzero share of the requests.
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    };
+    let hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|v| v.as_u64())
+        .expect("cache.hits present");
+    let hit_rate = stats
+        .get("cache")
+        .and_then(|c| c.get("hit_rate"))
+        .and_then(|v| v.as_f64())
+        .expect("cache.hit_rate present");
+    assert!(hits > 0, "repeated requests produced no cache hits");
+    assert!(hit_rate > 0.0);
+    let total = stats
+        .get("requests")
+        .and_then(|r| r.get("total"))
+        .and_then(|v| v.as_u64())
+        .expect("requests.total present");
+    assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    // Latency histograms saw every request.
+    let latency_count = stats
+        .get("latency")
+        .and_then(|l| l.get("overall"))
+        .and_then(|o| o.get("count"))
+        .and_then(|v| v.as_u64())
+        .expect("latency.overall.count present");
+    assert_eq!(latency_count, total);
+
+    server.shutdown();
+}
+
+#[test]
+fn load_shedding_answers_overloaded_instead_of_queueing_forever() {
+    // A tiny queue with slow-ish work: a burst of concurrent requests
+    // must either succeed or be shed with `overloaded` — no hangs, and
+    // under a sustained burst at least one of the two outcomes appears
+    // quickly on every connection.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 2,
+        cache_capacity: 0, // force real work on every request
+        pool_threads: 1,
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let outcomes: Vec<_> = (0..12u64)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut client =
+                    Client::connect_timeout(addr, Some(Duration::from_secs(30))).expect("connect");
+                let request = Request::Balance(BalanceRequest {
+                    id: Some(i),
+                    algorithm: Algorithm::Hf,
+                    n: 256,
+                    theta: 1.0,
+                    deadline_ms: None,
+                    want_pieces: false,
+                    problem: ProblemSpec::FeTree {
+                        refinements: 4000 + i as usize, // distinct => uncacheable
+                        bias: 0.8,
+                        seed: i,
+                    },
+                });
+                client.call(&request).expect("response")
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    let ok = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Ok(_)))
+        .count();
+    let shed = outcomes
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Response::Error {
+                    code: gb_service::proto::ErrorCode::Overloaded,
+                    ..
+                }
+            )
+        })
+        .count();
+    assert_eq!(
+        ok + shed,
+        outcomes.len(),
+        "every response must be ok or overloaded: {outcomes:?}"
+    );
+    assert!(ok > 0, "at least the queued requests must succeed");
+
+    server.shutdown();
+}
+
+#[test]
+fn stats_shape_is_stable_json() {
+    // `stats` must be parseable JSON with the documented top-level keys —
+    // the contract dashboards would scrape.
+    let server = spawn_server();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let stats = match client.call(&Request::Stats).expect("stats") {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    };
+    for key in ["uptime_ms", "requests", "latency", "cache", "queue", "pool"] {
+        assert!(stats.get(key).is_some(), "stats missing {key:?}");
+    }
+    // Round-trips through its own encoding.
+    let reparsed = gb_service::proto::Json::parse(&stats.encode()).expect("valid JSON");
+    assert_eq!(reparsed, stats);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_inflight_work() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 0,
+        pool_threads: 1,
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Launch clients whose requests are queued, then trigger shutdown
+    // concurrently: queued work must still be answered (drained), not
+    // dropped on the floor.
+    let clients: Vec<_> = (0..6u64)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut client =
+                    Client::connect_timeout(addr, Some(Duration::from_secs(30))).expect("connect");
+                let request = Request::Balance(BalanceRequest {
+                    id: Some(i),
+                    algorithm: Algorithm::Ba,
+                    n: 64,
+                    theta: 1.0,
+                    deadline_ms: None,
+                    want_pieces: false,
+                    problem: ProblemSpec::TaskList {
+                        tasks: 5000,
+                        heavy: true,
+                        seed: i,
+                    },
+                });
+                client.call(&request)
+            })
+        })
+        .collect();
+    thread::sleep(Duration::from_millis(20));
+    server.shutdown(); // blocks until drained
+
+    let mut drained = 0;
+    for handle in clients {
+        match handle.join().expect("client thread") {
+            // Either the request made it into the queue (answered while
+            // draining) or it arrived after close (shutting_down).
+            Ok(Response::Ok(_)) => drained += 1,
+            Ok(Response::Error {
+                code: gb_service::proto::ErrorCode::ShuttingDown,
+                ..
+            }) => {}
+            // A connection still in the accept backlog when the listener
+            // went away sees EOF — admissible, it carried no queued work.
+            Err(_) => {}
+            other => panic!("unexpected outcome during drain: {other:?}"),
+        }
+    }
+    assert!(drained > 0, "no queued request survived the drain");
+}

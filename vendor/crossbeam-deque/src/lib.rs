@@ -1,0 +1,269 @@
+//! Offline shim for the subset of `crossbeam-deque` this workspace uses:
+//! a LIFO [`Worker`] deque with [`Stealer`]s and a shared [`Injector`].
+//!
+//! The real crate is lock-free (Chase–Lev); this shim is a
+//! `Mutex<VecDeque>` with identical observable semantics — the worker
+//! pops newest-first from its own end, thieves and the injector drain
+//! oldest-first. Under the work-stealing pool in `gb-parlb` the lock is
+//! uncontended in the common path (each worker touches mostly its own
+//! deque), so correctness is preserved and throughput remains adequate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The source was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The operation lost a race and may be retried (never produced by
+    /// this shim, kept for API compatibility).
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `true` if the source was empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// `true` if a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// `true` if the operation should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// A worker-owned deque. The owner pushes and pops at the back (LIFO);
+/// [`Stealer`]s take from the front (FIFO).
+#[derive(Debug)]
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a LIFO worker deque.
+    pub fn new_lifo() -> Self {
+        Self {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Creates a FIFO worker deque. In this shim the owner end is chosen
+    /// at pop time, so FIFO and LIFO share a representation; `pop` on a
+    /// FIFO deque still takes the most recently pushed element — the
+    /// workspace only uses LIFO deques.
+    pub fn new_fifo() -> Self {
+        Self::new_lifo()
+    }
+
+    /// Pushes a task onto the owner end.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Pops a task from the owner end (newest first).
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    /// Creates a stealer handle for other threads.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` if no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A handle that steals from the front of a [`Worker`]'s deque.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Self {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks at the instant of the call.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` if the deque looked empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+/// A shared FIFO injector queue for tasks submitted from outside the pool.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueues a task.
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    /// Steals the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Steals a batch of tasks, moving all but one into `dest` and
+    /// returning the remaining one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        const MAX_BATCH: usize = 32;
+        let mut q = lock(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let extra = (q.len() / 2).min(MAX_BATCH - 1);
+        if extra > 0 {
+            let mut dq = lock(&dest.queue);
+            for _ in 0..extra {
+                if let Some(t) = q.pop_front() {
+                    dq.push_back(t);
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+
+    /// Number of queued tasks at the instant of the call.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// `true` if the queue looked empty at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batch_moves_tasks_to_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&w);
+        assert_eq!(got, Steal::Success(0));
+        // Half of the remaining 9 moved over.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+        // Oldest of the moved block comes out of the stealer end first.
+        assert_eq!(w.stealer().steal(), Steal::Success(1));
+    }
+
+    #[test]
+    fn empty_injector_reports_empty() {
+        let inj: Injector<u32> = Injector::new();
+        assert!(inj.is_empty());
+        assert!(inj.steal().is_empty());
+        let w = Worker::new_lifo();
+        assert!(inj.steal_batch_and_pop(&w).is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stealing() {
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let handles: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while s.steal().is_success() {
+                        got += 1;
+                    }
+                    got
+                })
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total + w.len(), 1000);
+    }
+}

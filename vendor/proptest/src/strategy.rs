@@ -1,0 +1,289 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// Object safe (the combinator methods are `Sized`-gated defaults), so
+/// heterogeneous strategies can be unified via [`Strategy::boxed`].
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Rc::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: Rc<dyn Strategy<Value = T>>,
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Uniform choice over boxed alternatives (built by `prop_oneof!`).
+#[derive(Debug)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let k = rng.next_below(self.arms.len() as u64) as usize;
+        self.arms[k].sample(rng)
+    }
+}
+
+/// The mapped strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Full-range strategy for primitive types, mirroring `proptest::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Primitives with a canonical full-range distribution.
+pub trait Arbitrary {
+    /// Draws a full-range value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite full-ish range: uniform sign/exponent-bounded values are
+        // overkill for this workspace; uniform in [-1e9, 1e9] keeps
+        // arithmetic in tests well-conditioned.
+        (rng.next_unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// Numeric types samplable uniformly from half-open / inclusive ranges.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`; `lo < hi`.
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, hi]`; `lo ≤ hi`.
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                assert!(lo < hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.next_below(span) as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut TestRng) -> $t {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    rng.next_u64() as $t
+                } else {
+                    (lo as i128 + rng.next_below(span as u64) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        assert!(lo < hi, "empty range");
+        lo + (hi - lo) * rng.next_unit_f64()
+    }
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut TestRng) -> f64 {
+        assert!(lo <= hi, "empty range");
+        // Occasionally pin the endpoints so `..=hi` actually covers hi.
+        match rng.next_below(64) {
+            0 => lo,
+            1 => hi,
+            _ => lo + (hi - lo) * rng.next_unit_f64(),
+        }
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let x = (3u32..=5).sample(&mut rng);
+            assert!((3..=5).contains(&x));
+            saw_lo |= x == 3;
+            saw_hi |= x == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = TestRng::from_name("neg");
+        for _ in 0..500 {
+            let x = (-10i32..10).sample(&mut rng);
+            assert!((-10..10).contains(&x));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map() {
+        let mut rng = TestRng::from_name("tup");
+        let s = ((0u32..4), (0.0f64..1.0)).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = TestRng::from_name("just");
+        assert_eq!(Just(7u8).sample(&mut rng), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = TestRng::from_name("empty");
+        let _ = (5u32..5).sample(&mut rng);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace references serde only behind `gb-core`'s off-by-default
+//! `serde` feature (`cfg_attr` derives). This shim exists so dependency
+//! resolution succeeds in network-less containers; it provides the trait
+//! names and accepts (but does not implement) the `derive` feature. Code
+//! that actually enables the gb-core `serde` feature needs the real serde.
+
+#![forbid(unsafe_code)]
+
+/// Marker mirroring `serde::Serialize` (no methods in this shim).
+pub trait Serialize {}
+
+/// Marker mirroring `serde::Deserialize` (no methods in this shim).
+pub trait Deserialize<'de>: Sized {}
