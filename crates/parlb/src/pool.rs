@@ -96,6 +96,14 @@ impl PoolHandle {
     pub fn injector_depth(&self) -> usize {
         self.shared.injector.len()
     }
+
+    /// Total tasks waiting anywhere in the pool: the injector plus every
+    /// worker's deque. Unlike [`injector_depth`](Self::injector_depth),
+    /// this also sees depth-first work spawned from inside workers, so it
+    /// is the right saturation signal for serving layers.
+    pub fn queued(&self) -> usize {
+        self.shared.injector.len() + self.shared.stealers.iter().map(|s| s.len()).sum::<usize>()
+    }
 }
 
 /// The work-stealing pool. Dropping it waits for all queued tasks.
@@ -182,6 +190,11 @@ impl ThreadPool {
     /// Injector backlog (see [`PoolHandle::injector_depth`]).
     pub fn injector_depth(&self) -> usize {
         self.shared.injector.len()
+    }
+
+    /// Total queued tasks (see [`PoolHandle::queued`]).
+    pub fn queued(&self) -> usize {
+        self.handle().queued()
     }
 }
 

@@ -3,28 +3,35 @@
 //! ```text
 //! gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q]
 //!          [--cache-cap C] [--pool-threads T]
+//!          [--engine event|threaded] [--io-threads I]
+//!          [--cache-shards S] [--admission on|off]
+//!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
 //! ```
 //!
 //! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
 //! and serves until a client sends a `shutdown` frame.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use gb_service::server::{Server, ServerConfig};
+use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 
 fn usage() -> ! {
     eprintln!(
         "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
-         [--cache-cap C] [--pool-threads T]"
+         [--cache-cap C] [--pool-threads T] [--engine event|threaded] \
+         [--io-threads I] [--cache-shards S] [--admission on|off] \
+         [--reply-timeout-ms MS] [--poll-interval-ms MS]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> ServerConfig {
+fn parse_args() -> (ServerConfig, Tuning) {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7117".into(),
         ..ServerConfig::default()
     };
+    let mut tuning = Tuning::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
@@ -45,6 +52,44 @@ fn parse_args() -> ServerConfig {
             "--pool-threads" => {
                 config.pool_threads = parse_usize(&value("--pool-threads"), "--pool-threads")
             }
+            "--engine" => {
+                tuning.engine = match value("--engine").as_str() {
+                    "event" => Engine::Event,
+                    "threaded" => Engine::Threaded,
+                    other => {
+                        eprintln!("--engine expects event|threaded, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--io-threads" => {
+                tuning.io_threads = parse_usize(&value("--io-threads"), "--io-threads")
+            }
+            "--cache-shards" => {
+                tuning.cache_shards = parse_usize(&value("--cache-shards"), "--cache-shards")
+            }
+            "--admission" => {
+                tuning.admission = match value("--admission").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--admission expects on|off, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--reply-timeout-ms" => {
+                tuning.reply_timeout = Duration::from_millis(parse_usize(
+                    &value("--reply-timeout-ms"),
+                    "--reply-timeout-ms",
+                ) as u64)
+            }
+            "--poll-interval-ms" => {
+                tuning.poll_interval = Duration::from_millis(parse_usize(
+                    &value("--poll-interval-ms"),
+                    "--poll-interval-ms",
+                ) as u64)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -52,7 +97,7 @@ fn parse_args() -> ServerConfig {
             }
         }
     }
-    config
+    (config, tuning)
 }
 
 fn parse_usize(text: &str, flag: &str) -> usize {
@@ -63,15 +108,20 @@ fn parse_usize(text: &str, flag: &str) -> usize {
 }
 
 fn main() -> ExitCode {
-    let config = parse_args();
-    let server = match Server::start(config) {
+    let (config, tuning) = parse_args();
+    let engine = tuning.engine;
+    let server = match Server::start_tuned(config, tuning) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("gb-serve: bind failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("gb-serve listening on {}", server.local_addr());
+    println!(
+        "gb-serve listening on {} ({} engine)",
+        server.local_addr(),
+        engine.name()
+    );
     // Serve until a client asks us to stop (the `shutdown` frame); join()
     // drains queued work before returning.
     server.join();

@@ -4,6 +4,7 @@
 //! loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N]
 //!         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X]
 //!         [--deadline-ms MS]
+//! loadgen --bench [--duration-ms MS] [--out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -15,15 +16,26 @@
 //! revisits earlier requests and exercises the server's result cache.
 //! Prints throughput, the client-observed latency distribution
 //! (p50/p95/p99) and the server's own `stats` snapshot.
+//!
+//! `--bench` runs the fixed before/after serving benchmark instead: the
+//! same hot-cache workload against the legacy threaded engine and the
+//! event engine (8 workers, 64 connections), plus scan-resistance
+//! hit-rate probes at `--distinct` 16 and 4096 with TinyLFU admission on
+//! and off. Results are written as pretty-printed JSON (default
+//! `BENCH_serving.json`). `--duration-ms` caps each throughput phase's
+//! wall time for smoke runs; the hit-rate phases are fixed-size.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gb_service::client::Client;
-use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Request, Response};
-use gb_service::server::{Server, ServerConfig};
+use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response};
+use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
 
 struct Options {
@@ -35,6 +47,9 @@ struct Options {
     algorithms: Vec<Algorithm>,
     theta: f64,
     deadline_ms: Option<u64>,
+    bench: bool,
+    duration_ms: Option<u64>,
+    out: String,
 }
 
 impl Default for Options {
@@ -48,6 +63,9 @@ impl Default for Options {
             algorithms: Algorithm::ALL.to_vec(),
             theta: 1.0,
             deadline_ms: None,
+            bench: false,
+            duration_ms: None,
+            out: "BENCH_serving.json".into(),
         }
     }
 }
@@ -55,7 +73,8 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
-         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS]"
+         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS]\n\
+         \x20      loadgen --bench [--duration-ms MS] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -101,6 +120,12 @@ fn parse_args() -> Options {
                     usage();
                 }
             }
+            "--bench" => opts.bench = true,
+            "--duration-ms" => {
+                opts.duration_ms =
+                    Some(parse_usize(&value("--duration-ms"), "--duration-ms") as u64)
+            }
+            "--out" => opts.out = value("--out"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -166,8 +191,458 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[rank.min(sorted_us.len() - 1)]
 }
 
+// ---------------------------------------------------------------------------
+// --bench: the before/after serving benchmark behind BENCH_serving.json
+// ---------------------------------------------------------------------------
+
+/// Server shape shared by both throughput phases (the issue's "8 workers,
+/// 64 connections" configuration).
+const BENCH_WORKERS: usize = 8;
+const BENCH_CLIENTS: usize = 64;
+const BENCH_QUEUE_CAP: usize = 256;
+const BENCH_CACHE_CAP: usize = 1024;
+const BENCH_POOL_THREADS: usize = 2;
+const BENCH_N: usize = 16;
+const BENCH_DISTINCT: u64 = 16;
+/// Total requests per throughput phase when no `--duration-ms` cap is set.
+const BENCH_REQUESTS: usize = 24_000;
+/// Requests kept in flight per connection. The protocol is
+/// newline-delimited with request ids, so clients may pipeline; a burst
+/// of 16 is what a batching client library would send and it exercises
+/// the server's multi-line sweep reads.
+const BENCH_PIPELINE: usize = 16;
+/// The hit-rate phases squeeze traffic through a small cache so the scan
+/// actually evicts: 64 slots against a 2 000-key cold scan.
+const HITRATE_CACHE_CAP: usize = 64;
+const HITRATE_SCAN_KEYS: u64 = 2_000;
+
+fn bench_request(id: u64, seed: u64) -> Request {
+    Request::Balance(BalanceRequest {
+        id: Some(id),
+        algorithm: Algorithm::Hf,
+        n: BENCH_N,
+        theta: 1.0,
+        deadline_ms: None,
+        want_pieces: false,
+        problem: ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.2,
+            hi: 0.5,
+            seed,
+        },
+    })
+}
+
+/// Throughput rounds per engine; the best round is reported. A single
+/// shared core makes individual rounds noisy (scheduler interference),
+/// so best-of-N is the stable point estimate. Capped runs do one round.
+const BENCH_ROUNDS: usize = 3;
+
+struct PhaseStats {
+    engine: &'static str,
+    answered: u64,
+    ok: u64,
+    cached: u64,
+    errors: u64,
+    elapsed_s: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    server_hit_rate: f64,
+    rounds_rps: Vec<f64>,
+}
+
+impl PhaseStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("engine".into(), Json::Str(self.engine.into())),
+            ("requests".into(), Json::Int(self.answered as i64)),
+            ("ok".into(), Json::Int(self.ok as i64)),
+            ("cached".into(), Json::Int(self.cached as i64)),
+            ("errors".into(), Json::Int(self.errors as i64)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            ("throughput_rps".into(), Json::Num(self.rps)),
+            ("p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("p95_us".into(), Json::Int(self.p95_us as i64)),
+            ("p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("max_us".into(), Json::Int(self.max_us as i64)),
+            ("cache_hit_rate".into(), Json::Num(self.server_hit_rate)),
+            (
+                "rounds_rps".into(),
+                Json::Arr(self.rounds_rps.iter().map(|&r| Json::Num(r)).collect()),
+            ),
+        ])
+    }
+}
+
+fn server_hit_rate(addr: std::net::SocketAddr) -> f64 {
+    Client::connect(addr)
+        .and_then(|mut c| c.call(&Request::Stats))
+        .ok()
+        .and_then(|r| match r {
+            Response::Stats(stats) => stats
+                .get("cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(|v| v.as_f64()),
+            _ => None,
+        })
+        .unwrap_or(0.0)
+}
+
+/// One throughput phase: a warmed 16-key hot set served to 64 concurrent
+/// connections. The threaded engine runs with a single cache shard and no
+/// admission (the pre-refactor configuration); the event engine runs with
+/// its defaults (sharded cache, TinyLFU, inline fast path).
+fn throughput_phase(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats, String> {
+    let tuning = match engine {
+        Engine::Threaded => Tuning {
+            engine,
+            cache_shards: 1,
+            admission: false,
+            ..Tuning::default()
+        },
+        Engine::Event => Tuning::default(),
+    };
+    let server = Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: BENCH_WORKERS,
+            queue_capacity: BENCH_QUEUE_CAP,
+            cache_capacity: BENCH_CACHE_CAP,
+            pool_threads: BENCH_POOL_THREADS,
+        },
+        tuning,
+    )
+    .map_err(|e| format!("bench server ({}): {e}", engine.name()))?;
+    let addr = server.local_addr();
+
+    // Warm every distinct key once so the measured section is the steady
+    // state — hot cache, where lock contention used to dominate.
+    {
+        let mut client = Client::connect(addr).map_err(|e| format!("warm connect: {e}"))?;
+        for seed in 0..BENCH_DISTINCT {
+            client
+                .call(&bench_request(seed, seed))
+                .map_err(|e| format!("warm call: {e}"))?;
+        }
+    }
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let deadline = cap.map(|d| started + d);
+    let mut handles = Vec::new();
+    for client_index in 0..BENCH_CLIENTS {
+        let counter = Arc::clone(&counter);
+        handles.push(thread::spawn(move || -> Result<ClientTally, String> {
+            // A raw pipelined connection: write a burst of requests as one
+            // buffer, then collect the replies in order. Both engines see
+            // the identical byte stream.
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| format!("bench client {client_index}: connect: {e}"))?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| format!("bench client {client_index}: nodelay: {e}"))?;
+            let mut writer = stream
+                .try_clone()
+                .map_err(|e| format!("bench client {client_index}: clone: {e}"))?;
+            let mut reader = BufReader::new(stream);
+            let mut tally = ClientTally::default();
+            let mut out = String::new();
+            let mut line = String::new();
+            loop {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break;
+                    }
+                }
+                let start = counter.fetch_add(BENCH_PIPELINE, Ordering::Relaxed);
+                if start >= BENCH_REQUESTS {
+                    break;
+                }
+                let burst = BENCH_PIPELINE.min(BENCH_REQUESTS - start);
+                out.clear();
+                for j in 0..burst {
+                    let index = (start + j) as u64;
+                    out.push_str(&bench_request(index, index % BENCH_DISTINCT).encode());
+                    out.push('\n');
+                }
+                let sent = Instant::now();
+                writer
+                    .write_all(out.as_bytes())
+                    .map_err(|e| format!("bench client {client_index}: write: {e}"))?;
+                for _ in 0..burst {
+                    line.clear();
+                    let k = reader
+                        .read_line(&mut line)
+                        .map_err(|e| format!("bench client {client_index}: read: {e}"))?;
+                    if k == 0 {
+                        return Err(format!("bench client {client_index}: server closed"));
+                    }
+                    let us = sent.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    tally.latencies_us.push(us);
+                    // A load generator should not burn its single core on
+                    // full JSON decodes; scan for the success markers and
+                    // only fully decode unexpected lines.
+                    if line.contains("\"status\":\"ok\"") {
+                        tally.ok += 1;
+                        if line.contains("\"cached\":true") {
+                            tally.cached += 1;
+                        }
+                    } else {
+                        match Response::decode(line.trim_end())
+                            .map_err(|e| format!("bench client {client_index}: decode: {e:?}"))?
+                        {
+                            Response::Error { code, .. } => tally.record_error(code),
+                            other => {
+                                return Err(format!(
+                                    "bench client {client_index}: unexpected {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(tally)
+        }));
+    }
+
+    let mut ok = 0u64;
+    let mut cached = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let tally = handle.join().expect("bench client panicked")?;
+        ok += tally.ok;
+        cached += tally.cached;
+        errors += tally.errors.iter().map(|(_, n)| n).sum::<u64>();
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    let hit_rate = server_hit_rate(addr);
+    server.shutdown();
+
+    let rps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(PhaseStats {
+        engine: engine.name(),
+        answered,
+        ok,
+        cached,
+        errors,
+        elapsed_s: elapsed.as_secs_f64(),
+        rps,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        server_hit_rate: hit_rate,
+        rounds_rps: vec![rps],
+    })
+}
+
+/// Best-of-N throughput rounds for one engine (one round when capped).
+fn throughput_best(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats, String> {
+    let rounds = if cap.is_some() { 1 } else { BENCH_ROUNDS };
+    let mut best: Option<PhaseStats> = None;
+    let mut rounds_rps = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let round = throughput_phase(engine, cap)?;
+        rounds_rps.push(round.rps);
+        if best.as_ref().is_none_or(|b| round.rps > b.rps) {
+            best = Some(round);
+        }
+    }
+    let mut best = best.expect("at least one round");
+    best.rounds_rps = rounds_rps;
+    Ok(best)
+}
+
+/// One hit-rate phase: warm a working set of `distinct` keys, wreck the
+/// cache with a one-pass cold scan, then probe the working set again and
+/// report the probe hit rate. With TinyLFU admission the hot set should
+/// survive the scan; with plain LRU it is flushed.
+fn hitrate_phase(distinct: u64, admission: bool) -> Result<Json, String> {
+    let server = Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: BENCH_QUEUE_CAP,
+            cache_capacity: HITRATE_CACHE_CAP,
+            pool_threads: 1,
+        },
+        Tuning {
+            admission,
+            ..Tuning::default()
+        },
+    )
+    .map_err(|e| format!("hitrate server: {e}"))?;
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("hitrate connect: {e}"))?;
+
+    let mut next_id = 0u64;
+    let mut call = |client: &mut Client, seed: u64| -> Result<bool, String> {
+        next_id += 1;
+        match client
+            .call(&bench_request(next_id, seed))
+            .map_err(|e| format!("hitrate call: {e}"))?
+        {
+            Response::Ok(ok) => Ok(ok.cached),
+            other => Err(format!("hitrate: unexpected {other:?}")),
+        }
+    };
+
+    // More warm passes when the working set fits the cache (reuse is what
+    // earns admission); a set larger than the cache gets a single pass.
+    let warm_passes = if distinct <= HITRATE_CACHE_CAP as u64 {
+        4
+    } else {
+        1
+    };
+    let probe_passes = if distinct <= HITRATE_CACHE_CAP as u64 {
+        2
+    } else {
+        1
+    };
+    for _ in 0..warm_passes {
+        for k in 0..distinct {
+            call(&mut client, k)?;
+        }
+    }
+    for c in 0..HITRATE_SCAN_KEYS {
+        call(&mut client, 1_000_000 + c)?;
+    }
+    let mut probes = 0u64;
+    let mut probe_hits = 0u64;
+    for _ in 0..probe_passes {
+        for k in 0..distinct {
+            probes += 1;
+            if call(&mut client, k)? {
+                probe_hits += 1;
+            }
+        }
+    }
+    let overall = server_hit_rate(addr);
+    server.shutdown();
+
+    Ok(Json::Obj(vec![
+        ("distinct".into(), Json::Int(distinct as i64)),
+        ("admission".into(), Json::Bool(admission)),
+        ("warm_passes".into(), Json::Int(warm_passes as i64)),
+        ("scan_keys".into(), Json::Int(HITRATE_SCAN_KEYS as i64)),
+        ("probes".into(), Json::Int(probes as i64)),
+        ("probe_hits".into(), Json::Int(probe_hits as i64)),
+        (
+            "probe_hit_rate".into(),
+            Json::Num(probe_hits as f64 / probes.max(1) as f64),
+        ),
+        ("overall_hit_rate".into(), Json::Num(overall)),
+    ]))
+}
+
+fn run_bench(duration_ms: Option<u64>, out: &str) -> ExitCode {
+    let cap = duration_ms.map(Duration::from_millis);
+    match bench_report(cap, duration_ms) {
+        Ok(report) => {
+            let text = report.encode_pretty() + "\n";
+            if let Err(e) = std::fs::write(out, text) {
+                eprintln!("bench: failed to write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("bench: wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_report(cap: Option<Duration>, duration_ms: Option<u64>) -> Result<Json, String> {
+    println!(
+        "bench: throughput, hot {}-key working set, {} clients x {} workers",
+        BENCH_DISTINCT, BENCH_CLIENTS, BENCH_WORKERS
+    );
+    let before = throughput_best(Engine::Threaded, cap)?;
+    println!(
+        "  threaded: {:>8.0} req/s  p50 {} us  p95 {} us  p99 {} us  ({} requests)",
+        before.rps, before.p50_us, before.p95_us, before.p99_us, before.answered
+    );
+    let after = throughput_best(Engine::Event, cap)?;
+    println!(
+        "  event:    {:>8.0} req/s  p50 {} us  p95 {} us  p99 {} us  ({} requests)",
+        after.rps, after.p50_us, after.p95_us, after.p99_us, after.answered
+    );
+    let speedup = after.rps / before.rps.max(1e-9);
+    println!("  speedup:  {speedup:.2}x");
+
+    let mut cache_results = Vec::new();
+    for &distinct in &[16u64, 4096] {
+        for &admission in &[true, false] {
+            let result = hitrate_phase(distinct, admission)?;
+            let rate = result
+                .get("probe_hit_rate")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            println!(
+                "bench: hit rate, distinct {distinct}, admission {}: {:.1}% after cold scan",
+                if admission { "on" } else { "off" },
+                rate * 100.0
+            );
+            cache_results.push(result);
+        }
+    }
+
+    Ok(Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/bench-serving/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("workers".into(), Json::Int(BENCH_WORKERS as i64)),
+                ("clients".into(), Json::Int(BENCH_CLIENTS as i64)),
+                ("queue_capacity".into(), Json::Int(BENCH_QUEUE_CAP as i64)),
+                ("cache_capacity".into(), Json::Int(BENCH_CACHE_CAP as i64)),
+                ("pool_threads".into(), Json::Int(BENCH_POOL_THREADS as i64)),
+                ("n".into(), Json::Int(BENCH_N as i64)),
+                ("distinct".into(), Json::Int(BENCH_DISTINCT as i64)),
+                ("requests".into(), Json::Int(BENCH_REQUESTS as i64)),
+                ("pipeline".into(), Json::Int(BENCH_PIPELINE as i64)),
+                (
+                    "duration_ms".into(),
+                    match duration_ms {
+                        Some(ms) => Json::Int(ms as i64),
+                        None => Json::Null,
+                    },
+                ),
+                (
+                    "hitrate_cache_capacity".into(),
+                    Json::Int(HITRATE_CACHE_CAP as i64),
+                ),
+            ]),
+        ),
+        (
+            "throughput".into(),
+            Json::Obj(vec![
+                ("before".into(), before.to_json()),
+                ("after".into(), after.to_json()),
+                ("speedup".into(), Json::Num(speedup)),
+            ]),
+        ),
+        ("cache".into(), Json::Arr(cache_results)),
+    ]))
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
+    if opts.bench {
+        return run_bench(opts.duration_ms, &opts.out);
+    }
 
     // Spawn an in-process server unless one was pointed at.
     let local_server = if opts.addr.is_none() {

@@ -11,15 +11,23 @@
 //!
 //! * newline-delimited JSON protocol with explicit frame limits
 //!   ([`proto`]),
-//! * bounded admission queue with load shedding ([`shed`]),
+//! * bounded admission with load shedding, either through one global
+//!   queue or per-worker stealing deques with an aggregate cap
+//!   ([`shed`]),
+//! * two serving engines ([`server`]): the default *event* engine — a
+//!   nonblocking poll acceptor, I/O poller sweeps, and an inline cache
+//!   fast path — and the legacy thread-per-connection engine kept as a
+//!   benchmark baseline,
 //! * deadline enforcement and graceful drain on shutdown ([`server`]),
-//! * an exact LRU result cache keyed by deterministic problem
-//!   fingerprints ([`cache`], `gb_core::fingerprint`),
+//! * a sharded, exact LRU result cache with optional TinyLFU admission,
+//!   keyed by deterministic problem fingerprints ([`cache`],
+//!   `gb_core::fingerprint`),
 //! * live counters and log-bucketed latency histograms with p50/p95/p99
 //!   readout ([`metrics`]),
 //! * a blocking [`client`] plus two binaries: `gb-serve` (the daemon) and
 //!   `loadgen` (a concurrent load generator printing throughput and the
-//!   latency distribution).
+//!   latency distribution, with a `--bench` mode emitting
+//!   `BENCH_serving.json`).
 //!
 //! ```no_run
 //! use gb_service::proto::{Algorithm, BalanceRequest, Request, Response};
@@ -55,7 +63,8 @@ pub mod server;
 pub mod shed;
 pub mod spec;
 
+pub use cache::ShardedCache;
 pub use client::Client;
 pub use proto::{Algorithm, ErrorCode, Request, Response};
-pub use server::{Server, ServerConfig};
+pub use server::{Engine, Server, ServerConfig, Tuning};
 pub use spec::ProblemSpec;

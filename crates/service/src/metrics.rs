@@ -125,6 +125,9 @@ pub struct ServiceMetrics {
     errors: [AtomicU64; 5],
     /// Stats/ping/shutdown frames served.
     control: AtomicU64,
+    /// Cache hits answered inline on an I/O poller, skipping the queue
+    /// and worker hand-off entirely.
+    fast_path: AtomicU64,
     /// Latency over all balance requests (receipt → response ready).
     latency: Histogram,
     /// Latency split per algorithm.
@@ -140,6 +143,7 @@ impl ServiceMetrics {
             cached_by_algorithm: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: std::array::from_fn(|_| AtomicU64::new(0)),
             control: AtomicU64::new(0),
+            fast_path: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_by_algorithm: std::array::from_fn(|_| Histogram::new()),
         }
@@ -164,6 +168,17 @@ impl ServiceMetrics {
     /// Records a control-plane frame (stats / ping / shutdown).
     pub fn record_control(&self) {
         self.control.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache hit served inline on the I/O thread (no queue
+    /// round trip). Call *in addition to* [`record_ok`](Self::record_ok).
+    pub fn record_fast_path(&self) {
+        self.fast_path.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responses served on the inline fast path so far.
+    pub fn fast_path_count(&self) -> u64 {
+        self.fast_path.load(Ordering::Relaxed)
     }
 
     /// Seconds since the server started.
@@ -247,6 +262,10 @@ impl ServiceMetrics {
                     (
                         "control".into(),
                         Json::Int(self.control.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "fast_path".into(),
+                        Json::Int(self.fast_path.load(Ordering::Relaxed) as i64),
                     ),
                     ("by_algorithm".into(), by_algorithm),
                     ("errors".into(), outcomes),

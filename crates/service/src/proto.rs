@@ -123,6 +123,59 @@ impl Json {
         out
     }
 
+    /// Serialises to indented JSON text — for artifacts meant to be read
+    /// and diffed by humans (benchmark reports), not for wire frames,
+    /// which must stay single lines.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str("  ");
+                    }
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) if !entries.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    for _ in 0..=depth {
+                        out.push_str("  ");
+                    }
+                    write_json_string(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),

@@ -1,34 +1,49 @@
 //! The partition-serving daemon.
 //!
+//! Two serving engines share one worker/cache/metrics core:
+//!
 //! ```text
-//!  clients ──TCP──▶ acceptor ──▶ connection threads (frame + parse)
-//!                                      │ try_push (shed when full)
-//!                                      ▼
-//!                              BoundedQueue<Job>
-//!                                      │ pop
-//!                                      ▼
-//!                               worker threads ──▶ gb-parlb ThreadPool
-//!                                      │                (BA / BA-HF / PHF)
-//!                                      ▼
-//!                            LRU cache + metrics, reply channel
+//!            event engine (default) — contention-free hot path
+//!
+//!  clients ──TCP──▶ nonblocking accept ─▶ I/O pollers (FrameReader sweep)
+//!                                           │ cache hit? ─▶ reply inline
+//!                                           │   (fast path, no hand-off)
+//!                                           ▼ miss: try_push (shed if full)
+//!                                   StealQueue: one deque per worker
+//!                                           │ pop own shard / steal
+//!                                           ▼
+//!                                    worker threads ─▶ gb-parlb pool
+//!                                           │   (BA / BA-HF / PHF)
+//!                                           ▼
+//!                              ShardedCache (TinyLFU admission)
+//!                                           │
+//!                                           ▼ write reply to socket
 //! ```
+//!
+//! The legacy **threaded engine** ([`Engine::Threaded`]) keeps the
+//! original shape — a blocking acceptor, one thread per connection, and
+//! a single [`BoundedQueue`] — and survives as the benchmark baseline
+//! (`loadgen --bench` measures both) and as a fallback.
 //!
 //! * **Admission** — each balance request is pushed to a bounded queue;
 //!   when it is full the connection answers `overloaded` immediately
-//!   ([`crate::shed`]).
-//! * **Deadlines** — `deadline_ms` is checked when a worker dequeues the
-//!   job; an expired request gets a `timeout` error instead of burning a
-//!   core on an answer nobody is waiting for.
+//!   ([`crate::shed`]). The steal queue sheds on its *aggregate* depth,
+//!   so the contract is identical across engines.
+//! * **Deadlines** — `deadline_ms` is checked at dispatch and again when
+//!   a worker dequeues the job; an expired request gets a `timeout`
+//!   error instead of burning a core on an answer nobody is waiting for.
 //! * **Caching** — results are cached by
-//!   `(problem fingerprint, algorithm, N, θ)`; specs are deterministic so
-//!   a hit is exact ([`crate::cache`]).
+//!   `(problem fingerprint, algorithm, N, θ)` in a sharded LRU with
+//!   optional TinyLFU admission; specs are deterministic so a hit is
+//!   exact ([`crate::cache`]). On the event engine a hit is answered on
+//!   the poller itself — no queue round trip, no context switch.
 //! * **Shutdown** — [`Server::shutdown`] (or a client `shutdown` frame)
 //!   closes the queue: queued work drains, new work is refused with
 //!   `shutting_down`, then all threads are joined.
 //!
 //! Control frames (`ping`, `stats`, `shutdown`) are answered directly on
-//! the connection thread — they must stay responsive even when the queue
-//! is saturated, that is the whole point of having them. The `shutdown`
+//! the I/O thread — they must stay responsive even when the queue is
+//! saturated, that is the whole point of having them. The `shutdown`
 //! frame is acknowledged with a `pong` before draining begins.
 
 use std::io::Write;
@@ -41,24 +56,47 @@ use std::time::{Duration, Instant};
 use gb_parlb::ThreadPool;
 use parking_lot::Mutex;
 
-use crate::cache::{CacheKey, CachedResult, LruCache};
+use crate::cache::{CacheKey, CachedResult, ShardedCache};
 use crate::metrics::ServiceMetrics;
 use crate::proto::{
     Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
     Request, Response,
 };
-use crate::shed::{BoundedQueue, PushError};
-
-/// How often blocked connection threads wake to poll the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// Hard cap on how long a connection waits for a worker to answer one
-/// job before giving up with an `internal` error (a worker died).
-const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+use crate::shed::{BoundedQueue, PushError, StealQueue};
 
 /// Smallest α used for bound computation, so bounds stay finite even for
 /// degenerate empirical measurements.
 const MIN_ALPHA: f64 = 1e-3;
+
+/// How long a direct socket write may sit in `WouldBlock` before the
+/// connection is declared dead (client stopped reading).
+const WRITE_STALL_LIMIT: Duration = Duration::from_secs(5);
+
+/// Lines dispatched from one connection per poller sweep, so one
+/// pipelining client cannot starve its siblings on the same poller.
+const MAX_LINES_PER_SWEEP: usize = 32;
+
+/// Which connection/queue architecture the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Blocking acceptor, one thread per connection, single
+    /// [`BoundedQueue`]. The PR-1 design; baseline for benchmarks.
+    Threaded,
+    /// Nonblocking accept + I/O pollers, per-worker [`StealQueue`],
+    /// inline cache fast path. Connections cost a file descriptor, not
+    /// a thread.
+    Event,
+}
+
+impl Engine {
+    /// Stable lowercase name used in stats and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Threaded => "threaded",
+            Engine::Event => "event",
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -67,7 +105,8 @@ pub struct ServerConfig {
     pub addr: String,
     /// Balance worker threads (0 = half the available parallelism, ≥ 2).
     pub workers: usize,
-    /// Bounded request-queue capacity (load shed beyond this).
+    /// Bounded request-queue capacity (load shed beyond this; the steal
+    /// queue enforces it as an aggregate across per-worker shards).
     pub queue_capacity: usize,
     /// LRU result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
@@ -88,32 +127,177 @@ impl Default for ServerConfig {
     }
 }
 
+/// Hot-path tuning: engine choice, cache sharding/admission, and the
+/// timeouts that used to be hard-coded consts (`REPLY_TIMEOUT`,
+/// `POLL_INTERVAL`) — hoisted into configuration with the old values as
+/// defaults so fault-injection tests can tighten them.
+///
+/// Kept separate from [`ServerConfig`] so exhaustive `ServerConfig`
+/// literals in existing callers and tests keep compiling; pass it via
+/// [`Server::start_tuned`]. [`Server::start`] uses the defaults.
+#[derive(Debug, Clone)]
+pub struct Tuning {
+    /// Serving engine (default [`Engine::Event`]).
+    pub engine: Engine,
+    /// I/O poller threads for the event engine (0 = 1). One is right for
+    /// anything up to a few thousand connections; parsing is cheap.
+    pub io_threads: usize,
+    /// Cache shard count, rounded up to a power of two (0 = 8).
+    pub cache_shards: usize,
+    /// TinyLFU admission filter on the cache (`admission: off` knob).
+    pub admission: bool,
+    /// Hard cap on how long a connection waits for a worker to answer
+    /// one job before giving up with an `internal` error (a worker
+    /// died). Was the `REPLY_TIMEOUT` const; default 120 s.
+    pub reply_timeout: Duration,
+    /// How often blocked threaded-engine connection threads wake to poll
+    /// the shutdown flag, and the ceiling on event-poller idle backoff.
+    /// Was the `POLL_INTERVAL` const; default 100 ms.
+    pub poll_interval: Duration,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Self {
+            engine: Engine::Event,
+            io_threads: 0,
+            cache_shards: 0,
+            admission: true,
+            reply_timeout: Duration::from_secs(120),
+            poll_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue and reply plumbing shared by both engines
+// ---------------------------------------------------------------------------
+
+/// The queue behind whichever engine is running, with one shedding
+/// contract: `try_push` fails `Full` at (aggregate) capacity and
+/// `Closed` after shutdown.
+enum QueueKind {
+    Bounded(BoundedQueue<Job>),
+    Steal(StealQueue<Job>),
+}
+
+impl QueueKind {
+    // Handing the job back on failure is the point of the API: the shed
+    // paths reuse the request for the error reply without a clone.
+    #[allow(clippy::result_large_err)]
+    fn try_push(&self, job: Job) -> Result<(), (Job, PushError)> {
+        match self {
+            QueueKind::Bounded(q) => q.try_push(job),
+            QueueKind::Steal(q) => q.try_push(job),
+        }
+    }
+
+    fn pop(&self, worker: usize) -> Option<Job> {
+        match self {
+            QueueKind::Bounded(q) => q.pop(),
+            QueueKind::Steal(q) => q.pop(worker),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            QueueKind::Bounded(q) => q.close(),
+            QueueKind::Steal(q) => q.close(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            QueueKind::Bounded(q) => q.depth(),
+            QueueKind::Steal(q) => q.depth(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            QueueKind::Bounded(q) => q.capacity(),
+            QueueKind::Steal(q) => q.capacity(),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        match self {
+            QueueKind::Bounded(_) => 1,
+            QueueKind::Steal(q) => q.workers(),
+        }
+    }
+
+    fn steals(&self) -> u64 {
+        match self {
+            QueueKind::Bounded(_) => 0,
+            QueueKind::Steal(q) => q.steals(),
+        }
+    }
+}
+
+/// Per-connection state shared between the poller that reads requests
+/// and the worker that writes the reply.
+struct ConnShared {
+    /// Write half (a nonblocking clone of the socket). Workers and the
+    /// poller serialise frames through this lock.
+    writer: Mutex<TcpStream>,
+    /// A balance job from this connection is queued or executing; the
+    /// poller stops reading until it clears (responses stay ordered).
+    inflight: AtomicBool,
+    /// Socket failed on write; the poller drops the connection.
+    dead: AtomicBool,
+}
+
+/// Where a worker delivers a finished response.
+enum ReplyTo {
+    /// Threaded engine: the blocked connection thread's channel.
+    Channel(mpsc::SyncSender<Response>),
+    /// Event engine: write straight to the socket. `answered` arbitrates
+    /// between the worker and a poller-side reply timeout — whoever
+    /// flips it first owns the reply.
+    Socket {
+        conn: Arc<ConnShared>,
+        answered: Arc<AtomicBool>,
+    },
+}
+
 struct Job {
     req: BalanceRequest,
     received: Instant,
-    reply: mpsc::SyncSender<Response>,
+    reply: ReplyTo,
 }
 
 struct Shared {
-    queue: BoundedQueue<Job>,
-    cache: Mutex<LruCache>,
+    queue: QueueKind,
+    cache: ShardedCache,
     metrics: ServiceMetrics,
     pool: ThreadPool,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    tuning: Tuning,
+    /// Threaded engine: per-connection thread handles.
     connections: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Event engine: accepted connections in transit to their poller.
+    inboxes: Vec<Mutex<Vec<Conn>>>,
 }
 
 /// A running daemon. Dropping the handle shuts the server down.
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<thread::JoinHandle<()>>,
+    pollers: Vec<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, spawns the acceptor and worker threads, and returns.
+    /// Binds, spawns the serving threads with default [`Tuning`], and
+    /// returns.
     pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        Self::start_tuned(config, Tuning::default())
+    }
+
+    /// Binds and spawns with explicit hot-path tuning.
+    pub fn start_tuned(config: ServerConfig, tuning: Tuning) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let workers = if config.workers == 0 {
@@ -126,14 +310,28 @@ impl Server {
         } else {
             config.pool_threads
         };
+        let io_threads = tuning.io_threads.clamp(1, 16);
+        let cache_shards = if tuning.cache_shards == 0 {
+            8
+        } else {
+            tuning.cache_shards
+        };
+        let queue = match tuning.engine {
+            Engine::Threaded => QueueKind::Bounded(BoundedQueue::new(config.queue_capacity.max(1))),
+            Engine::Event => {
+                QueueKind::Steal(StealQueue::new(workers, config.queue_capacity.max(1)))
+            }
+        };
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity.max(1)),
-            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            queue,
+            cache: ShardedCache::new(config.cache_capacity, cache_shards, tuning.admission),
             metrics: ServiceMetrics::new(),
             pool: ThreadPool::new(pool_threads),
             shutdown: AtomicBool::new(false),
             local_addr,
+            tuning: tuning.clone(),
             connections: Mutex::new(Vec::new()),
+            inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
 
         let worker_handles = (0..workers)
@@ -141,22 +339,41 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("gb-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn balance worker")
             })
             .collect();
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("gb-serve-acceptor".into())
-                .spawn(move || acceptor_loop(&shared, listener))
-                .expect("spawn acceptor")
+        let (acceptor, pollers) = match tuning.engine {
+            Engine::Threaded => {
+                let shared2 = Arc::clone(&shared);
+                let acceptor = thread::Builder::new()
+                    .name("gb-serve-acceptor".into())
+                    .spawn(move || acceptor_loop(&shared2, listener))
+                    .expect("spawn acceptor");
+                (Some(acceptor), Vec::new())
+            }
+            Engine::Event => {
+                listener.set_nonblocking(true)?;
+                let mut listener = Some(listener);
+                let pollers = (0..io_threads)
+                    .map(|p| {
+                        let shared = Arc::clone(&shared);
+                        let listener = listener.take(); // poller 0 accepts
+                        thread::Builder::new()
+                            .name(format!("gb-serve-io-{p}"))
+                            .spawn(move || event_loop(&shared, p, listener))
+                            .expect("spawn io poller")
+                    })
+                    .collect();
+                (None, pollers)
+            }
         };
 
         Ok(Server {
             shared,
-            acceptor: Some(acceptor),
+            acceptor,
+            pollers,
             workers: worker_handles,
         })
     }
@@ -189,8 +406,13 @@ impl Server {
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        // The acceptor exits only on shutdown, so the flag is set and the
-        // queue closed by now; workers drain and stop.
+        // The pollers exit once shutdown is set and their in-flight
+        // replies have been written; the acceptor exits only on
+        // shutdown. Either way the queue is closed by now, so workers
+        // drain and stop.
+        for p in self.pollers.drain(..) {
+            let _ = p.join();
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -213,9 +435,14 @@ fn trigger_shutdown(shared: &Shared) {
         return; // already shutting down
     }
     shared.queue.close();
-    // Unblock the acceptor's blocking accept() with a dummy connection.
+    // Unblock the threaded engine's blocking accept() with a dummy
+    // connection (harmless no-op for the event engine, which polls).
     let _ = TcpStream::connect(shared.local_addr);
 }
+
+// ---------------------------------------------------------------------------
+// Threaded engine: blocking acceptor + thread per connection
+// ---------------------------------------------------------------------------
 
 fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
     for stream in listener.incoming() {
@@ -234,7 +461,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_read_timeout(Some(shared.tuning.poll_interval));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -326,10 +553,10 @@ fn submit_balance(shared: &Shared, req: BalanceRequest) -> Response {
     let job = Job {
         req,
         received: Instant::now(),
-        reply: reply_tx,
+        reply: ReplyTo::Channel(reply_tx),
     };
     match shared.queue.try_push(job) {
-        Ok(()) => match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+        Ok(()) => match reply_rx.recv_timeout(shared.tuning.reply_timeout) {
             Ok(resp) => resp,
             Err(_) => {
                 shared.metrics.record_error(ErrorCode::Internal);
@@ -359,11 +586,396 @@ fn submit_balance(shared: &Shared, req: BalanceRequest) -> Response {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
+// ---------------------------------------------------------------------------
+// Event engine: nonblocking accept + poller sweep + direct worker writes
+// ---------------------------------------------------------------------------
+
+/// One connection owned by an I/O poller.
+struct Conn {
+    reader: FrameReader<TcpStream>,
+    shared: Arc<ConnShared>,
+    /// Set while a queued balance request is outstanding: when it was
+    /// dispatched, the reply-arbitration flag, and the request id (for
+    /// the timeout error frame).
+    inflight_since: Option<(Instant, Arc<AtomicBool>, Option<u64>)>,
+}
+
+impl Conn {
+    fn accept(stream: TcpStream) -> Option<Conn> {
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true).ok()?;
+        let writer = stream.try_clone().ok()?;
+        Some(Conn {
+            reader: FrameReader::new(stream),
+            shared: Arc::new(ConnShared {
+                writer: Mutex::new(writer),
+                inflight: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
+            }),
+            inflight_since: None,
+        })
+    }
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Writes one frame to a nonblocking socket, retrying short writes.
+/// A peer that stops reading for [`WRITE_STALL_LIMIT`] is declared dead.
+fn write_frame(conn: &ConnShared, resp: &Response) {
+    let mut line = resp.encode();
+    line.push('\n');
+    write_bytes(conn, line.as_bytes());
+}
+
+/// Appends one encoded frame to a sweep's outgoing reply buffer.
+fn push_reply(replies: &mut String, resp: &Response) {
+    replies.push_str(&resp.encode());
+    replies.push('\n');
+}
+
+/// Flushes buffered replies as a single write, preserving frame order.
+fn flush_replies(conn: &ConnShared, replies: &mut String) {
+    if !replies.is_empty() {
+        write_bytes(conn, replies.as_bytes());
+        replies.clear();
+    }
+}
+
+fn write_bytes(conn: &ConnShared, mut buf: &[u8]) {
+    let deadline = Instant::now() + WRITE_STALL_LIMIT;
+    let mut writer = conn.writer.lock();
+    while !buf.is_empty() {
+        match writer.write(buf) {
+            Ok(0) => {
+                conn.dead.store(true, Ordering::Release);
+                return;
+            }
+            Ok(k) => buf = &buf[k..],
+            Err(e) if would_block(&e) => {
+                if Instant::now() >= deadline {
+                    conn.dead.store(true, Ordering::Release);
+                    return;
+                }
+                // The socket buffer is full mid-frame; yield briefly.
+                thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// The poller loop: accept (poller 0), adopt handed-off connections,
+/// sweep each connection for readable frames, back off adaptively when
+/// idle. Exits when shutdown is set and every in-flight reply has been
+/// written.
+fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListener>) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_inbox = 0usize;
+    let mut idle_spins = 0u32;
+    // Reused across sweeps: inline replies are batched here and written
+    // with one syscall per connection per sweep.
+    let mut replies = String::new();
+    loop {
+        let mut progress = false;
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining {
+            // Dropping the listener refuses new connections immediately.
+            listener = None;
+        } else if let Some(l) = &listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _)) => {
+                        progress = true;
+                        if let Some(conn) = Conn::accept(stream) {
+                            let target = next_inbox % shared.inboxes.len();
+                            next_inbox = next_inbox.wrapping_add(1);
+                            if target == index {
+                                conns.push(conn);
+                            } else {
+                                shared.inboxes[target].lock().push(conn);
+                            }
+                        }
+                    }
+                    Err(e) if would_block(&e) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        {
+            let mut inbox = shared.inboxes[index].lock();
+            if !inbox.is_empty() {
+                progress = true;
+                conns.append(&mut inbox);
+            }
+        }
+        conns.retain_mut(|conn| sweep_conn(shared, conn, draining, &mut progress, &mut replies));
+        if draining && conns.is_empty() {
+            return;
+        }
+        if progress {
+            idle_spins = 0;
+        } else {
+            idle_spins = idle_spins.saturating_add(1);
+            if idle_spins > 3 {
+                // Exponential backoff from 50 µs. There is no readiness
+                // wakeup — a sleeping poller is blind — so while
+                // connections are live the sleep is capped at 1 ms to
+                // bound added latency; only an empty poller may back off
+                // all the way to the poll interval.
+                let exp = (idle_spins - 3).min(12);
+                let backoff = Duration::from_micros(50u64 << exp);
+                let cap = if conns.is_empty() {
+                    shared.tuning.poll_interval
+                } else {
+                    Duration::from_millis(1).min(shared.tuning.poll_interval)
+                };
+                thread::sleep(backoff.min(cap));
+            }
+        }
+    }
+}
+
+/// One sweep over one connection. Returns `false` to drop it.
+fn sweep_conn(
+    shared: &Arc<Shared>,
+    conn: &mut Conn,
+    draining: bool,
+    progress: &mut bool,
+    replies: &mut String,
+) -> bool {
+    replies.clear();
+    if conn.shared.dead.load(Ordering::Acquire) {
+        return false;
+    }
+    if let Some((since, answered, id)) = &conn.inflight_since {
+        if conn.shared.inflight.load(Ordering::Acquire) {
+            if since.elapsed() <= shared.tuning.reply_timeout {
+                return true; // still waiting on the worker
+            }
+            // The worker never answered; claim the reply ourselves.
+            if answered
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                shared.metrics.record_error(ErrorCode::Internal);
+                write_frame(
+                    &conn.shared,
+                    &Response::Error {
+                        id: *id,
+                        code: ErrorCode::Internal,
+                        message: "worker did not answer".into(),
+                    },
+                );
+                conn.shared.inflight.store(false, Ordering::Release);
+            }
+        }
+        conn.inflight_since = None;
+        *progress = true;
+    }
+    if draining {
+        // Reply delivered (or never pending): close like the threaded
+        // engine does when it notices the flag between frames.
+        return false;
+    }
+    let mut keep = true;
+    for _ in 0..MAX_LINES_PER_SWEEP {
+        match conn.reader.poll_line() {
+            Ok(Frame::Pending) => break,
+            Ok(Frame::Eof) => {
+                keep = false;
+                break;
+            }
+            Ok(Frame::Line(line)) => {
+                *progress = true;
+                match dispatch_event_line(shared, &conn.shared, &line, replies) {
+                    LineOutcome::Answered => {}
+                    LineOutcome::Inflight { answered, id } => {
+                        // Stop reading until the reply is out; earlier
+                        // inline replies were flushed before the push.
+                        conn.inflight_since = Some((Instant::now(), answered, id));
+                        break;
+                    }
+                }
+                if conn.shared.dead.load(Ordering::Acquire) {
+                    keep = false;
+                    break;
+                }
+            }
+            Err(FrameError::TooLong) => {
+                push_reply(
+                    replies,
+                    &protocol_error(shared, "frame exceeds the maximum length"),
+                );
+            }
+            Err(FrameError::NotUtf8) => {
+                push_reply(replies, &protocol_error(shared, "frame is not valid UTF-8"));
+            }
+            Err(FrameError::Io(_)) => {
+                keep = false;
+                break;
+            }
+        }
+    }
+    flush_replies(&conn.shared, replies);
+    keep
+}
+
+/// What one dispatched line left behind.
+enum LineOutcome {
+    /// Answered inline (control frame, fast path, shed, or error).
+    Answered,
+    /// Queued to a worker; the poller must gate reads until it clears.
+    Inflight {
+        answered: Arc<AtomicBool>,
+        id: Option<u64>,
+    },
+}
+
+/// Handles one request line on the poller. Cache hits, control frames
+/// and shed responses are answered inline; only cache misses cross the
+/// queue to a worker.
+fn dispatch_event_line(
+    shared: &Arc<Shared>,
+    conn: &Arc<ConnShared>,
+    line: &str,
+    replies: &mut String,
+) -> LineOutcome {
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(e) => {
+            push_reply(replies, &protocol_error(shared, &e.message));
+            return LineOutcome::Answered;
+        }
+    };
+    match request {
+        Request::Ping => {
+            shared.metrics.record_control();
+            push_reply(replies, &Response::Pong);
+            LineOutcome::Answered
+        }
+        Request::Stats => {
+            shared.metrics.record_control();
+            push_reply(replies, &Response::Stats(stats_json(shared)));
+            LineOutcome::Answered
+        }
+        Request::Shutdown => {
+            shared.metrics.record_control();
+            push_reply(replies, &Response::Pong);
+            // The drain must not race the acknowledgement out of the
+            // buffer: write it now.
+            flush_replies(conn, replies);
+            trigger_shutdown(shared);
+            LineOutcome::Answered
+        }
+        Request::Balance(req) => {
+            let received = Instant::now();
+            let id = req.id;
+            if let Some(deadline_ms) = req.deadline_ms {
+                if received.elapsed() > Duration::from_millis(deadline_ms) {
+                    shared.metrics.record_error(ErrorCode::Timeout);
+                    push_reply(
+                        replies,
+                        &Response::Error {
+                            id,
+                            code: ErrorCode::Timeout,
+                            message: format!("deadline of {deadline_ms} ms expired"),
+                        },
+                    );
+                    return LineOutcome::Answered;
+                }
+            }
+            // Fast path: answer cache hits on the poller — no queue
+            // round trip, no worker hand-off, no condvar.
+            let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
+            if let Some(hit) = shared.cache.get(&key) {
+                let latency = received.elapsed();
+                shared.metrics.record_fast_path();
+                shared.metrics.record_ok(req.algorithm, true, latency);
+                push_reply(replies, &ok_response(&req, &hit, true, latency));
+                return LineOutcome::Answered;
+            }
+            // The worker writes its reply directly to the socket, so any
+            // buffered inline replies must land first to keep the
+            // connection's frames in request order.
+            flush_replies(conn, replies);
+            let answered = Arc::new(AtomicBool::new(false));
+            // Mark in-flight *before* pushing: the worker may finish and
+            // clear the flag before try_push even returns.
+            conn.inflight.store(true, Ordering::Release);
+            let job = Job {
+                req,
+                received,
+                reply: ReplyTo::Socket {
+                    conn: Arc::clone(conn),
+                    answered: Arc::clone(&answered),
+                },
+            };
+            match shared.queue.try_push(job) {
+                Ok(()) => LineOutcome::Inflight { answered, id },
+                Err((_, PushError::Full)) => {
+                    conn.inflight.store(false, Ordering::Release);
+                    shared.metrics.record_error(ErrorCode::Overloaded);
+                    push_reply(
+                        replies,
+                        &Response::Error {
+                            id,
+                            code: ErrorCode::Overloaded,
+                            message: format!("request queue full ({})", shared.queue.capacity()),
+                        },
+                    );
+                    LineOutcome::Answered
+                }
+                Err((_, PushError::Closed)) => {
+                    conn.inflight.store(false, Ordering::Release);
+                    shared.metrics.record_error(ErrorCode::ShuttingDown);
+                    push_reply(
+                        replies,
+                        &Response::Error {
+                            id,
+                            code: ErrorCode::ShuttingDown,
+                            message: "server is draining".into(),
+                        },
+                    );
+                    LineOutcome::Answered
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers (shared by both engines)
+// ---------------------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, index: usize) {
+    while let Some(job) = shared.queue.pop(index) {
         let resp = execute(shared, &job);
-        // A disconnected client is fine — drop the response.
-        let _ = job.reply.send(resp);
+        match job.reply {
+            // A disconnected client is fine — drop the response.
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(resp);
+            }
+            ReplyTo::Socket { conn, answered } => {
+                // Lose the race against a poller-side timeout and the
+                // reply (and the in-flight token) is no longer ours.
+                if answered
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    write_frame(&conn, &resp);
+                    conn.inflight.store(false, Ordering::Release);
+                }
+            }
+        }
     }
 }
 
@@ -381,7 +993,7 @@ fn execute(shared: &Shared, job: &Job) -> Response {
     }
 
     let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
-    if let Some(hit) = shared.cache.lock().get(&key) {
+    if let Some(hit) = shared.cache.get(&key) {
         let latency = job.received.elapsed();
         shared.metrics.record_ok(req.algorithm, true, latency);
         return ok_response(req, &hit, true, latency);
@@ -412,7 +1024,7 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         bound,
         alpha,
     };
-    shared.cache.lock().put(key, result.clone());
+    shared.cache.put(key, result.clone());
     let latency = job.received.elapsed();
     shared.metrics.record_ok(req.algorithm, false, latency);
     ok_response(req, &result, false, latency)
@@ -443,17 +1055,33 @@ fn ok_response(
 
 fn stats_json(shared: &Shared) -> Json {
     let mut json = shared.metrics.to_json();
-    let cache = shared.cache.lock().stats();
+    let cache = shared.cache.stats();
     if let Json::Obj(entries) = &mut json {
+        entries.push((
+            "engine".into(),
+            Json::Str(shared.tuning.engine.name().into()),
+        ));
         entries.push((
             "cache".into(),
             Json::Obj(vec![
                 ("hits".into(), Json::Int(cache.hits as i64)),
                 ("misses".into(), Json::Int(cache.misses as i64)),
                 ("evictions".into(), Json::Int(cache.evictions as i64)),
+                (
+                    "admission_rejects".into(),
+                    Json::Int(cache.admission_rejects as i64),
+                ),
                 ("len".into(), Json::Int(cache.len as i64)),
                 ("capacity".into(), Json::Int(cache.capacity as i64)),
                 ("hit_rate".into(), Json::Num(cache.hit_rate())),
+                (
+                    "shards".into(),
+                    Json::Int(shared.cache.shard_count() as i64),
+                ),
+                (
+                    "admission".into(),
+                    Json::Bool(shared.cache.admission_enabled()),
+                ),
             ]),
         ));
         entries.push((
@@ -461,6 +1089,8 @@ fn stats_json(shared: &Shared) -> Json {
             Json::Obj(vec![
                 ("depth".into(), Json::Int(shared.queue.depth() as i64)),
                 ("capacity".into(), Json::Int(shared.queue.capacity() as i64)),
+                ("shards".into(), Json::Int(shared.queue.shards() as i64)),
+                ("steals".into(), Json::Int(shared.queue.steals() as i64)),
             ]),
         ));
         entries.push((
@@ -471,6 +1101,7 @@ fn stats_json(shared: &Shared) -> Json {
                     "injector_depth".into(),
                     Json::Int(shared.pool.injector_depth() as i64),
                 ),
+                ("queued".into(), Json::Int(shared.pool.queued() as i64)),
             ]),
         ));
     }
@@ -567,10 +1198,10 @@ mod tests {
             want_pieces: false,
             problem: synth(1),
         });
-        // deadline 0 ms: by the time a worker dequeues it, it is late.
+        // deadline 0 ms: by the time it is dispatched, it is late.
         match client.call(&req).unwrap() {
             Response::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
-            Response::Ok(_) => {} // a fast worker can legitimately win the race
+            Response::Ok(_) => {} // a fast dispatch can legitimately win the race
             other => panic!("unexpected {other:?}"),
         }
         server.shutdown();
@@ -609,5 +1240,71 @@ mod tests {
             .and_then(|mut c| c.call(&Request::Ping))
             .is_err();
         assert!(refused, "server still answering after shutdown");
+    }
+
+    #[test]
+    fn threaded_engine_still_serves() {
+        let server = Server::start_tuned(
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                cache_capacity: 64,
+                pool_threads: 2,
+                ..ServerConfig::default()
+            },
+            Tuning {
+                engine: Engine::Threaded,
+                cache_shards: 1,
+                admission: false,
+                ..Tuning::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let first = match client.call(&balance(3, Algorithm::Hf)).unwrap() {
+            Response::Ok(r) => r,
+            other => panic!("expected ok, got {other:?}"),
+        };
+        assert!(!first.cached);
+        let second = match client.call(&balance(3, Algorithm::Hf)).unwrap() {
+            Response::Ok(r) => r,
+            other => panic!("expected ok, got {other:?}"),
+        };
+        assert!(second.cached);
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(
+                    stats.get("engine").and_then(|e| e.as_str()),
+                    Some("threaded")
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_engine_reports_fast_path_hits() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for _ in 0..3 {
+            match client.call(&balance(11, Algorithm::Hf)).unwrap() {
+                Response::Ok(_) => {}
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                assert_eq!(stats.get("engine").and_then(|e| e.as_str()), Some("event"));
+                let fast = stats
+                    .get("requests")
+                    .and_then(|r| r.get("fast_path"))
+                    .and_then(|v| v.as_u64())
+                    .expect("requests.fast_path present");
+                assert!(fast >= 2, "repeat hits must use the inline fast path");
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
     }
 }

@@ -1,14 +1,30 @@
-//! Load shedding: a bounded MPMC queue that fails fast when full.
+//! Load shedding: bounded queues that fail fast when full.
 //!
-//! The admission policy is deliberately *non-blocking*: when the queue is
-//! at capacity, [`BoundedQueue::try_push`] returns the job to the caller
-//! immediately so the connection thread can answer `overloaded` instead
-//! of stacking latency on every queued request behind it. Consumers block
-//! on [`BoundedQueue::pop`] until work arrives or the queue is closed and
-//! drained — closing is how graceful shutdown lets in-flight requests
-//! finish while refusing new ones.
+//! The admission policy is deliberately *non-blocking*: when a queue is
+//! at capacity, `try_push` returns the job to the caller immediately so
+//! the connection layer can answer `overloaded` instead of stacking
+//! latency on every queued request behind it. Consumers block on `pop`
+//! until work arrives or the queue is closed and drained — closing is
+//! how graceful shutdown lets in-flight requests finish while refusing
+//! new ones.
+//!
+//! Two implementations share those semantics:
+//!
+//! * [`BoundedQueue`] — one mutex-guarded `VecDeque`, the original
+//!   single-choke-point design, kept as the `threaded` engine's queue
+//!   and as the benchmark baseline. A push wakes exactly **one** sleeping
+//!   consumer (`notify_one`); waking all of them just to have N−1 lose
+//!   the race reacquiring the lock is the classic thundering herd.
+//! * [`StealQueue`] — one bounded deque *per worker* plus stealing, in
+//!   the idiom of `gb_parlb::pool`: producers round-robin across shards,
+//!   a worker pops its own shard first and steals from siblings when
+//!   empty. Capacity is enforced by a single aggregate depth counter, so
+//!   `overloaded` and `shutting_down` behave exactly as with the global
+//!   queue — only the lock hand-off contention is gone.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -21,16 +37,24 @@ pub enum PushError {
     Closed,
 }
 
+// ---------------------------------------------------------------------------
+// BoundedQueue: the single-lock MPMC queue
+// ---------------------------------------------------------------------------
+
 struct State<T> {
     items: VecDeque<T>,
     closed: bool,
 }
 
-/// A bounded multi-producer/multi-consumer queue.
+/// A bounded multi-producer/multi-consumer queue behind one mutex.
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    /// Times a blocked `pop` returned from its condvar wait — with
+    /// `notify_one` a push wakes exactly one sleeper, so this tracks
+    /// pushes-while-contended rather than `N × pushes`.
+    wakeups: AtomicU64,
 }
 
 impl<T> BoundedQueue<T> {
@@ -44,6 +68,7 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity,
+            wakeups: AtomicU64::new(0),
         }
     }
 
@@ -59,6 +84,7 @@ impl<T> BoundedQueue<T> {
         }
         state.items.push_back(item);
         drop(state);
+        // One item became available: wake exactly one consumer.
         self.available.notify_one();
         Ok(())
     }
@@ -75,6 +101,7 @@ impl<T> BoundedQueue<T> {
                 return None;
             }
             self.available.wait(&mut state);
+            self.wakeups.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -101,11 +128,170 @@ impl<T> BoundedQueue<T> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// How many times a blocked consumer woke from its condvar wait.
+    /// Diagnostic: with `notify_one` semantics, a push into an idle
+    /// N-consumer queue accounts for exactly one wakeup, not N.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StealQueue: per-worker deques + stealing
+// ---------------------------------------------------------------------------
+
+/// A bounded MPMC queue decomposed into one deque per consumer.
+///
+/// Producers pick a shard round-robin (one cheap, rarely contended lock
+/// each); consumer `i` pops shard `i` first and steals FIFO from
+/// siblings otherwise, mirroring `gb_parlb::pool`'s worker/stealer
+/// split. A single aggregate [`depth`](Self::depth) counter preserves
+/// the *global* load-shedding contract: `try_push` sheds when the sum
+/// across all shards reaches capacity, exactly like [`BoundedQueue`].
+///
+/// Sleeping consumers use a short timed condvar wait (the `pool.rs`
+/// idiom): a lost wakeup costs at most one tick of latency instead of
+/// requiring a lock-coupled sleep registration on the push hot path.
+pub struct StealQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    depth: AtomicUsize,
+    capacity: usize,
+    closed: AtomicBool,
+    sleep_lock: Mutex<()>,
+    available: Condvar,
+    next_shard: AtomicUsize,
+    steals: AtomicU64,
+    wakeups: AtomicU64,
+}
+
+/// How long an idle [`StealQueue`] consumer sleeps between re-scans.
+const IDLE_TICK: Duration = Duration::from_millis(1);
+
+impl<T> StealQueue<T> {
+    /// Creates a queue with one shard per `workers` consumer, admitting
+    /// at most `capacity` items in total.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let workers = workers.max(1);
+        Self {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            depth: AtomicUsize::new(0),
+            capacity,
+            closed: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            available: Condvar::new(),
+            next_shard: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+        }
+    }
+
+    /// Attempts to enqueue without blocking; sheds against the
+    /// *aggregate* depth so the global `overloaded` contract matches the
+    /// single-queue design.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err((item, PushError::Closed));
+        }
+        // Reserve a slot in the aggregate count first; back out on
+        // overflow. This keeps the check-and-insert race window from
+        // ever over-admitting.
+        if self.depth.fetch_add(1, Ordering::AcqRel) >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err((item, PushError::Full));
+        }
+        // Closed may have been set between the first check and the
+        // reservation; re-check so shutdown never loses a shed.
+        if self.closed.load(Ordering::Acquire) {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err((item, PushError::Closed));
+        }
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].lock().push_back(item);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    fn try_pop(&self, worker: usize) -> Option<T> {
+        let n = self.shards.len();
+        // Own shard first, then steal from siblings in ring order.
+        for k in 0..n {
+            let shard = (worker + k) % n;
+            let item = self.shards[shard].lock().pop_front();
+            if let Some(item) = item {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                if k != 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Blocks until an item is available (popping the worker's own shard
+    /// first, stealing otherwise) or the queue is closed *and* drained.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        loop {
+            if let Some(item) = self.try_pop(worker) {
+                return Some(item);
+            }
+            if self.closed.load(Ordering::Acquire) && self.depth.load(Ordering::Acquire) == 0 {
+                return None;
+            }
+            let mut guard = self.sleep_lock.lock();
+            // Re-check under the sleep lock to shrink the lost-wakeup
+            // window; the timed wait bounds whatever remains.
+            if self.depth.load(Ordering::Acquire) == 0 && !self.closed.load(Ordering::Acquire) {
+                self.available.wait_for(&mut guard, IDLE_TICK);
+                self.wakeups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// consumers drain what is left and then observe `None`.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.available.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Aggregate number of items currently queued across all shards.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Configured aggregate capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of per-worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pops that had to steal from a sibling shard.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Consumer wakeups from the idle wait (includes timed re-scans).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
     use std::thread;
     use std::time::Duration;
@@ -171,5 +357,145 @@ mod tests {
             got.push(x);
         }
         assert_eq!(got.len(), 400);
+    }
+
+    /// Regression: a push into a queue with N sleeping consumers must
+    /// wake exactly one of them, not broadcast to all N. The wakeup
+    /// counter increments once per wait-return, so a broadcast would
+    /// count N wakeups for one push.
+    #[test]
+    fn push_wakes_exactly_one_sleeping_consumer() {
+        const SLEEPERS: usize = 4;
+        let q = Arc::new(BoundedQueue::new(16));
+        let popped = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..SLEEPERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let popped = Arc::clone(&popped);
+                thread::spawn(move || {
+                    while q.pop().is_some() {
+                        popped.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        // Let all consumers reach their condvar wait.
+        thread::sleep(Duration::from_millis(60));
+        let wakeups_before = q.wakeups();
+        q.try_push(7).unwrap();
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(popped.load(Ordering::SeqCst), 1, "one item, one pop");
+        let woken = q.wakeups() - wakeups_before;
+        assert_eq!(
+            woken, 1,
+            "a push with {SLEEPERS} sleepers must wake exactly one, woke {woken}"
+        );
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn steal_queue_sheds_on_aggregate_depth() {
+        let q = StealQueue::new(4, 3);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert!(q.try_push(3).is_ok());
+        // Items landed on 3 different shards, but the aggregate cap is
+        // what sheds — identical contract to the single queue.
+        match q.try_push(4) {
+            Err((item, PushError::Full)) => assert_eq!(item, 4),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.capacity(), 3);
+        assert_eq!(q.workers(), 4);
+    }
+
+    #[test]
+    fn steal_queue_worker_steals_from_siblings() {
+        let q = StealQueue::new(4, 16);
+        // Round-robin spreads these over shards 0..4.
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        // Worker 2 drains everything: one own pop, three steals.
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            got.push(q.pop(2).unwrap());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert_eq!(q.steals(), 3);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn steal_queue_close_drains_then_stops() {
+        let q = StealQueue::new(2, 8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        let mut got = vec![q.pop(0).unwrap(), q.pop(1).unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+        match q.try_push(3) {
+            Err((_, PushError::Closed)) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steal_queue_blocked_pop_sees_later_push() {
+        let q = Arc::new(StealQueue::new(3, 8));
+        let q2 = Arc::clone(&q);
+        let consumer = thread::spawn(move || q2.pop(1));
+        thread::sleep(Duration::from_millis(30));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn steal_queue_many_producers_many_consumers() {
+        let q = Arc::new(StealQueue::new(4, 4096));
+        let seen = Arc::new(AtomicUsize::new(0));
+        let consumers: Vec<_> = (0..4)
+            .map(|w| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                thread::spawn(move || {
+                    while q.pop(w).is_some() {
+                        seen.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..250 {
+                        while q.try_push(t * 1000 + i).is_err() {
+                            thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        // Wait for the queue to drain before closing so nothing is lost.
+        while q.depth() > 0 {
+            thread::yield_now();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 1000);
     }
 }

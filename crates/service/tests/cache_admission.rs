@@ -1,0 +1,135 @@
+//! Property tests for TinyLFU cache admission: a popular working set
+//! must survive a one-pass scan of cold keys (scan resistance), and
+//! turning admission off must restore plain-LRU behavior exactly.
+
+use proptest::prelude::*;
+
+use gb_service::cache::{CacheKey, CachedResult, LruCache, ShardedCache};
+use gb_service::proto::Algorithm;
+
+const HOT_KEYS: u64 = 16;
+const SCAN_KEYS: u64 = 10_000;
+
+fn key(fingerprint: u64) -> CacheKey {
+    CacheKey::new(fingerprint, Algorithm::Hf, 16, 1.0)
+}
+
+fn value(seed: u64) -> CachedResult {
+    CachedResult {
+        pieces: vec![seed as f64],
+        ratio: 1.0,
+        bound: 2.0,
+        alpha: 0.25,
+    }
+}
+
+/// Warm the hot set: lookups record frequency in the sketch, inserts
+/// populate the cache.
+fn warm_hot_set(cache: &mut LruCache, passes: u64) {
+    for pass in 0..passes {
+        for k in 0..HOT_KEYS {
+            if cache.get(&key(k)).is_none() && pass == 0 {
+                cache.put(key(k), value(k));
+            }
+        }
+    }
+}
+
+/// One pass over `SCAN_KEYS` distinct cold keys, each looked up once
+/// (a miss) and then inserted — the classic cache-wrecking scan.
+fn scan_cold_keys(cache: &mut LruCache) {
+    for c in 0..SCAN_KEYS {
+        let k = key(1_000_000 + c);
+        let _ = cache.get(&k);
+        cache.put(k, value(c));
+    }
+}
+
+fn hot_retained(cache: &LruCache) -> usize {
+    (0..HOT_KEYS).filter(|&k| cache.contains(&key(k))).count()
+}
+
+proptest! {
+    // Each case runs a 10k-key scan; keep the case count modest so the
+    // suite stays fast on one core.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// TinyLFU: one-hit-wonder scan traffic must not displace a hot set
+    /// that has real reuse — ≥ 90 % of the 16 hot keys survive the scan.
+    #[test]
+    fn hot_set_survives_cold_scan_with_admission(
+        warm_passes in 2u64..8,
+        capacity in 16usize..64,
+    ) {
+        let mut cache = LruCache::with_admission(capacity);
+        warm_hot_set(&mut cache, warm_passes);
+        prop_assert_eq!(hot_retained(&cache), HOT_KEYS as usize);
+        scan_cold_keys(&mut cache);
+        let retained = hot_retained(&cache);
+        prop_assert!(
+            retained as f64 >= 0.9 * HOT_KEYS as f64,
+            "only {}/{} hot keys survived the scan (capacity {}, {} warm passes)",
+            retained, HOT_KEYS, capacity, warm_passes
+        );
+    }
+
+    /// `admission: off` preserves plain LRU: the same scan flushes the
+    /// hot set completely and leaves exactly the `capacity` most recent
+    /// cold keys resident.
+    #[test]
+    fn admission_off_preserves_plain_lru(
+        warm_passes in 2u64..8,
+        capacity in 16usize..64,
+    ) {
+        let mut cache = LruCache::new(capacity);
+        warm_hot_set(&mut cache, warm_passes);
+        scan_cold_keys(&mut cache);
+        prop_assert_eq!(
+            hot_retained(&cache), 0,
+            "plain LRU must evict the hot set under a larger-than-capacity scan"
+        );
+        // The survivors are precisely the scan's most recent keys.
+        prop_assert_eq!(cache.len(), capacity);
+        for c in (SCAN_KEYS - capacity as u64)..SCAN_KEYS {
+            prop_assert!(cache.contains(&key(1_000_000 + c)));
+        }
+    }
+
+    /// The sharded front preserves the same scan resistance: shard
+    /// selection splits both hot and cold traffic, and each shard's
+    /// filter protects its slice of the hot set.
+    #[test]
+    fn sharded_cache_hot_set_survives_scan(shards in 1usize..9) {
+        let cache = ShardedCache::new(64, shards, true);
+        for pass in 0..4u64 {
+            for k in 0..HOT_KEYS {
+                if cache.get(&key(k)).is_none() && pass == 0 {
+                    cache.put(key(k), value(k));
+                }
+            }
+        }
+        for c in 0..SCAN_KEYS {
+            let k = key(1_000_000 + c);
+            let _ = cache.get(&k);
+            cache.put(k, value(c));
+        }
+        let retained = (0..HOT_KEYS).filter(|&k| cache.contains(&key(k))).count();
+        prop_assert!(
+            retained as f64 >= 0.9 * HOT_KEYS as f64,
+            "only {}/{} hot keys survived with {} shards",
+            retained, HOT_KEYS, shards
+        );
+    }
+}
+
+#[test]
+fn admission_rejections_are_counted() {
+    let mut cache = LruCache::with_admission(16);
+    warm_hot_set(&mut cache, 4);
+    scan_cold_keys(&mut cache);
+    let stats = cache.stats();
+    assert!(
+        stats.admission_rejects > 0,
+        "a full cache under scan must reject one-hit wonders"
+    );
+}
