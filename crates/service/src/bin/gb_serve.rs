@@ -6,6 +6,7 @@
 //!          [--engine event|threaded] [--io-threads I]
 //!          [--cache-shards S] [--admission on|off]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
+//!          [--write-stall-ms MS]
 //! ```
 //!
 //! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
@@ -21,7 +22,7 @@ fn usage() -> ! {
         "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
          [--cache-cap C] [--pool-threads T] [--engine event|threaded] \
          [--io-threads I] [--cache-shards S] [--admission on|off] \
-         [--reply-timeout-ms MS] [--poll-interval-ms MS]"
+         [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS]"
     );
     std::process::exit(2);
 }
@@ -88,6 +89,12 @@ fn parse_args() -> (ServerConfig, Tuning) {
                 tuning.poll_interval = Duration::from_millis(parse_usize(
                     &value("--poll-interval-ms"),
                     "--poll-interval-ms",
+                ) as u64)
+            }
+            "--write-stall-ms" => {
+                tuning.write_stall = Duration::from_millis(parse_usize(
+                    &value("--write-stall-ms"),
+                    "--write-stall-ms",
                 ) as u64)
             }
             "--help" | "-h" => usage(),

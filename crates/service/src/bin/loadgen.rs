@@ -3,8 +3,9 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N]
 //!         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X]
-//!         [--deadline-ms MS]
+//!         [--deadline-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS]
 //! loadgen --bench [--duration-ms MS] [--out FILE]
+//! loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -24,6 +25,15 @@
 //! and off. Results are written as pretty-printed JSON (default
 //! `BENCH_serving.json`). `--duration-ms` caps each throughput phase's
 //! wall time for smoke runs; the hit-rate phases are fixed-size.
+//!
+//! `--chaos` runs hostile clients instead: for `--duration-ms` (default
+//! 5 s) each of `--clients` threads randomly drops connections mid-frame,
+//! abandons requests without reading the reply, interleaves garbage and
+//! oversized frames with valid traffic, and pipelines normally — all from
+//! a deterministic `--seed`. Afterwards it asserts the "never wedges"
+//! invariants: queue depth and in-flight count drain to zero and a fresh
+//! client still gets a correct `Balance` answer. `--shutdown` then stops
+//! the server via a `shutdown` frame (used by the CI chaos-smoke step).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -48,6 +58,11 @@ struct Options {
     theta: f64,
     deadline_ms: Option<u64>,
     bench: bool,
+    chaos: bool,
+    seed: u64,
+    send_shutdown: bool,
+    read_timeout_ms: Option<u64>,
+    write_timeout_ms: Option<u64>,
     duration_ms: Option<u64>,
     out: String,
 }
@@ -64,6 +79,11 @@ impl Default for Options {
             theta: 1.0,
             deadline_ms: None,
             bench: false,
+            chaos: false,
+            seed: 1,
+            send_shutdown: false,
+            read_timeout_ms: None,
+            write_timeout_ms: None,
             duration_ms: None,
             out: "BENCH_serving.json".into(),
         }
@@ -73,8 +93,10 @@ impl Default for Options {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
-         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS]\n\
-         \x20      loadgen --bench [--duration-ms MS] [--out FILE]"
+         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS] \
+         [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
+         \x20      loadgen --bench [--duration-ms MS] [--out FILE]\n\
+         \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -121,6 +143,17 @@ fn parse_args() -> Options {
                 }
             }
             "--bench" => opts.bench = true,
+            "--chaos" => opts.chaos = true,
+            "--seed" => opts.seed = parse_usize(&value("--seed"), "--seed") as u64,
+            "--shutdown" => opts.send_shutdown = true,
+            "--read-timeout-ms" => {
+                opts.read_timeout_ms =
+                    Some(parse_usize(&value("--read-timeout-ms"), "--read-timeout-ms") as u64)
+            }
+            "--write-timeout-ms" => {
+                opts.write_timeout_ms =
+                    Some(parse_usize(&value("--write-timeout-ms"), "--write-timeout-ms") as u64)
+            }
             "--duration-ms" => {
                 opts.duration_ms =
                     Some(parse_usize(&value("--duration-ms"), "--duration-ms") as u64)
@@ -638,6 +671,265 @@ fn bench_report(cap: Option<Duration>, duration_ms: Option<u64>) -> Result<Json,
     ]))
 }
 
+// ---------------------------------------------------------------------------
+// --chaos: hostile clients + never-wedges invariant check
+// ---------------------------------------------------------------------------
+
+/// Deterministic split-mix style generator so a chaos run is replayable
+/// from its `--seed`.
+struct ChaosRng(u64);
+
+impl ChaosRng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Per-thread tally of hostile actions performed.
+#[derive(Default)]
+struct ChaosTally {
+    valid_ok: u64,
+    valid_err: u64,
+    dropped_mid_frame: u64,
+    abandoned_replies: u64,
+    garbage_frames: u64,
+    oversized_frames: u64,
+    instant_drops: u64,
+    io_errors: u64,
+}
+
+impl ChaosTally {
+    fn merge(&mut self, other: &ChaosTally) {
+        self.valid_ok += other.valid_ok;
+        self.valid_err += other.valid_err;
+        self.dropped_mid_frame += other.dropped_mid_frame;
+        self.abandoned_replies += other.abandoned_replies;
+        self.garbage_frames += other.garbage_frames;
+        self.oversized_frames += other.oversized_frames;
+        self.instant_drops += other.instant_drops;
+        self.io_errors += other.io_errors;
+    }
+}
+
+fn chaos_connect(addr: std::net::SocketAddr) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    Ok(stream)
+}
+
+/// Reads one reply line; `Ok(true)` if it was a `status: ok` frame.
+fn chaos_read_reply(stream: &TcpStream) -> std::io::Result<bool> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::ErrorKind::UnexpectedEof.into());
+    }
+    Ok(line.contains("\"status\":\"ok\"") || line.contains("\"status\":\"pong\""))
+}
+
+/// One hostile exchange on a fresh connection. Every arm is allowed to
+/// fail with an I/O error — the server may legitimately kill us — but
+/// nothing here may wedge: timeouts bound every read and write.
+fn chaos_action(
+    rng: &mut ChaosRng,
+    opts: &Options,
+    addr: std::net::SocketAddr,
+    tally: &mut ChaosTally,
+) -> std::io::Result<()> {
+    let frame = {
+        let index = (rng.next() % 1024) as usize;
+        let mut f = request_for(opts, index).encode();
+        f.push('\n');
+        f
+    };
+    match rng.next() % 8 {
+        // Half the actions are plain valid traffic so the hostile ones
+        // always interleave with real work.
+        0..=2 => {
+            let mut stream = chaos_connect(addr)?;
+            stream.write_all(frame.as_bytes())?;
+            if chaos_read_reply(&stream)? {
+                tally.valid_ok += 1;
+            } else {
+                tally.valid_err += 1;
+            }
+        }
+        3 => {
+            // Drop mid-frame: half a JSON object, no newline, close.
+            let mut stream = chaos_connect(addr)?;
+            let cut = frame.len() / 2;
+            stream.write_all(&frame.as_bytes()[..cut.max(1)])?;
+            tally.dropped_mid_frame += 1;
+        }
+        4 => {
+            // Send a full request, never read the reply, close. The
+            // worker's answer lands on a dead socket.
+            let mut stream = chaos_connect(addr)?;
+            stream.write_all(frame.as_bytes())?;
+            tally.abandoned_replies += 1;
+        }
+        5 => {
+            // Garbage pipelined with a valid request: both must be
+            // answered, in order.
+            let mut stream = chaos_connect(addr)?;
+            stream.write_all(b"!! not json !!\n")?;
+            stream.write_all(frame.as_bytes())?;
+            let first_ok = chaos_read_reply(&stream)?;
+            let second_ok = chaos_read_reply(&stream)?;
+            tally.garbage_frames += 1;
+            if !first_ok && second_ok {
+                tally.valid_ok += 1;
+            } else {
+                tally.valid_err += 1;
+            }
+        }
+        6 => {
+            // Oversized frame, then a valid one after the resync.
+            let mut stream = chaos_connect(addr)?;
+            let huge = vec![b'x'; gb_service::proto::MAX_FRAME + 64];
+            stream.write_all(&huge)?;
+            stream.write_all(b"\n")?;
+            stream.write_all(frame.as_bytes())?;
+            let _ = chaos_read_reply(&stream)?; // the too-long error
+            if chaos_read_reply(&stream)? {
+                tally.valid_ok += 1;
+            } else {
+                tally.valid_err += 1;
+            }
+            tally.oversized_frames += 1;
+        }
+        _ => {
+            // Connect and vanish before sending anything.
+            let stream = chaos_connect(addr)?;
+            drop(stream);
+            tally.instant_drops += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Polls the server's stats until queue depth and in-flight count are
+/// both zero (or the deadline passes). Returns the final (depth,
+/// inflight) pair.
+fn await_drained(addr: std::net::SocketAddr, timeout: Duration) -> (i64, i64) {
+    let deadline = Instant::now() + timeout;
+    let mut last = (i64::MAX, i64::MAX);
+    loop {
+        if let Ok(Response::Stats(stats)) =
+            Client::connect(addr).and_then(|mut c| c.call(&Request::Stats))
+        {
+            let depth = stats
+                .get("queue")
+                .and_then(|q| q.get("depth"))
+                .and_then(|v| v.as_u64())
+                .map_or(i64::MAX, |v| v as i64);
+            let inflight = stats
+                .get("connections")
+                .and_then(|c| c.get("inflight"))
+                .and_then(|v| v.as_u64())
+                .map_or(i64::MAX, |v| v as i64);
+            last = (depth, inflight);
+            if depth == 0 && inflight == 0 {
+                return last;
+            }
+        }
+        if Instant::now() >= deadline {
+            return last;
+        }
+        thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn run_chaos(
+    opts: &Arc<Options>,
+    addr: std::net::SocketAddr,
+    local_server: Option<Server>,
+) -> ExitCode {
+    let duration = Duration::from_millis(opts.duration_ms.unwrap_or(5_000));
+    println!(
+        "chaos: {} hostile clients against {} for {:.1} s (seed {})",
+        opts.clients,
+        addr,
+        duration.as_secs_f64(),
+        opts.seed
+    );
+    let deadline = Instant::now() + duration;
+    let mut handles = Vec::new();
+    for thread_index in 0..opts.clients {
+        let opts = Arc::clone(opts);
+        handles.push(thread::spawn(move || {
+            let mut rng = ChaosRng(opts.seed.wrapping_add(thread_index as u64 * 0x5851_f42d));
+            let mut tally = ChaosTally::default();
+            while Instant::now() < deadline {
+                if chaos_action(&mut rng, &opts, addr, &mut tally).is_err() {
+                    // The server is allowed to kill hostile connections;
+                    // what matters is that it keeps serving afterwards.
+                    tally.io_errors += 1;
+                }
+            }
+            tally
+        }));
+    }
+    let mut total = ChaosTally::default();
+    for handle in handles {
+        total.merge(&handle.join().expect("chaos thread panicked"));
+    }
+    println!(
+        "chaos: ok {} err {} | mid-frame drops {} abandoned {} garbage {} oversized {} \
+         instant drops {} io errors {}",
+        total.valid_ok,
+        total.valid_err,
+        total.dropped_mid_frame,
+        total.abandoned_replies,
+        total.garbage_frames,
+        total.oversized_frames,
+        total.instant_drops,
+        total.io_errors
+    );
+
+    // Invariants: the wreckage must fully drain (no leaked queue slots or
+    // in-flight gates) and a fresh, well-behaved client must still get a
+    // correct answer.
+    let (depth, inflight) = await_drained(addr, Duration::from_secs(15));
+    let drained = depth == 0 && inflight == 0;
+    println!("chaos: post-run queue depth {depth}, inflight {inflight}");
+    let final_ok = Client::connect(addr)
+        .and_then(|mut c| c.call(&request_for(opts, 0)))
+        .ok()
+        .is_some_and(|r| match r {
+            Response::Ok(ok) => ok.ratio >= 1.0 && ok.ratio <= ok.bound,
+            _ => false,
+        });
+    println!(
+        "chaos: fresh balance request after the storm: {}",
+        if final_ok { "ok" } else { "FAILED" }
+    );
+
+    if opts.send_shutdown {
+        match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+            Ok(_) => println!("chaos: shutdown frame acknowledged"),
+            Err(e) => eprintln!("chaos: shutdown frame failed: {e}"),
+        }
+    }
+    if let Some(server) = local_server {
+        server.shutdown();
+    }
+    if drained && final_ok && total.valid_ok > 0 {
+        println!("chaos: invariants held");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("chaos: INVARIANT VIOLATION (drained={drained}, final_ok={final_ok})");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
     if opts.bench {
@@ -673,6 +965,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.chaos {
+        return run_chaos(&opts, addr, local_server);
+    }
+
     println!(
         "loadgen: {} requests over {} clients against {} (n={}, algorithms: {})",
         opts.requests,
@@ -691,8 +987,18 @@ fn main() -> ExitCode {
     for client_index in 0..opts.clients {
         let opts = Arc::clone(&opts);
         handles.push(thread::spawn(move || -> Result<ClientTally, String> {
-            let mut client = Client::connect(addr)
-                .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+            // 0 disables the timeout; unset flags keep the client default.
+            let timeout = |ms: Option<u64>| match ms {
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+                None => Some(gb_service::client::DEFAULT_TIMEOUT),
+            };
+            let mut client = Client::connect_timeouts(
+                addr,
+                timeout(opts.read_timeout_ms),
+                timeout(opts.write_timeout_ms),
+            )
+            .map_err(|e| format!("client {client_index}: connect: {e}"))?;
             let mut tally = ClientTally::default();
             // Request k of client c is global index c + k·K: all clients
             // interleave through the same seed cycle.

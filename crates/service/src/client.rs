@@ -11,6 +11,12 @@ use std::time::Duration;
 
 use crate::proto::{Request, Response, MAX_FRAME};
 
+/// Default socket timeout applied by [`Client::connect`]. A wedged or
+/// dead server then fails the call instead of hanging the caller
+/// forever; pass explicit timeouts via [`Client::connect_timeouts`]
+/// (including `None` to opt back into blocking forever).
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// A blocking request/response connection to a gb-service server.
 #[derive(Debug)]
 pub struct Client {
@@ -19,16 +25,30 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects with no read timeout (calls block until answered).
+    /// Connects with [`DEFAULT_TIMEOUT`] on both reads and writes, so a
+    /// server that stops answering (or stops reading) cannot stall the
+    /// caller forever.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        Self::connect_timeout(addr, None)
+        Self::connect_timeouts(addr, Some(DEFAULT_TIMEOUT), Some(DEFAULT_TIMEOUT))
     }
 
-    /// Connects and applies a read timeout to every call.
+    /// Connects and applies a read timeout to every call; the write
+    /// timeout defaults to [`DEFAULT_TIMEOUT`].
     pub fn connect_timeout(addr: SocketAddr, timeout: Option<Duration>) -> io::Result<Client> {
+        Self::connect_timeouts(addr, timeout, Some(DEFAULT_TIMEOUT))
+    }
+
+    /// Connects with independent read and write timeouts (`None`
+    /// blocks indefinitely on that side).
+    pub fn connect_timeouts(
+        addr: SocketAddr,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(timeout)?;
+        stream.set_read_timeout(read_timeout)?;
+        stream.set_write_timeout(write_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             writer: stream,

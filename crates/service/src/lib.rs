@@ -23,7 +23,11 @@
 //!   keyed by deterministic problem fingerprints ([`cache`],
 //!   `gb_core::fingerprint`),
 //! * live counters and log-bucketed latency histograms with p50/p95/p99
-//!   readout ([`metrics`]),
+//!   readout, including fault counters (`conn_reset`, `torn_frame`,
+//!   `reply_dropped`) ([`metrics`]),
+//! * a deterministic fault-injection seam wrapping every accept, read
+//!   and write, used by the chaos test-suite to script torn writes,
+//!   resets and stalled workers ([`fault`]),
 //! * a blocking [`client`] plus two binaries: `gb-serve` (the daemon) and
 //!   `loadgen` (a concurrent load generator printing throughput and the
 //!   latency distribution, with a `--bench` mode emitting
@@ -57,6 +61,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod proto;
 pub mod server;
@@ -65,6 +70,7 @@ pub mod spec;
 
 pub use cache::ShardedCache;
 pub use client::Client;
+pub use fault::{IoShim, Passthrough, ScriptedShim, WriteOp};
 pub use proto::{Algorithm, ErrorCode, Request, Response};
 pub use server::{Engine, Server, ServerConfig, Tuning};
 pub use spec::ProblemSpec;

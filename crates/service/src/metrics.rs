@@ -128,6 +128,15 @@ pub struct ServiceMetrics {
     /// Cache hits answered inline on an I/O poller, skipping the queue
     /// and worker hand-off entirely.
     fast_path: AtomicU64,
+    /// Connections that died abnormally: reset by the peer, failed a
+    /// write, or stalled past the write deadline.
+    conn_reset: AtomicU64,
+    /// Frames cut off by a peer close: a non-empty partial line was
+    /// pending when EOF arrived.
+    torn_frame: AtomicU64,
+    /// Finished responses that could not be delivered — the connection
+    /// was dead or another thread had already answered for it.
+    reply_dropped: AtomicU64,
     /// Latency over all balance requests (receipt → response ready).
     latency: Histogram,
     /// Latency split per algorithm.
@@ -144,6 +153,9 @@ impl ServiceMetrics {
             errors: std::array::from_fn(|_| AtomicU64::new(0)),
             control: AtomicU64::new(0),
             fast_path: AtomicU64::new(0),
+            conn_reset: AtomicU64::new(0),
+            torn_frame: AtomicU64::new(0),
+            reply_dropped: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_by_algorithm: std::array::from_fn(|_| Histogram::new()),
         }
@@ -179,6 +191,39 @@ impl ServiceMetrics {
     /// Responses served on the inline fast path so far.
     pub fn fast_path_count(&self) -> u64 {
         self.fast_path.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection that died abnormally (peer reset, write
+    /// failure, or write stall past the deadline).
+    pub fn record_conn_reset(&self) {
+        self.conn_reset.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Abnormal connection deaths so far.
+    pub fn conn_reset_count(&self) -> u64 {
+        self.conn_reset.load(Ordering::Relaxed)
+    }
+
+    /// Records a frame cut off by EOF (non-empty partial line when the
+    /// peer closed).
+    pub fn record_torn_frame(&self) {
+        self.torn_frame.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Torn frames seen so far.
+    pub fn torn_frame_count(&self) -> u64 {
+        self.torn_frame.load(Ordering::Relaxed)
+    }
+
+    /// Records a finished response that could not be delivered to its
+    /// connection.
+    pub fn record_reply_dropped(&self) {
+        self.reply_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Undeliverable responses so far.
+    pub fn reply_dropped_count(&self) -> u64 {
+        self.reply_dropped.load(Ordering::Relaxed)
     }
 
     /// Seconds since the server started.
@@ -272,6 +317,23 @@ impl ServiceMetrics {
                 ]),
             ),
             (
+                "faults".into(),
+                Json::Obj(vec![
+                    (
+                        "conn_reset".into(),
+                        Json::Int(self.conn_reset.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "torn_frame".into(),
+                        Json::Int(self.torn_frame.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "reply_dropped".into(),
+                        Json::Int(self.reply_dropped.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
                 "latency".into(),
                 Json::Obj(vec![
                     ("overall".into(), self.latency.to_json()),
@@ -326,6 +388,22 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile_us(0.99), 0);
         assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_surface_in_snapshot() {
+        let m = ServiceMetrics::new();
+        m.record_conn_reset();
+        m.record_conn_reset();
+        m.record_torn_frame();
+        m.record_reply_dropped();
+        assert_eq!(m.conn_reset_count(), 2);
+        assert_eq!(m.torn_frame_count(), 1);
+        assert_eq!(m.reply_dropped_count(), 1);
+        let faults = m.to_json().get("faults").cloned().expect("faults section");
+        assert_eq!(faults.get("conn_reset").unwrap().as_u64(), Some(2));
+        assert_eq!(faults.get("torn_frame").unwrap().as_u64(), Some(1));
+        assert_eq!(faults.get("reply_dropped").unwrap().as_u64(), Some(1));
     }
 
     #[test]

@@ -933,6 +933,10 @@ pub enum FrameError {
     TooLong,
     /// A line was not valid UTF-8.
     NotUtf8,
+    /// The peer closed the connection with a non-empty partial line
+    /// pending — the frame was torn mid-write. Surfaced exactly once;
+    /// the next poll reports [`Frame::Eof`].
+    Torn,
     /// Underlying socket error (includes clean EOF as `UnexpectedEof`).
     Io(io::Error),
 }
@@ -942,6 +946,7 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::TooLong => write!(f, "frame exceeds {MAX_FRAME} bytes"),
             FrameError::NotUtf8 => write!(f, "frame is not valid UTF-8"),
+            FrameError::Torn => write!(f, "frame torn by EOF mid-line"),
             FrameError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -1026,7 +1031,23 @@ impl<R: Read> FrameReader<R> {
             match self.inner.read(&mut self.buf) {
                 Ok(0) => {
                     self.eof = true;
-                    // Any unterminated tail is dropped: frames end in \n.
+                    if self.discarding {
+                        // The tail of an already-reported oversized frame
+                        // never got its newline; the error was surfaced
+                        // when the frame overflowed, so this is plain EOF.
+                        self.discarding = false;
+                        self.pending.clear();
+                        return Ok(Frame::Eof);
+                    }
+                    if !self.pending.is_empty() {
+                        // A non-empty partial line at EOF is a torn frame
+                        // — the peer died mid-write. Silently swallowing
+                        // it would hide a protocol violation from both
+                        // metrics and the peer (which may only have shut
+                        // down its write half and still reads replies).
+                        self.pending.clear();
+                        return Err(FrameError::Torn);
+                    }
                     return Ok(Frame::Eof);
                 }
                 Ok(k) => {
@@ -1172,7 +1193,18 @@ mod tests {
         let mut fr = FrameReader::new(data);
         assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "alpha"));
         assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "beta"));
-        // Unterminated tail is dropped at EOF.
+        // The unterminated tail is a torn frame, not a silent EOF.
+        assert!(matches!(fr.poll_line(), Err(FrameError::Torn)));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn frame_reader_clean_eof_is_not_torn() {
+        let data = b"alpha\n" as &[u8];
+        let mut fr = FrameReader::new(data);
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "alpha"));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
+        // Torn is surfaced at most once; clean EOF stays EOF forever.
         assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
     }
 
@@ -1184,6 +1216,62 @@ mod tests {
         let mut fr = FrameReader::new(&data[..]);
         assert!(matches!(fr.poll_line(), Err(FrameError::TooLong)));
         assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "ok"));
+    }
+
+    /// A reader that hands out the stream in caller-chosen chunks, so
+    /// tests control exactly where read boundaries fall.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        cuts: Vec<usize>,
+        pos: usize,
+    }
+
+    impl Read for Chunked<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            let next_cut = self
+                .cuts
+                .iter()
+                .copied()
+                .find(|&c| c > self.pos)
+                .unwrap_or(self.data.len())
+                .min(self.data.len());
+            let take = (next_cut - self.pos).min(buf.len());
+            buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+            self.pos += take;
+            Ok(take)
+        }
+    }
+
+    #[test]
+    fn oversized_resync_works_when_newline_straddles_reads() {
+        // The oversized body arrives in one read, its terminating
+        // newline in the next, and the follow-up frame in a third: the
+        // reader must report TooLong once and then resynchronise.
+        let mut data = vec![b'x'; MAX_FRAME + 7];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let body_end = MAX_FRAME + 7;
+        let mut fr = FrameReader::new(Chunked {
+            cuts: vec![body_end, body_end + 1],
+            data: &data,
+            pos: 0,
+        });
+        assert!(matches!(fr.poll_line(), Err(FrameError::TooLong)));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Line(s) if s == "ok"));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
+    }
+
+    #[test]
+    fn oversized_tail_at_eof_is_not_double_reported() {
+        // Overflow reported as TooLong; the unterminated discard tail at
+        // EOF must not additionally count as a torn frame.
+        let data = vec![b'x'; MAX_FRAME + 100];
+        let mut fr = FrameReader::new(&data[..]);
+        assert!(matches!(fr.poll_line(), Err(FrameError::TooLong)));
+        assert!(matches!(fr.poll_line().unwrap(), Frame::Eof));
     }
 
     #[test]

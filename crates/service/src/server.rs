@@ -46,9 +46,10 @@
 //! saturated, that is the whole point of having them. The `shutdown`
 //! frame is acknowledged with a `pong` before draining begins.
 
+use std::fmt;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -57,24 +58,25 @@ use gb_parlb::ThreadPool;
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
+use crate::fault::{IoShim, Passthrough, ShimStream};
 use crate::metrics::ServiceMetrics;
 use crate::proto::{
     Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
     Request, Response,
 };
-use crate::shed::{BoundedQueue, PushError, StealQueue};
+use crate::shed::{BoundedQueue, PushError, SlotGauge, SlotToken, StealQueue};
 
 /// Smallest α used for bound computation, so bounds stay finite even for
 /// degenerate empirical measurements.
 const MIN_ALPHA: f64 = 1e-3;
 
-/// How long a direct socket write may sit in `WouldBlock` before the
-/// connection is declared dead (client stopped reading).
-const WRITE_STALL_LIMIT: Duration = Duration::from_secs(5);
-
 /// Lines dispatched from one connection per poller sweep, so one
 /// pipelining client cannot starve its siblings on the same poller.
 const MAX_LINES_PER_SWEEP: usize = 32;
+
+/// Compaction threshold for a connection's output buffer: once this many
+/// written bytes accumulate at the front, the buffer is shifted down.
+const OUT_BUF_COMPACT: usize = 64 * 1024;
 
 /// Which connection/queue architecture the server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,7 +137,7 @@ impl Default for ServerConfig {
 /// Kept separate from [`ServerConfig`] so exhaustive `ServerConfig`
 /// literals in existing callers and tests keep compiling; pass it via
 /// [`Server::start_tuned`]. [`Server::start`] uses the defaults.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Tuning {
     /// Serving engine (default [`Engine::Event`]).
     pub engine: Engine,
@@ -154,6 +156,15 @@ pub struct Tuning {
     /// the shutdown flag, and the ceiling on event-poller idle backoff.
     /// Was the `POLL_INTERVAL` const; default 100 ms.
     pub poll_interval: Duration,
+    /// How long a socket may refuse bytes (`WouldBlock` with output
+    /// pending) before the connection is declared dead — the client
+    /// stopped reading. Was the `WRITE_STALL_LIMIT` const; default 5 s.
+    pub write_stall: Duration,
+    /// Fault-injection seam: every accept decision, socket read, socket
+    /// write and worker dispatch goes through this shim. The default
+    /// [`Passthrough`] adds nothing; tests install a
+    /// [`ScriptedShim`](crate::fault::ScriptedShim).
+    pub shim: Arc<dyn IoShim>,
 }
 
 impl Default for Tuning {
@@ -165,7 +176,23 @@ impl Default for Tuning {
             admission: true,
             reply_timeout: Duration::from_secs(120),
             poll_interval: Duration::from_millis(100),
+            write_stall: Duration::from_secs(5),
+            shim: Arc::new(Passthrough),
         }
+    }
+}
+
+impl fmt::Debug for Tuning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tuning")
+            .field("engine", &self.engine)
+            .field("io_threads", &self.io_threads)
+            .field("cache_shards", &self.cache_shards)
+            .field("admission", &self.admission)
+            .field("reply_timeout", &self.reply_timeout)
+            .field("poll_interval", &self.poll_interval)
+            .field("write_stall", &self.write_stall)
+            .finish_non_exhaustive()
     }
 }
 
@@ -235,12 +262,46 @@ impl QueueKind {
     }
 }
 
+/// Write half of an event-engine connection: the nonblocking socket plus
+/// the output buffer that survives `WouldBlock` mid-frame.
+///
+/// Every writer (poller inline replies, worker replies, timeout errors)
+/// appends whole frames to `pending` and then pushes as much as the
+/// socket will take; the unwritten tail stays buffered — never dropped,
+/// never duplicated — and later sweeps retry it. `sent` marks the start
+/// of the unwritten region so retries cannot resend bytes.
+struct ConnWriter {
+    sink: ShimStream,
+    pending: Vec<u8>,
+    sent: usize,
+    /// First `WouldBlock` with output pending; cleared whenever the
+    /// socket accepts bytes again.
+    stalled_since: Option<Instant>,
+}
+
+impl ConnWriter {
+    fn new(sink: ShimStream) -> Self {
+        Self {
+            sink,
+            pending: Vec::new(),
+            sent: 0,
+            stalled_since: None,
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        self.sent < self.pending.len()
+    }
+}
+
 /// Per-connection state shared between the poller that reads requests
 /// and the worker that writes the reply.
 struct ConnShared {
-    /// Write half (a nonblocking clone of the socket). Workers and the
-    /// poller serialise frames through this lock.
-    writer: Mutex<TcpStream>,
+    /// Accept-order id, the fault shim's addressing scheme.
+    conn_id: u64,
+    /// Buffered write half. Workers and the poller serialise frames
+    /// through this lock.
+    writer: Mutex<ConnWriter>,
     /// A balance job from this connection is queued or executing; the
     /// poller stops reading until it clears (responses stay ordered).
     inflight: AtomicBool,
@@ -264,7 +325,13 @@ enum ReplyTo {
 struct Job {
     req: BalanceRequest,
     received: Instant,
+    /// Accept-order id of the submitting connection (fault-shim key).
+    conn_id: u64,
     reply: ReplyTo,
+    /// RAII in-flight slot: released when the job is dropped, wherever
+    /// that happens — worker reply, dead-connection skip, shed hand-back
+    /// or shutdown drain — so the gauge cannot leak.
+    _slot: SlotToken,
 }
 
 struct Shared {
@@ -275,6 +342,12 @@ struct Shared {
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     tuning: Tuning,
+    /// Accept-order connection ids, shared by both engines.
+    next_conn: AtomicU64,
+    /// Live connections (open sockets holding a token).
+    open_conns: SlotGauge,
+    /// Balance jobs between submission and reply (both engines).
+    inflight_jobs: SlotGauge,
     /// Threaded engine: per-connection thread handles.
     connections: Mutex<Vec<thread::JoinHandle<()>>>,
     /// Event engine: accepted connections in transit to their poller.
@@ -330,6 +403,9 @@ impl Server {
             shutdown: AtomicBool::new(false),
             local_addr,
             tuning: tuning.clone(),
+            next_conn: AtomicU64::new(0),
+            open_conns: SlotGauge::new(),
+            inflight_jobs: SlotGauge::new(),
             connections: Mutex::new(Vec::new()),
             inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
@@ -450,23 +526,30 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+        if !shared.tuning.shim.allow_accept(conn_id) {
+            shared.metrics.record_conn_reset();
+            continue;
+        }
         let shared2 = Arc::clone(shared);
         let handle = thread::Builder::new()
             .name("gb-serve-conn".into())
-            .spawn(move || handle_connection(&shared2, stream))
+            .spawn(move || handle_connection(&shared2, stream, conn_id))
             .expect("spawn connection thread");
         shared.connections.lock().push(handle);
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    let _open = shared.open_conns.acquire();
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.tuning.poll_interval));
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut writer = stream;
-    let mut reader = FrameReader::new(read_half);
+    let shim = &shared.tuning.shim;
+    let mut writer = ShimStream::new(stream, Arc::clone(shim), conn_id);
+    let mut reader = FrameReader::new(ShimStream::new(read_half, Arc::clone(shim), conn_id));
     loop {
         match reader.poll_line() {
             Ok(Frame::Pending) => {
@@ -476,24 +559,36 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             }
             Ok(Frame::Eof) => return,
             Ok(Frame::Line(line)) => {
-                let done = matches!(dispatch_line(shared, &line, &mut writer), Err(()));
+                let done = matches!(dispatch_line(shared, &line, &mut writer, conn_id), Err(()));
                 if done {
                     return;
                 }
             }
             Err(FrameError::TooLong) => {
                 let resp = protocol_error(shared, "frame exceeds the maximum length");
-                if write_response(&mut writer, &resp).is_err() {
+                if write_response(shared, &mut writer, &resp).is_err() {
                     return;
                 }
             }
             Err(FrameError::NotUtf8) => {
                 let resp = protocol_error(shared, "frame is not valid UTF-8");
-                if write_response(&mut writer, &resp).is_err() {
+                if write_response(shared, &mut writer, &resp).is_err() {
                     return;
                 }
             }
-            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Torn) => {
+                // The peer closed its write half mid-frame. Best-effort
+                // error reply — a half-closed client may still be
+                // reading — then drop the connection.
+                shared.metrics.record_torn_frame();
+                let resp = protocol_error(shared, "frame torn by EOF mid-line");
+                let _ = write_response(shared, &mut writer, &resp);
+                return;
+            }
+            Err(FrameError::Io(_)) => {
+                shared.metrics.record_conn_reset();
+                return;
+            }
         }
     }
 }
@@ -507,53 +602,92 @@ fn protocol_error(shared: &Shared, message: &str) -> Response {
     }
 }
 
-fn write_response(writer: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+/// Writes one frame on the threaded engine, retrying short writes and
+/// `WouldBlock` (a fault shim or a full socket buffer) until
+/// `tuning.write_stall` elapses, after which the peer is considered
+/// gone. No byte is ever dropped or rewritten: the slice only advances
+/// by what the socket accepted.
+fn write_response(
+    shared: &Shared,
+    writer: &mut ShimStream,
+    resp: &Response,
+) -> std::io::Result<()> {
     let mut line = resp.encode();
     line.push('\n');
-    writer.write_all(line.as_bytes())
+    let mut buf = line.as_bytes();
+    let deadline = Instant::now() + shared.tuning.write_stall;
+    while !buf.is_empty() {
+        match writer.write(buf) {
+            Ok(0) => {
+                shared.metrics.record_conn_reset();
+                return Err(std::io::ErrorKind::WriteZero.into());
+            }
+            Ok(k) => buf = &buf[k..],
+            Err(e) if would_block(&e) => {
+                if Instant::now() >= deadline {
+                    shared.metrics.record_conn_reset();
+                    return Err(e);
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                shared.metrics.record_conn_reset();
+                return Err(e);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Handles one request line. `Err(())` means the connection should close.
-fn dispatch_line(shared: &Arc<Shared>, line: &str, writer: &mut TcpStream) -> Result<(), ()> {
+fn dispatch_line(
+    shared: &Arc<Shared>,
+    line: &str,
+    writer: &mut ShimStream,
+    conn_id: u64,
+) -> Result<(), ()> {
     let request = match Request::decode(line) {
         Ok(r) => r,
         Err(e) => {
             let resp = protocol_error(shared, &e.message);
-            return write_response(writer, &resp).map_err(|_| ());
+            return write_response(shared, writer, &resp).map_err(|_| ());
         }
     };
     match request {
         Request::Ping => {
             shared.metrics.record_control();
-            write_response(writer, &Response::Pong).map_err(|_| ())
+            write_response(shared, writer, &Response::Pong).map_err(|_| ())
         }
         Request::Stats => {
             shared.metrics.record_control();
             let resp = Response::Stats(stats_json(shared));
-            write_response(writer, &resp).map_err(|_| ())
+            write_response(shared, writer, &resp).map_err(|_| ())
         }
         Request::Shutdown => {
             shared.metrics.record_control();
             // Acknowledge before draining so the client gets an answer.
-            let result = write_response(writer, &Response::Pong).map_err(|_| ());
+            let result = write_response(shared, writer, &Response::Pong).map_err(|_| ());
             trigger_shutdown(shared);
             result
         }
         Request::Balance(req) => {
-            let resp = submit_balance(shared, req);
-            write_response(writer, &resp).map_err(|_| ())
+            let resp = submit_balance(shared, req, conn_id);
+            write_response(shared, writer, &resp).map_err(|_| ())
         }
     }
 }
 
 /// Queues a balance request and waits for its worker-produced response.
-fn submit_balance(shared: &Shared, req: BalanceRequest) -> Response {
+fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Response {
     let id = req.id;
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job {
         req,
         received: Instant::now(),
+        conn_id,
         reply: ReplyTo::Channel(reply_tx),
+        _slot: shared.inflight_jobs.acquire(),
     };
     match shared.queue.try_push(job) {
         Ok(()) => match reply_rx.recv_timeout(shared.tuning.reply_timeout) {
@@ -592,27 +726,40 @@ fn submit_balance(shared: &Shared, req: BalanceRequest) -> Response {
 
 /// One connection owned by an I/O poller.
 struct Conn {
-    reader: FrameReader<TcpStream>,
+    reader: FrameReader<ShimStream>,
     shared: Arc<ConnShared>,
     /// Set while a queued balance request is outstanding: when it was
     /// dispatched, the reply-arbitration flag, and the request id (for
     /// the timeout error frame).
     inflight_since: Option<(Instant, Arc<AtomicBool>, Option<u64>)>,
+    /// The read side is finished (EOF or torn frame); the connection
+    /// stays around only until buffered replies drain.
+    closing: bool,
+    /// Open-connection gauge slot, released when the poller drops us.
+    _open: SlotToken,
 }
 
 impl Conn {
-    fn accept(stream: TcpStream) -> Option<Conn> {
+    fn accept(stream: TcpStream, shared: &Shared, conn_id: u64) -> Option<Conn> {
         let _ = stream.set_nodelay(true);
         stream.set_nonblocking(true).ok()?;
         let writer = stream.try_clone().ok()?;
+        let shim = &shared.tuning.shim;
         Some(Conn {
-            reader: FrameReader::new(stream),
+            reader: FrameReader::new(ShimStream::new(stream, Arc::clone(shim), conn_id)),
             shared: Arc::new(ConnShared {
-                writer: Mutex::new(writer),
+                conn_id,
+                writer: Mutex::new(ConnWriter::new(ShimStream::new(
+                    writer,
+                    Arc::clone(shim),
+                    conn_id,
+                ))),
                 inflight: AtomicBool::new(false),
                 dead: AtomicBool::new(false),
             }),
             inflight_since: None,
+            closing: false,
+            _open: shared.open_conns.acquire(),
         })
     }
 }
@@ -624,12 +771,11 @@ fn would_block(e: &std::io::Error) -> bool {
     )
 }
 
-/// Writes one frame to a nonblocking socket, retrying short writes.
-/// A peer that stops reading for [`WRITE_STALL_LIMIT`] is declared dead.
-fn write_frame(conn: &ConnShared, resp: &Response) {
+/// Queues one frame for delivery and pushes what the socket will take.
+fn write_frame(shared: &Shared, conn: &ConnShared, resp: &Response) {
     let mut line = resp.encode();
     line.push('\n');
-    write_bytes(conn, line.as_bytes());
+    enqueue_bytes(shared, conn, line.as_bytes());
 }
 
 /// Appends one encoded frame to a sweep's outgoing reply buffer.
@@ -638,39 +784,72 @@ fn push_reply(replies: &mut String, resp: &Response) {
     replies.push('\n');
 }
 
-/// Flushes buffered replies as a single write, preserving frame order.
-fn flush_replies(conn: &ConnShared, replies: &mut String) {
+/// Moves a sweep's coalesced replies into the connection's output
+/// buffer and flushes what fits, preserving frame order.
+fn flush_replies(shared: &Shared, conn: &ConnShared, replies: &mut String) {
     if !replies.is_empty() {
-        write_bytes(conn, replies.as_bytes());
+        enqueue_bytes(shared, conn, replies.as_bytes());
         replies.clear();
     }
 }
 
-fn write_bytes(conn: &ConnShared, mut buf: &[u8]) {
-    let deadline = Instant::now() + WRITE_STALL_LIMIT;
-    let mut writer = conn.writer.lock();
-    while !buf.is_empty() {
-        match writer.write(buf) {
-            Ok(0) => {
-                conn.dead.store(true, Ordering::Release);
-                return;
+/// Appends bytes to the connection's output buffer and drives the
+/// socket. Never blocks and never drops accepted bytes: on `WouldBlock`
+/// the tail stays in the buffer for later flushes.
+fn enqueue_bytes(shared: &Shared, conn: &ConnShared, buf: &[u8]) {
+    let mut w = conn.writer.lock();
+    if conn.dead.load(Ordering::Acquire) {
+        return;
+    }
+    w.pending.extend_from_slice(buf);
+    drive_writer(shared, conn, &mut w);
+}
+
+/// Retries any buffered output without blocking. Returns `true` while
+/// unwritten bytes remain.
+fn flush_pending(shared: &Shared, conn: &ConnShared) -> bool {
+    let mut w = conn.writer.lock();
+    drive_writer(shared, conn, &mut w);
+    w.has_pending()
+}
+
+/// Writes as much buffered output as the socket accepts. A socket that
+/// refuses all bytes for `tuning.write_stall` is a peer that stopped
+/// reading: the connection is marked dead and the buffer discarded.
+fn drive_writer(shared: &Shared, conn: &ConnShared, w: &mut ConnWriter) {
+    while w.sent < w.pending.len() {
+        match w.sink.write(&w.pending[w.sent..]) {
+            Ok(0) => return mark_write_dead(shared, conn, w),
+            Ok(k) => {
+                w.sent += k;
+                w.stalled_since = None;
             }
-            Ok(k) => buf = &buf[k..],
             Err(e) if would_block(&e) => {
-                if Instant::now() >= deadline {
-                    conn.dead.store(true, Ordering::Release);
-                    return;
+                let since = *w.stalled_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= shared.tuning.write_stall {
+                    return mark_write_dead(shared, conn, w);
                 }
-                // The socket buffer is full mid-frame; yield briefly.
-                thread::sleep(Duration::from_micros(200));
+                break;
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => {
-                conn.dead.store(true, Ordering::Release);
-                return;
-            }
+            Err(_) => return mark_write_dead(shared, conn, w),
         }
     }
+    if w.sent == w.pending.len() {
+        w.pending.clear();
+        w.sent = 0;
+    } else if w.sent >= OUT_BUF_COMPACT {
+        w.pending.drain(..w.sent);
+        w.sent = 0;
+    }
+}
+
+fn mark_write_dead(shared: &Shared, conn: &ConnShared, w: &mut ConnWriter) {
+    conn.dead.store(true, Ordering::Release);
+    shared.metrics.record_conn_reset();
+    w.pending.clear();
+    w.sent = 0;
+    w.stalled_since = None;
 }
 
 /// The poller loop: accept (poller 0), adopt handed-off connections,
@@ -695,7 +874,12 @@ fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListen
                 match l.accept() {
                     Ok((stream, _)) => {
                         progress = true;
-                        if let Some(conn) = Conn::accept(stream) {
+                        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                        if !shared.tuning.shim.allow_accept(conn_id) {
+                            shared.metrics.record_conn_reset();
+                            continue;
+                        }
+                        if let Some(conn) = Conn::accept(stream, shared, conn_id) {
                             let target = next_inbox % shared.inboxes.len();
                             next_inbox = next_inbox.wrapping_add(1);
                             if target == index {
@@ -759,7 +943,10 @@ fn sweep_conn(
     if let Some((since, answered, id)) = &conn.inflight_since {
         if conn.shared.inflight.load(Ordering::Acquire) {
             if since.elapsed() <= shared.tuning.reply_timeout {
-                return true; // still waiting on the worker
+                // Still waiting on the worker; keep earlier buffered
+                // output moving in the meantime.
+                flush_pending(shared, &conn.shared);
+                return !conn.shared.dead.load(Ordering::Acquire);
             }
             // The worker never answered; claim the reply ourselves.
             if answered
@@ -768,6 +955,7 @@ fn sweep_conn(
             {
                 shared.metrics.record_error(ErrorCode::Internal);
                 write_frame(
+                    shared,
                     &conn.shared,
                     &Response::Error {
                         id: *id,
@@ -781,17 +969,25 @@ fn sweep_conn(
         conn.inflight_since = None;
         *progress = true;
     }
-    if draining {
-        // Reply delivered (or never pending): close like the threaded
-        // engine does when it notices the flag between frames.
+    // Retry output a previous sweep (or a worker) could not finish —
+    // the partial-write tail must drain before anything else is read.
+    let has_pending = flush_pending(shared, &conn.shared);
+    if conn.shared.dead.load(Ordering::Acquire) {
         return false;
+    }
+    if draining || conn.closing {
+        // Read side is done (shutdown drain, EOF, or torn frame): hold
+        // the connection open only until buffered replies are out. A
+        // peer that will not take them is killed by the write-stall
+        // timer, so this cannot wedge the poller.
+        return has_pending;
     }
     let mut keep = true;
     for _ in 0..MAX_LINES_PER_SWEEP {
         match conn.reader.poll_line() {
             Ok(Frame::Pending) => break,
             Ok(Frame::Eof) => {
-                keep = false;
+                conn.closing = true;
                 break;
             }
             Ok(Frame::Line(line)) => {
@@ -819,13 +1015,34 @@ fn sweep_conn(
             Err(FrameError::NotUtf8) => {
                 push_reply(replies, &protocol_error(shared, "frame is not valid UTF-8"));
             }
+            Err(FrameError::Torn) => {
+                // Peer closed its write half mid-frame; tell it (it may
+                // still read) and drain out.
+                shared.metrics.record_torn_frame();
+                push_reply(
+                    replies,
+                    &protocol_error(shared, "frame torn by EOF mid-line"),
+                );
+                conn.closing = true;
+                break;
+            }
             Err(FrameError::Io(_)) => {
+                shared.metrics.record_conn_reset();
                 keep = false;
                 break;
             }
         }
     }
-    flush_replies(&conn.shared, replies);
+    flush_replies(shared, &conn.shared, replies);
+    if conn.shared.dead.load(Ordering::Acquire) {
+        return false;
+    }
+    if conn.closing {
+        // Keep only while buffered replies remain (or a late worker
+        // reply is still owed); they drain on subsequent sweeps.
+        return conn.shared.writer.lock().has_pending()
+            || conn.shared.inflight.load(Ordering::Acquire);
+    }
     keep
 }
 
@@ -872,7 +1089,7 @@ fn dispatch_event_line(
             push_reply(replies, &Response::Pong);
             // The drain must not race the acknowledgement out of the
             // buffer: write it now.
-            flush_replies(conn, replies);
+            flush_replies(shared, conn, replies);
             trigger_shutdown(shared);
             LineOutcome::Answered
         }
@@ -906,7 +1123,7 @@ fn dispatch_event_line(
             // The worker writes its reply directly to the socket, so any
             // buffered inline replies must land first to keep the
             // connection's frames in request order.
-            flush_replies(conn, replies);
+            flush_replies(shared, conn, replies);
             let answered = Arc::new(AtomicBool::new(false));
             // Mark in-flight *before* pushing: the worker may finish and
             // clear the flag before try_push even returns.
@@ -914,10 +1131,12 @@ fn dispatch_event_line(
             let job = Job {
                 req,
                 received,
+                conn_id: conn.conn_id,
                 reply: ReplyTo::Socket {
                     conn: Arc::clone(conn),
                     answered: Arc::clone(&answered),
                 },
+                _slot: shared.inflight_jobs.acquire(),
             };
             match shared.queue.try_push(job) {
                 Ok(()) => LineOutcome::Inflight { answered, id },
@@ -958,21 +1177,45 @@ fn dispatch_event_line(
 
 fn worker_loop(shared: &Shared, index: usize) {
     while let Some(job) = shared.queue.pop(index) {
+        // Fault injection: a scripted stall models a wedged worker.
+        if let Some(stall) = shared.tuning.shim.before_execute(job.conn_id) {
+            thread::sleep(stall);
+        }
+        if let ReplyTo::Socket { conn, answered } = &job.reply {
+            if conn.dead.load(Ordering::Acquire) {
+                // The client died while the job sat in the queue: skip
+                // the compute, but settle the gate so accounting stays
+                // exact (dropping the job releases its slot token).
+                if answered
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    conn.inflight.store(false, Ordering::Release);
+                }
+                shared.metrics.record_reply_dropped();
+                continue;
+            }
+        }
         let resp = execute(shared, &job);
         match job.reply {
             // A disconnected client is fine — drop the response.
-            ReplyTo::Channel(tx) => {
+            ReplyTo::Channel(ref tx) => {
                 let _ = tx.send(resp);
             }
-            ReplyTo::Socket { conn, answered } => {
+            ReplyTo::Socket {
+                ref conn,
+                ref answered,
+            } => {
                 // Lose the race against a poller-side timeout and the
                 // reply (and the in-flight token) is no longer ours.
                 if answered
                     .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    write_frame(&conn, &resp);
+                    write_frame(shared, conn, &resp);
                     conn.inflight.store(false, Ordering::Release);
+                } else {
+                    shared.metrics.record_reply_dropped();
                 }
             }
         }
@@ -1091,6 +1334,19 @@ fn stats_json(shared: &Shared) -> Json {
                 ("capacity".into(), Json::Int(shared.queue.capacity() as i64)),
                 ("shards".into(), Json::Int(shared.queue.shards() as i64)),
                 ("steals".into(), Json::Int(shared.queue.steals() as i64)),
+            ]),
+        ));
+        entries.push((
+            "connections".into(),
+            Json::Obj(vec![
+                (
+                    "open".into(),
+                    Json::Int(shared.open_conns.occupied() as i64),
+                ),
+                (
+                    "inflight".into(),
+                    Json::Int(shared.inflight_jobs.occupied() as i64),
+                ),
             ]),
         ));
         entries.push((

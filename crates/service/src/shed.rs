@@ -24,6 +24,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
@@ -35,6 +36,57 @@ pub enum PushError {
     Full,
     /// The queue is closed — the server is shutting down.
     Closed,
+}
+
+// ---------------------------------------------------------------------------
+// SlotGauge: leak-proof occupancy accounting
+// ---------------------------------------------------------------------------
+
+/// An atomic occupancy gauge whose increments are RAII tokens.
+///
+/// The serving path uses these for accounting that must be exact across
+/// *every* exit path — a connection that dies mid-request, a worker that
+/// loses the reply race, a thread that panics. A leaked decrement is the
+/// "shedding tightens forever" failure mode: the gauge reads as
+/// permanently occupied and admission keeps refusing work the server
+/// could do. Tying the release to [`Drop`] makes that class of bug
+/// unrepresentable — whoever holds the [`SlotToken`] releases the slot
+/// by letting go of it, no matter how they exit.
+#[derive(Debug, Clone, Default)]
+pub struct SlotGauge {
+    occupied: Arc<AtomicUsize>,
+}
+
+/// One occupied slot in a [`SlotGauge`]; dropping it releases the slot.
+#[derive(Debug)]
+pub struct SlotToken {
+    occupied: Arc<AtomicUsize>,
+}
+
+impl SlotGauge {
+    /// Creates an empty gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occupies one slot; the slot is released when the token drops.
+    pub fn acquire(&self) -> SlotToken {
+        self.occupied.fetch_add(1, Ordering::AcqRel);
+        SlotToken {
+            occupied: Arc::clone(&self.occupied),
+        }
+    }
+
+    /// Number of currently occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.occupied.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for SlotToken {
+    fn drop(&mut self) {
+        self.occupied.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -295,6 +347,35 @@ mod tests {
     use std::sync::Arc;
     use std::thread;
     use std::time::Duration;
+
+    #[test]
+    fn slot_gauge_tracks_tokens() {
+        let g = SlotGauge::new();
+        assert_eq!(g.occupied(), 0);
+        let a = g.acquire();
+        let b = g.acquire();
+        assert_eq!(g.occupied(), 2);
+        drop(a);
+        assert_eq!(g.occupied(), 1);
+        drop(b);
+        assert_eq!(g.occupied(), 0);
+    }
+
+    /// Regression: the slot must be released even when the holder exits
+    /// by panicking — a leaked slot is exactly the "shedding tightens
+    /// forever" bug the gauge exists to rule out.
+    #[test]
+    fn slot_gauge_releases_on_panic() {
+        let g = SlotGauge::new();
+        let g2 = g.clone();
+        let result = thread::spawn(move || {
+            let _token = g2.acquire();
+            panic!("worker died mid-request");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must have panicked");
+        assert_eq!(g.occupied(), 0, "panic path leaked a slot");
+    }
 
     #[test]
     fn sheds_when_full() {

@@ -1,0 +1,184 @@
+//! Property tests for `FrameReader`: how a byte stream is chunked across
+//! `read` calls must never change what is parsed from it.
+//!
+//! Random mixes of valid lines, `\r\n` endings, garbage, non-UTF-8,
+//! oversized frames and torn tails are fed through the reader twice —
+//! once as a single read, once split at random points — and the full
+//! event sequences (lines, errors, EOF) must match exactly.
+
+use std::io::{self, Read};
+
+use gb_service::proto::{Frame, FrameError, FrameReader, MAX_FRAME};
+use proptest::prelude::*;
+
+/// One observable step of the reader, in a comparable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    Line(String),
+    TooLong,
+    NotUtf8,
+    Torn,
+    Eof,
+}
+
+/// Drains a reader to EOF, collecting every event. `Pending` cannot
+/// occur here: the test readers never return `WouldBlock`.
+fn events<R: Read>(reader: R) -> Vec<Ev> {
+    let mut fr = FrameReader::new(reader);
+    let mut out = Vec::new();
+    loop {
+        let ev = match fr.poll_line() {
+            Ok(Frame::Line(s)) => Ev::Line(s),
+            Ok(Frame::Eof) => {
+                out.push(Ev::Eof);
+                return out;
+            }
+            Ok(Frame::Pending) => panic!("test reader returned Pending"),
+            Err(FrameError::TooLong) => Ev::TooLong,
+            Err(FrameError::NotUtf8) => Ev::NotUtf8,
+            Err(FrameError::Torn) => Ev::Torn,
+            Err(FrameError::Io(e)) => panic!("unexpected io error: {e}"),
+        };
+        out.push(ev);
+        assert!(out.len() < 10_000, "reader failed to reach EOF");
+    }
+}
+
+/// Hands out `data` in chunks whose boundaries fall at `cuts`
+/// (positions into the stream), regardless of the caller's buffer size.
+struct Chunked {
+    data: Vec<u8>,
+    cuts: Vec<usize>,
+    pos: usize,
+}
+
+impl Read for Chunked {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let next_cut = self
+            .cuts
+            .iter()
+            .copied()
+            .filter(|&c| c > self.pos)
+            .min()
+            .unwrap_or(self.data.len())
+            .min(self.data.len());
+        let take = (next_cut - self.pos).min(buf.len());
+        buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+        self.pos += take;
+        Ok(take)
+    }
+}
+
+/// Renders one scripted segment into wire bytes. A "torn" segment only
+/// actually tears the stream when it is last — otherwise its bytes fuse
+/// with the next segment, which is exactly what TCP would do, and the
+/// one-shot reference parse fuses them identically.
+fn segment_bytes(kind: u32, param: u32) -> Vec<u8> {
+    match kind % 5 {
+        0 => format!("req-{param}\n").into_bytes(),
+        1 => format!("garbage {param} with spaces\r\n").into_bytes(),
+        2 => {
+            let mut b = vec![0xFF, 0xFE, 0xC0];
+            b.extend_from_slice(format!("{param}").as_bytes());
+            b.push(b'\n');
+            b
+        }
+        3 => {
+            let mut b = vec![b'x'; MAX_FRAME + 1 + (param as usize % 64)];
+            b.push(b'\n');
+            b
+        }
+        _ => format!("torn-tail-{param}").into_bytes(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn chunking_never_changes_the_event_sequence(
+        segments in prop::collection::vec((0u32..5, any::<u32>()), 1..6),
+        cut_seeds in prop::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let mut data = Vec::new();
+        for &(kind, param) in &segments {
+            data.extend_from_slice(&segment_bytes(kind, param));
+        }
+        let mut cuts: Vec<usize> = cut_seeds
+            .iter()
+            .map(|&s| (s % (data.len() as u64 + 1)) as usize)
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        let reference = events(&data[..]);
+        let chunked = events(Chunked { data, cuts: cuts.clone(), pos: 0 });
+        prop_assert_eq!(
+            &reference,
+            &chunked,
+            "event divergence with cuts {:?}",
+            cuts
+        );
+        // Sanity on the sequence shape itself.
+        prop_assert_eq!(reference.last(), Some(&Ev::Eof));
+        prop_assert_eq!(
+            reference.iter().filter(|e| **e == Ev::Eof).count(),
+            1
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn small_streams_survive_byte_at_a_time_reads(
+        segments in prop::collection::vec((0u32..3, 0u32..1000), 1..5),
+        tear in any::<u32>(),
+    ) {
+        let mut data = Vec::new();
+        for &(kind, param) in &segments {
+            data.extend_from_slice(&segment_bytes(kind, param));
+        }
+        if tear % 2 == 0 {
+            data.extend_from_slice(b"half a frame");
+        }
+        let reference = events(&data[..]);
+        let cuts: Vec<usize> = (0..data.len()).collect();
+        let bytewise = events(Chunked { data, cuts, pos: 0 });
+        prop_assert_eq!(reference, bytewise);
+    }
+}
+
+#[test]
+fn torn_tail_appears_exactly_once_at_eof() {
+    let evs = events(&b"ok\nleftover"[..]);
+    assert_eq!(
+        evs,
+        vec![Ev::Line("ok".into()), Ev::Torn, Ev::Eof],
+        "a non-empty partial line at close must surface as Torn"
+    );
+}
+
+#[test]
+fn oversized_then_valid_resyncs_under_any_split() {
+    let mut data = vec![b'y'; MAX_FRAME + 33];
+    data.push(b'\n');
+    data.extend_from_slice(b"after\n");
+    let reference = events(&data[..]);
+    assert_eq!(
+        reference,
+        vec![Ev::TooLong, Ev::Line("after".into()), Ev::Eof]
+    );
+    // Splits around every interesting boundary, including the newline
+    // straddling two reads.
+    for cut in [1, MAX_FRAME, MAX_FRAME + 33, MAX_FRAME + 34, MAX_FRAME + 35] {
+        let chunked = events(Chunked {
+            data: data.clone(),
+            cuts: vec![cut],
+            pos: 0,
+        });
+        assert_eq!(chunked, reference, "divergence at cut {cut}");
+    }
+}

@@ -1,0 +1,581 @@
+//! Fault-injection matrix for the serving path.
+//!
+//! Every scenario runs against BOTH engines (`event` and `threaded`) and
+//! ends with the same "never wedges" invariant check: the steal-queue
+//! depth and the in-flight gauge drain to zero, the expected fault
+//! counters moved, and a fresh well-behaved client still gets a correct
+//! `Balance` reply. Faults are injected two ways: hostile byte streams
+//! on real sockets (torn frames, garbage, oversized lines, abrupt
+//! closes) and a scripted [`ScriptedShim`] inside the server (short
+//! writes, `WouldBlock` storms, write resets, stalled workers,
+//! accept-time refusals).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gb_service::client::Client;
+use gb_service::fault::{ScriptedShim, WriteOp};
+use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response, MAX_FRAME};
+use gb_service::server::{Engine, Server, ServerConfig, Tuning};
+use gb_service::spec::ProblemSpec;
+
+/// Unique cold seeds so "must reach a worker" requests never hit the
+/// cache, across every test in this binary.
+static NEXT_SEED: AtomicU64 = AtomicU64::new(10_000);
+
+fn cold_seed() -> u64 {
+    NEXT_SEED.fetch_add(1, Ordering::Relaxed)
+}
+
+fn balance_request(seed: u64, deadline_ms: Option<u64>) -> Request {
+    Request::Balance(BalanceRequest {
+        id: Some(seed),
+        algorithm: Algorithm::Hf,
+        n: 16,
+        theta: 1.0,
+        deadline_ms,
+        want_pieces: false,
+        problem: ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.25,
+            hi: 0.5,
+            seed,
+        },
+    })
+}
+
+/// A server plus the script driving its fault shim.
+struct Harness {
+    server: Option<Server>,
+    shim: ScriptedShim,
+    engine: Engine,
+}
+
+impl Harness {
+    fn start(engine: Engine) -> Harness {
+        Self::start_with(engine, |_| {})
+    }
+
+    fn start_with(engine: Engine, tune: impl FnOnce(&mut Tuning)) -> Harness {
+        let shim = ScriptedShim::new();
+        let mut tuning = Tuning {
+            engine,
+            shim: Arc::new(shim.clone()),
+            ..Tuning::default()
+        };
+        tune(&mut tuning);
+        let server = Server::start_tuned(
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_capacity: 16,
+                cache_capacity: 64,
+                pool_threads: 2,
+            },
+            tuning,
+        )
+        .expect("bind ephemeral port");
+        Harness {
+            server: Some(server),
+            shim,
+            engine,
+        }
+    }
+
+    fn addr(&self) -> std::net::SocketAddr {
+        self.server.as_ref().expect("server running").local_addr()
+    }
+
+    fn stats(&self) -> Json {
+        match Client::connect(self.addr())
+            .and_then(|mut c| c.call(&Request::Stats))
+            .expect("stats call")
+        {
+            Response::Stats(stats) => stats,
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    fn fault_counter(&self, name: &str) -> u64 {
+        self.stats()
+            .get("faults")
+            .and_then(|f| f.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("stats missing faults.{name}"))
+    }
+
+    /// Polls until the named fault counter reaches `want` — fault
+    /// bookkeeping is asynchronous to the client observing the fault.
+    fn await_fault_counter(&self, name: &str, want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let have = self.fault_counter(name);
+            if have >= want {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "[{}] faults.{name} stuck at {have}, wanted >= {want}",
+                self.engine.name()
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// The post-scenario invariant: all transient state drains and the
+    /// server still answers correctly.
+    fn assert_never_wedged(&self) {
+        let engine = self.engine.name();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (mut depth, mut inflight) = (u64::MAX, u64::MAX);
+        while Instant::now() < deadline {
+            let stats = self.stats();
+            depth = stats
+                .get("queue")
+                .and_then(|q| q.get("depth"))
+                .and_then(|v| v.as_u64())
+                .expect("stats missing queue.depth");
+            inflight = stats
+                .get("connections")
+                .and_then(|c| c.get("inflight"))
+                .and_then(|v| v.as_u64())
+                .expect("stats missing connections.inflight");
+            if depth == 0 && inflight == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        assert_eq!(depth, 0, "[{engine}] queue depth leaked");
+        assert_eq!(inflight, 0, "[{engine}] in-flight gauge leaked");
+
+        let seed = cold_seed();
+        let mut client = Client::connect(self.addr()).expect("fresh client connect");
+        match client
+            .call(&balance_request(seed, None))
+            .expect("fresh balance call")
+        {
+            Response::Ok(ok) => {
+                assert!(
+                    ok.ratio >= 1.0 && ok.ratio <= ok.bound,
+                    "[{engine}] bad ratio {} (bound {})",
+                    ok.ratio,
+                    ok.bound
+                );
+            }
+            other => panic!("[{engine}] fresh client got {other:?}"),
+        }
+    }
+
+    fn shutdown(mut self) {
+        self.shim.clear_stall();
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+    }
+}
+
+/// A raw protocol connection with bounded reads, for hostile scripts.
+struct RawConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn open(addr: std::net::SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("raw connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        stream
+            .set_write_timeout(Some(Duration::from_secs(10)))
+            .expect("write timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        RawConn {
+            writer: stream,
+            reader,
+        }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("raw write");
+    }
+
+    /// Reads one reply line; `None` on EOF.
+    fn read_reply(&mut self) -> Option<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("raw read");
+        if n == 0 {
+            return None;
+        }
+        Some(Response::decode(line.trim_end()).expect("decode reply"))
+    }
+
+    fn close_write(&self) {
+        let _ = self.writer.shutdown(Shutdown::Write);
+    }
+}
+
+fn request_line(request: &Request) -> Vec<u8> {
+    let mut line = request.encode();
+    line.push('\n');
+    line.into_bytes()
+}
+
+fn for_both(scenario: impl Fn(Engine)) {
+    scenario(Engine::Event);
+    scenario(Engine::Threaded);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario matrix
+// ---------------------------------------------------------------------------
+
+/// Scenario 1: connection dropped mid-frame. The torn tail must count as
+/// a framing fault, not vanish.
+#[test]
+fn drop_mid_frame_counts_torn_frame() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        {
+            let mut conn = RawConn::open(h.addr());
+            let line = request_line(&balance_request(cold_seed(), None));
+            conn.send(&line[..line.len() / 2]);
+            // Full close, newline never sent: a torn frame.
+        }
+        h.await_fault_counter("torn_frame", 1);
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 2: EOF mid-pipeline with the read half still open. The valid
+/// frame is answered, the torn tail gets a best-effort error reply.
+#[test]
+fn torn_tail_after_valid_pipeline_gets_error_reply() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n{\"op\":\"bal");
+            conn.close_write();
+            match conn.read_reply() {
+                Some(Response::Pong) => {}
+                other => panic!("[{}] expected pong, got {other:?}", engine.name()),
+            }
+            match conn.read_reply() {
+                Some(Response::Error { code, .. }) => {
+                    assert_eq!(code, ErrorCode::BadRequest);
+                }
+                other => panic!("[{}] expected torn error, got {other:?}", engine.name()),
+            }
+            assert!(
+                conn.read_reply().is_none(),
+                "server must close after torn frame"
+            );
+        }
+        h.await_fault_counter("torn_frame", 1);
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 3: garbage frames interleaved with valid pipelined requests —
+/// answered in order, connection survives.
+#[test]
+fn garbage_interleaved_with_valid_pipeline() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        {
+            let mut conn = RawConn::open(h.addr());
+            let mut burst = Vec::new();
+            burst.extend_from_slice(b"!!! not json !!!\n");
+            burst.extend_from_slice(&request_line(&balance_request(cold_seed(), None)));
+            burst.extend_from_slice(b"{\"op\":\"nope\"}\n");
+            burst.extend_from_slice(b"{\"op\":\"ping\"}\n");
+            conn.send(&burst);
+            match conn.read_reply() {
+                Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+                other => panic!("[{}] reply 1: {other:?}", engine.name()),
+            }
+            match conn.read_reply() {
+                Some(Response::Ok(_)) => {}
+                other => panic!("[{}] reply 2: {other:?}", engine.name()),
+            }
+            match conn.read_reply() {
+                Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+                other => panic!("[{}] reply 3: {other:?}", engine.name()),
+            }
+            match conn.read_reply() {
+                Some(Response::Pong) => {}
+                other => panic!("[{}] reply 4: {other:?}", engine.name()),
+            }
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 4: an oversized frame answered with `too long`, then the
+/// stream resyncs and the same connection keeps working.
+#[test]
+fn oversized_frame_resyncs_on_same_connection() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        {
+            let mut conn = RawConn::open(h.addr());
+            let mut burst = vec![b'x'; MAX_FRAME + 100];
+            burst.push(b'\n');
+            burst.extend_from_slice(b"{\"op\":\"ping\"}\n");
+            conn.send(&burst);
+            match conn.read_reply() {
+                Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+                other => panic!("[{}] oversized reply: {other:?}", engine.name()),
+            }
+            match conn.read_reply() {
+                Some(Response::Pong) => {}
+                other => panic!("[{}] post-resync reply: {other:?}", engine.name()),
+            }
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 5 (partial-write regression): replies forced through
+/// single-byte writes interleaved with `WouldBlock` must still arrive
+/// byte-perfect — no dropped and no duplicated bytes.
+#[test]
+fn torn_write_storm_keeps_replies_intact() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        // Connection 0's first writes: a storm of 1–3 byte shorts and
+        // WouldBlocks, then passthrough.
+        let mut plan = Vec::new();
+        for k in 0..24 {
+            plan.push(WriteOp::Short(1 + k % 3));
+            plan.push(WriteOp::WouldBlock);
+        }
+        h.shim.plan_writes(0, plan);
+        {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n");
+            match conn.read_reply() {
+                Some(Response::Pong) => {}
+                other => panic!("[{}] shredded pong: {other:?}", engine.name()),
+            }
+            // A worker-written reply through the same shredder.
+            conn.send(&request_line(&balance_request(cold_seed(), None)));
+            match conn.read_reply() {
+                Some(Response::Ok(ok)) => {
+                    assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound);
+                }
+                other => panic!("[{}] shredded balance: {other:?}", engine.name()),
+            }
+            // And the connection still works once the plan is spent.
+            conn.send(b"{\"op\":\"ping\"}\n");
+            assert!(matches!(conn.read_reply(), Some(Response::Pong)));
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 6 (poller-starvation regression): while connection 0's reply
+/// is stuck in a `WouldBlock` storm, a neighbouring connection on the
+/// same poller must still be answered promptly. Pre-fix, the event
+/// poller slept inside the write loop and the neighbour waited out the
+/// whole storm.
+#[test]
+fn wouldblock_storm_does_not_starve_neighbours() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim
+            .plan_writes(0, [WriteOp::BlockFor(Duration::from_millis(1500))]);
+        let mut stuck = RawConn::open(h.addr());
+        stuck.send(b"{\"op\":\"ping\"}\n");
+        // Give the server a beat to attempt (and block) the first write.
+        std::thread::sleep(Duration::from_millis(100));
+
+        let mut neighbour = RawConn::open(h.addr());
+        let asked = Instant::now();
+        neighbour.send(b"{\"op\":\"ping\"}\n");
+        match neighbour.read_reply() {
+            Some(Response::Pong) => {}
+            other => panic!("[{}] neighbour reply: {other:?}", engine.name()),
+        }
+        let waited = asked.elapsed();
+        assert!(
+            waited < Duration::from_millis(1000),
+            "[{}] neighbour starved for {waited:?} behind a blocked write",
+            engine.name()
+        );
+        // The stuck reply is delivered intact once the storm passes.
+        match stuck.read_reply() {
+            Some(Response::Pong) => {}
+            other => panic!("[{}] stuck reply: {other:?}", engine.name()),
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 7: a write reset while replying. The connection dies, the
+/// reset is counted, and nothing leaks.
+#[test]
+fn write_reset_counts_conn_reset() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.plan_writes(0, [WriteOp::Reset]);
+        {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n");
+            // The reply write is reset server-side; we observe EOF (or a
+            // reset of our own, both acceptable).
+            let mut line = String::new();
+            let _ = conn.reader.read_line(&mut line);
+        }
+        h.await_fault_counter("conn_reset", 1);
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 8: a stalled worker pushes the request past its deadline —
+/// the client gets `timeout`, not silence.
+#[test]
+fn stalled_worker_turns_deadline_into_timeout() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.stall_workers(Duration::from_millis(400));
+        {
+            let mut client = Client::connect(h.addr()).expect("connect");
+            match client
+                .call(&balance_request(cold_seed(), Some(100)))
+                .expect("stalled call")
+            {
+                Response::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::Timeout, "[{}]", engine.name())
+                }
+                other => panic!("[{}] expected timeout, got {other:?}", engine.name()),
+            }
+        }
+        h.shim.clear_stall();
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 9: the worker outlives `reply_timeout` — the connection gets
+/// an `internal` error instead of wedging, and the worker's late reply
+/// is dropped (and counted, on the event engine, where the reply races a
+/// poller-side timeout).
+#[test]
+fn slow_worker_triggers_reply_timeout() {
+    for_both(|engine| {
+        let h = Harness::start_with(engine, |t| {
+            t.reply_timeout = Duration::from_millis(200);
+        });
+        h.shim.stall_workers(Duration::from_millis(900));
+        {
+            let mut client = Client::connect(h.addr()).expect("connect");
+            match client
+                .call(&balance_request(cold_seed(), None))
+                .expect("slow call")
+            {
+                Response::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::Internal, "[{}]", engine.name())
+                }
+                other => panic!("[{}] expected internal, got {other:?}", engine.name()),
+            }
+        }
+        h.shim.clear_stall();
+        if engine == Engine::Event {
+            h.await_fault_counter("reply_dropped", 1);
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 10 (slot-leak regression): connections killed while their
+/// request is queued or at a worker must release the in-flight slot and
+/// the queue slot. Pre-fix the gauges did not exist and dead-connection
+/// jobs burned workers; post-fix repeated kill cycles leave zero
+/// residue and shedding does not tighten.
+#[test]
+fn killing_connections_mid_request_leaks_nothing() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        // Hold jobs at the worker long enough that the close happens
+        // while the request is in flight.
+        h.shim.stall_workers(Duration::from_millis(150));
+        for _ in 0..6 {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(&request_line(&balance_request(cold_seed(), None)));
+            // Drop without reading: the reply lands on a dead socket.
+        }
+        h.shim.clear_stall();
+        // The invariant check asserts depth == 0 and inflight == 0, and
+        // that a fresh request is served rather than shed — shedding
+        // that "tightens forever" would answer `overloaded` here.
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 11: accept-time reset. The refused connection sees EOF, the
+/// reset is counted, and the next connection is served normally.
+#[test]
+fn accept_reset_refuses_one_connection_cleanly() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.reset_accept(0); // the first accepted connection
+        {
+            let mut refused = RawConn::open(h.addr());
+            refused.send(b"{\"op\":\"ping\"}\n");
+            let mut line = String::new();
+            let n = refused.reader.read_line(&mut line).unwrap_or(0);
+            assert_eq!(n, 0, "[{}] refused conn must see EOF", engine.name());
+        }
+        h.await_fault_counter("conn_reset", 1);
+        {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n");
+            assert!(
+                matches!(conn.read_reply(), Some(Response::Pong)),
+                "[{}] neighbour of refused conn must be served",
+                engine.name()
+            );
+        }
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 12: a client that vanishes while pipelined requests are
+/// queued behind an in-flight one — everything drains, nothing wedges.
+#[test]
+fn vanishing_pipeline_drains_cleanly() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.stall_workers(Duration::from_millis(100));
+        {
+            let mut conn = RawConn::open(h.addr());
+            let mut burst = Vec::new();
+            for _ in 0..4 {
+                burst.extend_from_slice(&request_line(&balance_request(cold_seed(), None)));
+            }
+            conn.send(&burst);
+            // Read one reply so at least one request completed, then die
+            // with the rest queued or unread.
+            let _ = conn.read_reply();
+        }
+        h.shim.clear_stall();
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
