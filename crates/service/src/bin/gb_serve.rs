@@ -7,14 +7,22 @@
 //!          [--cache-shards S] [--admission on|off]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
 //!          [--write-stall-ms MS]
+//!          [--store-dir PATH] [--store-segment-bytes N]
+//!          [--store-budget-bytes N]
 //! ```
 //!
 //! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
 //! and serves until a client sends a `shutdown` frame.
+//!
+//! `--store-dir` enables the crash-safe result store: cached results are
+//! spilled write-behind to an append-only segment log under PATH, and a
+//! restarted daemon recovers them into its cache before serving —
+//! the hot set survives a crash.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use gb_service::persist::StoreSettings;
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 
 fn usage() -> ! {
@@ -22,7 +30,8 @@ fn usage() -> ! {
         "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
          [--cache-cap C] [--pool-threads T] [--engine event|threaded] \
          [--io-threads I] [--cache-shards S] [--admission on|off] \
-         [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS]"
+         [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS] \
+         [--store-dir PATH] [--store-segment-bytes N] [--store-budget-bytes N]"
     );
     std::process::exit(2);
 }
@@ -96,6 +105,31 @@ fn parse_args() -> (ServerConfig, Tuning) {
                     &value("--write-stall-ms"),
                     "--write-stall-ms",
                 ) as u64)
+            }
+            "--store-dir" => {
+                tuning.store = Some(StoreSettings::new(value("--store-dir")));
+            }
+            "--store-segment-bytes" => {
+                let bytes =
+                    parse_usize(&value("--store-segment-bytes"), "--store-segment-bytes") as u64;
+                match &mut tuning.store {
+                    Some(store) => store.segment_bytes = bytes,
+                    None => {
+                        eprintln!("--store-segment-bytes requires --store-dir first");
+                        usage()
+                    }
+                }
+            }
+            "--store-budget-bytes" => {
+                let bytes =
+                    parse_usize(&value("--store-budget-bytes"), "--store-budget-bytes") as u64;
+                match &mut tuning.store {
+                    Some(store) => store.budget_bytes = bytes,
+                    None => {
+                        eprintln!("--store-budget-bytes requires --store-dir first");
+                        usage()
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {

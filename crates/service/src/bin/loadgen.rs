@@ -4,8 +4,12 @@
 //! loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N]
 //!         [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X]
 //!         [--deadline-ms MS] [--read-timeout-ms MS] [--write-timeout-ms MS]
-//! loadgen --bench [--duration-ms MS] [--out FILE]
-//! loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown]
+//! loadgen --bench [--duration-ms MS] [--out FILE] [--store-dir PATH]
+//! loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown] [--store-dir PATH]
+//! loadgen --warm-load --addr HOST:PORT [--distinct D]
+//! loadgen --warm-replay --addr HOST:PORT [--distinct D] [--min-warm-rate X]
+//!         [--metrics-out FILE] [--shutdown]
+//! loadgen --warm-bench [--distinct D] [--out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -34,9 +38,27 @@
 //! invariants: queue depth and in-flight count drain to zero and a fresh
 //! client still gets a correct `Balance` answer. `--shutdown` then stops
 //! the server via a `shutdown` frame (used by the CI chaos-smoke step).
+//!
+//! `--store-dir` gives any in-process server (the default mode, `--chaos`
+//! and `--bench`) a crash-safe `gb-store` result store, so those runs
+//! also exercise the spill/recovery path. Directories the run creates
+//! are removed on exit; a pre-existing directory is left alone. Bench
+//! phases use fresh per-phase subdirectories so no phase warm-starts
+//! from another's records.
+//!
+//! The warm trio drives the crash-recovery story end to end:
+//! `--warm-load` primes an external server's hot set and waits until
+//! every record is durably appended to its store (safe to SIGKILL);
+//! `--warm-replay` replays the same hot set against a restarted server
+//! and fails unless the warm hit rate reaches `--min-warm-rate`
+//! (default 0.9) with `store.recovered > 0`, optionally writing the
+//! stats-endpoint store section to `--metrics-out`; `--warm-bench` runs
+//! the committed warm-vs-cold restart experiment in-process and writes
+//! `BENCH_store.json`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -44,6 +66,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gb_service::client::Client;
+use gb_service::persist::StoreSettings;
 use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response};
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
@@ -65,6 +88,12 @@ struct Options {
     write_timeout_ms: Option<u64>,
     duration_ms: Option<u64>,
     out: String,
+    store_dir: Option<String>,
+    warm_load: bool,
+    warm_replay: bool,
+    warm_bench: bool,
+    min_warm_rate: f64,
+    metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -86,6 +115,12 @@ impl Default for Options {
             write_timeout_ms: None,
             duration_ms: None,
             out: "BENCH_serving.json".into(),
+            store_dir: None,
+            warm_load: false,
+            warm_replay: false,
+            warm_bench: false,
+            min_warm_rate: 0.9,
+            metrics_out: None,
         }
     }
 }
@@ -95,8 +130,12 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
          [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS] \
          [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
-         \x20      loadgen --bench [--duration-ms MS] [--out FILE]\n\
-         \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown]"
+         \x20      loadgen --bench [--duration-ms MS] [--out FILE] [--store-dir PATH]\n\
+         \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown] [--store-dir PATH]\n\
+         \x20      loadgen --warm-load --addr HOST:PORT [--distinct D]\n\
+         \x20      loadgen --warm-replay --addr HOST:PORT [--distinct D] [--min-warm-rate X] \
+         [--metrics-out FILE] [--shutdown]\n\
+         \x20      loadgen --warm-bench [--distinct D] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -159,6 +198,17 @@ fn parse_args() -> Options {
                     Some(parse_usize(&value("--duration-ms"), "--duration-ms") as u64)
             }
             "--out" => opts.out = value("--out"),
+            "--store-dir" => opts.store_dir = Some(value("--store-dir")),
+            "--warm-load" => opts.warm_load = true,
+            "--warm-replay" => opts.warm_replay = true,
+            "--warm-bench" => opts.warm_bench = true,
+            "--min-warm-rate" => {
+                opts.min_warm_rate = value("--min-warm-rate").parse().unwrap_or_else(|_| {
+                    eprintln!("--min-warm-rate expects a number in [0, 1]");
+                    usage()
+                })
+            }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -222,6 +272,114 @@ fn percentile(sorted_us: &[u64], q: f64) -> u64 {
     }
     let rank = ((q * sorted_us.len() as f64).ceil() as usize).max(1) - 1;
     sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+// ---------------------------------------------------------------------------
+// Store-directory plumbing shared by the modes that honor --store-dir
+// ---------------------------------------------------------------------------
+
+/// A store directory claimed for this run. Removed on drop only when the
+/// run created it — a pre-existing directory the user pointed at is
+/// theirs to keep.
+struct StoreDir {
+    path: PathBuf,
+    owned: bool,
+}
+
+impl StoreDir {
+    /// Claims `path`, noting whether it already existed.
+    fn claim(path: &str) -> StoreDir {
+        let path = PathBuf::from(path);
+        let owned = !path.exists();
+        StoreDir { path, owned }
+    }
+
+    /// A fresh run-scoped directory under the system temp dir.
+    fn temp(tag: &str) -> StoreDir {
+        let path =
+            std::env::temp_dir().join(format!("gb-loadgen-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        StoreDir { path, owned: true }
+    }
+}
+
+impl Drop for StoreDir {
+    fn drop(&mut self) {
+        if self.owned {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+static PHASE_DIR: AtomicUsize = AtomicUsize::new(0);
+
+/// A bench phase's private store subdirectory: always fresh (so no phase
+/// warm-starts from another phase's records) and removed on drop.
+struct PhaseStore(Option<PathBuf>);
+
+impl PhaseStore {
+    fn new(root: Option<&Path>, tag: &str) -> PhaseStore {
+        PhaseStore(root.map(|root| {
+            let n = PHASE_DIR.fetch_add(1, Ordering::Relaxed);
+            let path = root.join(format!("{tag}-{n}"));
+            let _ = std::fs::remove_dir_all(&path);
+            path
+        }))
+    }
+
+    /// Attaches this phase's store (if any) to `tuning`.
+    fn apply(&self, mut tuning: Tuning) -> Tuning {
+        if let Some(path) = &self.0 {
+            tuning.store = Some(StoreSettings::new(path));
+        }
+        tuning
+    }
+}
+
+impl Drop for PhaseStore {
+    fn drop(&mut self) {
+        if let Some(path) = &self.0 {
+            let _ = std::fs::remove_dir_all(path);
+        }
+    }
+}
+
+/// Fetches the server's full stats object.
+fn fetch_stats(addr: std::net::SocketAddr) -> Option<Json> {
+    match Client::connect(addr).and_then(|mut c| c.call(&Request::Stats)) {
+        Ok(Response::Stats(stats)) => Some(stats),
+        _ => None,
+    }
+}
+
+/// Reads `store.<name>` out of a stats object.
+fn store_counter(stats: &Json, name: &str) -> Option<u64> {
+    stats.get("store")?.get(name)?.as_u64()
+}
+
+/// Polls the server until `store.<name> >= want` or the timeout passes.
+/// Returns the last observed value (`None` when the server reports no
+/// store section at all).
+fn await_store_counter(
+    addr: std::net::SocketAddr,
+    name: &str,
+    want: u64,
+    timeout: Duration,
+) -> Option<u64> {
+    let deadline = Instant::now() + timeout;
+    let mut last = None;
+    loop {
+        if let Some(stats) = fetch_stats(addr) {
+            last = store_counter(&stats, name);
+            if last.is_some_and(|v| v >= want) {
+                return last;
+            }
+        }
+        if Instant::now() >= deadline {
+            return last;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -328,8 +486,13 @@ fn server_hit_rate(addr: std::net::SocketAddr) -> f64 {
 /// connections. The threaded engine runs with a single cache shard and no
 /// admission (the pre-refactor configuration); the event engine runs with
 /// its defaults (sharded cache, TinyLFU, inline fast path).
-fn throughput_phase(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats, String> {
-    let tuning = match engine {
+fn throughput_phase(
+    engine: Engine,
+    cap: Option<Duration>,
+    store_root: Option<&Path>,
+) -> Result<PhaseStats, String> {
+    let store = PhaseStore::new(store_root, engine.name());
+    let tuning = store.apply(match engine {
         Engine::Threaded => Tuning {
             engine,
             cache_shards: 1,
@@ -337,7 +500,7 @@ fn throughput_phase(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats,
             ..Tuning::default()
         },
         Engine::Event => Tuning::default(),
-    };
+    });
     let server = Server::start_tuned(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
@@ -477,12 +640,16 @@ fn throughput_phase(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats,
 }
 
 /// Best-of-N throughput rounds for one engine (one round when capped).
-fn throughput_best(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats, String> {
+fn throughput_best(
+    engine: Engine,
+    cap: Option<Duration>,
+    store_root: Option<&Path>,
+) -> Result<PhaseStats, String> {
     let rounds = if cap.is_some() { 1 } else { BENCH_ROUNDS };
     let mut best: Option<PhaseStats> = None;
     let mut rounds_rps = Vec::with_capacity(rounds);
     for _ in 0..rounds {
-        let round = throughput_phase(engine, cap)?;
+        let round = throughput_phase(engine, cap, store_root)?;
         rounds_rps.push(round.rps);
         if best.as_ref().is_none_or(|b| round.rps > b.rps) {
             best = Some(round);
@@ -497,7 +664,12 @@ fn throughput_best(engine: Engine, cap: Option<Duration>) -> Result<PhaseStats, 
 /// cache with a one-pass cold scan, then probe the working set again and
 /// report the probe hit rate. With TinyLFU admission the hot set should
 /// survive the scan; with plain LRU it is flushed.
-fn hitrate_phase(distinct: u64, admission: bool) -> Result<Json, String> {
+fn hitrate_phase(
+    distinct: u64,
+    admission: bool,
+    store_root: Option<&Path>,
+) -> Result<Json, String> {
+    let store = PhaseStore::new(store_root, "hitrate");
     let server = Server::start_tuned(
         ServerConfig {
             addr: "127.0.0.1:0".into(),
@@ -506,10 +678,10 @@ fn hitrate_phase(distinct: u64, admission: bool) -> Result<Json, String> {
             cache_capacity: HITRATE_CACHE_CAP,
             pool_threads: 1,
         },
-        Tuning {
+        store.apply(Tuning {
             admission,
             ..Tuning::default()
-        },
+        }),
     )
     .map_err(|e| format!("hitrate server: {e}"))?;
     let addr = server.local_addr();
@@ -575,10 +747,16 @@ fn hitrate_phase(distinct: u64, admission: bool) -> Result<Json, String> {
     ]))
 }
 
-fn run_bench(duration_ms: Option<u64>, out: &str) -> ExitCode {
-    let cap = duration_ms.map(Duration::from_millis);
-    match bench_report(cap, duration_ms) {
+fn run_bench(opts: &Options) -> ExitCode {
+    let cap = opts.duration_ms.map(Duration::from_millis);
+    // Honor --store-dir: phases run with per-phase store subdirectories
+    // so the spill path is exercised under load; the guard removes a
+    // directory this run created.
+    let store_guard = opts.store_dir.as_deref().map(StoreDir::claim);
+    let store_root = store_guard.as_ref().map(|g| g.path.as_path());
+    match bench_report(cap, opts.duration_ms, store_root) {
         Ok(report) => {
+            let out = &opts.out;
             let text = report.encode_pretty() + "\n";
             if let Err(e) = std::fs::write(out, text) {
                 eprintln!("bench: failed to write {out}: {e}");
@@ -594,17 +772,21 @@ fn run_bench(duration_ms: Option<u64>, out: &str) -> ExitCode {
     }
 }
 
-fn bench_report(cap: Option<Duration>, duration_ms: Option<u64>) -> Result<Json, String> {
+fn bench_report(
+    cap: Option<Duration>,
+    duration_ms: Option<u64>,
+    store_root: Option<&Path>,
+) -> Result<Json, String> {
     println!(
         "bench: throughput, hot {}-key working set, {} clients x {} workers",
         BENCH_DISTINCT, BENCH_CLIENTS, BENCH_WORKERS
     );
-    let before = throughput_best(Engine::Threaded, cap)?;
+    let before = throughput_best(Engine::Threaded, cap, store_root)?;
     println!(
         "  threaded: {:>8.0} req/s  p50 {} us  p95 {} us  p99 {} us  ({} requests)",
         before.rps, before.p50_us, before.p95_us, before.p99_us, before.answered
     );
-    let after = throughput_best(Engine::Event, cap)?;
+    let after = throughput_best(Engine::Event, cap, store_root)?;
     println!(
         "  event:    {:>8.0} req/s  p50 {} us  p95 {} us  p99 {} us  ({} requests)",
         after.rps, after.p50_us, after.p95_us, after.p99_us, after.answered
@@ -615,7 +797,7 @@ fn bench_report(cap: Option<Duration>, duration_ms: Option<u64>) -> Result<Json,
     let mut cache_results = Vec::new();
     for &distinct in &[16u64, 4096] {
         for &admission in &[true, false] {
-            let result = hitrate_phase(distinct, admission)?;
+            let result = hitrate_phase(distinct, admission, store_root)?;
             let rate = result
                 .get("probe_hit_rate")
                 .and_then(|v| v.as_f64())
@@ -930,15 +1112,268 @@ fn run_chaos(
     }
 }
 
+// ---------------------------------------------------------------------------
+// --warm-load / --warm-replay / --warm-bench: the crash-recovery story
+// ---------------------------------------------------------------------------
+
+/// One sequential pass over the hot set (`distinct` bench keys);
+/// returns how many answers came from cache.
+fn hot_set_pass(addr: std::net::SocketAddr, distinct: u64, id_base: u64) -> Result<u64, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("hot-set connect: {e}"))?;
+    let mut cached = 0u64;
+    for seed in 0..distinct {
+        match client
+            .call(&bench_request(id_base + seed, seed))
+            .map_err(|e| format!("hot-set call (seed {seed}): {e}"))?
+        {
+            Response::Ok(ok) => {
+                if ok.cached {
+                    cached += 1;
+                }
+            }
+            other => return Err(format!("hot-set: unexpected {other:?}")),
+        }
+    }
+    Ok(cached)
+}
+
+/// Primes an external server's hot set and blocks until every record is
+/// durably appended to its store — after this returns SUCCESS the server
+/// can be SIGKILLed and a successor must recover the set.
+fn run_warm_load(opts: &Options, addr: std::net::SocketAddr) -> ExitCode {
+    let distinct = opts.distinct as u64;
+    println!("warm-load: priming {distinct} keys on {addr}");
+    // Two passes: the first computes (and spills), the second proves the
+    // set is resident in cache.
+    let cached = match hot_set_pass(addr, distinct, 0)
+        .and_then(|_| hot_set_pass(addr, distinct, distinct))
+    {
+        Ok(cached) => cached,
+        Err(e) => {
+            eprintln!("warm-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("warm-load: second pass served {cached}/{distinct} from cache");
+    // Durability gate: the spill writer is asynchronous, so wait until
+    // the store counted every append before declaring the set safe.
+    match await_store_counter(addr, "appended", distinct, Duration::from_secs(10)) {
+        Some(appended) if appended >= distinct => {
+            println!("warm-load: store.appended = {appended}, hot set is durable");
+            ExitCode::SUCCESS
+        }
+        Some(appended) => {
+            eprintln!("warm-load: store.appended stuck at {appended} (< {distinct})");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!(
+                "warm-load: server reports no store section — was it started with --store-dir?"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Replays the pre-kill hot set against a restarted server and verifies
+/// the warm hit rate and recovery counters.
+fn run_warm_replay(opts: &Options, addr: std::net::SocketAddr) -> ExitCode {
+    let distinct = opts.distinct as u64;
+    println!("warm-replay: replaying {distinct} keys on {addr}");
+    let cached = match hot_set_pass(addr, distinct, 10 * distinct) {
+        Ok(cached) => cached,
+        Err(e) => {
+            eprintln!("warm-replay: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let warm_rate = cached as f64 / distinct.max(1) as f64;
+    let stats = fetch_stats(addr);
+    let store = stats.as_ref().and_then(|s| s.get("store")).cloned();
+    let recovered = stats
+        .as_ref()
+        .and_then(|s| store_counter(s, "recovered"))
+        .unwrap_or(0);
+    let corrupt_skipped = stats
+        .as_ref()
+        .and_then(|s| store_counter(s, "corrupt_skipped"))
+        .unwrap_or(0);
+    println!(
+        "warm-replay: {cached}/{distinct} warm hits ({:.1}%), store.recovered {recovered}, \
+         store.corrupt_skipped {corrupt_skipped}",
+        warm_rate * 100.0
+    );
+
+    if let Some(path) = &opts.metrics_out {
+        let report = Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::Str("gb-service/warm-replay/v1".into()),
+            ),
+            ("distinct".into(), Json::Int(distinct as i64)),
+            ("warm_hits".into(), Json::Int(cached as i64)),
+            ("warm_hit_rate".into(), Json::Num(warm_rate)),
+            ("min_warm_rate".into(), Json::Num(opts.min_warm_rate)),
+            ("store".into(), store.unwrap_or(Json::Null)),
+        ]);
+        if let Err(e) = std::fs::write(path, report.encode_pretty() + "\n") {
+            eprintln!("warm-replay: failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("warm-replay: wrote {path}");
+    }
+    if opts.send_shutdown {
+        match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+            Ok(_) => println!("warm-replay: shutdown frame acknowledged"),
+            Err(e) => eprintln!("warm-replay: shutdown frame failed: {e}"),
+        }
+    }
+
+    if warm_rate >= opts.min_warm_rate && recovered > 0 {
+        println!("warm-replay: hot set survived the restart");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "warm-replay: FAILED (warm rate {:.3} < {:.3}, or store.recovered {recovered} == 0)",
+            warm_rate, opts.min_warm_rate
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The committed warm-vs-cold restart experiment, fully in-process:
+/// a restart without a store serves the old hot set cold (~0% hits); a
+/// restart with a store serves it warm from recovered records.
+fn run_warm_bench(opts: &Options) -> ExitCode {
+    let distinct = opts.distinct as u64;
+    let config = || ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: BENCH_QUEUE_CAP,
+        cache_capacity: BENCH_CACHE_CAP,
+        pool_threads: 2,
+    };
+    let restart_phase =
+        |label: &str, store: Option<&Path>| -> Result<(f64, Option<Json>), String> {
+            let tuning = |store: Option<&Path>| {
+                let mut t = Tuning::default();
+                if let Some(path) = store {
+                    t.store = Some(StoreSettings::new(path));
+                }
+                t
+            };
+            // Life 1: compute the hot set, then shut down gracefully (with a
+            // store this drains the spill queue to disk).
+            let first = Server::start_tuned(config(), tuning(store))
+                .map_err(|e| format!("{label}: first server: {e}"))?;
+            hot_set_pass(first.local_addr(), distinct, 0)?;
+            first.shutdown();
+            // Life 2: a fresh process image — the cache starts empty and only
+            // store recovery (if any) can rewarm it.
+            let second = Server::start_tuned(config(), tuning(store))
+                .map_err(|e| format!("{label}: second server: {e}"))?;
+            let addr = second.local_addr();
+            let cached = hot_set_pass(addr, distinct, distinct)?;
+            let store_section = fetch_stats(addr)
+                .as_ref()
+                .and_then(|s| s.get("store"))
+                .cloned();
+            second.shutdown();
+            Ok((cached as f64 / distinct.max(1) as f64, store_section))
+        };
+
+    println!("warm-bench: {distinct}-key hot set, restart without vs with a store");
+    let (cold_rate, _) = match restart_phase("cold", None) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warm-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  cold restart (no store):  {:.1}% warm hits",
+        cold_rate * 100.0
+    );
+    let store_guard = StoreDir::temp("warm-bench");
+    let (warm_rate, store_section) = match restart_phase("warm", Some(store_guard.path.as_path())) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("warm-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "  warm restart (gb-store):  {:.1}% warm hits",
+        warm_rate * 100.0
+    );
+
+    let out = if opts.out == "BENCH_serving.json" {
+        "BENCH_store.json"
+    } else {
+        opts.out.as_str()
+    };
+    let report = Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/warm-bench/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("distinct".into(), Json::Int(distinct as i64)),
+                ("n".into(), Json::Int(BENCH_N as i64)),
+                ("workers".into(), Json::Int(2)),
+                ("cache_capacity".into(), Json::Int(BENCH_CACHE_CAP as i64)),
+            ]),
+        ),
+        (
+            "cold_restart".into(),
+            Json::Obj(vec![("warm_hit_rate".into(), Json::Num(cold_rate))]),
+        ),
+        (
+            "warm_restart".into(),
+            Json::Obj(vec![
+                ("warm_hit_rate".into(), Json::Num(warm_rate)),
+                ("store".into(), store_section.unwrap_or(Json::Null)),
+            ]),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+        eprintln!("warm-bench: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("warm-bench: wrote {out}");
+    if warm_rate >= opts.min_warm_rate && cold_rate < opts.min_warm_rate {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "warm-bench: FAILED (warm {:.3} should be >= {:.3} and cold {:.3} below it)",
+            warm_rate, opts.min_warm_rate, cold_rate
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
-    if opts.bench {
-        return run_bench(opts.duration_ms, &opts.out);
+    if opts.warm_bench {
+        return run_warm_bench(&opts);
     }
+    if opts.bench {
+        return run_bench(&opts);
+    }
+
+    // Claimed before the server starts; dropped (removing a directory
+    // this run created) after everything below finishes.
+    let store_guard = opts.store_dir.as_deref().map(StoreDir::claim);
 
     // Spawn an in-process server unless one was pointed at.
     let local_server = if opts.addr.is_none() {
-        match Server::start(ServerConfig::default()) {
+        let mut tuning = Tuning::default();
+        if let Some(guard) = &store_guard {
+            tuning.store = Some(StoreSettings::new(&guard.path));
+        }
+        match Server::start_tuned(ServerConfig::default(), tuning) {
             Ok(s) => {
                 println!("loadgen: spawned in-process server on {}", s.local_addr());
                 Some(s)
@@ -965,6 +1400,20 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.warm_load {
+        let code = run_warm_load(&opts, addr);
+        if let Some(server) = local_server {
+            server.shutdown();
+        }
+        return code;
+    }
+    if opts.warm_replay {
+        let code = run_warm_replay(&opts, addr);
+        if let Some(server) = local_server {
+            server.shutdown();
+        }
+        return code;
+    }
     if opts.chaos {
         return run_chaos(&opts, addr, local_server);
     }

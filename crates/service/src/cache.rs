@@ -398,6 +398,18 @@ impl LruCache {
         self.map.contains_key(key)
     }
 
+    /// Warm-loads a recovered entry: records one sighting in the
+    /// admission sketch (so replayed entries arrive with non-zero
+    /// frequency rather than as strangers the filter would reject) and
+    /// inserts. Used by store recovery on boot; hit/miss counters are
+    /// untouched.
+    pub fn warm(&mut self, key: CacheKey, value: CachedResult) {
+        if let Some(lfu) = &mut self.admission {
+            lfu.record(key.mix());
+        }
+        self.put(key, value);
+    }
+
     /// Inserts (or refreshes) a result. With admission enabled, a
     /// candidate that would evict a more popular victim is dropped
     /// instead (counted in [`CacheStats::admission_rejects`]).
@@ -561,6 +573,12 @@ impl ShardedCache {
     /// Membership probe that leaves recency/stats untouched.
     pub fn contains(&self, key: &CacheKey) -> bool {
         self.shard(key).lock().contains(key)
+    }
+
+    /// Warm-loads a recovered entry into its shard (see
+    /// [`LruCache::warm`]).
+    pub fn warm(&self, key: CacheKey, value: CachedResult) {
+        self.shard(&key).lock().warm(key, value);
     }
 
     /// Total entries across shards.

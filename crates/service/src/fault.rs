@@ -8,9 +8,9 @@
 //!
 //! Connections are identified by their accept order (`0, 1, 2, ...`),
 //! which is deterministic for a scripted test that opens sockets
-//! sequentially. [`ScriptedShim`] holds a per-connection plan of
-//! [`WriteOp`]s consumed one per `write` call; an exhausted plan acts
-//! as passthrough.
+//! sequentially. [`ScriptedShim`] holds per-connection plans of
+//! [`WriteOp`]s and [`ReadOp`]s consumed one per `write`/`read` call;
+//! an exhausted plan acts as passthrough.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -127,6 +127,19 @@ impl Write for ShimStream {
     }
 }
 
+/// One scripted behaviour for a single `read` call.
+#[derive(Debug, Clone, Copy)]
+pub enum ReadOp {
+    /// Forward the read unchanged.
+    Pass,
+    /// Return `WouldBlock` without reading anything.
+    WouldBlock,
+    /// Return `ConnectionReset` without reading anything.
+    Reset,
+    /// Return an unclassified I/O error (`Other`).
+    Error,
+}
+
 /// One scripted behaviour for a single `write` call.
 #[derive(Debug, Clone, Copy)]
 pub enum WriteOp {
@@ -145,6 +158,8 @@ pub enum WriteOp {
 
 #[derive(Debug, Default)]
 struct ScriptState {
+    /// Per-connection read plans, consumed front-first.
+    reads: HashMap<u64, Vec<ReadOp>>,
     /// Per-connection write plans, consumed front-first.
     writes: HashMap<u64, Vec<WriteOp>>,
     /// When a `BlockFor` is at the front of a plan, the instant it ends.
@@ -177,6 +192,12 @@ impl ScriptedShim {
         st.writes.entry(conn_id).or_default().extend(ops);
     }
 
+    /// Appends read ops to connection `conn_id`'s plan.
+    pub fn plan_reads(&self, conn_id: u64, ops: impl IntoIterator<Item = ReadOp>) {
+        let mut st = self.state.lock().unwrap();
+        st.reads.entry(conn_id).or_default().extend(ops);
+    }
+
     /// Makes the server drop connection `conn_id` at accept time.
     pub fn reset_accept(&self, conn_id: u64) {
         self.state.lock().unwrap().reset_accept.push(conn_id);
@@ -201,6 +222,25 @@ impl ScriptedShim {
 impl IoShim for ScriptedShim {
     fn allow_accept(&self, conn_id: u64) -> bool {
         !self.state.lock().unwrap().reset_accept.contains(&conn_id)
+    }
+
+    fn read(&self, conn_id: u64, inner: &mut dyn Read, buf: &mut [u8]) -> io::Result<usize> {
+        let op = {
+            let mut st = self.state.lock().unwrap();
+            match st.reads.get_mut(&conn_id) {
+                Some(plan) if !plan.is_empty() => plan.remove(0),
+                _ => ReadOp::Pass,
+            }
+        };
+        match op {
+            ReadOp::Pass => inner.read(buf),
+            ReadOp::WouldBlock => Err(io::Error::new(io::ErrorKind::WouldBlock, "injected")),
+            ReadOp::Reset => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected reset",
+            )),
+            ReadOp::Error => Err(io::Error::other("injected read error")),
+        }
     }
 
     fn write(&self, conn_id: u64, inner: &mut dyn Write, buf: &[u8]) -> io::Result<usize> {
@@ -286,6 +326,28 @@ mod tests {
         // Plan exhausted: passthrough from here on.
         assert_eq!(shim.write(7, &mut sink, b"!").unwrap(), 1);
         assert_eq!(&sink.0, b"hello!");
+    }
+
+    #[test]
+    fn scripted_shim_consumes_read_plan_in_order() {
+        let shim = ScriptedShim::new();
+        shim.plan_reads(5, [ReadOp::WouldBlock, ReadOp::Pass, ReadOp::Reset]);
+        let mut src = io::Cursor::new(b"abcdef".to_vec());
+        let mut buf = [0u8; 3];
+
+        let err = shim.read(5, &mut src, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(shim.read(5, &mut src, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+        let err = shim.read(5, &mut src, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Plan exhausted: passthrough; neighbour untouched throughout.
+        assert_eq!(shim.read(5, &mut src, &mut buf).unwrap(), 3);
+        assert_eq!(
+            shim.read(6, &mut io::Cursor::new(b"z".to_vec()), &mut buf)
+                .unwrap(),
+            1
+        );
     }
 
     #[test]

@@ -27,7 +27,12 @@
 //!   `reply_dropped`) ([`metrics`]),
 //! * a deterministic fault-injection seam wrapping every accept, read
 //!   and write, used by the chaos test-suite to script torn writes,
-//!   resets and stalled workers ([`fault`]),
+//!   read errors, resets and stalled workers ([`fault`]),
+//! * optional crash-safe persistence (`--store-dir`): cached results
+//!   spill write-behind to a `gb-store` segment log and are recovered —
+//!   torn tails skipped, never trusted — into the cache on the next
+//!   boot, so a restarted daemon serves its hot set warm ([`persist`],
+//!   `gb_store`),
 //! * a blocking [`client`] plus two binaries: `gb-serve` (the daemon) and
 //!   `loadgen` (a concurrent load generator printing throughput and the
 //!   latency distribution, with a `--bench` mode emitting
@@ -63,6 +68,7 @@ pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod metrics;
+pub mod persist;
 pub mod proto;
 pub mod server;
 pub mod shed;
@@ -70,7 +76,8 @@ pub mod spec;
 
 pub use cache::ShardedCache;
 pub use client::Client;
-pub use fault::{IoShim, Passthrough, ScriptedShim, WriteOp};
+pub use fault::{IoShim, Passthrough, ReadOp, ScriptedShim, WriteOp};
+pub use persist::StoreSettings;
 pub use proto::{Algorithm, ErrorCode, Request, Response};
 pub use server::{Engine, Server, ServerConfig, Tuning};
 pub use spec::ProblemSpec;

@@ -350,6 +350,32 @@ impl Default for ServiceMetrics {
     }
 }
 
+/// Renders a store counter snapshot as the stats endpoint's `store`
+/// section.
+pub fn store_json(stats: &gb_store::StoreStats) -> Json {
+    Json::Obj(vec![
+        ("appended".into(), Json::Int(stats.appended as i64)),
+        ("recovered".into(), Json::Int(stats.recovered as i64)),
+        (
+            "corrupt_skipped".into(),
+            Json::Int(stats.corrupt_skipped as i64),
+        ),
+        ("compacted".into(), Json::Int(stats.compacted as i64)),
+        (
+            "spill_dropped".into(),
+            Json::Int(stats.spill_dropped as i64),
+        ),
+        ("write_errors".into(), Json::Int(stats.write_errors as i64)),
+        ("bytes_live".into(), Json::Int(stats.bytes_live as i64)),
+        (
+            "bytes_on_disk".into(),
+            Json::Int(stats.bytes_on_disk as i64),
+        ),
+        ("segments".into(), Json::Int(stats.segments as i64)),
+        ("live_records".into(), Json::Int(stats.live_records as i64)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,11 +55,13 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gb_parlb::ThreadPool;
+use gb_store::{SpillHandle, Store};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
 use crate::fault::{IoShim, Passthrough, ShimStream};
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{store_json, ServiceMetrics};
+use crate::persist::{self, StoreSettings};
 use crate::proto::{
     Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
     Request, Response,
@@ -165,6 +167,11 @@ pub struct Tuning {
     /// [`Passthrough`] adds nothing; tests install a
     /// [`ScriptedShim`](crate::fault::ScriptedShim).
     pub shim: Arc<dyn IoShim>,
+    /// Crash-safe persistence (`gb-store`): when set, cached results are
+    /// spilled write-behind to an append-only segment log and recovered
+    /// into the cache on the next boot. `None` (the default) serves
+    /// memory-only, exactly as before.
+    pub store: Option<StoreSettings>,
 }
 
 impl Default for Tuning {
@@ -178,6 +185,7 @@ impl Default for Tuning {
             poll_interval: Duration::from_millis(100),
             write_stall: Duration::from_secs(5),
             shim: Arc::new(Passthrough),
+            store: None,
         }
     }
 }
@@ -192,6 +200,7 @@ impl fmt::Debug for Tuning {
             .field("reply_timeout", &self.reply_timeout)
             .field("poll_interval", &self.poll_interval)
             .field("write_stall", &self.write_stall)
+            .field("store", &self.store)
             .finish_non_exhaustive()
     }
 }
@@ -352,6 +361,10 @@ struct Shared {
     connections: Mutex<Vec<thread::JoinHandle<()>>>,
     /// Event engine: accepted connections in transit to their poller.
     inboxes: Vec<Mutex<Vec<Conn>>>,
+    /// Write-behind persistence. Dropped with the last `Shared` ref,
+    /// which drains the spill queue to disk before the writer joins —
+    /// graceful shutdown loses nothing.
+    spill: Option<SpillHandle>,
 }
 
 /// A running daemon. Dropping the handle shuts the server down.
@@ -395,9 +408,30 @@ impl Server {
                 QueueKind::Steal(StealQueue::new(workers, config.queue_capacity.max(1)))
             }
         };
+        let cache = ShardedCache::new(config.cache_capacity, cache_shards, tuning.admission);
+        // Warm restart: replay persisted records through the cache (and
+        // its admission sketch) before serving, then hand the store to
+        // its writer thread.
+        let spill = match &tuning.store {
+            Some(settings) => {
+                let (store, recovered) = Store::open(settings.to_config())?;
+                for record in recovered {
+                    match (
+                        persist::decode_key(&record.key),
+                        persist::decode_value(&record.value),
+                    ) {
+                        (Some(key), Some(value)) => cache.warm(key, value),
+                        // Checksum-valid but undecodable: codec skew.
+                        _ => store.note_corrupt(),
+                    }
+                }
+                Some(SpillHandle::spawn(store, settings.queue_capacity.max(1)))
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             queue,
-            cache: ShardedCache::new(config.cache_capacity, cache_shards, tuning.admission),
+            cache,
             metrics: ServiceMetrics::new(),
             pool: ThreadPool::new(pool_threads),
             shutdown: AtomicBool::new(false),
@@ -408,6 +442,7 @@ impl Server {
             inflight_jobs: SlotGauge::new(),
             connections: Mutex::new(Vec::new()),
             inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
+            spill,
         });
 
         let worker_handles = (0..workers)
@@ -1268,6 +1303,11 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         alpha,
     };
     shared.cache.put(key, result.clone());
+    if let Some(spill) = &shared.spill {
+        // Write-behind: O(1) enqueue; a full queue drops the record
+        // (counted) rather than stalling the worker.
+        spill.spill(persist::encode_key(&key), persist::encode_value(&result));
+    }
     let latency = job.received.elapsed();
     shared.metrics.record_ok(req.algorithm, false, latency);
     ok_response(req, &result, false, latency)
@@ -1360,6 +1400,9 @@ fn stats_json(shared: &Shared) -> Json {
                 ("queued".into(), Json::Int(shared.pool.queued() as i64)),
             ]),
         ));
+        if let Some(spill) = &shared.spill {
+            entries.push(("store".into(), store_json(&spill.stats())));
+        }
     }
     json
 }

@@ -7,8 +7,8 @@
 //! `Balance` reply. Faults are injected two ways: hostile byte streams
 //! on real sockets (torn frames, garbage, oversized lines, abrupt
 //! closes) and a scripted [`ScriptedShim`] inside the server (short
-//! writes, `WouldBlock` storms, write resets, stalled workers,
-//! accept-time refusals).
+//! writes, `WouldBlock` storms on either side, read/write resets and
+//! errors, stalled workers, accept-time refusals).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use gb_service::client::Client;
-use gb_service::fault::{ScriptedShim, WriteOp};
+use gb_service::fault::{ReadOp, ScriptedShim, WriteOp};
 use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response, MAX_FRAME};
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
@@ -575,6 +575,58 @@ fn vanishing_pipeline_drains_cleanly() {
             let _ = conn.read_reply();
         }
         h.shim.clear_stall();
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 13: injected read-side failures — a reset on one connection
+/// and an unclassified I/O error on another. Both connections die, both
+/// are counted as `conn_reset`, and nothing leaks.
+#[test]
+fn read_reset_and_error_count_conn_reset() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.plan_reads(0, [ReadOp::Reset]);
+        h.shim.plan_reads(1, [ReadOp::Error]);
+        for _ in 0..2 {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n");
+            // The server-side read fails before a reply exists; we see
+            // EOF (or a reset of our own, both acceptable).
+            let mut line = String::new();
+            let _ = conn.reader.read_line(&mut line);
+        }
+        h.await_fault_counter("conn_reset", 2);
+        h.assert_never_wedged();
+        h.shutdown();
+    });
+}
+
+/// Scenario 14: a `WouldBlock` storm on the read side. The frame reader
+/// must treat every injected `WouldBlock` as "no data yet" — the
+/// connection survives the storm and answers once the plan is spent.
+#[test]
+fn read_wouldblock_storm_connection_survives() {
+    for_both(|engine| {
+        let h = Harness::start(engine);
+        h.shim.plan_reads(0, vec![ReadOp::WouldBlock; 12]);
+        {
+            let mut conn = RawConn::open(h.addr());
+            conn.send(b"{\"op\":\"ping\"}\n");
+            match conn.read_reply() {
+                Some(Response::Pong) => {}
+                other => panic!("[{}] stormed ping: {other:?}", engine.name()),
+            }
+            // Same connection still serves real work afterwards.
+            conn.send(&request_line(&balance_request(cold_seed(), None)));
+            match conn.read_reply() {
+                Some(Response::Ok(ok)) => {
+                    assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound);
+                }
+                other => panic!("[{}] post-storm balance: {other:?}", engine.name()),
+            }
+        }
         h.assert_never_wedged();
         h.shutdown();
     });
