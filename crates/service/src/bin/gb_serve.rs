@@ -5,19 +5,26 @@
 //!          [--cache-cap C] [--pool-threads T]
 //!          [--engine event|threaded] [--io-threads I]
 //!          [--cache-shards S] [--admission on|off]
+//!          [--backends N] [--backend-vnodes V]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
 //!          [--write-stall-ms MS]
 //!          [--store-dir PATH] [--store-segment-bytes N]
-//!          [--store-budget-bytes N]
+//!          [--store-budget-bytes N] [--store-sync none|data|full]
 //! ```
 //!
 //! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
 //! and serves until a client sends a `shutdown` frame.
 //!
+//! `--backends N` shards the server into N independent backend pools
+//! behind a consistent-hash router: each backend owns its queue, worker
+//! threads and cache, so one hot problem class cannot starve the rest.
+//!
 //! `--store-dir` enables the crash-safe result store: cached results are
 //! spilled write-behind to an append-only segment log under PATH, and a
 //! restarted daemon recovers them into its cache before serving —
-//! the hot set survives a crash.
+//! the hot set survives a crash. `--store-sync data|full` adds fsync at
+//! segment rotation and spill drain, extending durability from
+//! process-crash to power-loss.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -30,8 +37,10 @@ fn usage() -> ! {
         "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
          [--cache-cap C] [--pool-threads T] [--engine event|threaded] \
          [--io-threads I] [--cache-shards S] [--admission on|off] \
+         [--backends N] [--backend-vnodes V] \
          [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS] \
-         [--store-dir PATH] [--store-segment-bytes N] [--store-budget-bytes N]"
+         [--store-dir PATH] [--store-segment-bytes N] [--store-budget-bytes N] \
+         [--store-sync none|data|full]"
     );
     std::process::exit(2);
 }
@@ -130,6 +139,24 @@ fn parse_args() -> (ServerConfig, Tuning) {
                         usage()
                     }
                 }
+            }
+            "--store-sync" => {
+                let text = value("--store-sync");
+                let mode = gb_store::SyncMode::parse(&text).unwrap_or_else(|| {
+                    eprintln!("--store-sync expects none|data|full, got {text:?}");
+                    usage()
+                });
+                match &mut tuning.store {
+                    Some(store) => store.sync = mode,
+                    None => {
+                        eprintln!("--store-sync requires --store-dir first");
+                        usage()
+                    }
+                }
+            }
+            "--backends" => tuning.backends = parse_usize(&value("--backends"), "--backends"),
+            "--backend-vnodes" => {
+                tuning.backend_vnodes = parse_usize(&value("--backend-vnodes"), "--backend-vnodes")
             }
             "--help" | "-h" => usage(),
             other => {

@@ -10,6 +10,7 @@
 //! loadgen --warm-replay --addr HOST:PORT [--distinct D] [--min-warm-rate X]
 //!         [--metrics-out FILE] [--shutdown]
 //! loadgen --warm-bench [--distinct D] [--out FILE]
+//! loadgen --shard-bench [--duration-ms MS] [--out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -54,20 +55,38 @@
 //! (default 0.9) with `store.recovered > 0`, optionally writing the
 //! stats-endpoint store section to `--metrics-out`; `--warm-bench` runs
 //! the committed warm-vs-cold restart experiment in-process and writes
-//! `BENCH_store.json`.
+//! `BENCH_store.json`. When the server runs with `--store-sync data|full`
+//! (reported in its stats), `--warm-load` additionally waits until the
+//! store has *fsynced* every record, so SUCCESS means the set survives
+//! power loss, not just a process kill.
+//!
+//! `--backends N` / `--backend-vnodes V` shard any in-process server the
+//! run spawns (the default mode and `--chaos`), and `--store-sync`
+//! selects its durability mode when `--store-dir` is also set.
+//!
+//! `--shard-bench` runs the committed hot-class isolation experiment and
+//! writes `BENCH_sharding.json`: a hot problem class floods the one
+//! backend that owns it while a victim class (keys owned by the *other*
+//! backends) is probed for latency. Three phases: victims alone
+//! (isolated baseline), victims + flood on a 4-backend server (sharded),
+//! and victims + flood on a 1-backend server (the unsharded control,
+//! where the flood shares the victims' queue and cache). The run fails
+//! unless the sharded victim p99 stays within 2x the isolated baseline.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use gb_service::cache::CacheKey;
 use gb_service::client::Client;
 use gb_service::persist::StoreSettings;
 use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response};
+use gb_service::route::Router;
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
 
@@ -92,8 +111,12 @@ struct Options {
     warm_load: bool,
     warm_replay: bool,
     warm_bench: bool,
+    shard_bench: bool,
     min_warm_rate: f64,
     metrics_out: Option<String>,
+    backends: usize,
+    backend_vnodes: usize,
+    store_sync: Option<gb_store::SyncMode>,
 }
 
 impl Default for Options {
@@ -119,8 +142,12 @@ impl Default for Options {
             warm_load: false,
             warm_replay: false,
             warm_bench: false,
+            shard_bench: false,
             min_warm_rate: 0.9,
             metrics_out: None,
+            backends: 0,
+            backend_vnodes: 0,
+            store_sync: None,
         }
     }
 }
@@ -129,13 +156,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
          [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS] \
-         [--read-timeout-ms MS] [--write-timeout-ms MS]\n\
+         [--read-timeout-ms MS] [--write-timeout-ms MS] \
+         [--backends N] [--backend-vnodes V] [--store-sync none|data|full]\n\
          \x20      loadgen --bench [--duration-ms MS] [--out FILE] [--store-dir PATH]\n\
-         \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown] [--store-dir PATH]\n\
+         \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown] [--store-dir PATH] \
+         [--backends N] [--metrics-out FILE]\n\
          \x20      loadgen --warm-load --addr HOST:PORT [--distinct D]\n\
          \x20      loadgen --warm-replay --addr HOST:PORT [--distinct D] [--min-warm-rate X] \
          [--metrics-out FILE] [--shutdown]\n\
-         \x20      loadgen --warm-bench [--distinct D] [--out FILE]"
+         \x20      loadgen --warm-bench [--distinct D] [--out FILE]\n\
+         \x20      loadgen --shard-bench [--duration-ms MS] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -202,6 +232,18 @@ fn parse_args() -> Options {
             "--warm-load" => opts.warm_load = true,
             "--warm-replay" => opts.warm_replay = true,
             "--warm-bench" => opts.warm_bench = true,
+            "--shard-bench" => opts.shard_bench = true,
+            "--backends" => opts.backends = parse_usize(&value("--backends"), "--backends"),
+            "--backend-vnodes" => {
+                opts.backend_vnodes = parse_usize(&value("--backend-vnodes"), "--backend-vnodes")
+            }
+            "--store-sync" => {
+                let text = value("--store-sync");
+                opts.store_sync = Some(gb_store::SyncMode::parse(&text).unwrap_or_else(|| {
+                    eprintln!("--store-sync expects none|data|full, got {text:?}");
+                    usage()
+                }))
+            }
             "--min-warm-rate" => {
                 opts.min_warm_rate = value("--min-warm-rate").parse().unwrap_or_else(|_| {
                     eprintln!("--min-warm-rate expects a number in [0, 1]");
@@ -1094,6 +1136,22 @@ fn run_chaos(
         if final_ok { "ok" } else { "FAILED" }
     );
 
+    // Snapshot the server's own view (including the per-backend rollup
+    // when sharded) before tearing it down — CI keeps this as an
+    // artifact of the sharded chaos run.
+    if let Some(path) = &opts.metrics_out {
+        match fetch_stats(addr) {
+            Some(stats) => {
+                if let Err(e) = std::fs::write(path, stats.encode_pretty() + "\n") {
+                    eprintln!("chaos: failed to write {path}: {e}");
+                } else {
+                    println!("chaos: wrote {path}");
+                }
+            }
+            None => eprintln!("chaos: stats snapshot for {path} failed"),
+        }
+    }
+
     if opts.send_shutdown {
         match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
             Ok(_) => println!("chaos: shutdown frame acknowledged"),
@@ -1159,18 +1217,43 @@ fn run_warm_load(opts: &Options, addr: std::net::SocketAddr) -> ExitCode {
     // the store counted every append before declaring the set safe.
     match await_store_counter(addr, "appended", distinct, Duration::from_secs(10)) {
         Some(appended) if appended >= distinct => {
-            println!("warm-load: store.appended = {appended}, hot set is durable");
-            ExitCode::SUCCESS
+            println!("warm-load: store.appended = {appended}, hot set survives SIGKILL");
         }
         Some(appended) => {
             eprintln!("warm-load: store.appended stuck at {appended} (< {distinct})");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
         None => {
             eprintln!(
                 "warm-load: server reports no store section — was it started with --store-dir?"
             );
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
+        }
+    }
+    // Stronger gate when the server runs a durability mode: every record
+    // must also be *fsynced* before the set is declared power-loss safe.
+    let sync_mode = fetch_stats(addr)
+        .as_ref()
+        .and_then(|s| s.get("store")?.get("sync")?.as_str().map(str::to_owned));
+    match sync_mode.as_deref() {
+        None | Some("none") => ExitCode::SUCCESS,
+        Some(mode) => {
+            match await_store_counter(addr, "synced", distinct, Duration::from_secs(10)) {
+                Some(synced) if synced >= distinct => {
+                    println!(
+                        "warm-load: store.synced = {synced} under sync mode {mode:?}, \
+                         hot set survives power loss"
+                    );
+                    ExitCode::SUCCESS
+                }
+                synced => {
+                    eprintln!(
+                        "warm-load: sync mode is {mode:?} but store.synced stuck at {synced:?} \
+                         (< {distinct})"
+                    );
+                    ExitCode::FAILURE
+                }
+            }
         }
     }
 }
@@ -1354,10 +1437,455 @@ fn run_warm_bench(opts: &Options) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// --shard-bench: hot-class isolation experiment behind BENCH_sharding.json
+// ---------------------------------------------------------------------------
+
+const SHARD_BACKENDS: usize = 4;
+const SHARD_VNODES: usize = 64;
+const SHARD_WORKERS: usize = 4;
+const SHARD_QUEUE_CAP: usize = 256;
+const SHARD_CACHE_CAP: usize = 256;
+/// Victim working set: keys owned by the non-hot backends, small enough
+/// to stay resident in their caches.
+const SHARD_VICTIM_KEYS: usize = 24;
+/// Victim probe passes per phase (one latency sample per key per pass),
+/// paced [`SHARD_ROUND_PACE`] apart so the contended phases observe the
+/// flood's steady state — cache churn included — rather than its first
+/// half-second.
+const SHARD_ROUNDS: usize = 150;
+const SHARD_SMOKE_ROUNDS: usize = 8;
+const SHARD_ROUND_PACE: Duration = Duration::from_millis(2);
+const SHARD_HOT_THREADS: usize = 2;
+const SHARD_HOT_PIPELINE: usize = 128;
+/// Distinct flood keys — far more than one backend's cache slice, so the
+/// flood stays a compute-bound cold scan instead of going cache-warm.
+const SHARD_HOT_KEYS: usize = 8192;
+/// The hot class asks for a much larger partition than the victims do:
+/// each flood miss costs ~0.7 ms of worker compute, so an unsharded
+/// queue in front of it visibly delays whoever shares it.
+const SHARD_HOT_N: usize = 1024;
+/// Sub-millisecond p99 baselines on a single shared core are scheduler
+/// noise, so the 2x bound is taken against at least this much.
+const SHARD_NOISE_FLOOR_US: u64 = 1_000;
+
+/// The cache key the server derives for a seed at processor count `n` —
+/// used to pre-classify seeds by owning backend with the same `Router`
+/// the server builds (`n` is part of the key, so the hot and victim
+/// classes classify at their own request shapes).
+fn shard_cache_key(seed: u64, n: usize) -> CacheKey {
+    let spec = ProblemSpec::Synthetic {
+        weight: 1.0,
+        lo: 0.2,
+        hi: 0.5,
+        seed,
+    };
+    CacheKey::new(spec.fingerprint(), Algorithm::Hf, n, 1.0)
+}
+
+/// A flood request: same problem family as the victims, but a heavier
+/// `n` so every miss costs real worker time.
+fn shard_hot_request(seed: u64) -> Request {
+    Request::Balance(BalanceRequest {
+        id: Some(seed),
+        algorithm: Algorithm::Hf,
+        n: SHARD_HOT_N,
+        theta: 1.0,
+        deadline_ms: None,
+        want_pieces: false,
+        problem: ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.2,
+            hi: 0.5,
+            seed,
+        },
+    })
+}
+
+struct ShardPhase {
+    label: &'static str,
+    backends: usize,
+    contended: bool,
+    warm_resident: u64,
+    samples: u64,
+    ok: u64,
+    cached: u64,
+    errors: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    hot_answered: u64,
+    hot_ok: u64,
+    hot_shed: u64,
+    backend_stats: Option<Json>,
+}
+
+impl ShardPhase {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.into())),
+            ("backends".into(), Json::Int(self.backends as i64)),
+            ("contended".into(), Json::Bool(self.contended)),
+            ("warm_resident".into(), Json::Int(self.warm_resident as i64)),
+            ("victim_samples".into(), Json::Int(self.samples as i64)),
+            ("victim_ok".into(), Json::Int(self.ok as i64)),
+            ("victim_cached".into(), Json::Int(self.cached as i64)),
+            ("victim_errors".into(), Json::Int(self.errors as i64)),
+            ("victim_p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("victim_p95_us".into(), Json::Int(self.p95_us as i64)),
+            ("victim_p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("victim_max_us".into(), Json::Int(self.max_us as i64)),
+            ("hot_answered".into(), Json::Int(self.hot_answered as i64)),
+            ("hot_ok".into(), Json::Int(self.hot_ok as i64)),
+            ("hot_shed".into(), Json::Int(self.hot_shed as i64)),
+            (
+                "server_backends".into(),
+                self.backend_stats.clone().unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+/// One flood connection: pipelines bursts of hot-class requests until
+/// told to stop, tallying answered/ok/shed. The server may shed most of
+/// these (the hot backend's local queue is a quarter of the global cap)
+/// — that per-class shedding is part of what the bench demonstrates.
+fn shard_hot_flood(
+    addr: std::net::SocketAddr,
+    seeds: Arc<Vec<u64>>,
+    stop: Arc<AtomicBool>,
+    thread_index: usize,
+) -> (u64, u64, u64) {
+    let mut answered = 0u64;
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return (0, 0, 0);
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return (0, 0, 0);
+    };
+    let mut reader = BufReader::new(stream);
+    let mut cursor = thread_index * seeds.len() / SHARD_HOT_THREADS;
+    let mut out = String::new();
+    let mut line = String::new();
+    while !stop.load(Ordering::Relaxed) {
+        out.clear();
+        for j in 0..SHARD_HOT_PIPELINE {
+            let seed = seeds[(cursor + j) % seeds.len()];
+            out.push_str(&shard_hot_request(seed).encode());
+            out.push('\n');
+        }
+        cursor = (cursor + SHARD_HOT_PIPELINE) % seeds.len();
+        if writer.write_all(out.as_bytes()).is_err() {
+            break;
+        }
+        for _ in 0..SHARD_HOT_PIPELINE {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => return (answered, ok, shed),
+                Ok(_) => {}
+            }
+            answered += 1;
+            if line.contains("\"status\":\"ok\"") {
+                ok += 1;
+            } else if line.contains("\"overloaded\"") {
+                shed += 1;
+            }
+        }
+    }
+    (answered, ok, shed)
+}
+
+/// One phase: warm the victim class, optionally start the hot flood,
+/// probe victim latency for `rounds` passes, snapshot the per-backend
+/// stats while the flood is still running, then tear everything down.
+fn shard_phase(
+    label: &'static str,
+    backends: usize,
+    contended: bool,
+    victims: &Arc<Vec<u64>>,
+    hot: &Arc<Vec<u64>>,
+    rounds: usize,
+) -> Result<ShardPhase, String> {
+    let server = Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: SHARD_WORKERS,
+            queue_capacity: SHARD_QUEUE_CAP,
+            cache_capacity: SHARD_CACHE_CAP,
+            pool_threads: 1,
+        },
+        Tuning {
+            backends,
+            backend_vnodes: SHARD_VNODES,
+            // Plain LRU everywhere: TinyLFU's scan resistance would let
+            // even the *unsharded* control keep the victims cached
+            // through the flood, masking exactly the cache-sharing
+            // failure the control exists to show. Sharded isolation must
+            // not depend on the admission policy.
+            admission: false,
+            ..Tuning::default()
+        },
+    )
+    .map_err(|e| format!("{label}: server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Warm the victim class: first pass computes, second proves residency.
+    let mut client = Client::connect(addr).map_err(|e| format!("{label}: connect: {e}"))?;
+    let mut warm = |id_base: u64| -> Result<u64, String> {
+        let mut resident = 0u64;
+        for (i, &seed) in victims.iter().enumerate() {
+            match client
+                .call(&bench_request(id_base + i as u64, seed))
+                .map_err(|e| format!("{label}: warm call: {e}"))?
+            {
+                Response::Ok(ok) => {
+                    if ok.cached {
+                        resident += 1;
+                    }
+                }
+                other => return Err(format!("{label}: warm: unexpected {other:?}")),
+            }
+        }
+        Ok(resident)
+    };
+    warm(0)?;
+    let warm_resident = warm(victims.len() as u64)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut flood = Vec::new();
+    if contended {
+        for thread_index in 0..SHARD_HOT_THREADS {
+            let hot = Arc::clone(hot);
+            let stop = Arc::clone(&stop);
+            flood.push(thread::spawn(move || {
+                shard_hot_flood(addr, hot, stop, thread_index)
+            }));
+        }
+        // Let the flood fill the hot backend's queue before sampling.
+        thread::sleep(Duration::from_millis(200));
+    }
+
+    let mut latencies = Vec::with_capacity(rounds * victims.len());
+    let mut ok_count = 0u64;
+    let mut cached = 0u64;
+    let mut errors = 0u64;
+    for round in 0..rounds {
+        if round > 0 {
+            thread::sleep(SHARD_ROUND_PACE);
+        }
+        for (i, &seed) in victims.iter().enumerate() {
+            let id = 1_000 + (round * victims.len() + i) as u64;
+            let sent = Instant::now();
+            match client
+                .call(&bench_request(id, seed))
+                .map_err(|e| format!("{label}: victim call: {e}"))?
+            {
+                Response::Ok(ok) => {
+                    ok_count += 1;
+                    if ok.cached {
+                        cached += 1;
+                    }
+                }
+                Response::Error { .. } => errors += 1,
+                other => return Err(format!("{label}: victim: unexpected {other:?}")),
+            }
+            latencies.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    // Per-backend rollup while the flood is still applying pressure.
+    let backend_stats = if contended {
+        fetch_stats(addr).and_then(|s| s.get("backends").cloned())
+    } else {
+        None
+    };
+
+    stop.store(true, Ordering::Relaxed);
+    let mut hot_answered = 0u64;
+    let mut hot_ok = 0u64;
+    let mut hot_shed = 0u64;
+    for handle in flood {
+        let (answered, ok, shed) = handle.join().expect("flood thread panicked");
+        hot_answered += answered;
+        hot_ok += ok;
+        hot_shed += shed;
+    }
+    server.shutdown();
+
+    latencies.sort_unstable();
+    Ok(ShardPhase {
+        label,
+        backends,
+        contended,
+        warm_resident,
+        samples: latencies.len() as u64,
+        ok: ok_count,
+        cached,
+        errors,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        hot_answered,
+        hot_ok,
+        hot_shed,
+        backend_stats,
+    })
+}
+
+fn run_shard_bench(opts: &Options) -> ExitCode {
+    let rounds = if opts.duration_ms.is_some() {
+        SHARD_SMOKE_ROUNDS
+    } else {
+        SHARD_ROUNDS
+    };
+    // Classify seeds with the same ring the 4-backend server will build:
+    // the flood all lands on one backend, the victims on the others.
+    let router = Router::new(SHARD_BACKENDS, SHARD_VNODES);
+    let hot_backend = router.route(shard_cache_key(1_000_000, SHARD_HOT_N).mix());
+    let mut hot = Vec::with_capacity(SHARD_HOT_KEYS);
+    let mut seed = 1_000_000u64;
+    while hot.len() < SHARD_HOT_KEYS {
+        if router.route(shard_cache_key(seed, SHARD_HOT_N).mix()) == hot_backend {
+            hot.push(seed);
+        }
+        seed += 1;
+    }
+    let mut victims = Vec::with_capacity(SHARD_VICTIM_KEYS);
+    let mut seed = 0u64;
+    while victims.len() < SHARD_VICTIM_KEYS {
+        if router.route(shard_cache_key(seed, BENCH_N).mix()) != hot_backend {
+            victims.push(seed);
+        }
+        seed += 1;
+    }
+    println!(
+        "shard-bench: hot class pinned to backend {hot_backend} ({} flood keys), \
+         {} victim keys on the other {} backends, {rounds} probe rounds",
+        hot.len(),
+        victims.len(),
+        SHARD_BACKENDS - 1
+    );
+    let victims = Arc::new(victims);
+    let hot = Arc::new(hot);
+
+    let phase = |label, backends, contended| {
+        let result = shard_phase(label, backends, contended, &victims, &hot, rounds);
+        if let Ok(p) = &result {
+            println!(
+                "  {label:<22} p50 {:>6} us  p95 {:>6} us  p99 {:>6} us  \
+                 (victim ok {} cached {} err {}; hot ok {} shed {})",
+                p.p50_us, p.p95_us, p.p99_us, p.ok, p.cached, p.errors, p.hot_ok, p.hot_shed
+            );
+        }
+        result
+    };
+    let (isolated, sharded, control) = match (|| {
+        Ok::<_, String>((
+            phase("isolated", SHARD_BACKENDS, false)?,
+            phase("sharded + flood", SHARD_BACKENDS, true)?,
+            phase("unsharded + flood", 1, true)?,
+        ))
+    })() {
+        Ok(phases) => phases,
+        Err(e) => {
+            eprintln!("shard-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline_us = isolated.p99_us.max(SHARD_NOISE_FLOOR_US);
+    let bound_us = 2 * baseline_us;
+    let pass = sharded.p99_us <= bound_us;
+    let ratio = sharded.p99_us as f64 / isolated.p99_us.max(1) as f64;
+    let control_ratio = control.p99_us as f64 / isolated.p99_us.max(1) as f64;
+    println!(
+        "shard-bench: sharded victim p99 {} us vs bound {} us (2 x max(isolated p99, \
+         {SHARD_NOISE_FLOOR_US} us noise floor)) — {}",
+        sharded.p99_us,
+        bound_us,
+        if pass { "within bound" } else { "EXCEEDED" }
+    );
+    println!(
+        "shard-bench: victim p99 blowup without sharding: {control_ratio:.1}x \
+         (with sharding: {ratio:.1}x)"
+    );
+
+    let report = Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/bench-sharding/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("backends".into(), Json::Int(SHARD_BACKENDS as i64)),
+                ("backend_vnodes".into(), Json::Int(SHARD_VNODES as i64)),
+                ("hot_backend".into(), Json::Int(i64::from(hot_backend))),
+                ("workers".into(), Json::Int(SHARD_WORKERS as i64)),
+                ("queue_capacity".into(), Json::Int(SHARD_QUEUE_CAP as i64)),
+                ("cache_capacity".into(), Json::Int(SHARD_CACHE_CAP as i64)),
+                ("victim_keys".into(), Json::Int(SHARD_VICTIM_KEYS as i64)),
+                ("probe_rounds".into(), Json::Int(rounds as i64)),
+                ("hot_keys".into(), Json::Int(SHARD_HOT_KEYS as i64)),
+                (
+                    "hot_connections".into(),
+                    Json::Int(SHARD_HOT_THREADS as i64),
+                ),
+                ("hot_pipeline".into(), Json::Int(SHARD_HOT_PIPELINE as i64)),
+                (
+                    "noise_floor_us".into(),
+                    Json::Int(SHARD_NOISE_FLOOR_US as i64),
+                ),
+            ]),
+        ),
+        ("isolated".into(), isolated.to_json()),
+        ("sharded".into(), sharded.to_json()),
+        ("unsharded_control".into(), control.to_json()),
+        (
+            "assertion".into(),
+            Json::Obj(vec![
+                ("bound_us".into(), Json::Int(bound_us as i64)),
+                ("sharded_p99_us".into(), Json::Int(sharded.p99_us as i64)),
+                ("sharded_over_isolated".into(), Json::Num(ratio)),
+                ("control_over_isolated".into(), Json::Num(control_ratio)),
+                ("pass".into(), Json::Bool(pass)),
+            ]),
+        ),
+    ]);
+    let out = if opts.out == "BENCH_serving.json" {
+        "BENCH_sharding.json"
+    } else {
+        opts.out.as_str()
+    };
+    if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+        eprintln!("shard-bench: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("shard-bench: wrote {out}");
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "shard-bench: FAILED — victim p99 {} us exceeds {} us under a sharded hot flood",
+            sharded.p99_us, bound_us
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
     if opts.warm_bench {
         return run_warm_bench(&opts);
+    }
+    if opts.shard_bench {
+        return run_shard_bench(&opts);
     }
     if opts.bench {
         return run_bench(&opts);
@@ -1369,9 +1897,17 @@ fn main() -> ExitCode {
 
     // Spawn an in-process server unless one was pointed at.
     let local_server = if opts.addr.is_none() {
-        let mut tuning = Tuning::default();
+        let mut tuning = Tuning {
+            backends: opts.backends,
+            backend_vnodes: opts.backend_vnodes,
+            ..Tuning::default()
+        };
         if let Some(guard) = &store_guard {
-            tuning.store = Some(StoreSettings::new(&guard.path));
+            let mut settings = StoreSettings::new(&guard.path);
+            if let Some(sync) = opts.store_sync {
+                settings.sync = sync;
+            }
+            tuning.store = Some(settings);
         }
         match Server::start_tuned(ServerConfig::default(), tuning) {
             Ok(s) => {

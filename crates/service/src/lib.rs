@@ -70,6 +70,7 @@ pub mod fault;
 pub mod metrics;
 pub mod persist;
 pub mod proto;
+pub mod route;
 pub mod server;
 pub mod shed;
 pub mod spec;
@@ -79,5 +80,6 @@ pub use client::Client;
 pub use fault::{IoShim, Passthrough, ReadOp, ScriptedShim, WriteOp};
 pub use persist::StoreSettings;
 pub use proto::{Algorithm, ErrorCode, Request, Response};
+pub use route::Router;
 pub use server::{Engine, Server, ServerConfig, Tuning};
 pub use spec::ProblemSpec;

@@ -361,6 +361,7 @@ pub fn store_json(stats: &gb_store::StoreStats) -> Json {
             Json::Int(stats.corrupt_skipped as i64),
         ),
         ("compacted".into(), Json::Int(stats.compacted as i64)),
+        ("synced".into(), Json::Int(stats.synced as i64)),
         (
             "spill_dropped".into(),
             Json::Int(stats.spill_dropped as i64),

@@ -40,6 +40,8 @@ pub struct StoreSettings {
     pub budget_bytes: u64,
     /// Spill queue depth (records awaiting the writer thread).
     pub queue_capacity: usize,
+    /// Durability mode: when to fsync the log (`none` trusts the OS).
+    pub sync: gb_store::SyncMode,
 }
 
 impl StoreSettings {
@@ -51,6 +53,7 @@ impl StoreSettings {
             segment_bytes: defaults.segment_bytes,
             budget_bytes: defaults.budget_bytes,
             queue_capacity: 1024,
+            sync: gb_store::SyncMode::None,
         }
     }
 
@@ -60,6 +63,7 @@ impl StoreSettings {
             dir: self.dir.clone(),
             segment_bytes: self.segment_bytes,
             budget_bytes: self.budget_bytes,
+            sync: self.sync,
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Consistent-hash routing across backend pools.
+//!
+//! The router places `vnodes` virtual nodes per backend on a u64 ring
+//! (each vnode's position is a SplitMix64 hash of `(backend_id,
+//! replica)`), and routes a key hash to the owning backend with a
+//! binary search for the first vnode clockwise of the hash. Two
+//! properties fall out of this construction:
+//!
+//! - **Stability**: adding one backend to `S` existing ones only
+//!   reassigns the keys that now land on the new backend's vnodes —
+//!   about `1/(S+1)` of the keyspace — and never shuffles keys between
+//!   surviving backends. Removing a backend reassigns only its keys.
+//! - **Determinism**: the ring depends only on the backend id set and
+//!   the vnode count, not on insertion order or process history, so a
+//!   restarted server re-homes every recovered record to the same
+//!   backend a live router would pick.
+//!
+//! Keys enter as [`CacheKey::mix()`](crate::cache::CacheKey::mix)
+//! fingerprints, which are already SplitMix64-finalised and uniform.
+
+use crate::cache::splitmix64;
+
+/// Default virtual nodes per backend; enough that the max/mean keyspace
+/// imbalance across backends stays small (~sqrt(S/vnodes) relative
+/// spread) without making ring construction or lookup measurable.
+pub const DEFAULT_VNODES: usize = 96;
+
+/// A consistent-hash ring over backend ids.
+#[derive(Debug, Clone)]
+pub struct Router {
+    /// `(position, backend_id)` sorted by position.
+    ring: Vec<(u64, u32)>,
+    backends: usize,
+    vnodes: usize,
+}
+
+impl Router {
+    /// Ring over backends `0..backends` with `vnodes` virtual nodes
+    /// each. Panics if either count is zero.
+    pub fn new(backends: usize, vnodes: usize) -> Router {
+        Self::from_ids((0..backends as u32).collect(), vnodes)
+    }
+
+    /// Ring over an explicit backend id set — the membership-change
+    /// form: the ring for `{0,1,2}` is a strict subset of the ring for
+    /// `{0,1,2,3}` restricted to surviving ids.
+    pub fn from_ids(ids: Vec<u32>, vnodes: usize) -> Router {
+        assert!(!ids.is_empty(), "router needs at least one backend");
+        assert!(vnodes > 0, "router needs at least one vnode per backend");
+        let backends = ids.len();
+        let mut ring = Vec::with_capacity(backends * vnodes);
+        for &id in &ids {
+            for replica in 0..vnodes as u64 {
+                // Spread id and replica into distinct bit ranges before
+                // finalising so (id=1, replica=2) and (id=2, replica=1)
+                // cannot collide structurally.
+                let position = splitmix64((u64::from(id) << 32) | replica);
+                ring.push((position, id));
+            }
+        }
+        ring.sort_unstable();
+        Router {
+            ring,
+            backends,
+            vnodes,
+        }
+    }
+
+    /// The backend owning `hash`: the first vnode at or clockwise of
+    /// it, wrapping to the ring's start past the largest position.
+    pub fn route(&self, hash: u64) -> u32 {
+        let at = self.ring.partition_point(|&(pos, _)| pos < hash);
+        let (_, backend) = self.ring[at % self.ring.len()];
+        backend
+    }
+
+    /// Number of backends on the ring.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Virtual nodes per backend.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let router = Router::new(1, DEFAULT_VNODES);
+        for k in [0, 1, u64::MAX / 2, u64::MAX] {
+            assert_eq!(router.route(k), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_membership_ordered() {
+        let a = Router::new(4, 64);
+        let b = Router::from_ids(vec![0, 1, 2, 3], 64);
+        for k in (0..10_000u64).map(splitmix64) {
+            assert_eq!(a.route(k), b.route(k));
+        }
+    }
+
+    #[test]
+    fn load_split_is_roughly_uniform() {
+        let router = Router::new(4, DEFAULT_VNODES);
+        let mut counts = [0u64; 4];
+        const SAMPLES: u64 = 40_000;
+        for k in 0..SAMPLES {
+            counts[router.route(splitmix64(k)) as usize] += 1;
+        }
+        let mean = SAMPLES as f64 / 4.0;
+        for (backend, &count) in counts.iter().enumerate() {
+            let skew = count as f64 / mean;
+            assert!(
+                (0.5..2.0).contains(&skew),
+                "backend {backend} holds {count}/{SAMPLES} (skew {skew:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn wraparound_routes_to_the_first_vnode() {
+        let router = Router::new(3, 8);
+        let (first_pos, first_backend) = router.ring[0];
+        let (last_pos, _) = *router.ring.last().unwrap();
+        assert!(last_pos < u64::MAX, "test assumes the ring top is free");
+        assert_eq!(router.route(last_pos + 1), first_backend);
+        assert_eq!(router.route(first_pos), first_backend);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backends_panics() {
+        let _ = Router::new(0, 8);
+    }
+}

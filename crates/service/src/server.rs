@@ -55,7 +55,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use gb_parlb::ThreadPool;
-use gb_store::{SpillHandle, Store};
+use gb_store::{SpillHandle, SpillSender, Store};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
@@ -66,7 +66,8 @@ use crate::proto::{
     Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
     Request, Response,
 };
-use crate::shed::{BoundedQueue, PushError, SlotGauge, SlotToken, StealQueue};
+use crate::route::{Router, DEFAULT_VNODES};
+use crate::shed::{AggregateCap, BoundedQueue, PushError, SlotGauge, SlotToken, StealQueue};
 
 /// Smallest α used for bound computation, so bounds stay finite even for
 /// degenerate empirical measurements.
@@ -172,6 +173,14 @@ pub struct Tuning {
     /// into the cache on the next boot. `None` (the default) serves
     /// memory-only, exactly as before.
     pub store: Option<StoreSettings>,
+    /// Independent backend pools behind a consistent-hash router
+    /// (0 = 1). Each backend owns a queue shard set, worker threads and
+    /// a cache, so one hot problem class saturates its own backend
+    /// instead of the whole server; all backends share the store.
+    pub backends: usize,
+    /// Virtual nodes per backend on the router ring
+    /// (0 = [`DEFAULT_VNODES`]).
+    pub backend_vnodes: usize,
 }
 
 impl Default for Tuning {
@@ -186,6 +195,8 @@ impl Default for Tuning {
             write_stall: Duration::from_secs(5),
             shim: Arc::new(Passthrough),
             store: None,
+            backends: 0,
+            backend_vnodes: 0,
         }
     }
 }
@@ -201,6 +212,8 @@ impl fmt::Debug for Tuning {
             .field("poll_interval", &self.poll_interval)
             .field("write_stall", &self.write_stall)
             .field("store", &self.store)
+            .field("backends", &self.backends)
+            .field("backend_vnodes", &self.backend_vnodes)
             .finish_non_exhaustive()
     }
 }
@@ -336,16 +349,42 @@ struct Job {
     received: Instant,
     /// Accept-order id of the submitting connection (fault-shim key).
     conn_id: u64,
+    /// Index of the backend the router homed this job's key to.
+    backend: usize,
     reply: ReplyTo,
     /// RAII in-flight slot: released when the job is dropped, wherever
     /// that happens — worker reply, dead-connection skip, shed hand-back
     /// or shutdown drain — so the gauge cannot leak.
     _slot: SlotToken,
+    /// Same contract for the owning backend's in-flight gauge.
+    _backend_slot: SlotToken,
+}
+
+/// One backend pool: a queue, its worker threads, a cache, and a spill
+/// endpoint into the shared store. The router assigns each key to
+/// exactly one backend, so a hot problem class fills its own queue (and
+/// sheds at its local capacity) without starving the siblings.
+struct Backend {
+    queue: QueueKind,
+    cache: ShardedCache,
+    /// Balance jobs between submission and reply on this backend.
+    inflight: SlotGauge,
+    /// Producer endpoint multiplexed onto the shared store's single
+    /// writer thread.
+    spill: Option<SpillSender>,
+    /// Worker threads dedicated to this backend's queue.
+    workers: usize,
 }
 
 struct Shared {
-    queue: QueueKind,
-    cache: ShardedCache,
+    router: Router,
+    /// Declared before `spill` on purpose: fields drop in declaration
+    /// order, so the backends' `SpillSender`s go first, closing the
+    /// spill channel before `SpillHandle::drop` joins the writer.
+    backends: Vec<Backend>,
+    /// The shared admission budget across all backend queues — the
+    /// server-wide overload contract is unchanged by sharding.
+    queue_cap: Arc<AggregateCap>,
     metrics: ServiceMetrics,
     pool: ThreadPool,
     shutdown: AtomicBool,
@@ -365,6 +404,14 @@ struct Shared {
     /// which drains the spill queue to disk before the writer joins —
     /// graceful shutdown loses nothing.
     spill: Option<SpillHandle>,
+}
+
+impl Shared {
+    /// The backend that owns `key` under the current router.
+    fn backend_for(&self, key: &CacheKey) -> (usize, &Backend) {
+        let index = self.router.route(key.mix()) as usize;
+        (index, &self.backends[index])
+    }
 }
 
 /// A running daemon. Dropping the handle shuts the server down.
@@ -402,36 +449,88 @@ impl Server {
         } else {
             tuning.cache_shards
         };
-        let queue = match tuning.engine {
-            Engine::Threaded => QueueKind::Bounded(BoundedQueue::new(config.queue_capacity.max(1))),
-            Engine::Event => {
-                QueueKind::Steal(StealQueue::new(workers, config.queue_capacity.max(1)))
-            }
+        let backend_count = tuning.backends.max(1);
+        let vnodes = if tuning.backend_vnodes == 0 {
+            DEFAULT_VNODES
+        } else {
+            tuning.backend_vnodes
         };
-        let cache = ShardedCache::new(config.cache_capacity, cache_shards, tuning.admission);
-        // Warm restart: replay persisted records through the cache (and
-        // its admission sketch) before serving, then hand the store to
-        // its writer thread.
-        let spill = match &tuning.store {
+        let router = Router::new(backend_count, vnodes);
+        // Per-backend budgets: every backend gets its share of the
+        // worker threads, the queue capacity and the cache, while the
+        // shared AggregateCap keeps the server-wide shed point exactly
+        // where the single-backend configuration put it.
+        let queue_capacity = config.queue_capacity.max(1);
+        let queue_cap = AggregateCap::new(queue_capacity);
+        let local_capacity = queue_capacity.div_ceil(backend_count);
+        let backend_workers = workers.div_ceil(backend_count).max(1);
+        let backend_cache = if config.cache_capacity == 0 {
+            0
+        } else {
+            config.cache_capacity.div_ceil(backend_count)
+        };
+        // The shared store: one writer thread; each backend gets its own
+        // SpillSender multiplexed onto it. Recovery re-homes every
+        // record to the backend the router picks *today*, so records
+        // written under a different backend count land correctly.
+        let mut store_open = match &tuning.store {
             Some(settings) => {
                 let (store, recovered) = Store::open(settings.to_config())?;
+                Some((store, recovered, settings.queue_capacity.max(1)))
+            }
+            None => None,
+        };
+        let backends: Vec<Backend> = (0..backend_count)
+            .map(|_| Backend {
+                queue: match tuning.engine {
+                    Engine::Threaded => QueueKind::Bounded(BoundedQueue::with_cap(
+                        local_capacity,
+                        Arc::clone(&queue_cap),
+                    )),
+                    Engine::Event => QueueKind::Steal(StealQueue::with_cap(
+                        backend_workers,
+                        local_capacity,
+                        Arc::clone(&queue_cap),
+                    )),
+                },
+                cache: ShardedCache::new(backend_cache, cache_shards, tuning.admission),
+                inflight: SlotGauge::new(),
+                spill: None,
+                workers: backend_workers,
+            })
+            .collect();
+        // Warm restart: replay persisted records through the owning
+        // backend's cache (and its admission sketch) before serving,
+        // then hand the store to its writer thread.
+        let spill = match store_open.take() {
+            Some((store, recovered, spill_capacity)) => {
                 for record in recovered {
                     match (
                         persist::decode_key(&record.key),
                         persist::decode_value(&record.value),
                     ) {
-                        (Some(key), Some(value)) => cache.warm(key, value),
+                        (Some(key), Some(value)) => {
+                            let home = router.route(key.mix()) as usize;
+                            backends[home].cache.warm(key, value);
+                        }
                         // Checksum-valid but undecodable: codec skew.
                         _ => store.note_corrupt(),
                     }
                 }
-                Some(SpillHandle::spawn(store, settings.queue_capacity.max(1)))
+                Some(SpillHandle::spawn(store, spill_capacity))
             }
             None => None,
         };
+        let mut backends = backends;
+        if let Some(spill) = &spill {
+            for backend in &mut backends {
+                backend.spill = Some(spill.sender());
+            }
+        }
         let shared = Arc::new(Shared {
-            queue,
-            cache,
+            router,
+            backends,
+            queue_cap,
             metrics: ServiceMetrics::new(),
             pool: ThreadPool::new(pool_threads),
             shutdown: AtomicBool::new(false),
@@ -445,12 +544,13 @@ impl Server {
             spill,
         });
 
-        let worker_handles = (0..workers)
-            .map(|i| {
+        let worker_handles = (0..backend_count)
+            .flat_map(|b| (0..backend_workers).map(move |w| (b, w)))
+            .map(|(b, w)| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
-                    .name(format!("gb-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .name(format!("gb-serve-worker-{b}-{w}"))
+                    .spawn(move || worker_loop(&shared, b, w))
                     .expect("spawn balance worker")
             })
             .collect();
@@ -545,7 +645,9 @@ fn trigger_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already shutting down
     }
-    shared.queue.close();
+    for backend in &shared.backends {
+        backend.queue.close();
+    }
     // Unblock the threaded engine's blocking accept() with a dummy
     // connection (harmless no-op for the event engine, which polls).
     let _ = TcpStream::connect(shared.local_addr);
@@ -713,18 +815,23 @@ fn dispatch_line(
     }
 }
 
-/// Queues a balance request and waits for its worker-produced response.
+/// Queues a balance request on the backend that owns its key and waits
+/// for the worker-produced response.
 fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Response {
     let id = req.id;
+    let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
+    let (backend_index, backend) = shared.backend_for(&key);
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job {
         req,
         received: Instant::now(),
         conn_id,
+        backend: backend_index,
         reply: ReplyTo::Channel(reply_tx),
         _slot: shared.inflight_jobs.acquire(),
+        _backend_slot: backend.inflight.acquire(),
     };
-    match shared.queue.try_push(job) {
+    match backend.queue.try_push(job) {
         Ok(()) => match reply_rx.recv_timeout(shared.tuning.reply_timeout) {
             Ok(resp) => resp,
             Err(_) => {
@@ -741,7 +848,7 @@ fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Respons
             Response::Error {
                 id,
                 code: ErrorCode::Overloaded,
-                message: format!("request queue full ({})", shared.queue.capacity()),
+                message: format!("request queue full ({})", backend.queue.capacity()),
             }
         }
         Err((_, PushError::Closed)) => {
@@ -1146,9 +1253,11 @@ fn dispatch_event_line(
                 }
             }
             // Fast path: answer cache hits on the poller — no queue
-            // round trip, no worker hand-off, no condvar.
+            // round trip, no worker hand-off, no condvar. The router
+            // picks the backend whose cache can hold this key.
             let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
-            if let Some(hit) = shared.cache.get(&key) {
+            let (backend_index, backend) = shared.backend_for(&key);
+            if let Some(hit) = backend.cache.get(&key) {
                 let latency = received.elapsed();
                 shared.metrics.record_fast_path();
                 shared.metrics.record_ok(req.algorithm, true, latency);
@@ -1167,13 +1276,15 @@ fn dispatch_event_line(
                 req,
                 received,
                 conn_id: conn.conn_id,
+                backend: backend_index,
                 reply: ReplyTo::Socket {
                     conn: Arc::clone(conn),
                     answered: Arc::clone(&answered),
                 },
                 _slot: shared.inflight_jobs.acquire(),
+                _backend_slot: backend.inflight.acquire(),
             };
-            match shared.queue.try_push(job) {
+            match backend.queue.try_push(job) {
                 Ok(()) => LineOutcome::Inflight { answered, id },
                 Err((_, PushError::Full)) => {
                     conn.inflight.store(false, Ordering::Release);
@@ -1183,7 +1294,7 @@ fn dispatch_event_line(
                         &Response::Error {
                             id,
                             code: ErrorCode::Overloaded,
-                            message: format!("request queue full ({})", shared.queue.capacity()),
+                            message: format!("request queue full ({})", backend.queue.capacity()),
                         },
                     );
                     LineOutcome::Answered
@@ -1210,8 +1321,9 @@ fn dispatch_event_line(
 // Workers (shared by both engines)
 // ---------------------------------------------------------------------------
 
-fn worker_loop(shared: &Shared, index: usize) {
-    while let Some(job) = shared.queue.pop(index) {
+fn worker_loop(shared: &Shared, backend: usize, index: usize) {
+    let queue = &shared.backends[backend].queue;
+    while let Some(job) = queue.pop(index) {
         // Fault injection: a scripted stall models a wedged worker.
         if let Some(stall) = shared.tuning.shim.before_execute(job.conn_id) {
             thread::sleep(stall);
@@ -1270,8 +1382,9 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         }
     }
 
+    let backend = &shared.backends[job.backend];
     let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
-    if let Some(hit) = shared.cache.get(&key) {
+    if let Some(hit) = backend.cache.get(&key) {
         let latency = job.received.elapsed();
         shared.metrics.record_ok(req.algorithm, true, latency);
         return ok_response(req, &hit, true, latency);
@@ -1302,8 +1415,8 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         bound,
         alpha,
     };
-    shared.cache.put(key, result.clone());
-    if let Some(spill) = &shared.spill {
+    backend.cache.put(key, result.clone());
+    if let Some(spill) = &backend.spill {
         // Write-behind: O(1) enqueue; a full queue drops the record
         // (counted) rather than stalling the worker.
         spill.spill(persist::encode_key(&key), persist::encode_value(&result));
@@ -1338,44 +1451,84 @@ fn ok_response(
 
 fn stats_json(shared: &Shared) -> Json {
     let mut json = shared.metrics.to_json();
-    let cache = shared.cache.stats();
     if let Json::Obj(entries) = &mut json {
         entries.push((
             "engine".into(),
             Json::Str(shared.tuning.engine.name().into()),
         ));
+        // Cache rollup: the per-backend caches summed, so the section
+        // reads exactly as it did with one backend.
+        let per_cache: Vec<_> = shared.backends.iter().map(|b| b.cache.stats()).collect();
+        let sum = |f: fn(&crate::cache::CacheStats) -> u64| per_cache.iter().map(f).sum::<u64>();
+        let (hits, misses) = (sum(|c| c.hits), sum(|c| c.misses));
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
         entries.push((
             "cache".into(),
             Json::Obj(vec![
-                ("hits".into(), Json::Int(cache.hits as i64)),
-                ("misses".into(), Json::Int(cache.misses as i64)),
-                ("evictions".into(), Json::Int(cache.evictions as i64)),
+                ("hits".into(), Json::Int(hits as i64)),
+                ("misses".into(), Json::Int(misses as i64)),
+                ("evictions".into(), Json::Int(sum(|c| c.evictions) as i64)),
                 (
                     "admission_rejects".into(),
-                    Json::Int(cache.admission_rejects as i64),
+                    Json::Int(sum(|c| c.admission_rejects) as i64),
                 ),
-                ("len".into(), Json::Int(cache.len as i64)),
-                ("capacity".into(), Json::Int(cache.capacity as i64)),
-                ("hit_rate".into(), Json::Num(cache.hit_rate())),
+                (
+                    "len".into(),
+                    Json::Int(per_cache.iter().map(|c| c.len).sum::<usize>() as i64),
+                ),
+                (
+                    "capacity".into(),
+                    Json::Int(per_cache.iter().map(|c| c.capacity).sum::<usize>() as i64),
+                ),
+                ("hit_rate".into(), Json::Num(hit_rate)),
                 (
                     "shards".into(),
-                    Json::Int(shared.cache.shard_count() as i64),
+                    Json::Int(shared.backends[0].cache.shard_count() as i64),
                 ),
                 (
                     "admission".into(),
-                    Json::Bool(shared.cache.admission_enabled()),
+                    Json::Bool(shared.backends[0].cache.admission_enabled()),
                 ),
             ]),
         ));
+        // Queue rollup: the aggregate budget is the server-wide shed
+        // point, identical in meaning to the pre-sharding section.
         entries.push((
             "queue".into(),
             Json::Obj(vec![
-                ("depth".into(), Json::Int(shared.queue.depth() as i64)),
-                ("capacity".into(), Json::Int(shared.queue.capacity() as i64)),
-                ("shards".into(), Json::Int(shared.queue.shards() as i64)),
-                ("steals".into(), Json::Int(shared.queue.steals() as i64)),
+                ("depth".into(), Json::Int(shared.queue_cap.depth() as i64)),
+                (
+                    "capacity".into(),
+                    Json::Int(shared.queue_cap.capacity() as i64),
+                ),
+                (
+                    "shards".into(),
+                    Json::Int(
+                        shared
+                            .backends
+                            .iter()
+                            .map(|b| b.queue.shards())
+                            .sum::<usize>() as i64,
+                    ),
+                ),
+                (
+                    "steals".into(),
+                    Json::Int(
+                        shared
+                            .backends
+                            .iter()
+                            .map(|b| b.queue.steals())
+                            .sum::<u64>() as i64,
+                    ),
+                ),
             ]),
         ));
+        entries.push(("backends".into(), backends_json(shared, &per_cache)));
         entries.push((
             "connections".into(),
             Json::Obj(vec![
@@ -1401,10 +1554,71 @@ fn stats_json(shared: &Shared) -> Json {
             ]),
         ));
         if let Some(spill) = &shared.spill {
-            entries.push(("store".into(), store_json(&spill.stats())));
+            let mut store = store_json(&spill.stats());
+            if let Json::Obj(fields) = &mut store {
+                let sync = shared
+                    .tuning
+                    .store
+                    .as_ref()
+                    .map_or("none", |s| s.sync.name());
+                fields.push(("sync".into(), Json::Str(sync.into())));
+            }
+            entries.push(("store".into(), store));
         }
     }
     json
+}
+
+/// The shard-aware rollup: per-backend gauges plus a `max/mean` load
+/// imbalance ratio over `queue_depth + inflight` — the min-max metric a
+/// balanced decomposition is judged by.
+fn backends_json(shared: &Shared, per_cache: &[crate::cache::CacheStats]) -> Json {
+    let loads: Vec<u64> = shared
+        .backends
+        .iter()
+        .map(|b| (b.queue.depth() + b.inflight.occupied()) as u64)
+        .collect();
+    let max_load = loads.iter().copied().max().unwrap_or(0);
+    let mean_load = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    let ratio = if mean_load == 0.0 {
+        1.0
+    } else {
+        max_load as f64 / mean_load
+    };
+    let per_backend: Vec<Json> = shared
+        .backends
+        .iter()
+        .zip(per_cache)
+        .map(|(b, cache)| {
+            Json::Obj(vec![
+                ("queue_depth".into(), Json::Int(b.queue.depth() as i64)),
+                (
+                    "queue_capacity".into(),
+                    Json::Int(b.queue.capacity() as i64),
+                ),
+                ("inflight".into(), Json::Int(b.inflight.occupied() as i64)),
+                ("workers".into(), Json::Int(b.workers as i64)),
+                ("steals".into(), Json::Int(b.queue.steals() as i64)),
+                ("cache_hits".into(), Json::Int(cache.hits as i64)),
+                ("cache_misses".into(), Json::Int(cache.misses as i64)),
+                ("cache_len".into(), Json::Int(cache.len as i64)),
+                ("hit_rate".into(), Json::Num(cache.hit_rate())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("count".into(), Json::Int(shared.backends.len() as i64)),
+        ("vnodes".into(), Json::Int(shared.router.vnodes() as i64)),
+        (
+            "imbalance".into(),
+            Json::Obj(vec![
+                ("max".into(), Json::Int(max_load as i64)),
+                ("mean".into(), Json::Num(mean_load)),
+                ("ratio".into(), Json::Num(ratio)),
+            ]),
+        ),
+        ("per_backend".into(), Json::Arr(per_backend)),
+    ])
 }
 
 #[cfg(test)]
@@ -1576,6 +1790,75 @@ mod tests {
                     stats.get("engine").and_then(|e| e.as_str()),
                     Some("threaded")
                 );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    /// The sharded configuration must serve correctly (routing is
+    /// deterministic, so repeats hit the same backend's cache) and the
+    /// stats rollup must expose the per-backend gauges.
+    #[test]
+    fn sharded_backends_serve_and_report_rollup() {
+        let server = Server::start_tuned(
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 64,
+                cache_capacity: 64,
+                pool_threads: 2,
+                ..ServerConfig::default()
+            },
+            Tuning {
+                backends: 4,
+                backend_vnodes: 32,
+                ..Tuning::default()
+            },
+        )
+        .expect("bind ephemeral port");
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for seed in 0..8 {
+            match client.call(&balance(seed, Algorithm::Hf)).unwrap() {
+                Response::Ok(r) => assert!(!r.cached),
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+        for seed in 0..8 {
+            match client.call(&balance(seed, Algorithm::Hf)).unwrap() {
+                Response::Ok(r) => assert!(r.cached, "seed {seed} must re-home to a warm backend"),
+                other => panic!("expected ok, got {other:?}"),
+            }
+        }
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(stats) => {
+                let backends = stats.get("backends").expect("backends section");
+                assert_eq!(
+                    backends.get("count").and_then(|v| v.as_u64()),
+                    Some(4),
+                    "rollup must report the backend count"
+                );
+                assert_eq!(backends.get("vnodes").and_then(|v| v.as_u64()), Some(32));
+                let imbalance = backends.get("imbalance").expect("imbalance gauge");
+                assert!(imbalance.get("max").is_some());
+                assert!(imbalance.get("mean").is_some());
+                assert!(imbalance.get("ratio").is_some());
+                match backends.get("per_backend") {
+                    Some(Json::Arr(list)) => {
+                        assert_eq!(list.len(), 4);
+                        let hits: u64 = list
+                            .iter()
+                            .map(|b| b.get("cache_hits").and_then(|v| v.as_u64()).unwrap())
+                            .sum();
+                        assert!(hits >= 8, "repeat passes must hit backend caches");
+                    }
+                    other => panic!("expected per_backend array, got {other:?}"),
+                }
+                // The aggregate queue contract is unchanged by sharding.
+                let capacity = stats
+                    .get("queue")
+                    .and_then(|q| q.get("capacity"))
+                    .and_then(|v| v.as_u64());
+                assert_eq!(capacity, Some(64));
             }
             other => panic!("expected stats, got {other:?}"),
         }

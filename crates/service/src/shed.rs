@@ -90,6 +90,64 @@ impl Drop for SlotToken {
 }
 
 // ---------------------------------------------------------------------------
+// AggregateCap: one shed budget shared by several queues
+// ---------------------------------------------------------------------------
+
+/// A depth budget shared across several queues.
+///
+/// The sharded serving path gives each backend its own queue (so one hot
+/// problem class cannot starve the others) with a *local* capacity, but
+/// the global overload contract must not change: the server as a whole
+/// still sheds at the same aggregate capacity it had with one queue.
+/// Every backend queue holds the same `AggregateCap`; a push reserves a
+/// slot in both the local and the aggregate budget (backing the local
+/// reservation out if the aggregate is exhausted), and a pop releases
+/// both. A queue built without an explicit cap gets a private one sized
+/// to its own capacity, which makes the single-backend configuration
+/// behave exactly as before.
+#[derive(Debug)]
+pub struct AggregateCap {
+    depth: AtomicUsize,
+    capacity: usize,
+}
+
+impl AggregateCap {
+    /// A shareable budget of `capacity` total queued items.
+    pub fn new(capacity: usize) -> Arc<AggregateCap> {
+        assert!(capacity > 0, "aggregate capacity must be positive");
+        Arc::new(AggregateCap {
+            depth: AtomicUsize::new(0),
+            capacity,
+        })
+    }
+
+    /// Reserves one slot; `false` when the budget is exhausted (nothing
+    /// is consumed in that case).
+    fn try_reserve(&self) -> bool {
+        if self.depth.fetch_add(1, Ordering::AcqRel) >= self.capacity {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Returns one reserved slot.
+    fn release(&self) {
+        self.depth.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Items currently queued across every participating queue.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// The shared budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+// ---------------------------------------------------------------------------
 // BoundedQueue: the single-lock MPMC queue
 // ---------------------------------------------------------------------------
 
@@ -103,6 +161,7 @@ pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     available: Condvar,
     capacity: usize,
+    aggregate: Arc<AggregateCap>,
     /// Times a blocked `pop` returned from its condvar wait — with
     /// `notify_one` a push wakes exactly one sleeper, so this tracks
     /// pushes-while-contended rather than `N × pushes`.
@@ -110,8 +169,16 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
-    /// Creates a queue admitting at most `capacity` pending items.
+    /// Creates a queue admitting at most `capacity` pending items, with
+    /// a private aggregate budget of the same size (so the cap never
+    /// binds before the local limit does).
     pub fn new(capacity: usize) -> Self {
+        Self::with_cap(capacity, AggregateCap::new(capacity.max(1)))
+    }
+
+    /// Creates a queue with a local `capacity` that also reserves from a
+    /// shared `aggregate` budget on every push.
+    pub fn with_cap(capacity: usize, aggregate: Arc<AggregateCap>) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         Self {
             state: Mutex::new(State {
@@ -120,6 +187,7 @@ impl<T> BoundedQueue<T> {
             }),
             available: Condvar::new(),
             capacity,
+            aggregate,
             wakeups: AtomicU64::new(0),
         }
     }
@@ -132,6 +200,9 @@ impl<T> BoundedQueue<T> {
             return Err((item, PushError::Closed));
         }
         if state.items.len() >= self.capacity {
+            return Err((item, PushError::Full));
+        }
+        if !self.aggregate.try_reserve() {
             return Err((item, PushError::Full));
         }
         state.items.push_back(item);
@@ -147,6 +218,7 @@ impl<T> BoundedQueue<T> {
         let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
+                self.aggregate.release();
                 return Some(item);
             }
             if state.closed {
@@ -209,6 +281,7 @@ pub struct StealQueue<T> {
     shards: Vec<Mutex<VecDeque<T>>>,
     depth: AtomicUsize,
     capacity: usize,
+    aggregate: Arc<AggregateCap>,
     closed: AtomicBool,
     sleep_lock: Mutex<()>,
     available: Condvar,
@@ -222,14 +295,23 @@ const IDLE_TICK: Duration = Duration::from_millis(1);
 
 impl<T> StealQueue<T> {
     /// Creates a queue with one shard per `workers` consumer, admitting
-    /// at most `capacity` items in total.
+    /// at most `capacity` items in total (private aggregate budget of
+    /// the same size, so it never binds before the local limit).
     pub fn new(workers: usize, capacity: usize) -> Self {
+        Self::with_cap(workers, capacity, AggregateCap::new(capacity.max(1)))
+    }
+
+    /// Creates a queue with a local `capacity` that also reserves from a
+    /// shared `aggregate` budget on every push — the sharded server's
+    /// per-backend configuration.
+    pub fn with_cap(workers: usize, capacity: usize, aggregate: Arc<AggregateCap>) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         let workers = workers.max(1);
         Self {
             shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             depth: AtomicUsize::new(0),
             capacity,
+            aggregate,
             closed: AtomicBool::new(false),
             sleep_lock: Mutex::new(()),
             available: Condvar::new(),
@@ -239,23 +321,30 @@ impl<T> StealQueue<T> {
         }
     }
 
-    /// Attempts to enqueue without blocking; sheds against the
-    /// *aggregate* depth so the global `overloaded` contract matches the
-    /// single-queue design.
+    /// Attempts to enqueue without blocking; sheds against this queue's
+    /// depth *and* the shared aggregate budget, so the global
+    /// `overloaded` contract matches the single-queue design.
     pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
         if self.closed.load(Ordering::Acquire) {
             return Err((item, PushError::Closed));
         }
-        // Reserve a slot in the aggregate count first; back out on
+        // Reserve a slot in the local count first; back out on
         // overflow. This keeps the check-and-insert race window from
         // ever over-admitting.
         if self.depth.fetch_add(1, Ordering::AcqRel) >= self.capacity {
             self.depth.fetch_sub(1, Ordering::AcqRel);
             return Err((item, PushError::Full));
         }
+        // Then the shared budget; roll the local reservation back if the
+        // server as a whole is at capacity.
+        if !self.aggregate.try_reserve() {
+            self.depth.fetch_sub(1, Ordering::AcqRel);
+            return Err((item, PushError::Full));
+        }
         // Closed may have been set between the first check and the
         // reservation; re-check so shutdown never loses a shed.
         if self.closed.load(Ordering::Acquire) {
+            self.aggregate.release();
             self.depth.fetch_sub(1, Ordering::AcqRel);
             return Err((item, PushError::Closed));
         }
@@ -273,6 +362,7 @@ impl<T> StealQueue<T> {
             let item = self.shards[shard].lock().pop_front();
             if let Some(item) = item {
                 self.depth.fetch_sub(1, Ordering::AcqRel);
+                self.aggregate.release();
                 if k != 0 {
                     self.steals.fetch_add(1, Ordering::Relaxed);
                 }
@@ -492,6 +582,54 @@ mod tests {
         assert_eq!(q.depth(), 3);
         assert_eq!(q.capacity(), 3);
         assert_eq!(q.workers(), 4);
+    }
+
+    /// The sharded-server contract: each queue sheds at its own local
+    /// capacity (isolation) AND the set of queues sheds at the shared
+    /// aggregate budget (unchanged global overload semantics).
+    #[test]
+    fn shared_cap_binds_across_queues_and_local_caps_isolate() {
+        let cap = AggregateCap::new(4);
+        let a = StealQueue::with_cap(1, 3, Arc::clone(&cap));
+        let b = StealQueue::with_cap(1, 3, Arc::clone(&cap));
+        for i in 0..3 {
+            a.try_push(i).unwrap();
+        }
+        // Queue a is locally full even though the aggregate has room.
+        match a.try_push(99) {
+            Err((_, PushError::Full)) => {}
+            other => panic!("expected local Full, got {other:?}"),
+        }
+        // Queue b has local room, but only one aggregate slot is left.
+        b.try_push(10).unwrap();
+        match b.try_push(11) {
+            Err((_, PushError::Full)) => {}
+            other => panic!("expected aggregate Full, got {other:?}"),
+        }
+        assert_eq!(cap.depth(), 4);
+        assert_eq!(a.depth(), 3);
+        assert_eq!(b.depth(), 1);
+        // Draining a returns budget that b can then use.
+        assert_eq!(a.pop(0), Some(0));
+        b.try_push(11).unwrap();
+        assert_eq!(cap.depth(), 4);
+    }
+
+    /// The threaded engine's queue honors a shared budget the same way.
+    #[test]
+    fn bounded_queue_respects_a_shared_cap() {
+        let cap = AggregateCap::new(2);
+        let a = BoundedQueue::with_cap(8, Arc::clone(&cap));
+        let b = BoundedQueue::with_cap(8, Arc::clone(&cap));
+        a.try_push(1).unwrap();
+        b.try_push(2).unwrap();
+        match a.try_push(3) {
+            Err((_, PushError::Full)) => {}
+            other => panic!("expected aggregate Full, got {other:?}"),
+        }
+        assert_eq!(b.pop(), Some(2));
+        a.try_push(3).unwrap();
+        assert_eq!(cap.depth(), 2);
     }
 
     #[test]

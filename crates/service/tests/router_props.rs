@@ -1,0 +1,114 @@
+//! Property tests for the consistent-hash router and the recovery
+//! re-homing contract.
+//!
+//! Stability: growing the ring from `S` to `S+1` backends may only move
+//! keys *onto* the new backend, and only about `1/(S+1)` of them;
+//! shrinking it may only move the removed backend's keys, and nothing
+//! ever routes to a backend that is not on the ring. Re-homing: a key
+//! that survives the persist codec routes to exactly the backend a live
+//! request with the same key routes to — which is what lets recovery
+//! warm each record into the backend the router would pick today.
+
+use proptest::prelude::*;
+
+use gb_service::cache::CacheKey;
+use gb_service::persist::{decode_key, encode_key};
+use gb_service::proto::Algorithm;
+use gb_service::route::Router;
+
+/// Uniform key-hash samples (the router sees `CacheKey::mix()` outputs,
+/// which are SplitMix64-finalised, so uniform u64s model them exactly).
+fn hashes() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 512..1024)
+}
+
+fn arb_key() -> impl Strategy<Value = CacheKey> {
+    (any::<u64>(), 0usize..4, 1usize..100_000, 0.1f64..8.0).prop_map(
+        |(problem, algorithm, n, theta)| {
+            CacheKey::new(problem, Algorithm::ALL[algorithm], n, theta)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding one backend to `S` existing ones moves at most ~1/(S+1)
+    /// of the keyspace (with slack for vnode placement variance), and
+    /// every key that moves lands on the NEW backend — surviving
+    /// backends never trade keys among themselves.
+    #[test]
+    fn adding_a_backend_moves_a_bounded_fraction_onto_it(
+        backends in 1usize..8,
+        vnodes in 32usize..128,
+        keys in hashes(),
+    ) {
+        let before = Router::new(backends, vnodes);
+        let after = Router::new(backends + 1, vnodes);
+        let new_id = backends as u32;
+        let mut moved = 0usize;
+        for &hash in &keys {
+            let old = before.route(hash);
+            let new = after.route(hash);
+            if old != new {
+                prop_assert_eq!(
+                    new, new_id,
+                    "key moved between surviving backends: {} -> {}", old, new
+                );
+                moved += 1;
+            }
+        }
+        // Expected fraction is 1/(S+1); allow 2.5x for the variance of
+        // `vnodes` random arc lengths plus sampling noise.
+        let bound = (keys.len() as f64 * 2.5 / (backends + 1) as f64).ceil() as usize + 8;
+        prop_assert!(
+            moved <= bound,
+            "moved {}/{} keys to the new backend, bound {}", moved, keys.len(), bound
+        );
+    }
+
+    /// Removing a backend re-homes ONLY its keys: nothing routes to the
+    /// removed id afterwards, and keys owned by surviving backends keep
+    /// their owner.
+    #[test]
+    fn removing_a_backend_only_rehomes_its_keys(
+        backends in 2usize..8,
+        removed in 0usize..8,
+        vnodes in 32usize..128,
+        keys in hashes(),
+    ) {
+        let removed = (removed % backends) as u32;
+        let full = Router::new(backends, vnodes);
+        let surviving: Vec<u32> =
+            (0..backends as u32).filter(|&id| id != removed).collect();
+        let shrunk = Router::from_ids(surviving, vnodes);
+        for &hash in &keys {
+            let old = full.route(hash);
+            let new = shrunk.route(hash);
+            prop_assert!(new != removed, "routed to a backend not on the ring");
+            if old != removed {
+                prop_assert_eq!(
+                    old, new,
+                    "a surviving backend's key moved when another was removed"
+                );
+            }
+        }
+    }
+
+    /// The recovery re-homing contract: a key that round-trips through
+    /// the persist codec routes to the same backend as the original on
+    /// any ring — so warm-loading each recovered record into
+    /// `backends[router.route(key.mix())]` puts it exactly where a live
+    /// request for the same key will look.
+    #[test]
+    fn recovered_keys_route_like_live_keys(
+        key in arb_key(),
+        backends in 1usize..9,
+        vnodes in 32usize..128,
+    ) {
+        let decoded = decode_key(&encode_key(&key)).expect("codec round-trip");
+        prop_assert_eq!(&decoded, &key);
+        let router = Router::new(backends, vnodes);
+        prop_assert_eq!(router.route(decoded.mix()), router.route(key.mix()));
+    }
+}

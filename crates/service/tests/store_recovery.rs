@@ -188,6 +188,12 @@ struct Daemon {
 
 impl Daemon {
     fn spawn(store_dir: &Path) -> Daemon {
+        Self::spawn_with(store_dir, &[])
+    }
+
+    /// Spawns with extra flags appended after `--store-dir` (so store
+    /// modifiers like `--store-sync` are accepted).
+    fn spawn_with(store_dir: &Path, extra: &[&str]) -> Daemon {
         let mut child = Command::new(env!("CARGO_BIN_EXE_gb-serve"))
             .args([
                 "--addr",
@@ -195,6 +201,7 @@ impl Daemon {
                 "--store-dir",
                 store_dir.to_str().expect("utf8 store dir"),
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::null())
             .spawn()
@@ -253,6 +260,54 @@ fn stamp_torn_tail(store_dir: &Path) {
     file.write_all(&torn).expect("stamp torn tail");
 }
 
+/// Restarting with MORE backends re-homes every recovered record: life 1
+/// runs unsharded, life 2 shards across four backends, and each record
+/// must land in the cache of the backend the new router assigns its key
+/// to — warm hits prove it, because a record warmed into the wrong
+/// backend is invisible to lookups.
+#[test]
+fn restart_with_more_backends_rehomes_every_record() {
+    const DISTINCT: u64 = 32;
+    let dir = TempDir::new("rehome");
+
+    let first = Server::start_tuned(small_config(), store_tuning(&dir.0)).expect("first server");
+    hot_set_pass(first.local_addr(), DISTINCT, 0);
+    await_store_counter(first.local_addr(), "appended", DISTINCT);
+    first.shutdown();
+
+    let mut tuning = store_tuning(&dir.0);
+    tuning.backends = 4;
+    let second = Server::start_tuned(small_config(), tuning).expect("second server");
+    let addr = second.local_addr();
+    let cached = hot_set_pass(addr, DISTINCT, DISTINCT);
+    assert_eq!(
+        cached, DISTINCT,
+        "every record must be re-homed to the backend that now owns its key"
+    );
+    let stats = stats(addr);
+    let per_backend = match stats
+        .get("backends")
+        .and_then(|b| b.get("per_backend"))
+        .cloned()
+    {
+        Some(Json::Arr(list)) => list,
+        other => panic!("stats missing backends.per_backend: {other:?}"),
+    };
+    let populated = per_backend
+        .iter()
+        .filter(|b| {
+            b.get("cache_len")
+                .and_then(|v| v.as_u64())
+                .is_some_and(|len| len > 0)
+        })
+        .count();
+    assert!(
+        populated >= 2,
+        "recovery must spread the set across backends, populated {populated}/4"
+    );
+    second.shutdown();
+}
+
 /// The headline acceptance test: SIGKILL a live daemon, corrupt the log
 /// tail, restart, and the successor serves the pre-kill hot set warm.
 #[test]
@@ -289,5 +344,42 @@ fn sigkill_restart_recovers_hot_set_and_skips_torn_tail() {
     assert!(
         corrupt_skipped >= 1,
         "the stamped torn tail must be counted, got {corrupt_skipped}"
+    );
+}
+
+/// Durability-mode acceptance: under `--store-sync data`, a record the
+/// server has *reported synced* must survive a SIGKILL delivered while
+/// the spill writer is still mid-stream — zero acknowledged-but-lost
+/// entries. The kill lands deliberately before the full set is appended,
+/// so the log tail may be torn; recovery must still produce at least
+/// every synced record.
+#[test]
+fn store_sync_data_survives_sigkill_during_append() {
+    const DISTINCT: u64 = 32;
+    let dir = TempDir::new("sync-kill");
+
+    let first = Daemon::spawn_with(&dir.0, &["--store-sync", "data"]);
+    let cached = hot_set_pass(first.addr, DISTINCT, 0);
+    assert_eq!(cached, 0, "first pass must be all cold");
+    // Wait only until *some* records are fsynced, then kill while the
+    // writer may still be appending and syncing the rest.
+    await_store_counter(first.addr, "synced", DISTINCT / 4);
+    let acknowledged = store_counter(&stats(first.addr), "synced");
+    first.kill();
+
+    let second = Daemon::spawn_with(&dir.0, &["--store-sync", "data"]);
+    let stats = stats(second.addr);
+    let recovered = store_counter(&stats, "recovered");
+    let warm = hot_set_pass(second.addr, DISTINCT, DISTINCT);
+    second.shutdown();
+
+    assert!(
+        recovered >= acknowledged,
+        "acknowledged-but-lost entries: synced {acknowledged} before the kill, \
+         recovered only {recovered}"
+    );
+    assert!(
+        warm >= acknowledged,
+        "warm hits {warm} must cover the {acknowledged} synced records"
     );
 }

@@ -27,5 +27,5 @@ mod log;
 pub mod record;
 mod spill;
 
-pub use log::{RecoveredRecord, Store, StoreConfig, StoreStats};
-pub use spill::SpillHandle;
+pub use log::{RecoveredRecord, Store, StoreConfig, StoreStats, SyncMode};
+pub use spill::{SpillHandle, SpillSender};

@@ -1,8 +1,10 @@
 //! Fault-injection matrix for the serving path.
 //!
-//! Every scenario runs against BOTH engines (`event` and `threaded`) and
-//! ends with the same "never wedges" invariant check: the steal-queue
-//! depth and the in-flight gauge drain to zero, the expected fault
+//! Every scenario runs against three server shapes — the `event` and
+//! `threaded` engines single-backend, plus the `event` engine sharded
+//! across two backends — and ends with the same "never wedges" invariant
+//! check: the queue depth and the in-flight gauge drain to zero (per
+//! backend as well as in aggregate, when sharded), the expected fault
 //! counters moved, and a fresh well-behaved client still gets a correct
 //! `Balance` reply. Faults are injected two ways: hostile byte streams
 //! on real sockets (torn frames, garbage, oversized lines, abrupt
@@ -47,22 +49,37 @@ fn balance_request(seed: u64, deadline_ms: Option<u64>) -> Request {
     })
 }
 
+/// One server shape the matrix runs under: which engine, and how many
+/// consistent-hash backends.
+#[derive(Clone, Copy)]
+struct Setup {
+    engine: Engine,
+    backends: usize,
+}
+
+impl Setup {
+    fn name(&self) -> String {
+        format!("{}/backends={}", self.engine.name(), self.backends)
+    }
+}
+
 /// A server plus the script driving its fault shim.
 struct Harness {
     server: Option<Server>,
     shim: ScriptedShim,
-    engine: Engine,
+    setup: Setup,
 }
 
 impl Harness {
-    fn start(engine: Engine) -> Harness {
-        Self::start_with(engine, |_| {})
+    fn start(setup: Setup) -> Harness {
+        Self::start_with(setup, |_| {})
     }
 
-    fn start_with(engine: Engine, tune: impl FnOnce(&mut Tuning)) -> Harness {
+    fn start_with(setup: Setup, tune: impl FnOnce(&mut Tuning)) -> Harness {
         let shim = ScriptedShim::new();
         let mut tuning = Tuning {
-            engine,
+            engine: setup.engine,
+            backends: setup.backends,
             shim: Arc::new(shim.clone()),
             ..Tuning::default()
         };
@@ -81,7 +98,7 @@ impl Harness {
         Harness {
             server: Some(server),
             shim,
-            engine,
+            setup,
         }
     }
 
@@ -119,7 +136,7 @@ impl Harness {
             assert!(
                 Instant::now() < deadline,
                 "[{}] faults.{name} stuck at {have}, wanted >= {want}",
-                self.engine.name()
+                self.setup.name()
             );
             std::thread::sleep(Duration::from_millis(50));
         }
@@ -128,7 +145,7 @@ impl Harness {
     /// The post-scenario invariant: all transient state drains and the
     /// server still answers correctly.
     fn assert_never_wedged(&self) {
-        let engine = self.engine.name();
+        let engine = self.setup.name();
         let deadline = Instant::now() + Duration::from_secs(10);
         let (mut depth, mut inflight) = (u64::MAX, u64::MAX);
         while Instant::now() < deadline {
@@ -150,6 +167,34 @@ impl Harness {
         }
         assert_eq!(depth, 0, "[{engine}] queue depth leaked");
         assert_eq!(inflight, 0, "[{engine}] in-flight gauge leaked");
+
+        // The aggregate draining does not prove each backend drained —
+        // a leaked slot on one backend could hide behind a miscount on
+        // another — so check the per-backend gauges too.
+        let stats = self.stats();
+        let backends = stats.get("backends").expect("stats missing backends");
+        let count = backends
+            .get("count")
+            .and_then(|v| v.as_u64())
+            .expect("backends.count");
+        assert_eq!(
+            count,
+            self.setup.backends.max(1) as u64,
+            "[{engine}] backend count"
+        );
+        let per_backend = match backends.get("per_backend") {
+            Some(Json::Arr(list)) => list,
+            other => panic!("[{engine}] backends.per_backend: {other:?}"),
+        };
+        for (index, backend) in per_backend.iter().enumerate() {
+            for gauge in ["queue_depth", "inflight"] {
+                let value = backend
+                    .get(gauge)
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or_else(|| panic!("[{engine}] backend {index} missing {gauge}"));
+                assert_eq!(value, 0, "[{engine}] backend {index} leaked {gauge}");
+            }
+        }
 
         let seed = cold_seed();
         let mut client = Client::connect(self.addr()).expect("fresh client connect");
@@ -225,9 +270,21 @@ fn request_line(request: &Request) -> Vec<u8> {
     line.into_bytes()
 }
 
-fn for_both(scenario: impl Fn(Engine)) {
-    scenario(Engine::Event);
-    scenario(Engine::Threaded);
+fn for_all(scenario: impl Fn(Setup)) {
+    scenario(Setup {
+        engine: Engine::Event,
+        backends: 1,
+    });
+    scenario(Setup {
+        engine: Engine::Threaded,
+        backends: 1,
+    });
+    // The sharded shape: every fault scenario must also hold when jobs
+    // fan out across per-backend queues, caches and worker sets.
+    scenario(Setup {
+        engine: Engine::Event,
+        backends: 2,
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -238,8 +295,8 @@ fn for_both(scenario: impl Fn(Engine)) {
 /// a framing fault, not vanish.
 #[test]
 fn drop_mid_frame_counts_torn_frame() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         {
             let mut conn = RawConn::open(h.addr());
             let line = request_line(&balance_request(cold_seed(), None));
@@ -256,21 +313,21 @@ fn drop_mid_frame_counts_torn_frame() {
 /// frame is answered, the torn tail gets a best-effort error reply.
 #[test]
 fn torn_tail_after_valid_pipeline_gets_error_reply() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         {
             let mut conn = RawConn::open(h.addr());
             conn.send(b"{\"op\":\"ping\"}\n{\"op\":\"bal");
             conn.close_write();
             match conn.read_reply() {
                 Some(Response::Pong) => {}
-                other => panic!("[{}] expected pong, got {other:?}", engine.name()),
+                other => panic!("[{}] expected pong, got {other:?}", setup.name()),
             }
             match conn.read_reply() {
                 Some(Response::Error { code, .. }) => {
                     assert_eq!(code, ErrorCode::BadRequest);
                 }
-                other => panic!("[{}] expected torn error, got {other:?}", engine.name()),
+                other => panic!("[{}] expected torn error, got {other:?}", setup.name()),
             }
             assert!(
                 conn.read_reply().is_none(),
@@ -287,8 +344,8 @@ fn torn_tail_after_valid_pipeline_gets_error_reply() {
 /// answered in order, connection survives.
 #[test]
 fn garbage_interleaved_with_valid_pipeline() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         {
             let mut conn = RawConn::open(h.addr());
             let mut burst = Vec::new();
@@ -299,19 +356,19 @@ fn garbage_interleaved_with_valid_pipeline() {
             conn.send(&burst);
             match conn.read_reply() {
                 Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
-                other => panic!("[{}] reply 1: {other:?}", engine.name()),
+                other => panic!("[{}] reply 1: {other:?}", setup.name()),
             }
             match conn.read_reply() {
                 Some(Response::Ok(_)) => {}
-                other => panic!("[{}] reply 2: {other:?}", engine.name()),
+                other => panic!("[{}] reply 2: {other:?}", setup.name()),
             }
             match conn.read_reply() {
                 Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
-                other => panic!("[{}] reply 3: {other:?}", engine.name()),
+                other => panic!("[{}] reply 3: {other:?}", setup.name()),
             }
             match conn.read_reply() {
                 Some(Response::Pong) => {}
-                other => panic!("[{}] reply 4: {other:?}", engine.name()),
+                other => panic!("[{}] reply 4: {other:?}", setup.name()),
             }
         }
         h.assert_never_wedged();
@@ -323,8 +380,8 @@ fn garbage_interleaved_with_valid_pipeline() {
 /// stream resyncs and the same connection keeps working.
 #[test]
 fn oversized_frame_resyncs_on_same_connection() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         {
             let mut conn = RawConn::open(h.addr());
             let mut burst = vec![b'x'; MAX_FRAME + 100];
@@ -333,11 +390,11 @@ fn oversized_frame_resyncs_on_same_connection() {
             conn.send(&burst);
             match conn.read_reply() {
                 Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
-                other => panic!("[{}] oversized reply: {other:?}", engine.name()),
+                other => panic!("[{}] oversized reply: {other:?}", setup.name()),
             }
             match conn.read_reply() {
                 Some(Response::Pong) => {}
-                other => panic!("[{}] post-resync reply: {other:?}", engine.name()),
+                other => panic!("[{}] post-resync reply: {other:?}", setup.name()),
             }
         }
         h.assert_never_wedged();
@@ -350,8 +407,8 @@ fn oversized_frame_resyncs_on_same_connection() {
 /// byte-perfect — no dropped and no duplicated bytes.
 #[test]
 fn torn_write_storm_keeps_replies_intact() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         // Connection 0's first writes: a storm of 1–3 byte shorts and
         // WouldBlocks, then passthrough.
         let mut plan = Vec::new();
@@ -365,7 +422,7 @@ fn torn_write_storm_keeps_replies_intact() {
             conn.send(b"{\"op\":\"ping\"}\n");
             match conn.read_reply() {
                 Some(Response::Pong) => {}
-                other => panic!("[{}] shredded pong: {other:?}", engine.name()),
+                other => panic!("[{}] shredded pong: {other:?}", setup.name()),
             }
             // A worker-written reply through the same shredder.
             conn.send(&request_line(&balance_request(cold_seed(), None)));
@@ -373,7 +430,7 @@ fn torn_write_storm_keeps_replies_intact() {
                 Some(Response::Ok(ok)) => {
                     assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound);
                 }
-                other => panic!("[{}] shredded balance: {other:?}", engine.name()),
+                other => panic!("[{}] shredded balance: {other:?}", setup.name()),
             }
             // And the connection still works once the plan is spent.
             conn.send(b"{\"op\":\"ping\"}\n");
@@ -391,8 +448,8 @@ fn torn_write_storm_keeps_replies_intact() {
 /// whole storm.
 #[test]
 fn wouldblock_storm_does_not_starve_neighbours() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim
             .plan_writes(0, [WriteOp::BlockFor(Duration::from_millis(1500))]);
         let mut stuck = RawConn::open(h.addr());
@@ -405,18 +462,18 @@ fn wouldblock_storm_does_not_starve_neighbours() {
         neighbour.send(b"{\"op\":\"ping\"}\n");
         match neighbour.read_reply() {
             Some(Response::Pong) => {}
-            other => panic!("[{}] neighbour reply: {other:?}", engine.name()),
+            other => panic!("[{}] neighbour reply: {other:?}", setup.name()),
         }
         let waited = asked.elapsed();
         assert!(
             waited < Duration::from_millis(1000),
             "[{}] neighbour starved for {waited:?} behind a blocked write",
-            engine.name()
+            setup.name()
         );
         // The stuck reply is delivered intact once the storm passes.
         match stuck.read_reply() {
             Some(Response::Pong) => {}
-            other => panic!("[{}] stuck reply: {other:?}", engine.name()),
+            other => panic!("[{}] stuck reply: {other:?}", setup.name()),
         }
         h.assert_never_wedged();
         h.shutdown();
@@ -427,8 +484,8 @@ fn wouldblock_storm_does_not_starve_neighbours() {
 /// reset is counted, and nothing leaks.
 #[test]
 fn write_reset_counts_conn_reset() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.plan_writes(0, [WriteOp::Reset]);
         {
             let mut conn = RawConn::open(h.addr());
@@ -448,8 +505,8 @@ fn write_reset_counts_conn_reset() {
 /// the client gets `timeout`, not silence.
 #[test]
 fn stalled_worker_turns_deadline_into_timeout() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.stall_workers(Duration::from_millis(400));
         {
             let mut client = Client::connect(h.addr()).expect("connect");
@@ -458,9 +515,9 @@ fn stalled_worker_turns_deadline_into_timeout() {
                 .expect("stalled call")
             {
                 Response::Error { code, .. } => {
-                    assert_eq!(code, ErrorCode::Timeout, "[{}]", engine.name())
+                    assert_eq!(code, ErrorCode::Timeout, "[{}]", setup.name())
                 }
-                other => panic!("[{}] expected timeout, got {other:?}", engine.name()),
+                other => panic!("[{}] expected timeout, got {other:?}", setup.name()),
             }
         }
         h.shim.clear_stall();
@@ -475,8 +532,8 @@ fn stalled_worker_turns_deadline_into_timeout() {
 /// poller-side timeout).
 #[test]
 fn slow_worker_triggers_reply_timeout() {
-    for_both(|engine| {
-        let h = Harness::start_with(engine, |t| {
+    for_all(|setup| {
+        let h = Harness::start_with(setup, |t| {
             t.reply_timeout = Duration::from_millis(200);
         });
         h.shim.stall_workers(Duration::from_millis(900));
@@ -487,13 +544,13 @@ fn slow_worker_triggers_reply_timeout() {
                 .expect("slow call")
             {
                 Response::Error { code, .. } => {
-                    assert_eq!(code, ErrorCode::Internal, "[{}]", engine.name())
+                    assert_eq!(code, ErrorCode::Internal, "[{}]", setup.name())
                 }
-                other => panic!("[{}] expected internal, got {other:?}", engine.name()),
+                other => panic!("[{}] expected internal, got {other:?}", setup.name()),
             }
         }
         h.shim.clear_stall();
-        if engine == Engine::Event {
+        if setup.engine == Engine::Event {
             h.await_fault_counter("reply_dropped", 1);
         }
         h.assert_never_wedged();
@@ -508,8 +565,8 @@ fn slow_worker_triggers_reply_timeout() {
 /// residue and shedding does not tighten.
 #[test]
 fn killing_connections_mid_request_leaks_nothing() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         // Hold jobs at the worker long enough that the close happens
         // while the request is in flight.
         h.shim.stall_workers(Duration::from_millis(150));
@@ -531,15 +588,15 @@ fn killing_connections_mid_request_leaks_nothing() {
 /// reset is counted, and the next connection is served normally.
 #[test]
 fn accept_reset_refuses_one_connection_cleanly() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.reset_accept(0); // the first accepted connection
         {
             let mut refused = RawConn::open(h.addr());
             refused.send(b"{\"op\":\"ping\"}\n");
             let mut line = String::new();
             let n = refused.reader.read_line(&mut line).unwrap_or(0);
-            assert_eq!(n, 0, "[{}] refused conn must see EOF", engine.name());
+            assert_eq!(n, 0, "[{}] refused conn must see EOF", setup.name());
         }
         h.await_fault_counter("conn_reset", 1);
         {
@@ -548,7 +605,7 @@ fn accept_reset_refuses_one_connection_cleanly() {
             assert!(
                 matches!(conn.read_reply(), Some(Response::Pong)),
                 "[{}] neighbour of refused conn must be served",
-                engine.name()
+                setup.name()
             );
         }
         h.assert_never_wedged();
@@ -560,8 +617,8 @@ fn accept_reset_refuses_one_connection_cleanly() {
 /// queued behind an in-flight one — everything drains, nothing wedges.
 #[test]
 fn vanishing_pipeline_drains_cleanly() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.stall_workers(Duration::from_millis(100));
         {
             let mut conn = RawConn::open(h.addr());
@@ -585,8 +642,8 @@ fn vanishing_pipeline_drains_cleanly() {
 /// are counted as `conn_reset`, and nothing leaks.
 #[test]
 fn read_reset_and_error_count_conn_reset() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.plan_reads(0, [ReadOp::Reset]);
         h.shim.plan_reads(1, [ReadOp::Error]);
         for _ in 0..2 {
@@ -608,15 +665,15 @@ fn read_reset_and_error_count_conn_reset() {
 /// connection survives the storm and answers once the plan is spent.
 #[test]
 fn read_wouldblock_storm_connection_survives() {
-    for_both(|engine| {
-        let h = Harness::start(engine);
+    for_all(|setup| {
+        let h = Harness::start(setup);
         h.shim.plan_reads(0, vec![ReadOp::WouldBlock; 12]);
         {
             let mut conn = RawConn::open(h.addr());
             conn.send(b"{\"op\":\"ping\"}\n");
             match conn.read_reply() {
                 Some(Response::Pong) => {}
-                other => panic!("[{}] stormed ping: {other:?}", engine.name()),
+                other => panic!("[{}] stormed ping: {other:?}", setup.name()),
             }
             // Same connection still serves real work afterwards.
             conn.send(&request_line(&balance_request(cold_seed(), None)));
@@ -624,7 +681,7 @@ fn read_wouldblock_storm_connection_survives() {
                 Some(Response::Ok(ok)) => {
                     assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound);
                 }
-                other => panic!("[{}] post-storm balance: {other:?}", engine.name()),
+                other => panic!("[{}] post-storm balance: {other:?}", setup.name()),
             }
         }
         h.assert_never_wedged();
