@@ -67,7 +67,9 @@ use crate::proto::{
     Request, Response,
 };
 use crate::route::{Router, DEFAULT_VNODES};
-use crate::shed::{AggregateCap, BoundedQueue, PushError, SlotGauge, SlotToken, StealQueue};
+use crate::shed::{
+    AggregateCap, BoundedQueue, FullCause, PushError, SlotGauge, SlotToken, StealQueue,
+};
 
 /// Smallest α used for bound computation, so bounds stay finite even for
 /// degenerate empirical measurements.
@@ -414,6 +416,18 @@ impl Shared {
     }
 }
 
+/// Splits `total` into `parts` shares by floor-with-remainder (the
+/// first `total % parts` shares carry the extra unit), so the shares
+/// sum to exactly `total` — except that every share is raised to at
+/// least `min`, which only kicks in when `total < parts * min`.
+fn split_budget(total: usize, parts: usize, min: usize) -> Vec<usize> {
+    let base = total / parts;
+    let remainder = total % parts;
+    (0..parts)
+        .map(|i| (base + usize::from(i < remainder)).max(min))
+        .collect()
+}
+
 /// A running daemon. Dropping the handle shuts the server down.
 pub struct Server {
     shared: Arc<Shared>,
@@ -456,18 +470,23 @@ impl Server {
             tuning.backend_vnodes
         };
         let router = Router::new(backend_count, vnodes);
-        // Per-backend budgets: every backend gets its share of the
-        // worker threads, the queue capacity and the cache, while the
-        // shared AggregateCap keeps the server-wide shed point exactly
-        // where the single-backend configuration put it.
+        // Per-backend budgets: floor-with-remainder shares of the worker
+        // threads, the queue capacity and the cache, so each total
+        // matches the configured value exactly — no round-up inflation.
+        // Workers and queue slots round individual shares up to 1 (a
+        // backend needs at least one of each to function), which is the
+        // only case where a sum exceeds its config: totals smaller than
+        // the backend count. The shared AggregateCap keeps the
+        // server-wide shed point exactly where the single-backend
+        // configuration put it regardless.
         let queue_capacity = config.queue_capacity.max(1);
         let queue_cap = AggregateCap::new(queue_capacity);
-        let local_capacity = queue_capacity.div_ceil(backend_count);
-        let backend_workers = workers.div_ceil(backend_count).max(1);
-        let backend_cache = if config.cache_capacity == 0 {
-            0
+        let local_capacities = split_budget(queue_capacity, backend_count, 1);
+        let worker_shares = split_budget(workers, backend_count, 1);
+        let cache_shares = if config.cache_capacity == 0 {
+            vec![0; backend_count]
         } else {
-            config.cache_capacity.div_ceil(backend_count)
+            split_budget(config.cache_capacity, backend_count, 0)
         };
         // The shared store: one writer thread; each backend gets its own
         // SpillSender multiplexed onto it. Recovery re-homes every
@@ -481,22 +500,22 @@ impl Server {
             None => None,
         };
         let backends: Vec<Backend> = (0..backend_count)
-            .map(|_| Backend {
+            .map(|b| Backend {
                 queue: match tuning.engine {
                     Engine::Threaded => QueueKind::Bounded(BoundedQueue::with_cap(
-                        local_capacity,
+                        local_capacities[b],
                         Arc::clone(&queue_cap),
                     )),
                     Engine::Event => QueueKind::Steal(StealQueue::with_cap(
-                        backend_workers,
-                        local_capacity,
+                        worker_shares[b],
+                        local_capacities[b],
                         Arc::clone(&queue_cap),
                     )),
                 },
-                cache: ShardedCache::new(backend_cache, cache_shards, tuning.admission),
+                cache: ShardedCache::new(cache_shares[b], cache_shards, tuning.admission),
                 inflight: SlotGauge::new(),
                 spill: None,
-                workers: backend_workers,
+                workers: worker_shares[b],
             })
             .collect();
         // Warm restart: replay persisted records through the owning
@@ -545,7 +564,7 @@ impl Server {
         });
 
         let worker_handles = (0..backend_count)
-            .flat_map(|b| (0..backend_workers).map(move |w| (b, w)))
+            .flat_map(|b| (0..worker_shares[b]).map(move |w| (b, w)))
             .map(|(b, w)| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
@@ -815,6 +834,17 @@ fn dispatch_line(
     }
 }
 
+/// The `overloaded` error text, naming the capacity that actually
+/// bound: the owning backend's local queue, or the server-wide
+/// aggregate budget shared across backends (the local queue may have
+/// had room in that case, so reporting its capacity would mislead).
+fn overload_message(shared: &Shared, backend: &Backend, cause: FullCause) -> String {
+    match cause {
+        FullCause::Local => format!("backend queue full ({})", backend.queue.capacity()),
+        FullCause::Aggregate => format!("server queue full ({})", shared.queue_cap.capacity()),
+    }
+}
+
 /// Queues a balance request on the backend that owns its key and waits
 /// for the worker-produced response.
 fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Response {
@@ -843,12 +873,12 @@ fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Respons
                 }
             }
         },
-        Err((_, PushError::Full)) => {
+        Err((_, PushError::Full(cause))) => {
             shared.metrics.record_error(ErrorCode::Overloaded);
             Response::Error {
                 id,
                 code: ErrorCode::Overloaded,
-                message: format!("request queue full ({})", backend.queue.capacity()),
+                message: overload_message(shared, backend, cause),
             }
         }
         Err((_, PushError::Closed)) => {
@@ -1286,7 +1316,7 @@ fn dispatch_event_line(
             };
             match backend.queue.try_push(job) {
                 Ok(()) => LineOutcome::Inflight { answered, id },
-                Err((_, PushError::Full)) => {
+                Err((_, PushError::Full(cause))) => {
                     conn.inflight.store(false, Ordering::Release);
                     shared.metrics.record_error(ErrorCode::Overloaded);
                     push_reply(
@@ -1294,7 +1324,7 @@ fn dispatch_event_line(
                         &Response::Error {
                             id,
                             code: ErrorCode::Overloaded,
-                            message: format!("request queue full ({})", backend.queue.capacity()),
+                            message: overload_message(shared, backend, cause),
                         },
                     );
                     LineOutcome::Answered

@@ -32,10 +32,23 @@ use parking_lot::{Condvar, Mutex};
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PushError {
-    /// The queue is at capacity — shed the load.
-    Full,
+    /// A capacity limit refused the push — shed the load.
+    Full(FullCause),
     /// The queue is closed — the server is shutting down.
     Closed,
+}
+
+/// Which capacity limit a [`PushError::Full`] hit: the refused queue's
+/// own capacity, or the server-wide [`AggregateCap`] budget it shares
+/// with its sibling queues. The shed itself is identical either way;
+/// the cause exists so the overload error can report the limit that
+/// actually bound instead of always naming the local one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FullCause {
+    /// This queue's local capacity is exhausted.
+    Local,
+    /// The shared aggregate budget is exhausted.
+    Aggregate,
 }
 
 // ---------------------------------------------------------------------------
@@ -200,10 +213,10 @@ impl<T> BoundedQueue<T> {
             return Err((item, PushError::Closed));
         }
         if state.items.len() >= self.capacity {
-            return Err((item, PushError::Full));
+            return Err((item, PushError::Full(FullCause::Local)));
         }
         if !self.aggregate.try_reserve() {
-            return Err((item, PushError::Full));
+            return Err((item, PushError::Full(FullCause::Aggregate)));
         }
         state.items.push_back(item);
         drop(state);
@@ -333,13 +346,13 @@ impl<T> StealQueue<T> {
         // ever over-admitting.
         if self.depth.fetch_add(1, Ordering::AcqRel) >= self.capacity {
             self.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err((item, PushError::Full));
+            return Err((item, PushError::Full(FullCause::Local)));
         }
         // Then the shared budget; roll the local reservation back if the
         // server as a whole is at capacity.
         if !self.aggregate.try_reserve() {
             self.depth.fetch_sub(1, Ordering::AcqRel);
-            return Err((item, PushError::Full));
+            return Err((item, PushError::Full(FullCause::Aggregate)));
         }
         // Closed may have been set between the first check and the
         // reservation; re-check so shutdown never loses a shed.
@@ -473,8 +486,8 @@ mod tests {
         assert!(q.try_push(1).is_ok());
         assert!(q.try_push(2).is_ok());
         match q.try_push(3) {
-            Err((item, PushError::Full)) => assert_eq!(item, 3),
-            other => panic!("expected Full, got {other:?}"),
+            Err((item, PushError::Full(FullCause::Local))) => assert_eq!(item, 3),
+            other => panic!("expected local Full, got {other:?}"),
         }
         assert_eq!(q.depth(), 2);
         assert_eq!(q.capacity(), 2);
@@ -576,8 +589,8 @@ mod tests {
         // Items landed on 3 different shards, but the aggregate cap is
         // what sheds — identical contract to the single queue.
         match q.try_push(4) {
-            Err((item, PushError::Full)) => assert_eq!(item, 4),
-            other => panic!("expected Full, got {other:?}"),
+            Err((item, PushError::Full(FullCause::Local))) => assert_eq!(item, 4),
+            other => panic!("expected local Full, got {other:?}"),
         }
         assert_eq!(q.depth(), 3);
         assert_eq!(q.capacity(), 3);
@@ -597,13 +610,13 @@ mod tests {
         }
         // Queue a is locally full even though the aggregate has room.
         match a.try_push(99) {
-            Err((_, PushError::Full)) => {}
+            Err((_, PushError::Full(FullCause::Local))) => {}
             other => panic!("expected local Full, got {other:?}"),
         }
         // Queue b has local room, but only one aggregate slot is left.
         b.try_push(10).unwrap();
         match b.try_push(11) {
-            Err((_, PushError::Full)) => {}
+            Err((_, PushError::Full(FullCause::Aggregate))) => {}
             other => panic!("expected aggregate Full, got {other:?}"),
         }
         assert_eq!(cap.depth(), 4);
@@ -624,7 +637,7 @@ mod tests {
         a.try_push(1).unwrap();
         b.try_push(2).unwrap();
         match a.try_push(3) {
-            Err((_, PushError::Full)) => {}
+            Err((_, PushError::Full(FullCause::Aggregate))) => {}
             other => panic!("expected aggregate Full, got {other:?}"),
         }
         assert_eq!(b.pop(), Some(2));

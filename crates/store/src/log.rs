@@ -20,10 +20,11 @@
 //! records still current per the in-memory index move to the active
 //! segment, superseded ones are dropped with the file. Compaction
 //! invariants: a live record is re-appended *before* its old segment is
-//! deleted, so no crash point loses it; record order within a key is
-//! preserved (the rewrite is the newest copy); and the pass is bounded
-//! to the segments that existed when it started, so it terminates even
-//! when the live set alone exceeds the budget.
+//! deleted — and under a sync mode the rewrite is fsynced before the
+//! unlink — so no crash or power-cut point loses it; record order
+//! within a key is preserved (the rewrite is the newest copy); and the
+//! pass is bounded to the segments that existed when it started, so it
+//! terminates even when the live set alone exceeds the budget.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs::{self, File};
@@ -131,8 +132,10 @@ pub struct StoreStats {
     pub spill_dropped: u64,
     /// Appends that failed with an I/O error (record lost).
     pub write_errors: u64,
-    /// Records known durable on stable storage (advances at each fsync;
-    /// stays 0 under [`SyncMode::None`], where nothing is ever fsynced).
+    /// Frames known durable on stable storage: appends plus compaction
+    /// rewrites, each a distinct frame, so after a compaction pass this
+    /// can legitimately exceed `appended`. Advances at each fsync;
+    /// stays 0 under [`SyncMode::None`], where nothing is ever fsynced.
     pub synced: u64,
     /// Bytes of live (non-superseded) records on disk.
     pub bytes_live: u64,
@@ -389,12 +392,19 @@ impl Store {
         self.active_bytes = SEGMENT_HEADER_LEN as u64;
         if self.config.sync != SyncMode::None {
             // The sealed segment was just fsynced and the new active is
-            // empty, so every record written so far is durable.
-            let durable = self.counters.appended.load(Ordering::Relaxed)
-                + self.counters.compacted.load(Ordering::Relaxed);
+            // empty, so every frame written so far is durable.
+            let durable = self.frames_written();
             self.counters.synced.store(durable, Ordering::Relaxed);
         }
         Ok(())
+    }
+
+    /// Total frames written since open — spill appends plus compaction
+    /// rewrites (a rewritten record is a second, distinct frame). The
+    /// durable high-water mark `synced` is published in these units.
+    fn frames_written(&self) -> u64 {
+        self.counters.appended.load(Ordering::Relaxed)
+            + self.counters.compacted.load(Ordering::Relaxed)
     }
 
     /// Pushes everything appended so far to stable storage, per the
@@ -410,8 +420,7 @@ impl Store {
         self.sync_active()?;
         // Single-writer: no append can interleave between the fsync and
         // this load, so the snapshot is exact.
-        let durable = self.counters.appended.load(Ordering::Relaxed)
-            + self.counters.compacted.load(Ordering::Relaxed);
+        let durable = self.frames_written();
         self.counters.synced.store(durable, Ordering::Relaxed);
         Ok(())
     }
@@ -490,6 +499,15 @@ impl Store {
             }
         });
         self.bytes_live -= lost;
+        // Durability ordering: the rewritten copies must reach stable
+        // storage before the victim's unlink can — a power cut after a
+        // durable unlink but before the next sync point would lose
+        // records that were durable inside the victim. Rewrites that
+        // sealed a segment mid-pass were synced by the roll; this sync
+        // covers the tail still sitting in the open active segment.
+        // (A no-op under SyncMode::None, which never promised
+        // power-loss safety.)
+        self.sync()?;
         fs::remove_file(&path)?;
         if self.config.sync == SyncMode::Full {
             self.sync_dir()?;
@@ -808,9 +826,46 @@ mod tests {
         let stats = store.stats();
         assert!(stats.segments > 1, "expected a rotation: {stats:?}");
         assert!(
-            stats.synced > 0 && stats.synced <= stats.appended,
+            stats.synced > 0 && stats.synced <= stats.appended + stats.compacted,
             "rotation must publish a durable mark: {stats:?}"
         );
+    }
+
+    /// Regression: compaction must fsync the rewritten live records
+    /// *before* unlinking the victim segment — otherwise a power cut
+    /// between the durable unlink and the next sync point loses records
+    /// that were durable before the pass. Observable invariant: under a
+    /// sync mode, the end of a compaction pass is itself a sync point,
+    /// so immediately after the append that triggered it, `synced`
+    /// covers every frame written (appends + rewrites).
+    #[test]
+    fn compaction_syncs_rewrites_before_deleting_the_victim() {
+        let dir = TempDir::new("compact-sync");
+        let config = StoreConfig {
+            segment_bytes: MIN_SEGMENT_BYTES,
+            budget_bytes: 3 * MIN_SEGMENT_BYTES,
+            sync: SyncMode::Data,
+            ..StoreConfig::new(&dir.0)
+        };
+        let (mut store, _) = Store::open(config).unwrap();
+        // A keyset whose live footprint exceeds the budget, so the
+        // oldest sealed segment always holds live records for the pass
+        // to rewrite (a fully superseded victim is just unlinked).
+        let big = vec![0xCD; 600];
+        for i in 0..200 {
+            store.append(&key(i % 64), &big).unwrap();
+            let stats = store.stats();
+            if stats.compacted > 0 {
+                assert_eq!(
+                    stats.synced,
+                    stats.appended + stats.compacted,
+                    "the pass that rewrote frames must sync them before \
+                     the victim unlink: {stats:?}"
+                );
+                return;
+            }
+        }
+        panic!("workload never triggered compaction: {:?}", store.stats());
     }
 
     #[test]
