@@ -1,0 +1,60 @@
+//! # gb-router — a cross-process routing tier for `gb-serve` fleets
+//!
+//! The paper's BA recursion splits the processor range `[i, j]`
+//! proportionally to load and recurses; PR 5 did that *inside* one
+//! process with sharded backends. This crate lifts the same structure
+//! across processes: a thin TCP tier that owns the consistent-hash
+//! vnode ring ([`gb_service::route`]) and proxies the existing
+//! newline-delimited-JSON protocol, unchanged, to N upstream `gb-serve`
+//! processes over pooled persistent connections. Each request frame is
+//! parsed exactly once — to validate it and extract the routing key
+//! (the same [`CacheKey::mix`](gb_service::cache::CacheKey::mix)
+//! fingerprint the upstreams shard by) — and the original bytes are
+//! forwarded verbatim.
+//!
+//! What the tier adds on top of plain proxying:
+//!
+//! * **Health checks** — a prober thread pings every upstream each
+//!   `health_interval`, and the data path counts consecutive failures
+//!   per upstream; `fail_threshold` of either kind declares it dead
+//!   ([`server`]).
+//! * **Monotone vnode failover** — a dead upstream's vnode arcs re-home
+//!   onto survivors via [`FailoverRing`](gb_service::route::FailoverRing);
+//!   survivors' assignments never move, and recovery restores the exact
+//!   pre-death mapping, so a bounced backend gets its keys (and its
+//!   warm cache) back.
+//! * **Hedged retries** — if the owning upstream has not replied within
+//!   `hedge_delay`, the router races a second attempt on the backend
+//!   that would own the key if the primary were dead, takes the first
+//!   answer, and correlates replies by request id (`hedges_sent` /
+//!   `hedges_won` counters).
+//! * **Stats rollup** — the router's own `stats` op aggregates
+//!   per-upstream depth, in-flight count, latency histogram and health,
+//!   plus the max/mean load-imbalance gauge across alive upstreams.
+//!
+//! Upstream-side sockets run through the same [`IoShim`]
+//! (gb_service::fault::IoShim) seam as the server's, so the chaos suite
+//! scripts router-to-upstream faults with the same vocabulary.
+//!
+//! ```no_run
+//! use gb_router::{RouterConfig, RouterServer};
+//!
+//! let config = RouterConfig {
+//!     upstreams: vec!["127.0.0.1:7001".parse().unwrap(),
+//!                     "127.0.0.1:7002".parse().unwrap()],
+//!     ..RouterConfig::default()
+//! };
+//! let router = RouterServer::start(config)?;
+//! println!("routing on {}", router.local_addr());
+//! router.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod server;
+
+pub use pool::{PooledConn, UpstreamPool, UPSTREAM_CONN_BASE};
+pub use server::{RouterConfig, RouterServer};

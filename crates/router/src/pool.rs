@@ -1,0 +1,376 @@
+//! Pooled persistent connections to a single upstream.
+//!
+//! Each upstream gets an [`UpstreamPool`]: checked-out connections are
+//! used for exactly one request/response exchange and published back
+//! when the reply arrived cleanly. A [`PooledConn`] survives read
+//! timeouts mid-reply — the partial line stays buffered, so a hedged
+//! request can keep waiting on the primary after its hedge fired —
+//! but any connection whose exchange ended in an error is dropped, not
+//! repooled, so a desynchronised stream can never serve a stale reply
+//! to a later request.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gb_service::fault::{IoShim, ShimStream};
+use gb_service::proto::MAX_FRAME;
+
+/// Shim connection-id base for upstream-side sockets. Client
+/// connections use their accept order (`0, 1, 2, ...`) exactly like the
+/// server; every pooled or probe connection to upstream `i` uses
+/// `UPSTREAM_CONN_BASE + i`, so a scripted shim can fault the
+/// router→upstream link without touching client traffic.
+pub const UPSTREAM_CONN_BASE: u64 = 1 << 32;
+
+/// One persistent connection to an upstream, owned by whoever checked
+/// it out of the pool.
+pub struct PooledConn {
+    /// Raw handle kept for timeout changes (`set_read_timeout`).
+    sock: TcpStream,
+    writer: ShimStream,
+    reader: BufReader<ShimStream>,
+    /// Bytes of a reply line that arrived before a read timeout; the
+    /// next [`read_reply`](PooledConn::read_reply) resumes from here.
+    partial: String,
+    /// Scratch buffer so a frame and its newline go out as ONE write —
+    /// two writes under `TCP_NODELAY` are two segments, and the second
+    /// can cost the receiver an extra wakeup per request.
+    out: String,
+    /// Last timeout applied to the socket; skips the `setsockopt` pair
+    /// on the hot path when the deadline has not changed.
+    read_timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for PooledConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledConn")
+            .field("sock", &self.sock)
+            .field("partial_len", &self.partial.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PooledConn {
+    fn connect(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        write_timeout: Duration,
+        shim: &Arc<dyn IoShim>,
+        conn_id: u64,
+    ) -> io::Result<PooledConn> {
+        let sock = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        sock.set_nodelay(true)?;
+        sock.set_write_timeout(Some(write_timeout))?;
+        let writer = ShimStream::new(sock.try_clone()?, Arc::clone(shim), conn_id);
+        let reader = BufReader::new(ShimStream::new(
+            sock.try_clone()?,
+            Arc::clone(shim),
+            conn_id,
+        ));
+        Ok(PooledConn {
+            sock,
+            writer,
+            reader,
+            partial: String::new(),
+            out: String::new(),
+            read_timeout: None,
+        })
+    }
+
+    /// Whether a reply line is partially buffered (the previous read
+    /// timed out mid-frame). Such a connection must finish its read
+    /// before it can carry another request.
+    pub fn has_partial(&self) -> bool {
+        !self.partial.is_empty()
+    }
+
+    /// Writes one frame (newline appended) as a single write.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.out.clear();
+        self.out.push_str(line);
+        self.out.push('\n');
+        self.writer.write_all(self.out.as_bytes())
+    }
+
+    /// Reads one reply line, waiting at most `timeout`.
+    ///
+    /// A `WouldBlock`/`TimedOut` error means the reply has not arrived
+    /// yet; any bytes that did arrive stay buffered and a later call
+    /// resumes the same line. Every other error (EOF, reset, an
+    /// oversized or torn frame) means the connection is unusable.
+    pub fn read_reply(&mut self, timeout: Duration) -> io::Result<String> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        if self.read_timeout != Some(timeout) {
+            self.sock.set_read_timeout(Some(timeout))?;
+            self.read_timeout = Some(timeout);
+        }
+        loop {
+            // take() bounds a single line; repeated resumed reads of one
+            // endless line are cut off by the same limit below.
+            let read = (&mut self.reader)
+                .take(2 * MAX_FRAME as u64)
+                .read_line(&mut self.partial);
+            match read {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "upstream closed the connection",
+                    ))
+                }
+                Ok(_) => {
+                    if self.partial.ends_with('\n') && self.partial.len() <= 2 * MAX_FRAME {
+                        let mut line = std::mem::take(&mut self.partial);
+                        while line.ends_with('\n') || line.ends_with('\r') {
+                            line.pop();
+                        }
+                        return Ok(line);
+                    }
+                    // read_line returned without a newline: EOF mid-line
+                    // or the take() limit was hit — either way the
+                    // stream is out of frame sync.
+                    self.partial.clear();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "upstream reply torn or oversized",
+                    ));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(e);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One full request/response exchange.
+    pub fn call(&mut self, line: &str, timeout: Duration) -> io::Result<String> {
+        self.send_line(line)?;
+        self.read_reply(timeout)
+    }
+}
+
+/// A bounded pool of idle [`PooledConn`]s to one upstream address.
+pub struct UpstreamPool {
+    addr: SocketAddr,
+    conn_id: u64,
+    shim: Arc<dyn IoShim>,
+    connect_timeout: Duration,
+    write_timeout: Duration,
+    max_idle: usize,
+    idle: Mutex<Vec<PooledConn>>,
+}
+
+impl std::fmt::Debug for UpstreamPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpstreamPool")
+            .field("addr", &self.addr)
+            .field("conn_id", &self.conn_id)
+            .field("idle", &self.idle_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl UpstreamPool {
+    /// A pool for `addr`, wrapping every socket in `shim` under
+    /// `conn_id` (see [`UPSTREAM_CONN_BASE`]).
+    pub fn new(
+        addr: SocketAddr,
+        conn_id: u64,
+        shim: Arc<dyn IoShim>,
+        connect_timeout: Duration,
+        write_timeout: Duration,
+        max_idle: usize,
+    ) -> UpstreamPool {
+        UpstreamPool {
+            addr,
+            conn_id,
+            shim,
+            connect_timeout,
+            write_timeout,
+            max_idle: max_idle.max(1),
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The upstream's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Takes an idle connection, or dials a fresh one.
+    pub fn checkout(&self) -> io::Result<PooledConn> {
+        if let Some(conn) = self.idle.lock().unwrap().pop() {
+            return Ok(conn);
+        }
+        PooledConn::connect(
+            self.addr,
+            self.connect_timeout,
+            self.write_timeout,
+            &self.shim,
+            self.conn_id,
+        )
+    }
+
+    /// Returns a connection after a clean exchange. Connections with a
+    /// partial reply pending are dropped (out of frame sync), as are
+    /// any beyond the idle cap.
+    pub fn publish(&self, conn: PooledConn) {
+        if conn.has_partial() {
+            return;
+        }
+        let mut idle = self.idle.lock().unwrap();
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
+    }
+
+    /// Drops every idle connection (the upstream was declared dead).
+    pub fn clear(&self) {
+        self.idle.lock().unwrap().clear();
+    }
+
+    /// Number of idle pooled connections.
+    pub fn idle_count(&self) -> usize {
+        self.idle.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_service::fault::Passthrough;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn shim() -> Arc<dyn IoShim> {
+        Arc::new(Passthrough)
+    }
+
+    /// An echo server that answers each line with `ok:<line>`, optionally
+    /// splitting one reply around a pause to exercise partial reads.
+    fn echo_server(pause_on: Option<&'static str>, pause: Duration) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            return;
+                        }
+                        let body = line.trim_end();
+                        let reply = format!("ok:{body}\n");
+                        if Some(body) == pause_on {
+                            let (a, b) = reply.split_at(reply.len() / 2);
+                            writer.write_all(a.as_bytes()).unwrap();
+                            writer.flush().unwrap();
+                            thread::sleep(pause);
+                            writer.write_all(b.as_bytes()).unwrap();
+                        } else {
+                            writer.write_all(reply.as_bytes()).unwrap();
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn pool_reuses_published_connections() {
+        let addr = echo_server(None, Duration::ZERO);
+        let pool = UpstreamPool::new(
+            addr,
+            UPSTREAM_CONN_BASE,
+            shim(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            4,
+        );
+        let mut conn = pool.checkout().unwrap();
+        assert_eq!(
+            conn.call("hello", Duration::from_secs(1)).unwrap(),
+            "ok:hello"
+        );
+        pool.publish(conn);
+        assert_eq!(pool.idle_count(), 1);
+        let mut again = pool.checkout().unwrap();
+        assert_eq!(pool.idle_count(), 0, "checkout must drain the idle list");
+        assert_eq!(
+            again.call("world", Duration::from_secs(1)).unwrap(),
+            "ok:world"
+        );
+        pool.publish(again);
+        pool.clear();
+        assert_eq!(pool.idle_count(), 0);
+    }
+
+    #[test]
+    fn read_reply_resumes_a_partial_line_after_timeout() {
+        let addr = echo_server(Some("slow"), Duration::from_millis(80));
+        let pool = UpstreamPool::new(
+            addr,
+            UPSTREAM_CONN_BASE,
+            shim(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            4,
+        );
+        let mut conn = pool.checkout().unwrap();
+        conn.send_line("slow").unwrap();
+        // The first half of the reply arrives, then the server pauses
+        // past our timeout: the read must report a timeout and keep the
+        // prefix buffered.
+        let err = conn.read_reply(Duration::from_millis(25)).unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            ),
+            "expected a timeout, got {err:?}"
+        );
+        assert!(conn.has_partial(), "the reply prefix must stay buffered");
+        // Resuming with a generous timeout completes the same line.
+        assert_eq!(conn.read_reply(Duration::from_secs(1)).unwrap(), "ok:slow");
+        assert!(!conn.has_partial());
+        // A connection that timed out mid-reply must not be repooled
+        // while desynchronised.
+        conn.send_line("slow").unwrap();
+        let _ = conn.read_reply(Duration::from_millis(25)).unwrap_err();
+        assert!(conn.has_partial());
+        pool.publish(conn);
+        assert_eq!(pool.idle_count(), 0, "partial conns are dropped");
+    }
+
+    #[test]
+    fn checkout_fails_fast_on_a_dead_address() {
+        // Bind-then-drop reserves a port with no listener behind it.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let pool = UpstreamPool::new(
+            addr,
+            UPSTREAM_CONN_BASE,
+            shim(),
+            Duration::from_millis(200),
+            Duration::from_secs(1),
+            4,
+        );
+        assert!(pool.checkout().is_err());
+    }
+}

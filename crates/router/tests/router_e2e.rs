@@ -1,0 +1,282 @@
+//! End-to-end router tests against in-process `gb-service` upstreams:
+//! proxy round trips, stats rollup, failover + recovery re-homing, and
+//! hedged tail-latency retries against a deliberately stalled upstream.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gb_router::{RouterConfig, RouterServer};
+use gb_service::cache::CacheKey;
+use gb_service::fault::ScriptedShim;
+use gb_service::proto::{Algorithm, BalanceRequest, Json, Request, Response};
+use gb_service::route::Router;
+use gb_service::server::{Server, ServerConfig, Tuning};
+use gb_service::spec::ProblemSpec;
+use gb_service::Client;
+
+const VNODES: usize = 32;
+
+fn spec(seed: u64) -> ProblemSpec {
+    ProblemSpec::Synthetic {
+        weight: 1.0,
+        lo: 0.25,
+        hi: 0.5,
+        seed,
+    }
+}
+
+fn balance(id: u64, seed: u64) -> Request {
+    Request::Balance(BalanceRequest {
+        id: Some(id),
+        algorithm: Algorithm::Hf,
+        n: 8,
+        theta: 1.0,
+        deadline_ms: None,
+        want_pieces: false,
+        problem: spec(seed),
+    })
+}
+
+/// The routing key the router derives for [`balance`]`(_, seed)`.
+fn key_for(seed: u64) -> u64 {
+    CacheKey::new(spec(seed).fingerprint(), Algorithm::Hf, 8, 1.0).mix()
+}
+
+/// Seeds whose keys the full 2-upstream ring assigns to `owner`.
+fn seeds_owned_by(owner: u32, count: usize) -> Vec<u64> {
+    let ring = Router::new(2, VNODES);
+    (0u64..)
+        .filter(|&s| ring.route(key_for(s)) == owner)
+        .take(count)
+        .collect()
+}
+
+fn start_upstream(addr: &str) -> Server {
+    Server::start(ServerConfig {
+        addr: addr.into(),
+        workers: 2,
+        pool_threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("upstream start")
+}
+
+fn start_stalled_upstream(stall: Duration) -> Server {
+    let shim = ScriptedShim::new();
+    shim.stall_workers(stall);
+    Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            pool_threads: 2,
+            ..ServerConfig::default()
+        },
+        Tuning {
+            shim: Arc::new(shim),
+            ..Tuning::default()
+        },
+    )
+    .expect("stalled upstream start")
+}
+
+fn router_over(upstreams: &[&Server], tweak: impl FnOnce(&mut RouterConfig)) -> RouterServer {
+    let mut config = RouterConfig {
+        upstreams: upstreams.iter().map(|s| s.local_addr()).collect(),
+        vnodes: VNODES,
+        health_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(250),
+        fail_threshold: 2,
+        reply_timeout: Duration::from_secs(5),
+        poll_interval: Duration::from_millis(20),
+        ..RouterConfig::default()
+    };
+    tweak(&mut config);
+    RouterServer::start(config).expect("router start")
+}
+
+fn expect_ok(resp: Response, id: u64) {
+    match resp {
+        Response::Ok(ok) => assert_eq!(ok.id, Some(id), "reply correlated to the wrong request"),
+        other => panic!("expected ok for id {id}, got {other:?}"),
+    }
+}
+
+fn await_alive(router: &RouterServer, want: &[u32], budget: Duration) {
+    let deadline = Instant::now() + budget;
+    loop {
+        if router.alive_ids() == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "alive set never became {want:?}, still {:?}",
+            router.alive_ids()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn proxies_the_protocol_unchanged_and_rolls_up_stats() {
+    let a = start_upstream("127.0.0.1:0");
+    let b = start_upstream("127.0.0.1:0");
+    let router = router_over(&[&a, &b], |_| {});
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    for (i, seed) in (0u64..40).enumerate() {
+        expect_ok(client.call(&balance(i as u64, seed)).unwrap(), i as u64);
+    }
+    // A second pass hits the upstreams' caches through the same router
+    // path (same key → same upstream, by construction).
+    for (i, seed) in (0u64..40).enumerate() {
+        expect_ok(client.call(&balance(i as u64, seed)).unwrap(), i as u64);
+    }
+
+    let stats = match client.call(&Request::Stats).unwrap() {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let r = stats.get("router").expect("router section");
+    assert_eq!(r.get("upstream_count").unwrap().as_u64(), Some(2));
+    assert_eq!(r.get("alive").unwrap().as_u64(), Some(2));
+    assert_eq!(r.get("proxied").unwrap().as_u64(), Some(80));
+    let imbalance = r.get("imbalance").expect("imbalance gauge");
+    assert!(imbalance.get("max").is_some());
+    assert!(imbalance.get("mean").is_some());
+    assert!(imbalance.get("ratio").is_some());
+    match stats.get("upstreams") {
+        Some(Json::Arr(list)) => {
+            assert_eq!(list.len(), 2);
+            let requests: u64 = list
+                .iter()
+                .map(|u| u.get("requests").and_then(|v| v.as_u64()).unwrap())
+                .sum();
+            assert!(requests >= 80, "both upstreams must have carried traffic");
+            for u in list {
+                assert_eq!(u.get("alive").and_then(Json::as_bool), Some(true));
+                assert!(u.get("latency").is_some());
+            }
+        }
+        other => panic!("expected upstreams array, got {other:?}"),
+    }
+
+    // Malformed frames are answered locally, not proxied.
+    match client.call_raw("{not json").unwrap() {
+        Response::Error { code, .. } => {
+            assert_eq!(code, gb_service::proto::ErrorCode::BadRequest)
+        }
+        other => panic!("expected bad_request, got {other:?}"),
+    }
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn failover_rehomes_and_recovery_rehomes_back() {
+    let a = start_upstream("127.0.0.1:0");
+    let b = start_upstream("127.0.0.1:0");
+    let b_addr = b.local_addr();
+    let router = router_over(&[&a, &b], |c| c.forward_shutdown = false);
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    let b_seeds = seeds_owned_by(1, 12);
+    for (i, &seed) in b_seeds.iter().enumerate() {
+        expect_ok(client.call(&balance(i as u64, seed)).unwrap(), i as u64);
+    }
+
+    // Kill B. New requests for B's keys must still succeed (in-request
+    // failover retries on A), and the prober must re-home B's vnodes
+    // within the health-check interval.
+    b.shutdown();
+    for (i, &seed) in b_seeds.iter().enumerate() {
+        let id = 100 + i as u64;
+        expect_ok(client.call(&balance(id, seed + 1_000_000)).unwrap(), id);
+    }
+    await_alive(&router, &[0], Duration::from_secs(5));
+    let (failovers, _) = router.failover_counters();
+    assert!(failovers >= 1);
+
+    // Revive B on the exact same port: the prober must mark it alive
+    // and the ring must restore the pre-death mapping.
+    let b2 = start_upstream(&b_addr.to_string());
+    await_alive(&router, &[0, 1], Duration::from_secs(5));
+    let (_, recoveries) = router.failover_counters();
+    assert!(recoveries >= 1);
+    for (i, &seed) in b_seeds.iter().enumerate() {
+        let id = 200 + i as u64;
+        expect_ok(client.call(&balance(id, seed + 2_000_000)).unwrap(), id);
+    }
+
+    router.shutdown();
+    a.shutdown();
+    b2.shutdown();
+}
+
+#[test]
+fn hedging_caps_tail_latency_from_a_stalled_upstream() {
+    let stall = Duration::from_millis(150);
+    let a = start_stalled_upstream(stall);
+    let b = start_upstream("127.0.0.1:0");
+    let router = router_over(&[&a, &b], |c| {
+        c.hedge_delay = Some(Duration::from_millis(15));
+        // A slow upstream must stay alive for this scenario: probes are
+        // control frames and skip the stalled worker path anyway.
+        c.fail_threshold = 50;
+    });
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // Unique seeds owned by the stalled upstream, so every request is a
+    // cache miss that would block ~150 ms without hedging.
+    let seeds = seeds_owned_by(0, 6);
+    for (i, &seed) in seeds.iter().enumerate() {
+        let started = Instant::now();
+        expect_ok(client.call(&balance(i as u64, seed)).unwrap(), i as u64);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < stall,
+            "request {i} took {elapsed:?}; hedging should beat the {stall:?} stall"
+        );
+    }
+    let (sent, won) = router.hedge_counters();
+    assert!(sent >= seeds.len() as u64, "every request should hedge");
+    assert!(won >= 1, "the clean upstream should win at least one race");
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn shutdown_frame_drains_router_and_forwards_to_upstreams() {
+    let a = start_upstream("127.0.0.1:0");
+    let b = start_upstream("127.0.0.1:0");
+    let router = router_over(&[&a, &b], |_| {});
+    let router_addr = router.local_addr();
+
+    let mut client = Client::connect(router_addr).unwrap();
+    expect_ok(client.call(&balance(1, 7)).unwrap(), 1);
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::Pong
+    ));
+
+    // The router drains...
+    router.shutdown();
+    // ...and the upstreams got the forwarded shutdown: join() only
+    // returns once a server has fully stopped.
+    a.join();
+    b.join();
+    assert!(
+        Client::connect(router_addr).is_err()
+            || Client::connect(router_addr)
+                .and_then(|mut c| c.call(&Request::Ping))
+                .is_err(),
+        "router must stop accepting after drain"
+    );
+}

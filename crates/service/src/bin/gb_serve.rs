@@ -7,7 +7,7 @@
 //!          [--cache-shards S] [--admission on|off]
 //!          [--backends N] [--backend-vnodes V]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
-//!          [--write-stall-ms MS]
+//!          [--write-stall-ms MS] [--stall-ms MS]
 //!          [--store-dir PATH] [--store-segment-bytes N]
 //!          [--store-budget-bytes N] [--store-sync none|data|full]
 //! ```
@@ -19,6 +19,11 @@
 //! behind a consistent-hash router: each backend owns its queue, worker
 //! threads and cache, so one hot problem class cannot starve the rest.
 //!
+//! `--stall-ms MS` injects a sleep before every job execution (via the
+//! fault-injection shim) — a deliberately slow-but-alive upstream for
+//! exercising `gb-router`'s hedged retries; control frames (`ping`,
+//! `stats`) stay fast, so health checks still pass.
+//!
 //! `--store-dir` enables the crash-safe result store: cached results are
 //! spilled write-behind to an append-only segment log under PATH, and a
 //! restarted daemon recovers them into its cache before serving —
@@ -27,8 +32,10 @@
 //! process-crash to power-loss.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use gb_service::fault::ScriptedShim;
 use gb_service::persist::StoreSettings;
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 
@@ -39,6 +46,7 @@ fn usage() -> ! {
          [--io-threads I] [--cache-shards S] [--admission on|off] \
          [--backends N] [--backend-vnodes V] \
          [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS] \
+         [--stall-ms MS] \
          [--store-dir PATH] [--store-segment-bytes N] [--store-budget-bytes N] \
          [--store-sync none|data|full]"
     );
@@ -152,6 +160,14 @@ fn parse_args() -> (ServerConfig, Tuning) {
                         eprintln!("--store-sync requires --store-dir first");
                         usage()
                     }
+                }
+            }
+            "--stall-ms" => {
+                let ms = parse_usize(&value("--stall-ms"), "--stall-ms") as u64;
+                if ms > 0 {
+                    let shim = ScriptedShim::new();
+                    shim.stall_workers(Duration::from_millis(ms));
+                    tuning.shim = Arc::new(shim);
                 }
             }
             "--backends" => tuning.backends = parse_usize(&value("--backends"), "--backends"),

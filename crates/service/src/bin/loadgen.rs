@@ -11,6 +11,7 @@
 //!         [--metrics-out FILE] [--shutdown]
 //! loadgen --warm-bench [--distinct D] [--out FILE]
 //! loadgen --shard-bench [--duration-ms MS] [--out FILE]
+//! loadgen --router-bench [--duration-ms MS] [--out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -64,6 +65,23 @@
 //! run spawns (the default mode and `--chaos`), and `--store-sync`
 //! selects its durability mode when `--store-dir` is also set.
 //!
+//! `--router-bench` runs the committed cross-process router-tier
+//! experiment and writes `results/BENCH_router.json`. It spawns real
+//! `gb-serve` and `gb-router` child processes (found as siblings of this
+//! binary, built on demand) and measures four things: direct
+//! single-process throughput, the same workload proxied through the
+//! router (the run fails unless proxied stays within 2x of direct),
+//! the client-visible error count when one upstream is SIGKILLed under a
+//! pinned flood (plus the vnode re-home window), and tail latency
+//! against a deliberately stalled upstream with hedged retries off vs on
+//! (the run fails unless hedging lowers p99). `--duration-ms` shrinks
+//! every phase for smoke runs.
+//!
+//! In the default (plain) mode, `--metrics-out FILE` snapshots the
+//! server's stats endpoint to FILE after the run and `--shutdown` then
+//! stops the server via a `shutdown` frame — together they let CI drive
+//! an external server end to end and keep the evidence.
+//!
 //! `--shard-bench` runs the committed hot-class isolation experiment and
 //! writes `BENCH_sharding.json`: a hot problem class floods the one
 //! backend that owns it while a victim class (keys owned by the *other*
@@ -112,6 +130,7 @@ struct Options {
     warm_replay: bool,
     warm_bench: bool,
     shard_bench: bool,
+    router_bench: bool,
     min_warm_rate: f64,
     metrics_out: Option<String>,
     backends: usize,
@@ -143,6 +162,7 @@ impl Default for Options {
             warm_replay: false,
             warm_bench: false,
             shard_bench: false,
+            router_bench: false,
             min_warm_rate: 0.9,
             metrics_out: None,
             backends: 0,
@@ -165,7 +185,8 @@ fn usage() -> ! {
          \x20      loadgen --warm-replay --addr HOST:PORT [--distinct D] [--min-warm-rate X] \
          [--metrics-out FILE] [--shutdown]\n\
          \x20      loadgen --warm-bench [--distinct D] [--out FILE]\n\
-         \x20      loadgen --shard-bench [--duration-ms MS] [--out FILE]"
+         \x20      loadgen --shard-bench [--duration-ms MS] [--out FILE]\n\
+         \x20      loadgen --router-bench [--duration-ms MS] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -233,6 +254,7 @@ fn parse_args() -> Options {
             "--warm-replay" => opts.warm_replay = true,
             "--warm-bench" => opts.warm_bench = true,
             "--shard-bench" => opts.shard_bench = true,
+            "--router-bench" => opts.router_bench = true,
             "--backends" => opts.backends = parse_usize(&value("--backends"), "--backends"),
             "--backend-vnodes" => {
                 opts.backend_vnodes = parse_usize(&value("--backend-vnodes"), "--backend-vnodes")
@@ -1879,6 +1901,662 @@ fn run_shard_bench(opts: &Options) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------------------
+// --router-bench: the cross-process router-tier experiment behind
+// results/BENCH_router.json
+// ---------------------------------------------------------------------------
+
+const RB_VNODES: usize = 32;
+const RB_CLIENTS: usize = 8;
+const RB_REQUESTS: usize = 8_000;
+const RB_SMOKE_REQUESTS: usize = 1_500;
+const RB_DISTINCT: u64 = 64;
+/// Cold-pass partition size: large enough that every request costs real
+/// solver time, so the comparison measures the tier's overhead against
+/// the work it fronts (the hot pass isolates the per-hop overhead
+/// itself).
+const RB_COLD_N: usize = 256;
+const RB_COLD_REQUESTS: usize = 4_000;
+const RB_SMOKE_COLD_REQUESTS: usize = 800;
+const RB_FLOOD_THREADS: usize = 3;
+const RB_STALL_MS: u64 = 40;
+const RB_HEDGE_MS: u64 = 5;
+const RB_TAIL_PROBES: usize = 24;
+const RB_SMOKE_TAIL_PROBES: usize = 10;
+
+/// Locates a sibling binary of this loadgen (`target/<profile>/<name>`),
+/// building the owning package on demand if it is missing.
+fn sibling_binary(name: &str, package: &str) -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("loadgen has no parent dir")?;
+    let bin = dir.join(format!("{name}{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut args: Vec<String> = ["build", "-p", package, "--bin", name]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if !cfg!(debug_assertions) {
+            args.push("--release".into());
+        }
+        let status = std::process::Command::new(cargo)
+            .args(&args)
+            .status()
+            .map_err(|e| format!("cargo build {name}: {e}"))?;
+        if !status.success() {
+            return Err(format!("building {name} failed"));
+        }
+    }
+    if bin.exists() {
+        Ok(bin)
+    } else {
+        Err(format!("{name} missing at {}", bin.display()))
+    }
+}
+
+/// A spawned child daemon (`gb-serve` or `gb-router`); killed on drop if
+/// it has not already exited.
+struct ChildProc {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+    // Holding the pipe open keeps the child's shutdown println from
+    // landing on a closed fd.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ChildProc {
+    fn spawn(bin: &Path, args: &[String]) -> Result<ChildProc, String> {
+        let mut child = std::process::Command::new(bin)
+            .args(args)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut banner = String::new();
+        stdout
+            .read_line(&mut banner)
+            .map_err(|e| format!("read banner from {}: {e}", bin.display()))?;
+        // Both daemons print "<name> listening on HOST:PORT ...".
+        let addr = banner
+            .split_whitespace()
+            .nth(3)
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| format!("unexpected banner {banner:?}"))?;
+        Ok(ChildProc {
+            child,
+            addr,
+            _stdout: stdout,
+        })
+    }
+
+    /// SIGKILL — the hard-crash case.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Waits up to `timeout` for a voluntary exit (a forwarded shutdown
+    /// frame), then falls back to killing.
+    fn wait_or_kill(&mut self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if Instant::now() < deadline => thread::sleep(Duration::from_millis(25)),
+                _ => {
+                    self.kill();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for ChildProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn spawn_serve_child(extra: &[&str]) -> Result<ChildProc, String> {
+    let bin = sibling_binary("gb-serve", "gb-service")?;
+    let mut args: Vec<String> = [
+        "--addr",
+        "127.0.0.1:0",
+        "--workers",
+        "4",
+        "--pool-threads",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    args.extend(extra.iter().map(|s| s.to_string()));
+    ChildProc::spawn(&bin, &args)
+}
+
+/// `--hedge-ms 0` disables hedging; `--wait-upstreams-ms` makes the
+/// spawn order race-free (the banner only prints once the fleet answers).
+fn spawn_router_child(
+    upstreams: &[std::net::SocketAddr],
+    hedge_ms: u64,
+) -> Result<ChildProc, String> {
+    let bin = sibling_binary("gb-router", "gb-router")?;
+    let mut args: Vec<String> = Vec::new();
+    for (flag, value) in [
+        ("--addr", "127.0.0.1:0".to_string()),
+        ("--vnodes", RB_VNODES.to_string()),
+        ("--health-interval-ms", "50".into()),
+        ("--probe-timeout-ms", "250".into()),
+        ("--fail-threshold", "2".into()),
+        ("--poll-interval-ms", "20".into()),
+        ("--hedge-ms", hedge_ms.to_string()),
+        ("--wait-upstreams-ms", "3000".into()),
+    ] {
+        args.push(flag.into());
+        args.push(value);
+    }
+    for upstream in upstreams {
+        args.push("--upstream".into());
+        args.push(upstream.to_string());
+    }
+    ChildProc::spawn(&bin, &args)
+}
+
+/// Sends a `shutdown` frame; a router forwards it to its upstreams.
+fn send_shutdown(addr: std::net::SocketAddr) {
+    let _ = Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown));
+}
+
+struct RouterPass {
+    answered: u64,
+    ok: u64,
+    errors: u64,
+    elapsed_s: f64,
+    rps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+impl RouterPass {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::Int(self.answered as i64)),
+            ("ok".into(), Json::Int(self.ok as i64)),
+            ("errors".into(), Json::Int(self.errors as i64)),
+            ("elapsed_s".into(), Json::Num(self.elapsed_s)),
+            ("throughput_rps".into(), Json::Num(self.rps)),
+            ("p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("p95_us".into(), Json::Int(self.p95_us as i64)),
+            ("p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("max_us".into(), Json::Int(self.max_us as i64)),
+        ])
+    }
+}
+
+/// One request of the throughput workload. The hot pass cycles a warmed
+/// `RB_DISTINCT`-key working set (nearly every answer is a cache hit, so
+/// the measured cost is the serving/proxy path itself); the cold pass
+/// gives every request a unique seed at a heavier `n`, so each one costs
+/// real solver time and the router's overhead is measured against the
+/// work it fronts.
+fn rb_request(index: usize, cold: bool) -> Request {
+    if cold {
+        Request::Balance(BalanceRequest {
+            id: Some(index as u64),
+            algorithm: Algorithm::Hf,
+            n: RB_COLD_N,
+            theta: 1.0,
+            deadline_ms: None,
+            want_pieces: false,
+            problem: ProblemSpec::Synthetic {
+                weight: 1.0,
+                lo: 0.2,
+                hi: 0.5,
+                seed: 10_000_000 + index as u64,
+            },
+        })
+    } else {
+        bench_request(index as u64, index as u64 % RB_DISTINCT)
+    }
+}
+
+/// A throughput pass from `RB_CLIENTS` synchronous connections. Both the
+/// direct and the proxied phase see the identical workload, so the ratio
+/// of their rates is the router's overhead.
+fn router_throughput(
+    addr: std::net::SocketAddr,
+    requests: usize,
+    cold: bool,
+) -> Result<RouterPass, String> {
+    if !cold {
+        let mut client = Client::connect(addr).map_err(|e| format!("warm connect: {e}"))?;
+        for seed in 0..RB_DISTINCT {
+            match client
+                .call(&bench_request(seed, seed))
+                .map_err(|e| format!("warm call: {e}"))?
+            {
+                Response::Ok(_) => {}
+                other => return Err(format!("warm: unexpected {other:?}")),
+            }
+        }
+    }
+    let counter = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_index in 0..RB_CLIENTS {
+        let counter = Arc::clone(&counter);
+        handles.push(thread::spawn(move || -> Result<ClientTally, String> {
+            let mut client =
+                Client::connect(addr).map_err(|e| format!("client {client_index}: {e}"))?;
+            let mut tally = ClientTally::default();
+            loop {
+                let index = counter.fetch_add(1, Ordering::Relaxed);
+                if index >= requests {
+                    break;
+                }
+                let sent = Instant::now();
+                match client
+                    .call(&rb_request(index, cold))
+                    .map_err(|e| format!("client {client_index}: call: {e}"))?
+                {
+                    Response::Ok(_) => tally.ok += 1,
+                    Response::Error { code, .. } => tally.record_error(code),
+                    other => return Err(format!("client {client_index}: unexpected {other:?}")),
+                }
+                tally
+                    .latencies_us
+                    .push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            }
+            Ok(tally)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let tally = handle.join().expect("throughput client panicked")?;
+        ok += tally.ok;
+        errors += tally.errors.iter().map(|(_, n)| n).sum::<u64>();
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    Ok(RouterPass {
+        answered,
+        ok,
+        errors,
+        elapsed_s: elapsed.as_secs_f64(),
+        rps: answered as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+    })
+}
+
+/// Cold seeds >= `base` whose keys the two-upstream ring pins to `owner`
+/// (the same ring + key derivation `gb-router` uses).
+fn rb_seeds_pinned_to(owner: u32, base: u64, count: usize) -> Vec<u64> {
+    let ring = Router::new(2, RB_VNODES);
+    (base..)
+        .filter(|&s| ring.route(shard_cache_key(s, BENCH_N).mix()) == owner)
+        .take(count)
+        .collect()
+}
+
+/// Reads `router.<name>` out of a router stats snapshot.
+fn router_counter(stats: &Json, name: &str) -> Option<u64> {
+    stats.get("router")?.get(name)?.as_u64()
+}
+
+/// SIGKILL one upstream under a pinned flood through the router; report
+/// the client-visible error count and the vnode re-home window.
+fn router_failover_phase() -> Result<Json, String> {
+    let survivor = spawn_serve_child(&[])?;
+    let mut victim = spawn_serve_child(&[])?;
+    let mut router = spawn_router_child(&[survivor.addr, victim.addr], 0)?;
+    let addr = router.addr;
+
+    // The victim is upstream id 1; pin the whole flood onto it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let oks = Arc::new(AtomicUsize::new(0));
+    let errors = Arc::new(AtomicUsize::new(0));
+    let mut floods = Vec::new();
+    for t in 0..RB_FLOOD_THREADS {
+        let seeds = rb_seeds_pinned_to(1, 70_000_000 + t as u64 * 1_000_000, 4_000);
+        let (stop, oks, errors) = (stop.clone(), oks.clone(), errors.clone());
+        floods.push(thread::spawn(move || {
+            let Ok(mut client) = Client::connect(addr) else {
+                errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            for seed in seeds {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match client.call(&bench_request(seed, seed)) {
+                    Ok(Response::Ok(_)) => {
+                        oks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(fresh) = Client::connect(addr) {
+                            client = fresh;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+
+    thread::sleep(Duration::from_millis(300));
+    let killed_at = Instant::now();
+    victim.kill();
+    // The re-home window: how long until the router's ring drops to one
+    // alive upstream.
+    let mut window_ms = None;
+    let deadline = killed_at + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if let Some(stats) = fetch_stats(addr) {
+            if router_counter(&stats, "alive") == Some(1) {
+                window_ms = Some(killed_at.elapsed().as_millis() as u64);
+                break;
+            }
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::Relaxed);
+    for flood in floods {
+        flood.join().expect("flood thread panicked");
+    }
+    let stats = fetch_stats(addr);
+    let failovers = stats
+        .as_ref()
+        .and_then(|s| router_counter(s, "failovers"))
+        .unwrap_or(0);
+    let retries = stats
+        .as_ref()
+        .and_then(|s| router_counter(s, "retries"))
+        .unwrap_or(0);
+
+    send_shutdown(addr);
+    router.wait_or_kill(Duration::from_secs(3));
+
+    let ok_count = oks.load(Ordering::Relaxed) as u64;
+    let err_count = errors.load(Ordering::Relaxed) as u64;
+    let window = window_ms.ok_or("router never re-homed the dead upstream's vnodes")?;
+    println!(
+        "  failover: {ok_count} ok, {err_count} client-visible errors across the kill, \
+         re-home window {window} ms ({retries} in-request retries)"
+    );
+    if failovers == 0 {
+        return Err("router never counted a failover".into());
+    }
+    if err_count > 2 * RB_FLOOD_THREADS as u64 {
+        return Err(format!(
+            "failover lost {err_count} requests; the loss bound is the flood's concurrency"
+        ));
+    }
+    Ok(Json::Obj(vec![
+        ("flood_threads".into(), Json::Int(RB_FLOOD_THREADS as i64)),
+        ("ok".into(), Json::Int(ok_count as i64)),
+        ("client_errors".into(), Json::Int(err_count as i64)),
+        ("error_bound".into(), Json::Int(2 * RB_FLOOD_THREADS as i64)),
+        ("rehome_window_ms".into(), Json::Int(window as i64)),
+        ("failovers".into(), Json::Int(failovers as i64)),
+        ("in_request_retries".into(), Json::Int(retries as i64)),
+    ]))
+}
+
+/// Tail latency of cold requests pinned to a stalled upstream, with the
+/// given hedge delay (0 = off). Returns the phase report and its p99.
+fn router_tail_phase(hedge_ms: u64, probes: usize, base: u64) -> Result<(Json, u64), String> {
+    let stall = RB_STALL_MS.to_string();
+    let stalled = spawn_serve_child(&["--stall-ms", &stall])?;
+    let clean = spawn_serve_child(&[])?;
+    let mut router = spawn_router_child(&[stalled.addr, clean.addr], hedge_ms)?;
+    let addr = router.addr;
+
+    let mut client = Client::connect(addr).map_err(|e| format!("tail connect: {e}"))?;
+    let mut latencies = Vec::with_capacity(probes);
+    for (i, seed) in rb_seeds_pinned_to(0, base, probes).into_iter().enumerate() {
+        let sent = Instant::now();
+        match client
+            .call(&bench_request(i as u64, seed))
+            .map_err(|e| format!("tail call: {e}"))?
+        {
+            Response::Ok(_) => {}
+            other => return Err(format!("tail: unexpected {other:?}")),
+        }
+        latencies.push(sent.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    }
+    let stats = fetch_stats(addr);
+    let hedges_sent = stats
+        .as_ref()
+        .and_then(|s| router_counter(s, "hedges_sent"))
+        .unwrap_or(0);
+    let hedges_won = stats
+        .as_ref()
+        .and_then(|s| router_counter(s, "hedges_won"))
+        .unwrap_or(0);
+    send_shutdown(addr);
+    router.wait_or_kill(Duration::from_secs(3));
+
+    latencies.sort_unstable();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    println!(
+        "  tail (hedge {}): p50 {p50} us  p99 {p99} us  (hedges sent {hedges_sent}, won {hedges_won})",
+        if hedge_ms == 0 {
+            "off".into()
+        } else {
+            format!("{hedge_ms} ms")
+        }
+    );
+    let report = Json::Obj(vec![
+        ("hedge_ms".into(), Json::Int(hedge_ms as i64)),
+        ("stall_ms".into(), Json::Int(RB_STALL_MS as i64)),
+        ("probes".into(), Json::Int(latencies.len() as i64)),
+        ("p50_us".into(), Json::Int(p50 as i64)),
+        ("p99_us".into(), Json::Int(p99 as i64)),
+        (
+            "max_us".into(),
+            Json::Int(latencies.last().copied().unwrap_or(0) as i64),
+        ),
+        ("hedges_sent".into(), Json::Int(hedges_sent as i64)),
+        ("hedges_won".into(), Json::Int(hedges_won as i64)),
+    ]);
+    Ok((report, p99))
+}
+
+fn run_router_bench(opts: &Options) -> ExitCode {
+    let smoke = opts.duration_ms.is_some();
+    let requests = if smoke {
+        RB_SMOKE_REQUESTS
+    } else {
+        RB_REQUESTS
+    };
+    let probes = if smoke {
+        RB_SMOKE_TAIL_PROBES
+    } else {
+        RB_TAIL_PROBES
+    };
+    let cold_requests = if smoke {
+        RB_SMOKE_COLD_REQUESTS
+    } else {
+        RB_COLD_REQUESTS
+    };
+    match router_bench_report(requests, cold_requests, probes) {
+        Ok(report) => {
+            let out = if opts.out == "BENCH_serving.json" {
+                "results/BENCH_router.json"
+            } else {
+                opts.out.as_str()
+            };
+            if let Some(parent) = Path::new(out).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+                eprintln!("router-bench: failed to write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("router-bench: wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("router-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One throughput comparison = a direct pass against one gb-serve
+/// child, then the identical workload proxied through gb-router over
+/// two upstream children (one extra hop, no re-parse).
+fn router_compare(
+    label: &str,
+    count: usize,
+    cold: bool,
+) -> Result<(RouterPass, RouterPass, f64), String> {
+    println!("router-bench: {count} {label} requests over {RB_CLIENTS} clients, direct vs proxied");
+    let direct = {
+        let mut upstream = spawn_serve_child(&[])?;
+        let pass = router_throughput(upstream.addr, count, cold)?;
+        send_shutdown(upstream.addr);
+        upstream.wait_or_kill(Duration::from_secs(3));
+        pass
+    };
+    println!(
+        "  direct:  {:>8.0} req/s  p50 {} us  p99 {} us",
+        direct.rps, direct.p50_us, direct.p99_us
+    );
+    let proxied = {
+        let a = spawn_serve_child(&[])?;
+        let b = spawn_serve_child(&[])?;
+        let mut router = spawn_router_child(&[a.addr, b.addr], 0)?;
+        let pass = router_throughput(router.addr, count, cold)?;
+        // The router forwards the shutdown to both upstreams.
+        send_shutdown(router.addr);
+        router.wait_or_kill(Duration::from_secs(3));
+        pass
+    };
+    let ratio = proxied.rps / direct.rps.max(1e-9);
+    println!(
+        "  proxied: {:>8.0} req/s  p50 {} us  p99 {} us  ({ratio:.2}x of direct)",
+        proxied.rps, proxied.p50_us, proxied.p99_us
+    );
+    Ok((direct, proxied, ratio))
+}
+
+fn router_bench_report(
+    requests: usize,
+    cold_requests: usize,
+    probes: usize,
+) -> Result<Json, String> {
+    // The hot pass isolates the per-hop cost (nearly every request is a
+    // cache hit, so proxy overhead is ALL there is to measure); it is
+    // reported, not gated. The cold pass is the acceptance comparison:
+    // requests cost real solver time, the regime the tier exists for.
+    let (hot_direct, hot_proxied, hot_ratio) = router_compare("hot-cache", requests, false)?;
+    let added = hot_proxied.p50_us.saturating_sub(hot_direct.p50_us);
+    println!("  per-request overhead at p50: +{added} us");
+    let (cold_direct, cold_proxied, cold_ratio) = router_compare("cold-miss", cold_requests, true)?;
+    if cold_ratio < 0.5 {
+        return Err(format!(
+            "proxied cold-miss throughput is {cold_ratio:.2}x of direct; \
+             the router must stay within 2x"
+        ));
+    }
+
+    // Phase 3: SIGKILL one upstream under a pinned flood.
+    println!("router-bench: failover (SIGKILL one upstream mid-flood)");
+    let failover = router_failover_phase()?;
+
+    // Phase 4: tail latency against a stalled upstream, hedging off vs on.
+    println!("router-bench: tail latency vs a {RB_STALL_MS} ms stalled upstream");
+    let (unhedged, unhedged_p99) = router_tail_phase(0, probes, 80_000_000)?;
+    let (hedged, hedged_p99) = router_tail_phase(RB_HEDGE_MS, probes, 90_000_000)?;
+    if hedged_p99 >= unhedged_p99 {
+        return Err(format!(
+            "hedging must cut tail latency: hedged p99 {hedged_p99} us >= \
+             unhedged p99 {unhedged_p99} us"
+        ));
+    }
+    println!(
+        "  hedging cut p99 {unhedged_p99} us -> {hedged_p99} us ({:.1}x)",
+        unhedged_p99 as f64 / hedged_p99.max(1) as f64
+    );
+
+    Ok(Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/bench-router/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("clients".into(), Json::Int(RB_CLIENTS as i64)),
+                ("requests".into(), Json::Int(requests as i64)),
+                ("distinct".into(), Json::Int(RB_DISTINCT as i64)),
+                ("n".into(), Json::Int(BENCH_N as i64)),
+                ("cold_requests".into(), Json::Int(cold_requests as i64)),
+                ("cold_n".into(), Json::Int(RB_COLD_N as i64)),
+                ("vnodes".into(), Json::Int(RB_VNODES as i64)),
+                ("upstreams".into(), Json::Int(2)),
+                ("upstream_workers".into(), Json::Int(4)),
+            ]),
+        ),
+        (
+            "throughput".into(),
+            Json::Obj(vec![
+                (
+                    // Cache-hit workload: isolates the per-hop proxy cost
+                    // (reported, not gated — on one core the extra hop's
+                    // context switches dominate a ~200 us request).
+                    "hot".into(),
+                    Json::Obj(vec![
+                        ("direct".into(), hot_direct.to_json()),
+                        ("proxied".into(), hot_proxied.to_json()),
+                        ("proxied_over_direct".into(), Json::Num(hot_ratio)),
+                        ("added_p50_us".into(), Json::Int(added as i64)),
+                    ]),
+                ),
+                (
+                    // Cache-miss workload: every request pays real solver
+                    // time (n = RB_COLD_N), the regime the tier serves.
+                    "cold".into(),
+                    Json::Obj(vec![
+                        ("direct".into(), cold_direct.to_json()),
+                        ("proxied".into(), cold_proxied.to_json()),
+                        ("proxied_over_direct".into(), Json::Num(cold_ratio)),
+                        ("min_ratio".into(), Json::Num(0.5)),
+                    ]),
+                ),
+            ]),
+        ),
+        ("failover".into(), failover),
+        (
+            "tail_latency".into(),
+            Json::Obj(vec![
+                ("unhedged".into(), unhedged),
+                ("hedged".into(), hedged),
+                (
+                    "p99_speedup".into(),
+                    Json::Num(unhedged_p99 as f64 / hedged_p99.max(1) as f64),
+                ),
+            ]),
+        ),
+    ]))
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
     if opts.warm_bench {
@@ -1886,6 +2564,9 @@ fn main() -> ExitCode {
     }
     if opts.shard_bench {
         return run_shard_bench(&opts);
+    }
+    if opts.router_bench {
+        return run_router_bench(&opts);
     }
     if opts.bench {
         return run_bench(&opts);
@@ -2077,6 +2758,24 @@ fn main() -> ExitCode {
         }
         Ok(other) => eprintln!("loadgen: unexpected stats reply {other:?}"),
         Err(e) => eprintln!("loadgen: stats request failed: {e}"),
+    }
+
+    // Snapshot the stats endpoint (a router's rollup included) and/or
+    // stop an external server — the CI smoke steps drive both.
+    if let Some(path) = &opts.metrics_out {
+        match fetch_stats(addr) {
+            Some(stats) => match std::fs::write(path, stats.encode_pretty() + "\n") {
+                Ok(()) => println!("loadgen: wrote {path}"),
+                Err(e) => eprintln!("loadgen: failed to write {path}: {e}"),
+            },
+            None => eprintln!("loadgen: stats snapshot for {path} failed"),
+        }
+    }
+    if opts.send_shutdown {
+        match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown)) {
+            Ok(_) => println!("loadgen: shutdown frame acknowledged"),
+            Err(e) => eprintln!("loadgen: shutdown frame failed: {e}"),
+        }
     }
 
     if let Some(server) = local_server {

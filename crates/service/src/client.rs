@@ -7,8 +7,9 @@
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use crate::cache::splitmix64;
 use crate::proto::{Request, Response, MAX_FRAME};
 
 /// Default socket timeout applied by [`Client::connect`]. A wedged or
@@ -80,5 +81,180 @@ impl Client {
         }
         Response::decode(reply.trim_end())
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reconnect backoff
+// ---------------------------------------------------------------------------
+
+/// Capped exponential backoff with deterministic equal-jitter.
+///
+/// Attempt `k` sleeps `e/2 + U[0, e/2)` where `e = min(cap, base·2^k)`
+/// and the uniform draw comes from a seeded SplitMix64 stream — so two
+/// processes hammering a refused port never sync their retries into
+/// thundering herds, yet a test can replay the exact schedule from the
+/// seed. Used by [`Client::connect_retry`] and by the `gb-router`
+/// upstream pools, which must not hot-spin on a dead backend.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Default first-retry delay.
+    pub const DEFAULT_BASE: Duration = Duration::from_millis(10);
+    /// Default delay ceiling.
+    pub const DEFAULT_CAP: Duration = Duration::from_millis(1_000);
+
+    /// A schedule starting at `base`, doubling up to `cap`, jittered
+    /// from `seed`. A zero `base` is bumped to 1 ms so the schedule
+    /// actually backs off.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            attempt: 0,
+            // Finalise the seed so consecutive seeds give unrelated
+            // streams (the raw counter would correlate low bits).
+            rng: splitmix64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The default schedule (10 ms → 1 s) jittered from `seed`.
+    pub fn with_seed(seed: u64) -> Backoff {
+        Self::new(Self::DEFAULT_BASE, Self::DEFAULT_CAP, seed)
+    }
+
+    /// Attempts made since construction or the last [`reset`](Self::reset).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in the schedule: half the exponential envelope
+    /// guaranteed, the other half uniformly jittered.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(20))
+            .min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        self.rng = splitmix64(self.rng);
+        let half = exp.as_nanos().max(2) as u64 / 2;
+        Duration::from_nanos(half + self.rng % half)
+    }
+
+    /// Restarts the schedule after a successful connect (the jitter
+    /// stream keeps advancing, so schedules stay decorrelated).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+impl Client {
+    /// Connects with retries: a refused or failing connect sleeps out
+    /// the next `backoff` delay and tries again until `overall` has
+    /// elapsed, then returns the last error. Timeouts are applied as in
+    /// [`Client::connect_timeouts`]. The backoff is borrowed so callers
+    /// keep one schedule across calls (and can observe its attempts).
+    pub fn connect_retry(
+        addr: SocketAddr,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+        overall: Duration,
+        backoff: &mut Backoff,
+    ) -> io::Result<Client> {
+        let deadline = Instant::now() + overall;
+        loop {
+            match Self::connect_timeouts(addr, read_timeout, write_timeout) {
+                Ok(client) => {
+                    backoff.reset();
+                    return Ok(client);
+                }
+                Err(e) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Err(e);
+                    }
+                    std::thread::sleep(backoff.next_delay().min(remaining));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(100);
+        let mut b = Backoff::new(base, cap, 7);
+        for attempt in 0..12u32 {
+            let exp = base.saturating_mul(1 << attempt.min(20)).min(cap);
+            let d = b.next_delay();
+            assert!(
+                d >= exp / 2 && d < exp,
+                "attempt {attempt}: {d:?} outside [{:?}, {:?})",
+                exp / 2,
+                exp
+            );
+        }
+        // Once capped, every delay stays within the cap envelope.
+        let d = b.next_delay();
+        assert!(d >= cap / 2 && d < cap);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::with_seed(seed);
+            (0..8).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43), "seeds must decorrelate");
+    }
+
+    #[test]
+    fn backoff_reset_restarts_the_envelope() {
+        let mut b = Backoff::new(Duration::from_millis(8), Duration::from_secs(1), 1);
+        for _ in 0..6 {
+            b.next_delay();
+        }
+        assert_eq!(b.attempt(), 6);
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let d = b.next_delay();
+        assert!(
+            d < Duration::from_millis(8),
+            "post-reset delay is base-sized, got {d:?}"
+        );
+    }
+
+    #[test]
+    fn connect_retry_gives_up_after_the_deadline() {
+        // A port with no listener: bind-then-drop reserves then frees it.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut backoff = Backoff::new(Duration::from_millis(2), Duration::from_millis(8), 9);
+        let started = Instant::now();
+        let err = Client::connect_retry(addr, None, None, Duration::from_millis(60), &mut backoff);
+        assert!(err.is_err());
+        assert!(
+            backoff.attempt() >= 2,
+            "must have retried, not hot-spun once"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(55),
+            "gave up before the overall deadline"
+        );
     }
 }

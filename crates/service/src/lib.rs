@@ -76,10 +76,10 @@ pub mod shed;
 pub mod spec;
 
 pub use cache::ShardedCache;
-pub use client::Client;
+pub use client::{Backoff, Client};
 pub use fault::{IoShim, Passthrough, ReadOp, ScriptedShim, WriteOp};
 pub use persist::StoreSettings;
 pub use proto::{Algorithm, ErrorCode, Request, Response};
-pub use route::Router;
+pub use route::{FailoverRing, Router};
 pub use server::{Engine, Server, ServerConfig, Tuning};
 pub use spec::ProblemSpec;

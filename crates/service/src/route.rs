@@ -83,6 +83,154 @@ impl Router {
     pub fn vnodes(&self) -> usize {
         self.vnodes
     }
+
+    /// The sorted `(position, backend_id)` vnode placements — read-only,
+    /// for tests and tooling that reason about per-vnode ownership.
+    pub fn positions(&self) -> &[(u64, u32)] {
+        &self.ring
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Failover view: a ring plus an alive mask
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring with liveness: the full membership plus an
+/// alive mask, routing over the alive subset only.
+///
+/// Built on [`Router::from_ids`]'s determinism, failover is *monotone*:
+///
+/// - [`mark_dead`](FailoverRing::mark_dead) re-homes exactly the dead
+///   backend's vnode arcs onto survivors (consistent hashing spreads
+///   them ~evenly); survivors' own assignments never move;
+/// - [`mark_alive`](FailoverRing::mark_alive) restores the exact
+///   pre-death mapping, because the ring depends only on the id set —
+///   so a backend that bounces gets all of its keys back and nothing
+///   else shuffles.
+///
+/// This is the structure the `gb-router` tier keys every request off;
+/// it is kept here next to [`Router`] so the failover contract is
+/// property-tested with the rest of the routing invariants.
+#[derive(Debug, Clone)]
+pub struct FailoverRing {
+    ids: Vec<u32>,
+    alive: Vec<bool>,
+    vnodes: usize,
+    /// Ring over the currently-alive ids; `None` when everything is dead.
+    current: Option<Router>,
+}
+
+impl FailoverRing {
+    /// A fully-alive ring over backends `0..backends`.
+    pub fn new(backends: usize, vnodes: usize) -> FailoverRing {
+        Self::from_ids((0..backends as u32).collect(), vnodes)
+    }
+
+    /// A fully-alive ring over an explicit id set.
+    pub fn from_ids(ids: Vec<u32>, vnodes: usize) -> FailoverRing {
+        let current = Some(Router::from_ids(ids.clone(), vnodes));
+        let alive = vec![true; ids.len()];
+        FailoverRing {
+            ids,
+            alive,
+            vnodes,
+            current,
+        }
+    }
+
+    fn rebuild(&mut self) {
+        let alive_ids = self.alive_ids();
+        self.current = if alive_ids.is_empty() {
+            None
+        } else {
+            Some(Router::from_ids(alive_ids, self.vnodes))
+        };
+    }
+
+    fn index_of(&self, id: u32) -> Option<usize> {
+        self.ids.iter().position(|&i| i == id)
+    }
+
+    /// Total membership (alive or not).
+    pub fn backends(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Virtual nodes per backend.
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Whether `id` is currently alive (unknown ids are dead).
+    pub fn is_alive(&self, id: u32) -> bool {
+        self.index_of(id).is_some_and(|at| self.alive[at])
+    }
+
+    /// The ids currently marked alive, in membership order.
+    pub fn alive_ids(&self) -> Vec<u32> {
+        self.ids
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &alive)| alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Number of alive backends.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Marks `id` dead, re-homing its vnode arcs onto survivors.
+    /// Returns `true` if the mask changed.
+    pub fn mark_dead(&mut self, id: u32) -> bool {
+        match self.index_of(id) {
+            Some(at) if self.alive[at] => {
+                self.alive[at] = false;
+                self.rebuild();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `id` alive again, restoring its exact pre-death
+    /// assignments. Returns `true` if the mask changed.
+    pub fn mark_alive(&mut self, id: u32) -> bool {
+        match self.index_of(id) {
+            Some(at) if !self.alive[at] => {
+                self.alive[at] = true;
+                self.rebuild();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The alive backend owning `hash`, or `None` when every backend is
+    /// dead.
+    pub fn route(&self, hash: u64) -> Option<u32> {
+        self.current.as_ref().map(|r| r.route(hash))
+    }
+
+    /// The backend that would own `hash` if every id in `exclude` were
+    /// also dead — the hedge/failover target: guaranteed alive and not
+    /// excluded, or `None` when no such backend exists. `exclude`
+    /// empty is exactly [`route`](FailoverRing::route).
+    pub fn route_excluding(&self, hash: u64, exclude: &[u32]) -> Option<u32> {
+        if exclude.is_empty() {
+            return self.route(hash);
+        }
+        let rest: Vec<u32> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|id| !exclude.contains(id))
+            .collect();
+        if rest.is_empty() {
+            return None;
+        }
+        Some(Router::from_ids(rest, self.vnodes).route(hash))
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +286,64 @@ mod tests {
     #[should_panic(expected = "at least one backend")]
     fn zero_backends_panics() {
         let _ = Router::new(0, 8);
+    }
+
+    #[test]
+    fn failover_moves_only_the_dead_backends_keys() {
+        let mut ring = FailoverRing::new(4, 64);
+        let full = Router::new(4, 64);
+        assert!(ring.mark_dead(2));
+        assert!(!ring.mark_dead(2), "second mark is a no-op");
+        for k in (0..10_000u64).map(splitmix64) {
+            let before = full.route(k);
+            let after = ring.route(k).expect("survivors remain");
+            assert_ne!(after, 2, "routed to a dead backend");
+            if before != 2 {
+                assert_eq!(before, after, "a survivor's key moved");
+            }
+        }
+    }
+
+    #[test]
+    fn revival_restores_the_exact_mapping() {
+        let mut ring = FailoverRing::new(5, 48);
+        let keys: Vec<u64> = (0..5_000u64).map(splitmix64).collect();
+        let before: Vec<_> = keys.iter().map(|&k| ring.route(k)).collect();
+        assert!(ring.mark_dead(1));
+        assert!(ring.mark_dead(3));
+        assert!(ring.mark_alive(3));
+        assert!(ring.mark_alive(1));
+        let after: Vec<_> = keys.iter().map(|&k| ring.route(k)).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn all_dead_routes_to_none_and_revives() {
+        let mut ring = FailoverRing::new(2, 16);
+        assert!(ring.mark_dead(0));
+        assert!(ring.mark_dead(1));
+        assert_eq!(ring.alive_count(), 0);
+        assert_eq!(ring.route(42), None);
+        assert!(ring.mark_alive(0));
+        assert_eq!(ring.route(42), Some(0));
+    }
+
+    #[test]
+    fn route_excluding_skips_the_primary() {
+        let mut ring = FailoverRing::new(3, 32);
+        for k in (0..2_000u64).map(splitmix64) {
+            let primary = ring.route(k).unwrap();
+            assert_eq!(ring.route_excluding(k, &[]), Some(primary));
+            let hedge = ring.route_excluding(k, &[primary]).unwrap();
+            assert_ne!(primary, hedge);
+            assert!(ring.route_excluding(k, &[0, 1, 2]).is_none());
+        }
+        // With one survivor there is no hedge target.
+        ring.mark_dead(1);
+        ring.mark_dead(2);
+        assert_eq!(ring.route_excluding(7, &[0]), None);
+        // Unknown ids are reported dead, known-alive ones alive.
+        assert!(ring.is_alive(0));
+        assert!(!ring.is_alive(9));
     }
 }

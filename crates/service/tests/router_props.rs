@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use gb_service::cache::CacheKey;
 use gb_service::persist::{decode_key, encode_key};
 use gb_service::proto::Algorithm;
-use gb_service::route::Router;
+use gb_service::route::{FailoverRing, Router};
 
 /// Uniform key-hash samples (the router sees `CacheKey::mix()` outputs,
 /// which are SplitMix64-finalised, so uniform u64s model them exactly).
@@ -92,6 +92,97 @@ proptest! {
                     "a surviving backend's key moved when another was removed"
                 );
             }
+        }
+    }
+
+    /// The failover contract `gb-router` keys every request off:
+    /// marking one backend dead re-homes ONLY that backend's keys —
+    /// nothing routes to the dead id, and every survivor keeps exactly
+    /// the keys it had on the full ring.
+    #[test]
+    fn failover_moves_only_the_dead_backends_keys(
+        backends in 2usize..8,
+        dead in 0usize..8,
+        vnodes in 32usize..128,
+        keys in hashes(),
+    ) {
+        let dead = (dead % backends) as u32;
+        let full = Router::new(backends, vnodes);
+        let mut ring = FailoverRing::new(backends, vnodes);
+        prop_assert!(ring.mark_dead(dead));
+        prop_assert!(!ring.mark_dead(dead), "second mark must be a no-op");
+        for &hash in &keys {
+            let before = full.route(hash);
+            let after = ring.route(hash).expect("survivors remain");
+            prop_assert!(after != dead, "routed to a dead backend");
+            if before != dead {
+                prop_assert_eq!(
+                    before, after,
+                    "a survivor's key moved when another backend died"
+                );
+            }
+        }
+    }
+
+    /// Failover is monotone: any sequence of deaths, fully undone in
+    /// any order, restores the exact pre-death mapping — a bounced
+    /// backend gets all of its keys back and nothing else shuffles.
+    #[test]
+    fn revival_restores_the_exact_predeath_mapping(
+        backends in 2usize..8,
+        kill_mask in 0u8..255,
+        reverse_revival in any::<bool>(),
+        vnodes in 32usize..96,
+        keys in hashes(),
+    ) {
+        let mut ring = FailoverRing::new(backends, vnodes);
+        let before: Vec<_> = keys.iter().map(|&k| ring.route(k)).collect();
+        // Kill the masked subset (never all of them), then revive in
+        // forward or reverse order — the end state must not depend on
+        // the order deaths and revivals interleaved.
+        let mut killed: Vec<u32> = (0..backends as u32)
+            .filter(|&id| kill_mask & (1 << id) != 0)
+            .collect();
+        if killed.len() == backends {
+            killed.pop();
+        }
+        for &id in &killed {
+            prop_assert!(ring.mark_dead(id));
+        }
+        // While down, nothing routes to a dead backend.
+        for &hash in &keys {
+            let owner = ring.route(hash).expect("survivors remain");
+            prop_assert!(!killed.contains(&owner));
+        }
+        if reverse_revival {
+            killed.reverse();
+        }
+        for &id in &killed {
+            prop_assert!(ring.mark_alive(id));
+        }
+        let after: Vec<_> = keys.iter().map(|&k| ring.route(k)).collect();
+        prop_assert_eq!(before, after, "revival must restore the exact mapping");
+    }
+
+    /// The hedge target is always alive, never the primary, and agrees
+    /// with the ring that would exist if the excluded set were dead —
+    /// so a hedged request lands exactly where failover would send it.
+    #[test]
+    fn hedge_target_matches_the_failover_ring(
+        backends in 2usize..8,
+        vnodes in 32usize..96,
+        keys in hashes(),
+    ) {
+        let ring = FailoverRing::new(backends, vnodes);
+        for &hash in keys.iter().take(128) {
+            let primary = ring.route(hash).expect("all alive");
+            let hedge = ring
+                .route_excluding(hash, &[primary])
+                .expect("backends >= 2");
+            prop_assert!(hedge != primary, "hedge must avoid the primary");
+            let mut without = FailoverRing::new(backends, vnodes);
+            prop_assert!(without.mark_dead(primary));
+            prop_assert_eq!(without.route(hash), Some(hedge));
         }
     }
 

@@ -688,3 +688,316 @@ fn read_wouldblock_storm_connection_survives() {
         h.shutdown();
     });
 }
+
+// ---------------------------------------------------------------------------
+// Router-tier scenarios. These run real `gb-serve` child processes behind
+// an in-process `gb-router`, SIGKILL one of them, and hold the router to
+// the same never-wedge contract as the in-process matrix above: bounded
+// client-visible losses, the dead backend's vnodes re-homed onto the
+// survivor within the health-check interval, and the exact pre-death
+// mapping restored when the backend comes back on the same port.
+// ---------------------------------------------------------------------------
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::AtomicBool;
+
+use gb_router::{RouterConfig, RouterServer};
+use gb_service::cache::CacheKey;
+use gb_service::route::Router;
+
+const ROUTER_VNODES: usize = 32;
+
+/// The routing key `gb-router` derives for [`balance_request`]`(seed, _)`.
+fn router_key(seed: u64) -> u64 {
+    let spec = ProblemSpec::Synthetic {
+        weight: 1.0,
+        lo: 0.25,
+        hi: 0.5,
+        seed,
+    };
+    CacheKey::new(spec.fingerprint(), Algorithm::Hf, 16, 1.0).mix()
+}
+
+/// Cold seeds >= `base` whose keys the full two-upstream ring pins to
+/// `owner` — a hot class aimed entirely at one backend.
+fn seeds_pinned_to(owner: u32, base: u64, count: usize) -> Vec<u64> {
+    let ring = Router::new(2, ROUTER_VNODES);
+    (base..)
+        .filter(|&s| ring.route(router_key(s)) == owner)
+        .take(count)
+        .collect()
+}
+
+/// Locates the `gb-serve` binary as a sibling of this test binary
+/// (`target/<profile>/gb-serve`), building it on demand if a bare
+/// `cargo test --test service_faults` got here before the bins.
+fn gb_serve_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let dir = exe
+        .parent()
+        .and_then(|deps| deps.parent())
+        .expect("test binary lives under a target dir");
+    let bin = dir.join(format!("gb-serve{}", std::env::consts::EXE_SUFFIX));
+    if !bin.exists() {
+        let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+        let mut args = vec!["build", "-p", "gb-service", "--bin", "gb-serve"];
+        if !cfg!(debug_assertions) {
+            args.push("--release");
+        }
+        let status = Command::new(cargo)
+            .args(&args)
+            .status()
+            .expect("run cargo build for gb-serve");
+        assert!(status.success(), "building gb-serve failed");
+    }
+    assert!(bin.exists(), "gb-serve missing at {}", bin.display());
+    bin
+}
+
+/// A real `gb-serve` child process; SIGKILLed on drop.
+struct ServeChild {
+    child: Child,
+    addr: SocketAddr,
+    // Keeps the stdout pipe readable so the child's shutdown println can
+    // never hit a closed fd.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+impl ServeChild {
+    fn spawn(addr: &str, extra: &[&str]) -> ServeChild {
+        let mut child = Command::new(gb_serve_binary())
+            .args(["--addr", addr, "--workers", "2", "--pool-threads", "2"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn gb-serve");
+        let mut stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read gb-serve banner");
+        // "gb-serve listening on HOST:PORT (<engine> engine)"
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("unexpected gb-serve banner {line:?}"));
+        ServeChild {
+            child,
+            addr,
+            _stdout: stdout,
+        }
+    }
+
+    /// SIGKILL — no drain, no goodbye; the hard-crash case.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn router_over(upstreams: Vec<SocketAddr>, tweak: impl FnOnce(&mut RouterConfig)) -> RouterServer {
+    let mut config = RouterConfig {
+        upstreams,
+        vnodes: ROUTER_VNODES,
+        health_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(250),
+        fail_threshold: 2,
+        reply_timeout: Duration::from_secs(3),
+        poll_interval: Duration::from_millis(20),
+        forward_shutdown: false,
+        ..RouterConfig::default()
+    };
+    tweak(&mut config);
+    RouterServer::start(config).expect("router start")
+}
+
+fn await_router_alive(router: &RouterServer, want: &[u32], budget: Duration) {
+    let deadline = Instant::now() + budget;
+    loop {
+        if router.alive_ids() == want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "alive set never became {want:?}, still {:?}",
+            router.alive_ids()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Scenario 15: SIGKILL a backend in the middle of a pinned hot-class
+/// flood through the router. Client-visible losses stay bounded by the
+/// flood's concurrency (in-request failover retries everything that
+/// fails cleanly), the victim's vnodes re-home to the survivor within
+/// the health-check interval, the router's gauges drain, and reviving
+/// the victim on the same port re-homes its keys back.
+#[test]
+fn router_kill_mid_flood_rehomes_and_never_wedges() {
+    const FLOOD_THREADS: usize = 3;
+    let survivor = ServeChild::spawn("127.0.0.1:0", &[]);
+    let mut victim = ServeChild::spawn("127.0.0.1:0", &[]);
+    let victim_addr = victim.addr;
+    let router = router_over(vec![survivor.addr, victim.addr], |_| {});
+    let router_addr = router.local_addr();
+
+    // The victim is upstream id 1; pin the whole flood onto it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let oks = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let mut floods = Vec::new();
+    for t in 0..FLOOD_THREADS {
+        let seeds = seeds_pinned_to(1, 5_000_000 + t as u64 * 100_000, 2_000);
+        let (stop, oks, errors) = (stop.clone(), oks.clone(), errors.clone());
+        floods.push(std::thread::spawn(move || {
+            let mut client = Client::connect(router_addr).expect("flood connect");
+            for seed in seeds {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                match client.call(&balance_request(seed, None)) {
+                    Ok(Response::Ok(_)) => {
+                        oks.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) | Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        // The connection may have died with the request;
+                        // reconnect and keep flooding.
+                        if let Ok(fresh) = Client::connect(router_addr) {
+                            client = fresh;
+                        }
+                    }
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(oks.load(Ordering::Relaxed) > 0, "flood never got going");
+    victim.kill();
+    std::thread::sleep(Duration::from_millis(600));
+    stop.store(true, Ordering::Relaxed);
+    for flood in floods {
+        flood.join().expect("flood thread");
+    }
+
+    let (ok_count, err_count) = (oks.load(Ordering::Relaxed), errors.load(Ordering::Relaxed));
+    // In-request failover retries every cleanly-failed attempt on the
+    // survivor, so only requests racing the SIGKILL itself may surface —
+    // a bound on the flood's concurrency, not its volume.
+    assert!(
+        err_count <= 2 * FLOOD_THREADS as u64,
+        "lost {err_count} requests (completed {ok_count}); losses must be bounded by in-flight"
+    );
+    assert!(
+        ok_count >= 50,
+        "only {ok_count} requests completed across the kill"
+    );
+
+    await_router_alive(&router, &[0], Duration::from_secs(5));
+    let (failovers, _) = router.failover_counters();
+    assert!(failovers >= 1, "prober never declared the victim dead");
+
+    // Post-failover: the victim's whole key class answers from the
+    // survivor.
+    let mut client = Client::connect(router_addr).expect("post-failover connect");
+    for seed in seeds_pinned_to(1, 9_000_000, 12) {
+        match client
+            .call(&balance_request(seed, None))
+            .expect("post-failover call")
+        {
+            Response::Ok(ok) => assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound),
+            other => panic!("post-failover got {other:?}"),
+        }
+    }
+
+    // Never-wedge: the router's own in-flight gauges drain and the
+    // rollup reflects exactly one alive upstream.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = router.stats_json();
+        let alive = stats
+            .get("router")
+            .and_then(|r| r.get("alive"))
+            .and_then(|v| v.as_u64());
+        let inflight: u64 = match stats.get("upstreams") {
+            Some(Json::Arr(list)) => list
+                .iter()
+                .map(|u| u.get("inflight").and_then(|v| v.as_u64()).unwrap_or(0))
+                .sum(),
+            _ => u64::MAX,
+        };
+        if alive == Some(1) && inflight == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router gauges never drained: alive {alive:?}, inflight {inflight}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Revive the victim on the exact same port: the prober re-homes its
+    // vnodes back and its key class keeps answering.
+    let revived = ServeChild::spawn(&victim_addr.to_string(), &[]);
+    await_router_alive(&router, &[0, 1], Duration::from_secs(5));
+    let (_, recoveries) = router.failover_counters();
+    assert!(recoveries >= 1, "revival never counted as a recovery");
+    for seed in seeds_pinned_to(1, 9_500_000, 8) {
+        match client
+            .call(&balance_request(seed, None))
+            .expect("post-recovery call")
+        {
+            Response::Ok(_) => {}
+            other => panic!("post-recovery got {other:?}"),
+        }
+    }
+
+    router.shutdown();
+    drop(revived);
+    drop(survivor);
+}
+
+/// Scenario 16: the SIGKILL lands while a request is mid-flight on a
+/// deliberately slow backend. The router sees the connection die,
+/// retries on the survivor inside the same request, and the client gets
+/// its answer — zero visible loss even for the in-flight case.
+#[test]
+fn router_answers_the_request_in_flight_at_the_kill() {
+    let survivor = ServeChild::spawn("127.0.0.1:0", &[]);
+    let mut victim = ServeChild::spawn("127.0.0.1:0", &["--stall-ms", "400"]);
+    let router = router_over(vec![survivor.addr, victim.addr], |c| {
+        c.reply_timeout = Duration::from_secs(5);
+        c.fail_threshold = 3;
+    });
+    let router_addr = router.local_addr();
+
+    // One victim-owned request; the 400 ms worker stall guarantees it is
+    // still in flight when the SIGKILL lands ~100 ms in.
+    let seed = seeds_pinned_to(1, 6_000_000, 1)[0];
+    let call = std::thread::spawn(move || {
+        let mut client = Client::connect(router_addr).expect("connect");
+        let started = Instant::now();
+        (client.call(&balance_request(seed, None)), started.elapsed())
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    victim.kill();
+    let (reply, elapsed) = call.join().expect("call thread");
+    match reply.expect("the in-flight call must not error") {
+        Response::Ok(ok) => assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound),
+        other => panic!("in-flight request got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "answered by in-request retry, not by timeout ({elapsed:?})"
+    );
+    router.shutdown();
+}
