@@ -3,8 +3,8 @@
 //! ```text
 //! gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q]
 //!          [--cache-cap C] [--pool-threads T]
-//!          [--engine event|threaded] [--io-threads I]
-//!          [--cache-shards S] [--admission on|off]
+//!          [--engine event|epoll|threaded] [--io-threads I]
+//!          [--max-conns N] [--cache-shards S] [--admission on|off]
 //!          [--backends N] [--backend-vnodes V]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
 //!          [--write-stall-ms MS] [--stall-ms MS]
@@ -14,6 +14,13 @@
 //!
 //! Prints the bound address on stdout (useful with `--addr 127.0.0.1:0`)
 //! and serves until a client sends a `shutdown` frame.
+//!
+//! `--engine epoll` (Linux only) swaps the sweep-everything event
+//! pollers for `epoll_wait` readiness: idle connections cost nothing,
+//! so tens of thousands of mostly-idle peers leave the pollers near
+//! 0% CPU. `--max-conns N` caps live connections; peers past the cap
+//! get a best-effort `overloaded` reply and an immediate close instead
+//! of driving the process into fd exhaustion.
 //!
 //! `--backends N` shards the server into N independent backend pools
 //! behind a consistent-hash router: each backend owns its queue, worker
@@ -42,8 +49,8 @@ use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 fn usage() -> ! {
     eprintln!(
         "usage: gb-serve [--addr HOST:PORT] [--workers K] [--queue-cap Q] \
-         [--cache-cap C] [--pool-threads T] [--engine event|threaded] \
-         [--io-threads I] [--cache-shards S] [--admission on|off] \
+         [--cache-cap C] [--pool-threads T] [--engine event|epoll|threaded] \
+         [--io-threads I] [--max-conns N] [--cache-shards S] [--admission on|off] \
          [--backends N] [--backend-vnodes V] \
          [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS] \
          [--stall-ms MS] \
@@ -82,13 +89,15 @@ fn parse_args() -> (ServerConfig, Tuning) {
             "--engine" => {
                 tuning.engine = match value("--engine").as_str() {
                     "event" => Engine::Event,
+                    "epoll" => Engine::Epoll,
                     "threaded" => Engine::Threaded,
                     other => {
-                        eprintln!("--engine expects event|threaded, got {other:?}");
+                        eprintln!("--engine expects event|epoll|threaded, got {other:?}");
                         usage()
                     }
                 }
             }
+            "--max-conns" => tuning.max_conns = parse_usize(&value("--max-conns"), "--max-conns"),
             "--io-threads" => {
                 tuning.io_threads = parse_usize(&value("--io-threads"), "--io-threads")
             }

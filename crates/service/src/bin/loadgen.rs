@@ -12,6 +12,7 @@
 //! loadgen --warm-bench [--distinct D] [--out FILE]
 //! loadgen --shard-bench [--duration-ms MS] [--out FILE]
 //! loadgen --router-bench [--duration-ms MS] [--out FILE]
+//! loadgen --soak [--conns N] [--active K] [--duration-ms MS] [--out FILE]
 //! ```
 //!
 //! Without `--addr` an in-process server is spawned on an ephemeral port
@@ -82,6 +83,16 @@
 //! stops the server via a `shutdown` frame — together they let CI drive
 //! an external server end to end and keep the evidence.
 //!
+//! `--soak` runs the committed connection-scaling experiment and writes
+//! `results/BENCH_soak.json`: `--conns` mostly-idle connections (default
+//! 10000) with an `--active` minority (default 1%) sending paced
+//! cache-hit requests, held for `--duration-ms` against a real
+//! `gb-serve` child per engine — the sweep (event) engine first as the
+//! baseline, then epoll. Poller CPU comes from the child's
+//! `/proc/<pid>/task/*/stat` deltas over the window. The run fails
+//! unless the epoll pollers burn at most 0.2x the sweep pollers' CPU
+//! and the active p99 stays within 1.2x of the sweep engine's.
+//!
 //! `--shard-bench` runs the committed hot-class isolation experiment and
 //! writes `BENCH_sharding.json`: a hot problem class floods the one
 //! backend that owns it while a victim class (keys owned by the *other*
@@ -131,6 +142,9 @@ struct Options {
     warm_bench: bool,
     shard_bench: bool,
     router_bench: bool,
+    soak: bool,
+    conns: usize,
+    active: usize,
     min_warm_rate: f64,
     metrics_out: Option<String>,
     backends: usize,
@@ -163,6 +177,9 @@ impl Default for Options {
             warm_bench: false,
             shard_bench: false,
             router_bench: false,
+            soak: false,
+            conns: 10_000,
+            active: 0,
             min_warm_rate: 0.9,
             metrics_out: None,
             backends: 0,
@@ -186,7 +203,8 @@ fn usage() -> ! {
          [--metrics-out FILE] [--shutdown]\n\
          \x20      loadgen --warm-bench [--distinct D] [--out FILE]\n\
          \x20      loadgen --shard-bench [--duration-ms MS] [--out FILE]\n\
-         \x20      loadgen --router-bench [--duration-ms MS] [--out FILE]"
+         \x20      loadgen --router-bench [--duration-ms MS] [--out FILE]\n\
+         \x20      loadgen --soak [--conns N] [--active K] [--duration-ms MS] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -255,6 +273,9 @@ fn parse_args() -> Options {
             "--warm-bench" => opts.warm_bench = true,
             "--shard-bench" => opts.shard_bench = true,
             "--router-bench" => opts.router_bench = true,
+            "--soak" => opts.soak = true,
+            "--conns" => opts.conns = parse_usize(&value("--conns"), "--conns").max(1),
+            "--active" => opts.active = parse_usize(&value("--active"), "--active"),
             "--backends" => opts.backends = parse_usize(&value("--backends"), "--backends"),
             "--backend-vnodes" => {
                 opts.backend_vnodes = parse_usize(&value("--backend-vnodes"), "--backend-vnodes")
@@ -563,7 +584,10 @@ fn throughput_phase(
             admission: false,
             ..Tuning::default()
         },
-        Engine::Event => Tuning::default(),
+        Engine::Event | Engine::Epoll => Tuning {
+            engine,
+            ..Tuning::default()
+        },
     });
     let server = Server::start_tuned(
         ServerConfig {
@@ -1990,6 +2014,11 @@ impl ChildProc {
         })
     }
 
+    /// The child's OS pid (for /proc CPU accounting).
+    fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
     /// SIGKILL — the hard-crash case.
     fn kill(&mut self) {
         let _ = self.child.kill();
@@ -2557,8 +2586,268 @@ fn router_bench_report(
     ]))
 }
 
+// ---------------------------------------------------------------------------
+// --soak: the mostly-idle connection-scaling experiment behind
+// results/BENCH_soak.json
+// ---------------------------------------------------------------------------
+
+/// Measurement window when no `--duration-ms` cap is set.
+const SOAK_WINDOW_MS: u64 = 10_000;
+/// Interval between requests on each active connection: slow enough
+/// that the herd stays >99% idle, fast enough for a real p99 sample.
+const SOAK_PACE: Duration = Duration::from_millis(100);
+/// Gates: over the window the epoll pollers must burn at most this
+/// fraction of the sweep pollers' CPU, without giving back active-path
+/// latency.
+const SOAK_MAX_CPU_RATIO: f64 = 0.2;
+const SOAK_MAX_P99_RATIO: f64 = 1.2;
+
+struct SoakPhase {
+    engine: &'static str,
+    io_cpu_s: f64,
+    io_cpu_frac: f64,
+    window_s: f64,
+    requests: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    open_conns: u64,
+    accept_errors: u64,
+}
+
+impl SoakPhase {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("engine".into(), Json::Str(self.engine.into())),
+            ("io_cpu_s".into(), Json::Num(self.io_cpu_s)),
+            ("io_cpu_frac".into(), Json::Num(self.io_cpu_frac)),
+            ("window_s".into(), Json::Num(self.window_s)),
+            ("requests".into(), Json::Int(self.requests as i64)),
+            ("p50_us".into(), Json::Int(self.p50_us as i64)),
+            ("p95_us".into(), Json::Int(self.p95_us as i64)),
+            ("p99_us".into(), Json::Int(self.p99_us as i64)),
+            ("open_conns".into(), Json::Int(self.open_conns as i64)),
+            ("accept_errors".into(), Json::Int(self.accept_errors as i64)),
+        ])
+    }
+}
+
+/// Connects with retries: a mass connect can transiently overflow the
+/// listener backlog while the accepting poller catches up.
+fn soak_connect(addr: std::net::SocketAddr) -> std::io::Result<TcpStream> {
+    let mut delay = Duration::from_millis(1);
+    for _ in 0..60 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(_) => {
+                thread::sleep(delay);
+                delay = (delay * 2).min(Duration::from_millis(100));
+            }
+        }
+    }
+    TcpStream::connect(addr)
+}
+
+/// One engine's soak: a real `gb-serve` child (its own fd budget), a
+/// herd of idle connections, an active minority paced at
+/// [`SOAK_PACE`], and the io-poller CPU delta over the window.
+fn soak_phase(
+    engine: &'static str,
+    conns: usize,
+    active: usize,
+    window: Duration,
+) -> Result<SoakPhase, String> {
+    let mut server = spawn_serve_child(&["--engine", engine, "--io-threads", "1"])?;
+    let addr = server.addr;
+    let pid = server.pid();
+
+    // Warm the one hot key so active requests measure wakeup-to-reply
+    // latency, not solver time.
+    Client::connect(addr)
+        .and_then(|mut c| c.call(&bench_request(0, 0)))
+        .map_err(|e| format!("soak[{engine}]: warm: {e}"))?;
+
+    println!("soak[{engine}]: opening {conns} connections ({active} active)");
+    let idle_count = conns.saturating_sub(active);
+    let mut idle: Vec<TcpStream> = Vec::with_capacity(idle_count);
+    for i in 0..idle_count {
+        idle.push(soak_connect(addr).map_err(|e| format!("soak[{engine}]: conn {i}: {e}"))?);
+    }
+    let open_conns = fetch_stats(addr)
+        .and_then(|s| s.get("connections")?.get("open")?.as_u64())
+        .unwrap_or(0);
+
+    // The active minority: one paced client per connection. CPU is
+    // sampled strictly inside the driving interval, after a settle.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drivers: Vec<_> = (0..active)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("active {i}: connect: {e}"))?;
+                let mut latencies = Vec::new();
+                let mut id = (i as u64) << 32;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    client
+                        .call(&bench_request(id, 0))
+                        .map_err(|e| format!("active {i}: call: {e}"))?;
+                    latencies.push(t.elapsed().as_micros() as u64);
+                    id += 1;
+                    thread::sleep(SOAK_PACE);
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+
+    thread::sleep(Duration::from_millis(500));
+    let cpu0 = gb_sys::thread_cpu_seconds(pid, "gb-serve-io-")
+        .map_err(|e| format!("soak[{engine}]: cpu sample: {e}"))?;
+    let t0 = Instant::now();
+    thread::sleep(window);
+    let window_s = t0.elapsed().as_secs_f64();
+    let cpu1 = gb_sys::thread_cpu_seconds(pid, "gb-serve-io-")
+        .map_err(|e| format!("soak[{engine}]: cpu sample: {e}"))?;
+
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies: Vec<u64> = Vec::new();
+    for driver in drivers {
+        latencies.extend(driver.join().map_err(|_| "active client panicked")??);
+    }
+    latencies.sort_unstable();
+
+    let accept_errors = fetch_stats(addr)
+        .and_then(|s| s.get("faults")?.get("accept_errors")?.as_u64())
+        .unwrap_or(0);
+
+    // Close the herd before asking for shutdown so the drain is instant.
+    drop(idle);
+    send_shutdown(addr);
+    server.wait_or_kill(Duration::from_secs(5));
+
+    let io_cpu_s = (cpu1 - cpu0).max(0.0);
+    let phase = SoakPhase {
+        engine,
+        io_cpu_s,
+        io_cpu_frac: io_cpu_s / window_s.max(1e-9),
+        window_s,
+        requests: latencies.len() as u64,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        open_conns,
+        accept_errors,
+    };
+    println!(
+        "soak[{engine}]: io cpu {:.3}s over {:.1}s ({:.1}% of a core), \
+         {} requests, p50 {} us, p99 {} us",
+        phase.io_cpu_s,
+        phase.window_s,
+        phase.io_cpu_frac * 100.0,
+        phase.requests,
+        phase.p50_us,
+        phase.p99_us
+    );
+    Ok(phase)
+}
+
+fn run_soak(opts: &Options) -> ExitCode {
+    let conns = opts.conns;
+    let active = if opts.active > 0 {
+        opts.active
+    } else {
+        (conns / 100).max(1)
+    };
+    let window = Duration::from_millis(opts.duration_ms.unwrap_or(SOAK_WINDOW_MS));
+    // Client-side fd headroom for the herd (best-effort: the child
+    // server raises its own limit the same way).
+    let _ = gb_sys::raise_nofile_limit(conns as u64 + 4096);
+
+    let sweep = match soak_phase("event", conns, active, window) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let epoll = match soak_phase("epoll", conns, active, window) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cpu_ratio = epoll.io_cpu_s / sweep.io_cpu_s.max(1e-9);
+    let p99_ratio = epoll.p99_us as f64 / (sweep.p99_us as f64).max(1.0);
+    let pass = cpu_ratio <= SOAK_MAX_CPU_RATIO && p99_ratio <= SOAK_MAX_P99_RATIO;
+    let report = Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/bench-soak/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("conns".into(), Json::Int(conns as i64)),
+                ("active".into(), Json::Int(active as i64)),
+                ("window_ms".into(), Json::Int(window.as_millis() as i64)),
+                ("pace_ms".into(), Json::Int(SOAK_PACE.as_millis() as i64)),
+                ("io_threads".into(), Json::Int(1)),
+                ("upstream_workers".into(), Json::Int(4)),
+            ]),
+        ),
+        ("sweep".into(), sweep.to_json()),
+        ("epoll".into(), epoll.to_json()),
+        (
+            "assertion".into(),
+            Json::Obj(vec![
+                ("cpu_ratio".into(), Json::Num(cpu_ratio)),
+                ("max_cpu_ratio".into(), Json::Num(SOAK_MAX_CPU_RATIO)),
+                ("p99_ratio".into(), Json::Num(p99_ratio)),
+                ("max_p99_ratio".into(), Json::Num(SOAK_MAX_P99_RATIO)),
+                ("pass".into(), Json::Bool(pass)),
+            ]),
+        ),
+    ]);
+
+    let out = if opts.out == "BENCH_serving.json" {
+        "results/BENCH_soak.json"
+    } else {
+        opts.out.as_str()
+    };
+    if let Some(parent) = Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+        eprintln!("soak: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("soak: wrote {out}");
+    if pass {
+        println!(
+            "soak: epoll io cpu is {cpu_ratio:.3}x of sweep (max {SOAK_MAX_CPU_RATIO}), \
+             active p99 {p99_ratio:.2}x (max {SOAK_MAX_P99_RATIO})"
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "soak: FAILED — epoll io cpu {cpu_ratio:.3}x of sweep (max {SOAK_MAX_CPU_RATIO}), \
+             active p99 {p99_ratio:.2}x (max {SOAK_MAX_P99_RATIO})"
+        );
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let opts = Arc::new(parse_args());
+    if opts.soak {
+        return run_soak(&opts);
+    }
     if opts.warm_bench {
         return run_warm_bench(&opts);
     }

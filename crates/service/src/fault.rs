@@ -32,6 +32,15 @@ pub trait IoShim: Send + Sync {
         true
     }
 
+    /// Called before each `accept()` attempt on the listener. Returning
+    /// `Err(e)` makes the accept loop treat the attempt as having
+    /// failed with `e` — e.g. the `EMFILE` shape of fd exhaustion —
+    /// without touching the real listener, so tests can starve the
+    /// accept path while existing connections keep running clean.
+    fn accept_result(&self) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Wraps every socket read.
     fn read(&self, _conn_id: u64, inner: &mut dyn Read, buf: &mut [u8]) -> io::Result<usize> {
         inner.read(buf)
@@ -168,6 +177,9 @@ struct ScriptState {
     reset_accept: Vec<u64>,
     /// Injected pre-execute stall for every job, while set.
     stall: Option<Duration>,
+    /// While set, every `accept()` attempt fails with this raw errno
+    /// (the fd-exhaustion script).
+    fail_accepts: Option<i32>,
 }
 
 /// An [`IoShim`] driven by a per-connection script.
@@ -213,6 +225,18 @@ impl ScriptedShim {
         self.state.lock().unwrap().stall = None;
     }
 
+    /// Makes every subsequent `accept()` attempt fail with `errno`
+    /// (24 = `EMFILE`, the per-process fd limit) until cleared. Models
+    /// fd exhaustion without actually exhausting the test process.
+    pub fn fail_accepts(&self, errno: i32) {
+        self.state.lock().unwrap().fail_accepts = Some(errno);
+    }
+
+    /// Lets accepts through again — fds "freed".
+    pub fn clear_accept_failures(&self) {
+        self.state.lock().unwrap().fail_accepts = None;
+    }
+
     /// Total shimmed write calls observed (all connections).
     pub fn write_calls(&self) -> u64 {
         self.write_calls.load(Ordering::Relaxed)
@@ -222,6 +246,13 @@ impl ScriptedShim {
 impl IoShim for ScriptedShim {
     fn allow_accept(&self, conn_id: u64) -> bool {
         !self.state.lock().unwrap().reset_accept.contains(&conn_id)
+    }
+
+    fn accept_result(&self) -> io::Result<()> {
+        match self.state.lock().unwrap().fail_accepts {
+            Some(errno) => Err(io::Error::from_raw_os_error(errno)),
+            None => Ok(()),
+        }
     }
 
     fn read(&self, conn_id: u64, inner: &mut dyn Read, buf: &mut [u8]) -> io::Result<usize> {

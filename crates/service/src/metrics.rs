@@ -137,6 +137,13 @@ pub struct ServiceMetrics {
     /// Finished responses that could not be delivered — the connection
     /// was dead or another thread had already answered for it.
     reply_dropped: AtomicU64,
+    /// `accept()` failures other than WouldBlock/Interrupted — fd
+    /// exhaustion (`EMFILE`/`ENFILE`) and kindred resource errors. Each
+    /// one also backs the accept loop off for a poll interval.
+    accept_errors: AtomicU64,
+    /// Connections refused at accept because the `--max-conns` cap was
+    /// reached; each got a best-effort `overloaded` reply before close.
+    accept_shed: AtomicU64,
     /// Latency over all balance requests (receipt → response ready).
     latency: Histogram,
     /// Latency split per algorithm.
@@ -156,6 +163,8 @@ impl ServiceMetrics {
             conn_reset: AtomicU64::new(0),
             torn_frame: AtomicU64::new(0),
             reply_dropped: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
+            accept_shed: AtomicU64::new(0),
             latency: Histogram::new(),
             latency_by_algorithm: std::array::from_fn(|_| Histogram::new()),
         }
@@ -224,6 +233,27 @@ impl ServiceMetrics {
     /// Undeliverable responses so far.
     pub fn reply_dropped_count(&self) -> u64 {
         self.reply_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records an `accept()` failure that was neither WouldBlock nor
+    /// Interrupted (fd exhaustion and other resource errors).
+    pub fn record_accept_error(&self) {
+        self.accept_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failed accepts so far.
+    pub fn accept_error_count(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Records a connection shed at accept by the `--max-conns` cap.
+    pub fn record_accept_shed(&self) {
+        self.accept_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cap-shed accepts so far.
+    pub fn accept_shed_count(&self) -> u64 {
+        self.accept_shed.load(Ordering::Relaxed)
     }
 
     /// Seconds since the server started.
@@ -331,6 +361,14 @@ impl ServiceMetrics {
                         "reply_dropped".into(),
                         Json::Int(self.reply_dropped.load(Ordering::Relaxed) as i64),
                     ),
+                    (
+                        "accept_errors".into(),
+                        Json::Int(self.accept_errors.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "accept_shed".into(),
+                        Json::Int(self.accept_shed.load(Ordering::Relaxed) as i64),
+                    ),
                 ]),
             ),
             (
@@ -424,13 +462,21 @@ mod tests {
         m.record_conn_reset();
         m.record_torn_frame();
         m.record_reply_dropped();
+        m.record_accept_error();
+        m.record_accept_error();
+        m.record_accept_error();
+        m.record_accept_shed();
         assert_eq!(m.conn_reset_count(), 2);
         assert_eq!(m.torn_frame_count(), 1);
         assert_eq!(m.reply_dropped_count(), 1);
+        assert_eq!(m.accept_error_count(), 3);
+        assert_eq!(m.accept_shed_count(), 1);
         let faults = m.to_json().get("faults").cloned().expect("faults section");
         assert_eq!(faults.get("conn_reset").unwrap().as_u64(), Some(2));
         assert_eq!(faults.get("torn_frame").unwrap().as_u64(), Some(1));
         assert_eq!(faults.get("reply_dropped").unwrap().as_u64(), Some(1));
+        assert_eq!(faults.get("accept_errors").unwrap().as_u64(), Some(3));
+        assert_eq!(faults.get("accept_shed").unwrap().as_u64(), Some(1));
     }
 
     #[test]

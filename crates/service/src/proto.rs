@@ -992,6 +992,23 @@ impl<R: Read> FrameReader<R> {
         }
     }
 
+    /// Access to the wrapped stream (e.g. for readiness registration).
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// True while [`poll_line`](Self::poll_line) can make progress
+    /// without touching the socket: a complete line (or an overflow, or
+    /// EOF) is sitting in the internal buffer with the descriptor
+    /// itself drained. A readiness-driven caller must keep polling
+    /// while this holds instead of sleeping on the descriptor — no
+    /// readiness event will ever announce already-consumed bytes. A
+    /// buffered *partial* line does not count: only a socket read can
+    /// advance it, so readiness is the right thing to wait on.
+    pub fn has_buffered(&self) -> bool {
+        self.eof || self.pending.len() > MAX_FRAME || self.pending.iter().any(|&b| b == b'\n')
+    }
+
     /// Reads until a full line, a timeout, EOF or an error.
     pub fn poll_line(&mut self) -> Result<Frame, FrameError> {
         loop {

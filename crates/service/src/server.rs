@@ -56,6 +56,7 @@ use std::time::{Duration, Instant};
 
 use gb_parlb::ThreadPool;
 use gb_store::{SpillHandle, SpillSender, Store};
+use gb_sys as sys;
 use parking_lot::Mutex;
 
 use crate::cache::{CacheKey, CachedResult, ShardedCache};
@@ -91,8 +92,17 @@ pub enum Engine {
     Threaded,
     /// Nonblocking accept + I/O pollers, per-worker [`StealQueue`],
     /// inline cache fast path. Connections cost a file descriptor, not
-    /// a thread.
+    /// a thread — but every poller iteration probes every connection,
+    /// so an idle fleet still costs O(conns) read syscalls per sweep.
     Event,
+    /// The event engine's connection semantics behind OS readiness
+    /// (Linux epoll via `gb-sys`): pollers wait for ready descriptors
+    /// instead of sweeping, so mostly-idle fleets cost no steady-state
+    /// CPU. Everything above the readiness layer — `FrameReader`,
+    /// `ConnWriter`, the inline cache fast path, the fault shim, the
+    /// write-stall and reply-timeout accounting — is shared with
+    /// [`Engine::Event`], which remains the portable fallback.
+    Epoll,
 }
 
 impl Engine {
@@ -101,6 +111,7 @@ impl Engine {
         match self {
             Engine::Threaded => "threaded",
             Engine::Event => "event",
+            Engine::Epoll => "epoll",
         }
     }
 }
@@ -183,6 +194,12 @@ pub struct Tuning {
     /// Virtual nodes per backend on the router ring
     /// (0 = [`DEFAULT_VNODES`]).
     pub backend_vnodes: usize,
+    /// Hard cap on simultaneously open connections (0 = unlimited).
+    /// At the cap new accepts are shed with a best-effort `overloaded`
+    /// reply and an `accept_shed` count, instead of running the process
+    /// into its fd limit — where *every* accept fails and existing
+    /// connections start losing `dup`/`fcntl` calls too.
+    pub max_conns: usize,
 }
 
 impl Default for Tuning {
@@ -199,6 +216,7 @@ impl Default for Tuning {
             store: None,
             backends: 0,
             backend_vnodes: 0,
+            max_conns: 0,
         }
     }
 }
@@ -216,6 +234,7 @@ impl fmt::Debug for Tuning {
             .field("store", &self.store)
             .field("backends", &self.backends)
             .field("backend_vnodes", &self.backend_vnodes)
+            .field("max_conns", &self.max_conns)
             .finish_non_exhaustive()
     }
 }
@@ -331,6 +350,20 @@ struct ConnShared {
     inflight: AtomicBool,
     /// Socket failed on write; the poller drops the connection.
     dead: AtomicBool,
+    /// Wakes the owning epoll poller when worker-side state changes
+    /// (reply delivered, connection marked dead) — a blocked
+    /// `epoll_wait` cannot see an `AtomicBool` flip. `None` on the
+    /// sweep engine, whose pollers rediscover state by sweeping.
+    waker: Option<Arc<sys::EventFd>>,
+}
+
+impl ConnShared {
+    /// Signals the owning epoll poller, if any.
+    fn wake(&self) {
+        if let Some(w) = &self.waker {
+            w.signal();
+        }
+    }
 }
 
 /// Where a worker delivers a finished response.
@@ -402,6 +435,10 @@ struct Shared {
     connections: Mutex<Vec<thread::JoinHandle<()>>>,
     /// Event engine: accepted connections in transit to their poller.
     inboxes: Vec<Mutex<Vec<Conn>>>,
+    /// Epoll backend: one wakeup channel per poller. Workers signal the
+    /// owning poller after finishing a reply so it can re-arm read
+    /// interest; empty on the sweep and threaded engines.
+    wakers: Vec<Arc<sys::EventFd>>,
     /// Write-behind persistence. Dropped with the last `Shared` ref,
     /// which drains the spill queue to disk before the writer joins —
     /// graceful shutdown loses nothing.
@@ -506,7 +543,7 @@ impl Server {
                         local_capacities[b],
                         Arc::clone(&queue_cap),
                     )),
-                    Engine::Event => QueueKind::Steal(StealQueue::with_cap(
+                    Engine::Event | Engine::Epoll => QueueKind::Steal(StealQueue::with_cap(
                         worker_shares[b],
                         local_capacities[b],
                         Arc::clone(&queue_cap),
@@ -546,6 +583,17 @@ impl Server {
                 backend.spill = Some(spill.sender());
             }
         }
+        // The epoll backend needs a wakeup channel per poller before the
+        // pollers exist (workers hold them through `ConnShared`). Off
+        // Linux this is where `--engine epoll` fails, with an
+        // `Unsupported` error naming the sweep engine as the fallback.
+        let wakers = if tuning.engine == Engine::Epoll {
+            (0..io_threads)
+                .map(|_| sys::EventFd::new().map(Arc::new))
+                .collect::<std::io::Result<Vec<_>>>()?
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             router,
             backends,
@@ -560,6 +608,7 @@ impl Server {
             inflight_jobs: SlotGauge::new(),
             connections: Mutex::new(Vec::new()),
             inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers,
             spill,
         });
 
@@ -597,6 +646,31 @@ impl Server {
                     })
                     .collect();
                 (None, pollers)
+            }
+            #[cfg(target_os = "linux")]
+            Engine::Epoll => {
+                listener.set_nonblocking(true)?;
+                let mut listener = Some(listener);
+                let pollers = (0..io_threads)
+                    .map(|p| {
+                        let shared = Arc::clone(&shared);
+                        let listener = listener.take(); // poller 0 accepts
+                        thread::Builder::new()
+                            .name(format!("gb-serve-io-{p}"))
+                            .spawn(move || epoll_loop(&shared, p, listener))
+                            .expect("spawn io poller")
+                    })
+                    .collect();
+                (None, pollers)
+            }
+            #[cfg(not(target_os = "linux"))]
+            Engine::Epoll => {
+                // Unreachable in practice: EventFd::new above already
+                // failed with Unsupported. Kept as a typed guard.
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "--engine epoll requires Linux; use the portable event engine",
+                ));
             }
         };
 
@@ -667,6 +741,11 @@ fn trigger_shutdown(shared: &Shared) {
     for backend in &shared.backends {
         backend.queue.close();
     }
+    // Epoll pollers block in epoll_wait; signal each wakeup channel so
+    // the drain starts now rather than at the next timeout.
+    for waker in &shared.wakers {
+        waker.signal();
+    }
     // Unblock the threaded engine's blocking accept() with a dummy
     // connection (harmless no-op for the event engine, which polls).
     let _ = TcpStream::connect(shared.local_addr);
@@ -681,26 +760,60 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        // The shim can turn a successful accept into a scripted failure
+        // (the fd-exhaustion shape); `.and(stream)` drops the stream in
+        // that case, which is exactly what a failed accept looks like.
+        let stream = match shared.tuning.shim.accept_result().and(stream) {
+            Ok(s) => s,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue
+            }
+            Err(e) => {
+                // EMFILE/ENFILE and friends: nothing frees an fd by
+                // retrying hot, so count it and back off for one poll
+                // interval. Other accept errors (aborted handshakes)
+                // are counted too but retried immediately.
+                shared.metrics.record_accept_error();
+                if sys::is_resource_exhaustion(&e) {
+                    thread::sleep(shared.tuning.poll_interval);
+                }
+                continue;
+            }
+        };
         let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
         if !shared.tuning.shim.allow_accept(conn_id) {
             shared.metrics.record_conn_reset();
             continue;
         }
+        let max = shared.tuning.max_conns;
+        if max > 0 && shared.open_conns.occupied() >= max {
+            shed_accept(shared, stream, max);
+            continue;
+        }
+        // Acquire the gauge slot here, not in the connection thread, so
+        // the cap check above cannot over-admit during thread spawn.
+        let open = shared.open_conns.acquire();
         let shared2 = Arc::clone(shared);
         let handle = thread::Builder::new()
             .name("gb-serve-conn".into())
-            .spawn(move || handle_connection(&shared2, stream, conn_id))
+            .spawn(move || handle_connection(&shared2, stream, conn_id, open))
             .expect("spawn connection thread");
         shared.connections.lock().push(handle);
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
-    let _open = shared.open_conns.acquire();
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64, _open: SlotToken) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(shared.tuning.poll_interval));
     let Ok(read_half) = stream.try_clone() else {
+        // A connected client vanishing at setup is a connection death,
+        // not a silent non-event.
+        shared.metrics.record_conn_reset();
         return;
     };
     let shim = &shared.tuning.shim;
@@ -912,7 +1025,16 @@ struct Conn {
 }
 
 impl Conn {
-    fn accept(stream: TcpStream, shared: &Shared, conn_id: u64) -> Option<Conn> {
+    /// Registers an accepted stream. `None` means the socket died
+    /// between `accept` and setup (`fcntl`/`dup` failure, typical under
+    /// fd pressure) — the caller must record the death; a client that
+    /// connected successfully must not vanish without a metric.
+    fn accept(
+        stream: TcpStream,
+        shared: &Shared,
+        conn_id: u64,
+        waker: Option<Arc<sys::EventFd>>,
+    ) -> Option<Conn> {
         let _ = stream.set_nodelay(true);
         stream.set_nonblocking(true).ok()?;
         let writer = stream.try_clone().ok()?;
@@ -928,12 +1050,101 @@ impl Conn {
                 ))),
                 inflight: AtomicBool::new(false),
                 dead: AtomicBool::new(false),
+                waker,
             }),
             inflight_since: None,
             closing: false,
             _open: shared.open_conns.acquire(),
         })
     }
+}
+
+/// Accept-side state an accepting poller carries across iterations.
+#[derive(Default)]
+struct AcceptState {
+    /// Round-robin cursor over poller inboxes.
+    next_inbox: usize,
+    /// Set after a resource-exhaustion accept error: no accept attempts
+    /// until this instant. Retrying `EMFILE` hot frees nothing and
+    /// starves the connections that already exist.
+    backoff_until: Option<Instant>,
+}
+
+/// Drains the listener's accept queue, triaging errors instead of the
+/// old blanket `Err(_) => break`: `Interrupted` retries immediately,
+/// `WouldBlock` ends the batch, resource exhaustion counts
+/// `faults.accept_errors` and backs accepts off for one poll interval,
+/// and the `--max-conns` cap sheds with a best-effort `overloaded`
+/// reply before close. Accepted connections are handed to `deliver`
+/// with their target poller index. Returns true if any were accepted.
+fn drain_accepts(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    state: &mut AcceptState,
+    mut deliver: impl FnMut(usize, Conn),
+) -> bool {
+    if let Some(until) = state.backoff_until {
+        if Instant::now() < until {
+            return false;
+        }
+        state.backoff_until = None;
+    }
+    let mut progress = false;
+    loop {
+        let attempt = match shared.tuning.shim.accept_result() {
+            Ok(()) => listener.accept().map(|(stream, _)| stream),
+            Err(e) => Err(e),
+        };
+        match attempt {
+            Ok(stream) => {
+                progress = true;
+                let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+                if !shared.tuning.shim.allow_accept(conn_id) {
+                    shared.metrics.record_conn_reset();
+                    continue;
+                }
+                let max = shared.tuning.max_conns;
+                if max > 0 && shared.open_conns.occupied() >= max {
+                    shed_accept(shared, stream, max);
+                    continue;
+                }
+                let target = state.next_inbox % shared.inboxes.len();
+                state.next_inbox = state.next_inbox.wrapping_add(1);
+                let waker = shared.wakers.get(target).cloned();
+                match Conn::accept(stream, shared, conn_id, waker) {
+                    Some(conn) => deliver(target, conn),
+                    None => shared.metrics.record_conn_reset(),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if would_block(&e) => break,
+            Err(e) => {
+                shared.metrics.record_accept_error();
+                if sys::is_resource_exhaustion(&e) {
+                    state.backoff_until = Some(Instant::now() + shared.tuning.poll_interval);
+                }
+                break;
+            }
+        }
+    }
+    progress
+}
+
+/// Best-effort `overloaded` reply to a connection shed at the
+/// `--max-conns` cap, then close. One nonblocking write: a peer whose
+/// socket cannot take a single frame just sees the close.
+fn shed_accept(shared: &Shared, stream: TcpStream, cap: usize) {
+    shared.metrics.record_accept_shed();
+    shared.metrics.record_error(ErrorCode::Overloaded);
+    let resp = Response::Error {
+        id: None,
+        code: ErrorCode::Overloaded,
+        message: format!("connection limit ({cap}) reached"),
+    };
+    let mut line = resp.encode();
+    line.push('\n');
+    let _ = stream.set_nonblocking(true);
+    let _ = (&stream).write(line.as_bytes());
 }
 
 fn would_block(e: &std::io::Error) -> bool {
@@ -1022,6 +1233,9 @@ fn mark_write_dead(shared: &Shared, conn: &ConnShared, w: &mut ConnWriter) {
     w.pending.clear();
     w.sent = 0;
     w.stalled_since = None;
+    // A dead connection must be reaped; an epoll poller blocked in
+    // `wait` would otherwise not notice until its timeout.
+    conn.wake();
 }
 
 /// The poller loop: accept (poller 0), adopt handed-off connections,
@@ -1030,7 +1244,7 @@ fn mark_write_dead(shared: &Shared, conn: &ConnShared, w: &mut ConnWriter) {
 /// written.
 fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListener>) {
     let mut conns: Vec<Conn> = Vec::new();
-    let mut next_inbox = 0usize;
+    let mut accepts = AcceptState::default();
     let mut idle_spins = 0u32;
     // Reused across sweeps: inline replies are batched here and written
     // with one syscall per connection per sweep.
@@ -1042,29 +1256,13 @@ fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListen
             // Dropping the listener refuses new connections immediately.
             listener = None;
         } else if let Some(l) = &listener {
-            loop {
-                match l.accept() {
-                    Ok((stream, _)) => {
-                        progress = true;
-                        let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
-                        if !shared.tuning.shim.allow_accept(conn_id) {
-                            shared.metrics.record_conn_reset();
-                            continue;
-                        }
-                        if let Some(conn) = Conn::accept(stream, shared, conn_id) {
-                            let target = next_inbox % shared.inboxes.len();
-                            next_inbox = next_inbox.wrapping_add(1);
-                            if target == index {
-                                conns.push(conn);
-                            } else {
-                                shared.inboxes[target].lock().push(conn);
-                            }
-                        }
-                    }
-                    Err(e) if would_block(&e) => break,
-                    Err(_) => break,
+            progress |= drain_accepts(shared, l, &mut accepts, |target, conn| {
+                if target == index {
+                    conns.push(conn);
+                } else {
+                    shared.inboxes[target].lock().push(conn);
                 }
-            }
+            });
         }
         {
             let mut inbox = shared.inboxes[index].lock();
@@ -1083,19 +1281,302 @@ fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListen
             idle_spins = idle_spins.saturating_add(1);
             if idle_spins > 3 {
                 // Exponential backoff from 50 µs. There is no readiness
-                // wakeup — a sleeping poller is blind — so while
-                // connections are live the sleep is capped at 1 ms to
-                // bound added latency; only an empty poller may back off
-                // all the way to the poll interval.
+                // wakeup — a sleeping poller is blind — so the sleep cap
+                // balances wake latency against sweep cost. A flat 1 ms
+                // cap meant ONE idle connection held the poller at ~1k
+                // full sweeps/sec forever; instead the cap scales with
+                // the sweep's own cost (~20 µs of allowance per
+                // connection), so a near-empty poller naps cheaply while
+                // a loaded one still wakes fast. Only an empty poller
+                // may back off all the way to the poll interval.
                 let exp = (idle_spins - 3).min(12);
                 let backoff = Duration::from_micros(50u64 << exp);
                 let cap = if conns.is_empty() {
                     shared.tuning.poll_interval
                 } else {
-                    Duration::from_millis(1).min(shared.tuning.poll_interval)
+                    let interval = shared.tuning.poll_interval;
+                    Duration::from_micros(20 * conns.len() as u64)
+                        .min(interval)
+                        .max(Duration::from_millis(1).min(interval))
                 };
                 thread::sleep(backoff.min(cap));
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll engine (Linux): readiness wakeups over the same sweep logic
+// ---------------------------------------------------------------------------
+
+/// Registration token for the accept listener.
+#[cfg(target_os = "linux")]
+const LISTENER_TOKEN: u64 = u64::MAX;
+/// Registration token for the poller's eventfd wakeup channel.
+#[cfg(target_os = "linux")]
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+
+/// A connection owned by an epoll poller: the sweep engine's [`Conn`]
+/// plus the interest currently registered with the kernel.
+#[cfg(target_os = "linux")]
+struct EpollConn {
+    conn: Conn,
+    armed: sys::Interest,
+}
+
+#[cfg(target_os = "linux")]
+fn conn_fd(conn: &Conn) -> sys::RawFd {
+    use std::os::fd::AsRawFd;
+    conn.reader.get_ref().get_ref().as_raw_fd()
+}
+
+/// Adds a connection to the poller's slab and registers its socket for
+/// read readiness. `None` (with `conn_reset` recorded) if the kernel
+/// refuses the registration — the socket died between accept and here.
+#[cfg(target_os = "linux")]
+fn epoll_insert(
+    ep: &sys::Epoll,
+    slots: &mut Vec<Option<EpollConn>>,
+    free: &mut Vec<usize>,
+    shared: &Shared,
+    conn: Conn,
+) -> Option<usize> {
+    let slot = free.pop().unwrap_or_else(|| {
+        slots.push(None);
+        slots.len() - 1
+    });
+    if ep
+        .add(conn_fd(&conn), slot as u64, sys::Interest::READ)
+        .is_err()
+    {
+        free.push(slot);
+        shared.metrics.record_conn_reset();
+        return None;
+    }
+    slots[slot] = Some(EpollConn {
+        conn,
+        armed: sys::Interest::READ,
+    });
+    Some(slot)
+}
+
+/// The readiness-driven poller. Per-connection semantics are identical
+/// to [`event_loop`] — the work is the same [`sweep_conn`], so the
+/// fault shim, reply arbitration, and write-stall accounting are all
+/// shared — but instead of sweeping every connection every iteration
+/// the poller blocks in `epoll_wait` and services only what the kernel
+/// (or a worker's eventfd wakeup) reports. Idle connections therefore
+/// cost nothing per iteration; that is the whole point of the engine.
+///
+/// Level-triggered interest is deliberate: the fault shim may answer a
+/// readable wakeup with an injected `WouldBlock`, and level semantics
+/// re-deliver the event on the next wait instead of losing it.
+///
+/// Falls back to [`event_loop`] if the epoll instance cannot be set up
+/// — readiness is an optimisation, not a correctness requirement.
+#[cfg(target_os = "linux")]
+fn epoll_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListener>) {
+    use std::collections::HashSet;
+    use std::os::fd::AsRawFd;
+
+    let waker = Arc::clone(&shared.wakers[index]);
+    let mut ep = match sys::Epoll::new() {
+        Ok(ep)
+            if ep
+                .add(waker.raw_fd(), WAKER_TOKEN, sys::Interest::READ)
+                .is_ok() =>
+        {
+            ep
+        }
+        _ => return event_loop(shared, index, listener),
+    };
+    let mut listener_armed = false;
+    if let Some(l) = &listener {
+        if ep
+            .add(l.as_raw_fd(), LISTENER_TOKEN, sys::Interest::READ)
+            .is_err()
+        {
+            return event_loop(shared, index, listener);
+        }
+        listener_armed = true;
+    }
+
+    // Owned connections; the epoll token is the slot index.
+    let mut slots: Vec<Option<EpollConn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut live = 0usize;
+    // Slots needing periodic timer sweeps (job in flight, buffered
+    // output, or closing): `reply_timeout` and `write_stall` fire at
+    // poll-interval granularity, exactly like the sweep engine.
+    let mut watched: HashSet<usize> = HashSet::new();
+    // Slots with complete frames buffered in the reader while the
+    // socket itself is drained: readiness will never fire for those
+    // bytes, so the next wait must not block.
+    let mut hot: Vec<usize> = Vec::new();
+    let mut due: Vec<usize> = Vec::new();
+    let mut events: Vec<sys::Event> = Vec::new();
+    let mut accepts = AcceptState::default();
+    let mut last_timer = Instant::now();
+    let mut replies = String::new();
+
+    loop {
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        if draining {
+            if let Some(l) = listener.take() {
+                // Dropping the listener refuses new connections now.
+                let _ = ep.delete(l.as_raw_fd());
+                listener_armed = false;
+            }
+        }
+
+        // How long may the wait block? Buffered frames demand an
+        // immediate pass; anything time-driven — timer sweeps, accept
+        // backoff, drain — caps it at the poll interval; a fully idle
+        // poller blocks until the kernel or a worker wakes it.
+        let timeout = if !hot.is_empty() {
+            Some(Duration::ZERO)
+        } else if draining {
+            Some(Duration::from_millis(1).min(shared.tuning.poll_interval))
+        } else if !watched.is_empty() || accepts.backoff_until.is_some() {
+            Some(shared.tuning.poll_interval)
+        } else {
+            None
+        };
+        if ep.wait(&mut events, timeout).is_err() {
+            // A broken wait must not busy-loop; pace by the interval
+            // and keep sweeping via the timer path below.
+            events.clear();
+            thread::sleep(shared.tuning.poll_interval);
+        }
+
+        due.clear();
+        let mut accept_ready = false;
+        let mut waker_fired = false;
+        for ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => accept_ready = true,
+                WAKER_TOKEN => waker_fired = true,
+                t => due.push(t as usize),
+            }
+        }
+        if waker_fired {
+            waker.drain();
+            // A worker finished (or a write died): the affected
+            // connections are exactly the watched ones.
+            due.extend(watched.iter().copied());
+        }
+
+        // Adopt connections handed over by the accepting poller.
+        let adopted = std::mem::take(&mut *shared.inboxes[index].lock());
+        for conn in adopted {
+            if let Some(slot) = epoll_insert(&ep, &mut slots, &mut free, shared, conn) {
+                live += 1;
+                due.push(slot);
+            }
+        }
+
+        // Accept: level-triggered, so gating on readiness loses
+        // nothing; backoff expiry must retry even though the listener
+        // is deregistered while it lasts.
+        if let Some(l) = &listener {
+            if accept_ready || accepts.backoff_until.is_some() {
+                drain_accepts(shared, l, &mut accepts, |target, conn| {
+                    if target == index {
+                        if let Some(slot) = epoll_insert(&ep, &mut slots, &mut free, shared, conn) {
+                            live += 1;
+                            due.push(slot);
+                        }
+                    } else {
+                        shared.inboxes[target].lock().push(conn);
+                        if let Some(w) = shared.wakers.get(target) {
+                            w.signal();
+                        }
+                    }
+                });
+                // Keep the registration in step with backoff: a waiting
+                // backlog would otherwise wake the poller continuously
+                // during a backoff it cannot act on.
+                let want = accepts.backoff_until.is_none();
+                if want != listener_armed {
+                    let done = if want {
+                        ep.add(l.as_raw_fd(), LISTENER_TOKEN, sys::Interest::READ)
+                    } else {
+                        ep.delete(l.as_raw_fd())
+                    };
+                    if done.is_ok() {
+                        listener_armed = want;
+                    }
+                }
+            }
+        }
+
+        // Merge time-driven work: reader-buffered slots always, watched
+        // slots at poll-interval cadence, everything during a drain.
+        due.append(&mut hot);
+        if !watched.is_empty() && last_timer.elapsed() >= shared.tuning.poll_interval {
+            due.extend(watched.iter().copied());
+            last_timer = Instant::now();
+        }
+        if draining {
+            due.clear();
+            due.extend(
+                slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, s)| s.as_ref().map(|_| i)),
+            );
+        }
+
+        for &slot in &due {
+            // A slot may appear twice (event + timer) or have been
+            // dropped earlier in this pass; servicing is idempotent
+            // and empty slots are skipped.
+            let keep = {
+                let Some(ec) = slots.get_mut(slot).and_then(Option::as_mut) else {
+                    continue;
+                };
+                let mut progress = false;
+                sweep_conn(shared, &mut ec.conn, draining, &mut progress, &mut replies)
+            };
+            if !keep {
+                if let Some(ec) = slots[slot].take() {
+                    let _ = ep.delete(conn_fd(&ec.conn));
+                    live -= 1;
+                }
+                watched.remove(&slot);
+                free.push(slot);
+                continue;
+            }
+            let Some(ec) = slots.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            // Re-arm for the connection's new state. Read interest is
+            // dropped while a job is in flight — level-triggered
+            // readiness would spin for the whole compute — and
+            // restored by the worker's wake; write interest mirrors
+            // buffered output, so `EPOLLOUT` re-arming flows through
+            // the same write-stall accounting as the sweep engine.
+            let desired = sys::Interest {
+                readable: !draining && !ec.conn.closing && ec.conn.inflight_since.is_none(),
+                writable: ec.conn.shared.writer.lock().has_pending(),
+            };
+            if desired != ec.armed && ep.modify(conn_fd(&ec.conn), slot as u64, desired).is_ok() {
+                ec.armed = desired;
+            }
+            let needs_timer =
+                ec.conn.inflight_since.is_some() || ec.conn.closing || desired.writable;
+            if needs_timer {
+                watched.insert(slot);
+            } else {
+                watched.remove(&slot);
+            }
+            if desired.readable && ec.conn.reader.has_buffered() {
+                hot.push(slot);
+            }
+        }
+
+        if draining && live == 0 && shared.inboxes[index].lock().is_empty() {
+            return;
         }
     }
 }
@@ -1368,6 +1849,7 @@ fn worker_loop(shared: &Shared, backend: usize, index: usize) {
                     .is_ok()
                 {
                     conn.inflight.store(false, Ordering::Release);
+                    conn.wake();
                 }
                 shared.metrics.record_reply_dropped();
                 continue;
@@ -1391,6 +1873,10 @@ fn worker_loop(shared: &Shared, backend: usize, index: usize) {
                 {
                     write_frame(shared, conn, &resp);
                     conn.inflight.store(false, Ordering::Release);
+                    // Wake the owning epoll poller: it dropped read
+                    // interest while the job was in flight, and a
+                    // blocked `epoll_wait` cannot see the atomic flip.
+                    conn.wake();
                 } else {
                     shared.metrics.record_reply_dropped();
                 }

@@ -1,0 +1,573 @@
+//! # gb-sys — Linux readiness syscalls behind a safe API
+//!
+//! The event engine's epoll backend needs `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` plus an `eventfd` wakeup, and the connection soak needs
+//! `setrlimit(RLIMIT_NOFILE)` and per-thread CPU readings from
+//! `/proc`. The workspace builds in hermetic, network-less containers
+//! where the `libc` crate cannot resolve, so the handful of symbols are
+//! bound directly with `extern "C"` declarations against the system
+//! libc that std already links.
+//!
+//! Every other crate in the workspace keeps `#![forbid(unsafe_code)]`;
+//! the entire unsafe surface of the repository lives in this module,
+//! wrapped in owned-fd types that close on drop and return
+//! `io::Error` like everything else.
+//!
+//! On non-Linux targets the same API exists but the constructors return
+//! [`std::io::ErrorKind::Unsupported`], so callers gate on the runtime
+//! error instead of scattering `cfg` through engine code.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+/// Raw file descriptor, aliased so the non-Linux stub compiles without
+/// `std::os::fd`.
+#[cfg(unix)]
+pub type RawFd = std::os::fd::RawFd;
+/// Raw file descriptor (stub alias off unix).
+#[cfg(not(unix))]
+pub type RawFd = i32;
+
+/// Readiness interest for one registered descriptor. Registrations are
+/// level-triggered on purpose: the fault shim may answer a "readable"
+/// wakeup with an injected `WouldBlock`, and level semantics re-deliver
+/// the event on the next wait instead of losing it the way
+/// edge-triggered interest would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor has bytes to read (`EPOLLIN`).
+    pub readable: bool,
+    /// Wake when the descriptor will accept bytes (`EPOLLOUT`).
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// No readiness at all; the registration stays (hangup/error still
+    /// deliver) but neither direction wakes the poller.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One delivered readiness event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// `EPOLLIN` (or `EPOLLERR`/`EPOLLHUP`, which imply a read will
+    /// resolve the state).
+    pub readable: bool,
+    /// `EPOLLOUT`.
+    pub writable: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    use std::os::raw::{c_int, c_long, c_uint, c_void};
+
+    // epoll_event is packed on x86-64 (the kernel ABI predates natural
+    // alignment there); other architectures use natural layout.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Debug, Clone, Copy)]
+    struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct RLimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EFD_CLOEXEC: c_int = 0o2000000;
+    const EFD_NONBLOCK: c_int = 0o4000;
+    const RLIMIT_NOFILE: c_int = 7;
+    const SC_CLK_TCK: c_int = 2;
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut RawEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+        fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+        fn sysconf(name: c_int) -> c_long;
+    }
+
+    /// A descriptor that closes itself on drop.
+    #[derive(Debug)]
+    struct Fd(RawFd);
+
+    impl Drop for Fd {
+        fn drop(&mut self) {
+            #[allow(unsafe_code)]
+            unsafe {
+                close(self.0);
+            }
+        }
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = 0;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// A level-triggered epoll instance plus its reusable event buffer.
+    #[derive(Debug)]
+    pub struct Epoll {
+        fd: Fd,
+        buf: Vec<RawEvent>,
+    }
+
+    impl Epoll {
+        /// Creates an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Epoll> {
+            #[allow(unsafe_code)]
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll {
+                fd: Fd(fd),
+                buf: vec![RawEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut ev = RawEvent {
+                events: interest_bits(interest),
+                data: token,
+            };
+            #[allow(unsafe_code)]
+            let rc = unsafe { epoll_ctl(self.fd.0, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` under `token` with the given interest.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Replaces the interest of an already-registered descriptor.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Removes a registration. Harmless to call for a descriptor the
+        /// kernel already dropped (`ENOENT`/`EBADF` are swallowed).
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE) {
+                Ok(()) => Ok(()),
+                Err(e) if matches!(e.raw_os_error(), Some(2) | Some(9)) => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Waits for readiness, clearing and refilling `out`. `None`
+        /// blocks indefinitely; a zero timeout polls. A signal
+        /// interruption returns an empty set rather than an error.
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                Some(t) if t.is_zero() => 0,
+                // Round sub-millisecond timeouts up: truncating to zero
+                // would turn a short sleep into a busy spin.
+                Some(t) => t.as_millis().clamp(1, c_int::MAX as u128) as c_int,
+            };
+            #[allow(unsafe_code)]
+            let n = unsafe {
+                epoll_wait(
+                    self.fd.0,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for raw in &self.buf[..n as usize] {
+                let events = raw.events;
+                out.push(Event {
+                    token: raw.data,
+                    // Error/hangup deliver even with no interest bits
+                    // set; folding them into "readable" routes them to
+                    // the read path, where they resolve as EOF or a
+                    // proper io::Error.
+                    readable: events & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0,
+                    writable: events & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    /// A cross-thread wakeup channel: workers `signal()` after finishing
+    /// a reply, the owning poller drains it from its wait loop.
+    #[derive(Debug)]
+    pub struct EventFd {
+        fd: Fd,
+    }
+
+    impl EventFd {
+        /// Creates a nonblocking eventfd.
+        pub fn new() -> io::Result<EventFd> {
+            #[allow(unsafe_code)]
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EventFd { fd: Fd(fd) })
+        }
+
+        /// The descriptor to register with [`Epoll`].
+        pub fn raw_fd(&self) -> RawFd {
+            self.fd.0
+        }
+
+        /// Wakes the poller. Never blocks; a saturated counter is
+        /// already readable, so the failure needs no handling.
+        pub fn signal(&self) {
+            let one: u64 = 1;
+            #[allow(unsafe_code)]
+            unsafe {
+                write(self.fd.0, (&one as *const u64).cast(), 8);
+            }
+        }
+
+        /// Consumes pending wakeups so level-triggered polling settles.
+        pub fn drain(&self) {
+            let mut count: u64 = 0;
+            #[allow(unsafe_code)]
+            unsafe {
+                read(self.fd.0, (&mut count as *mut u64).cast(), 8);
+            }
+        }
+    }
+
+    /// Raises the soft `RLIMIT_NOFILE` toward `want` (capped at the hard
+    /// limit). Returns the resulting soft limit.
+    pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+        let mut lim = RLimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        #[allow(unsafe_code)]
+        let rc = unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let target = want.min(lim.rlim_max);
+        if target > lim.rlim_cur {
+            lim.rlim_cur = target;
+            #[allow(unsafe_code)]
+            let rc = unsafe { setrlimit(RLIMIT_NOFILE, &lim) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(lim.rlim_cur.max(target))
+    }
+
+    fn clock_ticks_per_second() -> f64 {
+        #[allow(unsafe_code)]
+        let ticks = unsafe { sysconf(SC_CLK_TCK) };
+        if ticks > 0 {
+            ticks as f64
+        } else {
+            100.0
+        }
+    }
+
+    fn stat_cpu_ticks(path: &std::path::Path) -> Option<(String, u64)> {
+        let stat = std::fs::read_to_string(path).ok()?;
+        // Field 2 (comm) is parenthesised and may itself contain spaces
+        // or parens; everything after the *last* ')' is fixed-position.
+        let open = stat.find('(')?;
+        let close = stat.rfind(')')?;
+        let comm = stat.get(open + 1..close)?.to_string();
+        let rest: Vec<&str> = stat.get(close + 2..)?.split_whitespace().collect();
+        // After comm: state is field 3, so utime (field 14) and stime
+        // (field 15) are at rest indices 11 and 12.
+        let utime: u64 = rest.get(11)?.parse().ok()?;
+        let stime: u64 = rest.get(12)?.parse().ok()?;
+        Some((comm, utime + stime))
+    }
+
+    /// Total CPU time (user + system) consumed so far by the threads of
+    /// `pid` whose name starts with `comm_prefix` — e.g. the
+    /// `gb-serve-io-` pollers. Thread names are truncated to 15 bytes by
+    /// the kernel, so keep prefixes shorter than that.
+    pub fn thread_cpu_seconds(pid: u32, comm_prefix: &str) -> io::Result<f64> {
+        let tick = clock_ticks_per_second();
+        let mut ticks = 0u64;
+        for entry in std::fs::read_dir(format!("/proc/{pid}/task"))? {
+            let entry = entry?;
+            if let Some((comm, t)) = stat_cpu_ticks(&entry.path().join("stat")) {
+                if comm.starts_with(comm_prefix) {
+                    ticks += t;
+                }
+            }
+        }
+        Ok(ticks as f64 / tick)
+    }
+
+    /// Total CPU time (user + system) consumed so far by the whole
+    /// process `pid`, from `/proc/<pid>/stat`.
+    pub fn process_cpu_seconds(pid: u32) -> io::Result<f64> {
+        let path = std::path::PathBuf::from(format!("/proc/{pid}/stat"));
+        match stat_cpu_ticks(&path) {
+            Some((_, ticks)) => Ok(ticks as f64 / clock_ticks_per_second()),
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unparseable /proc stat",
+            )),
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll readiness is Linux-only; use the portable sweep engine",
+        )
+    }
+
+    /// Stub epoll handle; [`Epoll::new`] always fails off Linux.
+    #[derive(Debug)]
+    pub struct Epoll {}
+
+    impl Epoll {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<Epoll> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(
+            &mut self,
+            _out: &mut Vec<Event>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            Err(unsupported())
+        }
+    }
+
+    /// Stub wakeup handle; [`EventFd::new`] always fails off Linux.
+    #[derive(Debug)]
+    pub struct EventFd {}
+
+    impl EventFd {
+        /// Always `Unsupported` off Linux.
+        pub fn new() -> io::Result<EventFd> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn raw_fd(&self) -> RawFd {
+            -1
+        }
+
+        /// No-op.
+        pub fn signal(&self) {}
+
+        /// No-op.
+        pub fn drain(&self) {}
+    }
+
+    /// Always `Unsupported` off Linux.
+    pub fn raise_nofile_limit(_want: u64) -> io::Result<u64> {
+        Err(unsupported())
+    }
+
+    /// Always `Unsupported` off Linux.
+    pub fn thread_cpu_seconds(_pid: u32, _comm_prefix: &str) -> io::Result<f64> {
+        Err(unsupported())
+    }
+
+    /// Always `Unsupported` off Linux.
+    pub fn process_cpu_seconds(_pid: u32) -> io::Result<f64> {
+        Err(unsupported())
+    }
+}
+
+pub use imp::{process_cpu_seconds, raise_nofile_limit, thread_cpu_seconds, Epoll, EventFd};
+
+/// Whether an I/O error is the resource-exhaustion shape an accept loop
+/// must back off from rather than retry hot: `EMFILE` (per-process fd
+/// limit), `ENFILE` (system table), `ENOBUFS`/`ENOMEM` (kernel memory).
+/// Retrying these immediately busy-spins without freeing anything; the
+/// caller should stop accepting for a poll interval and count the event.
+pub fn is_resource_exhaustion(e: &io::Error) -> bool {
+    // Raw errno values (Linux/Unix): OutOfMemory covers ENOMEM via
+    // ErrorKind, but EMFILE/ENFILE/ENOBUFS have no stable kind yet.
+    matches!(e.raw_os_error(), Some(23) | Some(24) | Some(105) | Some(12))
+        || e.kind() == io::ErrorKind::OutOfMemory
+}
+
+/// The classic fd-exhaustion error, for fault scripts that inject the
+/// `EMFILE` shape without actually exhausting the process's fd table.
+pub fn emfile_error() -> io::Error {
+    io::Error::from_raw_os_error(24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(target_os = "linux")]
+    use std::time::Duration;
+
+    #[test]
+    fn exhaustion_classifier_matches_emfile_shape() {
+        assert!(is_resource_exhaustion(&emfile_error()));
+        assert!(is_resource_exhaustion(&io::Error::from_raw_os_error(23)));
+        assert!(!is_resource_exhaustion(&io::Error::from_raw_os_error(11)));
+        assert!(!is_resource_exhaustion(&io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "scripted"
+        )));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_reports_eventfd_readiness() {
+        let mut ep = Epoll::new().expect("epoll_create1");
+        let wake = EventFd::new().expect("eventfd");
+        ep.add(wake.raw_fd(), 7, Interest::READ).expect("add");
+        let mut events = Vec::new();
+        ep.wait(&mut events, Some(Duration::from_millis(0)))
+            .expect("wait");
+        assert!(events.is_empty(), "unsignalled eventfd must not wake");
+        wake.signal();
+        ep.wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        wake.drain();
+        ep.wait(&mut events, Some(Duration::from_millis(0)))
+            .expect("wait");
+        assert!(events.is_empty(), "drained eventfd must settle");
+        ep.delete(wake.raw_fd()).expect("delete");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn interest_modify_switches_directions() {
+        use std::io::Write;
+        let mut ep = Epoll::new().expect("epoll_create1");
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = std::net::TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+        let (served, _) = listener.accept().expect("accept");
+        use std::os::fd::AsRawFd;
+        let fd = served.as_raw_fd();
+        ep.add(fd, 1, Interest::READ).expect("add");
+        let mut events = Vec::new();
+        ep.wait(&mut events, Some(Duration::from_millis(0)))
+            .unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+        (&client).write_all(b"x").unwrap();
+        ep.wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        // Swap to write interest: an idle socket is immediately writable.
+        ep.modify(
+            fd,
+            1,
+            Interest {
+                readable: false,
+                writable: true,
+            },
+        )
+        .expect("modify");
+        ep.wait(&mut events, Some(Duration::from_millis(1000)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+        ep.delete(fd).expect("delete");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn nofile_limit_is_reported() {
+        let got = raise_nofile_limit(64).expect("getrlimit");
+        assert!(got >= 64);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn own_process_cpu_is_readable() {
+        let pid = std::process::id();
+        let total = process_cpu_seconds(pid).expect("process stat");
+        assert!(total >= 0.0);
+        // The test runner's threads are named "tests::..." or similar;
+        // a prefix that matches nothing must sum to zero, not error.
+        let none = thread_cpu_seconds(pid, "no-such-thread-prefix").expect("task scan");
+        assert_eq!(none, 0.0);
+    }
+}
