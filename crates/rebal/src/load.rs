@@ -1,0 +1,184 @@
+//! Per-vnode load accounting and EWMA smoothing.
+//!
+//! [`VnodeLoad`] lives on the serving hot path: recording a served
+//! request is two relaxed `fetch_add`s, cheap enough to keep always-on.
+//! The rebalance tick owns an [`EwmaTracker`] that snapshots the
+//! cumulative counters, differences them against the previous snapshot,
+//! and folds the per-tick deltas into an exponentially weighted moving
+//! average — so the planner sees recent load, not all-time history, and
+//! a single bursty tick cannot whipsaw the assignment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed per-request cost in microseconds folded into a vnode's weight
+/// on top of measured compute time.
+///
+/// Cache hits report ~0 compute micros, but each served request still
+/// costs parsing, cache probe and reply encoding; without a floor a
+/// hit-dominated hot key would look weightless and never trigger a
+/// rebalance. 20 µs is the order of the inline fast path on this
+/// hardware (see `results/BENCH_serving.json`).
+pub const HIT_COST_MICROS: f64 = 20.0;
+
+/// Cumulative per-vnode counters: requests served and compute
+/// microseconds spent, indexed by ring vnode.
+#[derive(Debug)]
+pub struct VnodeLoad {
+    hits: Vec<AtomicU64>,
+    micros: Vec<AtomicU64>,
+}
+
+impl VnodeLoad {
+    /// Counters for a ring with `vnodes` positions, all zero.
+    pub fn new(vnodes: usize) -> VnodeLoad {
+        VnodeLoad {
+            hits: (0..vnodes).map(|_| AtomicU64::new(0)).collect(),
+            micros: (0..vnodes).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of vnodes tracked.
+    pub fn len(&self) -> usize {
+        self.hits.len()
+    }
+
+    /// True when tracking no vnodes (a single-backend server).
+    pub fn is_empty(&self) -> bool {
+        self.hits.is_empty()
+    }
+
+    /// Records one served request on `vnode` that spent `micros` of
+    /// compute time (0 for a cache hit — [`HIT_COST_MICROS`] covers the
+    /// fixed per-request cost at weighing time).
+    pub fn record(&self, vnode: usize, micros: u64) {
+        self.hits[vnode].fetch_add(1, Ordering::Relaxed);
+        self.micros[vnode].fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Cumulative (hits, micros) snapshot per vnode.
+    pub fn snapshot(&self) -> (Vec<u64>, Vec<u64>) {
+        (
+            self.hits
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            self.micros
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        )
+    }
+}
+
+/// EWMA over per-tick deltas of a [`VnodeLoad`].
+///
+/// `decay` is the retention factor: after each observation the smoothed
+/// value is `decay * previous + (1 - decay) * delta`. The first
+/// observation seeds the average with the delta itself.
+#[derive(Debug)]
+pub struct EwmaTracker {
+    decay: f64,
+    prev_hits: Vec<u64>,
+    prev_micros: Vec<u64>,
+    hits: Vec<f64>,
+    micros: Vec<f64>,
+    observations: u64,
+}
+
+impl EwmaTracker {
+    /// A tracker for `vnodes` positions with retention `decay ∈ [0, 1)`.
+    pub fn new(vnodes: usize, decay: f64) -> EwmaTracker {
+        assert!((0.0..1.0).contains(&decay), "decay must be in [0, 1)");
+        EwmaTracker {
+            decay,
+            prev_hits: vec![0; vnodes],
+            prev_micros: vec![0; vnodes],
+            hits: vec![0.0; vnodes],
+            micros: vec![0.0; vnodes],
+            observations: 0,
+        }
+    }
+
+    /// Folds the counters' movement since the previous call into the
+    /// moving averages.
+    pub fn observe(&mut self, load: &VnodeLoad) {
+        let (hits, micros) = load.snapshot();
+        assert_eq!(hits.len(), self.prev_hits.len(), "vnode count changed");
+        for v in 0..hits.len() {
+            let dh = hits[v].saturating_sub(self.prev_hits[v]) as f64;
+            let dm = micros[v].saturating_sub(self.prev_micros[v]) as f64;
+            if self.observations == 0 {
+                self.hits[v] = dh;
+                self.micros[v] = dm;
+            } else {
+                self.hits[v] = self.decay * self.hits[v] + (1.0 - self.decay) * dh;
+                self.micros[v] = self.decay * self.micros[v] + (1.0 - self.decay) * dm;
+            }
+        }
+        self.prev_hits = hits;
+        self.prev_micros = micros;
+        self.observations += 1;
+    }
+
+    /// Number of [`observe`](Self::observe) calls so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// The weight function `w` the planner bisects: smoothed compute
+    /// micros plus [`HIT_COST_MICROS`] per smoothed hit.
+    pub fn weights(&self) -> Vec<f64> {
+        (0..self.hits.len())
+            .map(|v| self.micros[v] + HIT_COST_MICROS * self.hits[v])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_vnode() {
+        let load = VnodeLoad::new(3);
+        load.record(0, 100);
+        load.record(0, 50);
+        load.record(2, 7);
+        let (hits, micros) = load.snapshot();
+        assert_eq!(hits, vec![2, 0, 1]);
+        assert_eq!(micros, vec![150, 0, 7]);
+    }
+
+    #[test]
+    fn ewma_seeds_then_decays() {
+        let load = VnodeLoad::new(1);
+        let mut tracker = EwmaTracker::new(1, 0.5);
+        load.record(0, 100);
+        tracker.observe(&load);
+        // First observation seeds: weight = 100 + 20 * 1.
+        assert!((tracker.weights()[0] - 120.0).abs() < 1e-9);
+        // No new traffic: the average halves.
+        tracker.observe(&load);
+        assert!((tracker.weights()[0] - 60.0).abs() < 1e-9);
+        tracker.observe(&load);
+        assert!((tracker.weights()[0] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deltas_not_cumulative_history() {
+        let load = VnodeLoad::new(2);
+        let mut tracker = EwmaTracker::new(2, 0.0);
+        for _ in 0..10 {
+            load.record(0, 10);
+        }
+        tracker.observe(&load);
+        // decay 0: weights track the latest delta exactly.
+        for _ in 0..3 {
+            load.record(1, 10);
+        }
+        tracker.observe(&load);
+        let w = tracker.weights();
+        assert_eq!(w[0], 0.0, "old history must not leak into later ticks");
+        assert!(w[1] > 0.0);
+    }
+}

@@ -7,13 +7,21 @@
 //!           [--health-interval-ms MS] [--probe-timeout-ms MS]
 //!           [--fail-threshold K] [--poll-interval-ms MS]
 //!           [--pool-idle N] [--no-forward-shutdown]
-//!           [--wait-upstreams-ms MS]
+//!           [--rebalance-ms MS] [--rebalance-trigger R]
+//!           [--rebalance-budget B] [--wait-upstreams-ms MS]
 //! ```
 //!
 //! Prints the bound address on stdout (useful with `--addr
 //! 127.0.0.1:0`) and routes until a client sends a `shutdown` frame —
 //! which, unless `--no-forward-shutdown`, is forwarded to every alive
 //! upstream so one frame stops the whole fleet.
+//!
+//! `--rebalance-ms MS` turns on self-balancing vnode placement: a tick
+//! thread re-partitions the ring's vnodes across alive upstreams with
+//! HF over the load the router itself observed, swapping assignments
+//! atomically between requests. `--rebalance-trigger R` (default 1.15)
+//! and `--rebalance-budget B` (default 16) bound when and how much a
+//! tick may move.
 //!
 //! `--wait-upstreams-ms MS` blocks startup until every upstream answers
 //! a connect (with capped exponential backoff between attempts), so a
@@ -24,7 +32,7 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use gb_router::{RouterConfig, RouterServer};
+use gb_router::{RebalanceSettings, RouterConfig, RouterServer};
 use gb_service::client::{Backoff, Client};
 
 fn usage() -> ! {
@@ -34,7 +42,8 @@ fn usage() -> ! {
          [--reply-timeout-ms MS] [--connect-timeout-ms MS] \
          [--health-interval-ms MS] [--probe-timeout-ms MS] \
          [--fail-threshold K] [--poll-interval-ms MS] [--pool-idle N] \
-         [--no-forward-shutdown] [--wait-upstreams-ms MS]"
+         [--no-forward-shutdown] [--rebalance-ms MS] [--rebalance-trigger R] \
+         [--rebalance-budget B] [--wait-upstreams-ms MS]"
     );
     std::process::exit(2);
 }
@@ -124,6 +133,37 @@ fn parse_args() -> (RouterConfig, Duration) {
                 config.max_pool_idle = parse_usize(&value("--pool-idle"), "--pool-idle")
             }
             "--no-forward-shutdown" => config.forward_shutdown = false,
+            "--rebalance-ms" => {
+                let ms = parse_usize(&value("--rebalance-ms"), "--rebalance-ms") as u64;
+                config
+                    .rebalance
+                    .get_or_insert_with(RebalanceSettings::default)
+                    .interval = Duration::from_millis(ms.max(1));
+            }
+            "--rebalance-trigger" => {
+                let text = value("--rebalance-trigger");
+                let trigger: f64 = text.parse().unwrap_or_else(|_| {
+                    eprintln!("--rebalance-trigger expects a number, got {text:?}");
+                    usage()
+                });
+                match &mut config.rebalance {
+                    Some(rebalance) => rebalance.trigger = trigger.max(1.0),
+                    None => {
+                        eprintln!("--rebalance-trigger requires --rebalance-ms first");
+                        usage()
+                    }
+                }
+            }
+            "--rebalance-budget" => {
+                let budget = parse_usize(&value("--rebalance-budget"), "--rebalance-budget");
+                match &mut config.rebalance {
+                    Some(rebalance) => rebalance.move_budget = budget,
+                    None => {
+                        eprintln!("--rebalance-budget requires --rebalance-ms first");
+                        usage()
+                    }
+                }
+            }
             "--wait-upstreams-ms" => {
                 wait_upstreams = Duration::from_millis(parse_usize(
                     &value("--wait-upstreams-ms"),

@@ -28,6 +28,12 @@
 //!   that would own the key if the primary were dead, takes the first
 //!   answer, and correlates replies by request id (`hedges_sent` /
 //!   `hedges_won` counters).
+//! * **Self-balancing placement** — with [`RouterConfig::rebalance`]
+//!   set, a tick thread measures per-vnode load at the proxy point and
+//!   periodically re-partitions the vnode set across alive upstreams
+//!   with HF ([`gb_rebal`]), swapping the ring's explicit assignment
+//!   atomically between requests; hysteresis (imbalance trigger +
+//!   per-tick move budget) keeps cache-cold churn bounded.
 //! * **Stats rollup** — the router's own `stats` op aggregates
 //!   per-upstream depth, in-flight count, latency histogram and health,
 //!   plus the max/mean load-imbalance gauge across alive upstreams.
@@ -56,5 +62,6 @@
 pub mod pool;
 pub mod server;
 
+pub use gb_rebal::{RebalanceSettings, RebalanceSnapshot};
 pub use pool::{PooledConn, UpstreamPool, UPSTREAM_CONN_BASE};
 pub use server::{RouterConfig, RouterServer};

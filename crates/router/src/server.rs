@@ -25,6 +25,7 @@ use std::sync::{mpsc, Arc, RwLock};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use gb_rebal::{EwmaTracker, RebalanceCounters, RebalanceSettings, RebalanceSnapshot, VnodeLoad};
 use gb_service::cache::CacheKey;
 use gb_service::fault::{IoShim, Passthrough, ShimStream};
 use gb_service::metrics::Histogram;
@@ -71,6 +72,12 @@ pub struct RouterConfig {
     pub forward_shutdown: bool,
     /// Idle connections kept per upstream pool.
     pub max_pool_idle: usize,
+    /// Self-balancing vnode placement (`gb-rebal`): when set, a tick
+    /// thread periodically re-partitions the vnode set across alive
+    /// upstreams with HF over the router-observed per-vnode load and
+    /// swaps the ring's explicit assignment atomically between
+    /// requests. `None` keeps the static hash placement.
+    pub rebalance: Option<RebalanceSettings>,
     /// Fault-injection seam for client-side and upstream-side sockets
     /// (probes run unshimmed so scripted upstream faults cannot blind
     /// the health checker that is supposed to catch them).
@@ -92,6 +99,7 @@ impl Default for RouterConfig {
             poll_interval: Duration::from_millis(100),
             forward_shutdown: true,
             max_pool_idle: 8,
+            rebalance: None,
             shim: Arc::new(Passthrough),
         }
     }
@@ -105,6 +113,7 @@ impl std::fmt::Debug for RouterConfig {
             .field("vnodes", &self.vnodes)
             .field("hedge_delay", &self.hedge_delay)
             .field("fail_threshold", &self.fail_threshold)
+            .field("rebalance", &self.rebalance)
             .finish_non_exhaustive()
     }
 }
@@ -143,6 +152,13 @@ struct Shared {
     ring: RwLock<FailoverRing>,
     upstreams: Vec<Upstream>,
     counters: Counters,
+    /// Per-vnode load observed at the proxy point. The router cannot
+    /// reuse upstream-reported vnode stats — each upstream shards over
+    /// its *own* vnode space, disjoint from the router's ring over
+    /// upstreams — so the proxy path is the one place this ring's
+    /// vnodes are visible.
+    vnode_load: VnodeLoad,
+    rebal: RebalanceCounters,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -483,6 +499,48 @@ fn fetch_upstream_stats(shared: &Arc<Shared>, id: u32) -> Option<Json> {
     Some(stats)
 }
 
+/// Tick-loop bookkeeping for the `stats` rollup — the same shape
+/// `gb-serve` emits under `stats.rebal`, so `loadgen --skew-bench`
+/// reads either tier identically.
+fn rebal_json(shared: &Arc<Shared>) -> Json {
+    let settings = shared.config.rebalance.as_ref();
+    let snap = shared.rebal.snapshot();
+    Json::Obj(vec![
+        (
+            "enabled".into(),
+            Json::Bool(settings.is_some() && shared.upstreams.len() > 1),
+        ),
+        (
+            "vnode_count".into(),
+            Json::Int(shared.ring.read().unwrap().vnode_count() as i64),
+        ),
+        (
+            "interval_ms".into(),
+            Json::Int(settings.map_or(0, |s| s.interval.as_millis() as i64)),
+        ),
+        (
+            "trigger".into(),
+            Json::Num(settings.map_or(0.0, |s| s.trigger)),
+        ),
+        (
+            "move_budget".into(),
+            Json::Int(settings.map_or(0, |s| s.move_budget as i64)),
+        ),
+        ("ticks".into(), Json::Int(snap.ticks as i64)),
+        ("skipped".into(), Json::Int(snap.skipped as i64)),
+        ("moved".into(), Json::Int(snap.moved as i64)),
+        (
+            "max_tick_moves".into(),
+            Json::Int(snap.max_tick_moves as i64),
+        ),
+        ("version".into(), Json::Int(snap.version as i64)),
+        ("imbalance_before".into(), Json::Num(snap.imbalance_before)),
+        ("imbalance_after".into(), Json::Num(snap.imbalance_after)),
+        ("alpha".into(), Json::Num(snap.alpha)),
+        ("bound".into(), Json::Num(snap.bound)),
+    ])
+}
+
 fn stats_rollup(shared: &Arc<Shared>) -> Json {
     let alive_now = shared.ring.read().unwrap().alive_count();
     let mut upstream_list = Vec::with_capacity(shared.upstreams.len());
@@ -614,6 +672,7 @@ fn stats_rollup(shared: &Arc<Shared>) -> Json {
                 ("ratio".into(), Json::Num(ratio)),
             ]),
         ),
+        ("rebal".into(), rebal_json(shared)),
     ]);
     Json::Obj(vec![
         ("router".into(), router),
@@ -660,7 +719,14 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
             shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
             let key =
                 CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta).mix();
-            (proxy_balance(shared, line, key, req.id), false)
+            let vnode = shared.ring.read().unwrap().vnode_of(key);
+            let started = Instant::now();
+            let reply = proxy_balance(shared, line, key, req.id);
+            // Charge the full proxy round trip (queue + compute + wire)
+            // to the vnode: it is the cost a move would relocate.
+            let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            shared.vnode_load.record(vnode, micros);
+            (reply, false)
         }
         Err(e) => {
             shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
@@ -752,6 +818,58 @@ fn serve_client(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
 }
 
 // ---------------------------------------------------------------------------
+// Rebalance tick
+// ---------------------------------------------------------------------------
+
+/// Periodic self-balancing tick: observe per-vnode load, plan an HF
+/// assignment over the alive upstreams, and swap it into the ring under
+/// the write lock (atomic between requests — routing reads take the
+/// read lock per frame).
+fn rebalance_loop(shared: &Arc<Shared>, settings: &RebalanceSettings) {
+    let vnodes = shared.ring.read().unwrap().vnode_count();
+    let mut tracker = EwmaTracker::new(vnodes, settings.decay);
+    let step = settings
+        .interval
+        .min(Duration::from_millis(20))
+        .max(Duration::from_millis(1));
+    loop {
+        let wake = Instant::now() + settings.interval;
+        while Instant::now() < wake {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            thread::sleep(step.min(wake.saturating_duration_since(Instant::now())));
+        }
+        tracker.observe(&shared.vnode_load);
+        let (current, alive) = {
+            let ring = shared.ring.read().unwrap();
+            let current = match ring.assignment() {
+                Some(owners) => owners.to_vec(),
+                None => ring.default_owners(),
+            };
+            (current, ring.alive_ids())
+        };
+        // A dead upstream is excluded from the plan; its vnodes are
+        // orphans and re-home as forced moves, exempt from the budget.
+        let plan = gb_rebal::plan(
+            &tracker.weights(),
+            &current,
+            &alive,
+            settings.trigger,
+            settings.move_budget,
+        );
+        shared.rebal.record_tick(&plan);
+        if !plan.skipped && !plan.moves.is_empty() {
+            shared
+                .ring
+                .write()
+                .unwrap()
+                .set_assignment(Some(plan.owners));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Health prober
 // ---------------------------------------------------------------------------
 
@@ -834,6 +952,7 @@ pub struct RouterServer {
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
     health: Option<JoinHandle<()>>,
+    rebal: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for RouterServer {
@@ -924,10 +1043,13 @@ impl RouterServer {
             })
             .collect();
         let ring = FailoverRing::new(config.upstreams.len(), vnodes);
+        let vnode_count = ring.vnode_count();
         let shared = Arc::new(Shared {
             ring: RwLock::new(ring),
             upstreams,
             counters: Counters::default(),
+            vnode_load: VnodeLoad::new(vnode_count),
+            rebal: RebalanceCounters::new(),
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             config,
@@ -944,11 +1066,26 @@ impl RouterServer {
                 .name("gb-router-accept".into())
                 .spawn(move || accept_loop(listener, shared))?
         };
+        // With a single upstream every assignment is the trivial one;
+        // skip the tick thread entirely.
+        let rebal = match &shared.config.rebalance {
+            Some(settings) if shared.upstreams.len() > 1 => {
+                let shared = Arc::clone(&shared);
+                let settings = settings.clone();
+                Some(
+                    thread::Builder::new()
+                        .name("gb-router-rebal".into())
+                        .spawn(move || rebalance_loop(&shared, &settings))?,
+                )
+            }
+            _ => None,
+        };
         Ok(RouterServer {
             shared,
             local_addr,
             accept: Some(accept),
             health: Some(health),
+            rebal,
         })
     }
 
@@ -969,6 +1106,9 @@ impl RouterServer {
             let _ = handle.join();
         }
         if let Some(handle) = self.health.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.rebal.take() {
             let _ = handle.join();
         }
     }
@@ -1003,6 +1143,22 @@ impl RouterServer {
             self.shared.counters.failovers.load(Ordering::Relaxed),
             self.shared.counters.recoveries.load(Ordering::Relaxed),
         )
+    }
+
+    /// The rebalance tick bookkeeping, for tests and benches.
+    pub fn rebalance_snapshot(&self) -> RebalanceSnapshot {
+        self.shared.rebal.snapshot()
+    }
+
+    /// The current explicit vnode assignment, if a rebalance tick has
+    /// applied one (`None` means hash-default placement).
+    pub fn assignment(&self) -> Option<Vec<u32>> {
+        self.shared
+            .ring
+            .read()
+            .unwrap()
+            .assignment()
+            .map(|owners| owners.to_vec())
     }
 }
 

@@ -5,7 +5,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gb_router::{RouterConfig, RouterServer};
+use gb_router::{RebalanceSettings, RouterConfig, RouterServer};
 use gb_service::cache::CacheKey;
 use gb_service::fault::ScriptedShim;
 use gb_service::proto::{Algorithm, BalanceRequest, Json, Request, Response};
@@ -279,4 +279,97 @@ fn shutdown_frame_drains_router_and_forwards_to_upstreams() {
                 .is_err(),
         "router must stop accepting after drain"
     );
+}
+
+#[test]
+fn rebalance_ticks_exclude_dead_upstreams_and_revival_restores_candidacy() {
+    let a = start_upstream("127.0.0.1:0");
+    let b = start_upstream("127.0.0.1:0");
+    let b_addr = b.local_addr();
+    let router = router_over(&[&a, &b], |c| {
+        c.forward_shutdown = false;
+        // trigger 1.0: every tick plans, so the loop is exercised even
+        // under near-uniform load.
+        c.rebalance = Some(RebalanceSettings {
+            interval: Duration::from_millis(60),
+            trigger: 1.0,
+            move_budget: usize::MAX,
+            decay: 0.5,
+        });
+    });
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // Skewed traffic: hammer a handful of keys so the tick loop sees a
+    // lopsided vnode histogram worth acting on.
+    for round in 0u64..4 {
+        for seed in 0u64..6 {
+            let id = round * 10 + seed;
+            expect_ok(client.call(&balance(id, seed)).unwrap(), id);
+        }
+    }
+    let tick_deadline = Instant::now() + Duration::from_secs(5);
+    while router.rebalance_snapshot().ticks < 2 {
+        assert!(
+            Instant::now() < tick_deadline,
+            "rebalance loop never ticked: {:?}",
+            router.rebalance_snapshot()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Kill B mid-rebalance. Requests keep succeeding (per-request
+    // fallback + prober re-homing), and once the prober declares B
+    // dead, the next applied assignment must target A exclusively.
+    b.shutdown();
+    for seed in 0u64..6 {
+        let id = 100 + seed;
+        expect_ok(client.call(&balance(id, seed + 1_000_000)).unwrap(), id);
+    }
+    await_alive(&router, &[0], Duration::from_secs(5));
+    let assign_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        // Keep the load histogram moving so ticks have fresh deltas.
+        expect_ok(client.call(&balance(999, 42)).unwrap(), 999);
+        if let Some(owners) = router.assignment() {
+            if router.alive_ids() == [0] && owners.iter().all(|&o| o == 0) {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < assign_deadline,
+            "assignment never drained off the dead upstream: {:?}",
+            router.assignment()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Revive B on the same port: once alive again it must regain
+    // vnodes — a later tick spreads the assignment back over both.
+    let b2 = start_upstream(&b_addr.to_string());
+    await_alive(&router, &[0, 1], Duration::from_secs(5));
+    let spread_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        for seed in 0u64..6 {
+            let id = 200 + seed;
+            expect_ok(client.call(&balance(id, seed + 2_000_000)).unwrap(), id);
+        }
+        if let Some(owners) = router.assignment() {
+            if owners.contains(&1) {
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < spread_deadline,
+            "revived upstream never regained vnodes: {:?}",
+            router.assignment()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let snap = router.rebalance_snapshot();
+    assert!(snap.ticks >= 2, "tick loop wedged: {snap:?}");
+    assert!(snap.version >= 1, "no assignment ever applied: {snap:?}");
+
+    router.shutdown();
+    a.shutdown();
+    b2.shutdown();
 }

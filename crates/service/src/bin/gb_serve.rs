@@ -6,6 +6,7 @@
 //!          [--engine event|epoll|threaded] [--io-threads I]
 //!          [--max-conns N] [--cache-shards S] [--admission on|off]
 //!          [--backends N] [--backend-vnodes V]
+//!          [--rebalance-ms MS] [--rebalance-trigger R] [--rebalance-budget B]
 //!          [--reply-timeout-ms MS] [--poll-interval-ms MS]
 //!          [--write-stall-ms MS] [--stall-ms MS]
 //!          [--store-dir PATH] [--store-segment-bytes N]
@@ -26,6 +27,15 @@
 //! behind a consistent-hash router: each backend owns its queue, worker
 //! threads and cache, so one hot problem class cannot starve the rest.
 //!
+//! `--rebalance-ms MS` turns on self-balancing vnode placement
+//! (`gb-rebal`): every MS milliseconds a tick re-partitions the vnode
+//! set across the backends with HF over the observed per-vnode load,
+//! driving the `stats.backends.imbalance` gauge toward 1.0 under
+//! skewed traffic. `--rebalance-trigger R` (default 1.15) is the
+//! minimum max/mean imbalance before a tick moves anything, and
+//! `--rebalance-budget B` (default 16) caps voluntary vnode moves per
+//! tick so cache-cold churn stays bounded.
+//!
 //! `--stall-ms MS` injects a sleep before every job execution (via the
 //! fault-injection shim) — a deliberately slow-but-alive upstream for
 //! exercising `gb-router`'s hedged retries; control frames (`ping`,
@@ -42,6 +52,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use gb_rebal::RebalanceSettings;
 use gb_service::fault::ScriptedShim;
 use gb_service::persist::StoreSettings;
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
@@ -52,6 +63,7 @@ fn usage() -> ! {
          [--cache-cap C] [--pool-threads T] [--engine event|epoll|threaded] \
          [--io-threads I] [--max-conns N] [--cache-shards S] [--admission on|off] \
          [--backends N] [--backend-vnodes V] \
+         [--rebalance-ms MS] [--rebalance-trigger R] [--rebalance-budget B] \
          [--reply-timeout-ms MS] [--poll-interval-ms MS] [--write-stall-ms MS] \
          [--stall-ms MS] \
          [--store-dir PATH] [--store-segment-bytes N] [--store-budget-bytes N] \
@@ -182,6 +194,37 @@ fn parse_args() -> (ServerConfig, Tuning) {
             "--backends" => tuning.backends = parse_usize(&value("--backends"), "--backends"),
             "--backend-vnodes" => {
                 tuning.backend_vnodes = parse_usize(&value("--backend-vnodes"), "--backend-vnodes")
+            }
+            "--rebalance-ms" => {
+                let ms = parse_usize(&value("--rebalance-ms"), "--rebalance-ms") as u64;
+                tuning
+                    .rebalance
+                    .get_or_insert_with(RebalanceSettings::default)
+                    .interval = Duration::from_millis(ms.max(1));
+            }
+            "--rebalance-trigger" => {
+                let text = value("--rebalance-trigger");
+                let trigger: f64 = text.parse().unwrap_or_else(|_| {
+                    eprintln!("--rebalance-trigger expects a number, got {text:?}");
+                    usage()
+                });
+                match &mut tuning.rebalance {
+                    Some(rebalance) => rebalance.trigger = trigger.max(1.0),
+                    None => {
+                        eprintln!("--rebalance-trigger requires --rebalance-ms first");
+                        usage()
+                    }
+                }
+            }
+            "--rebalance-budget" => {
+                let budget = parse_usize(&value("--rebalance-budget"), "--rebalance-budget");
+                match &mut tuning.rebalance {
+                    Some(rebalance) => rebalance.move_budget = budget,
+                    None => {
+                        eprintln!("--rebalance-budget requires --rebalance-ms first");
+                        usage()
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {

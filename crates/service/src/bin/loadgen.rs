@@ -141,6 +141,7 @@ struct Options {
     warm_replay: bool,
     warm_bench: bool,
     shard_bench: bool,
+    skew_bench: bool,
     router_bench: bool,
     soak: bool,
     conns: usize,
@@ -176,6 +177,7 @@ impl Default for Options {
             warm_replay: false,
             warm_bench: false,
             shard_bench: false,
+            skew_bench: false,
             router_bench: false,
             soak: false,
             conns: 10_000,
@@ -203,6 +205,7 @@ fn usage() -> ! {
          [--metrics-out FILE] [--shutdown]\n\
          \x20      loadgen --warm-bench [--distinct D] [--out FILE]\n\
          \x20      loadgen --shard-bench [--duration-ms MS] [--out FILE]\n\
+         \x20      loadgen --skew-bench [--duration-ms MS] [--out FILE]\n\
          \x20      loadgen --router-bench [--duration-ms MS] [--out FILE]\n\
          \x20      loadgen --soak [--conns N] [--active K] [--duration-ms MS] [--out FILE]"
     );
@@ -272,6 +275,7 @@ fn parse_args() -> Options {
             "--warm-replay" => opts.warm_replay = true,
             "--warm-bench" => opts.warm_bench = true,
             "--shard-bench" => opts.shard_bench = true,
+            "--skew-bench" => opts.skew_bench = true,
             "--router-bench" => opts.router_bench = true,
             "--soak" => opts.soak = true,
             "--conns" => opts.conns = parse_usize(&value("--conns"), "--conns").max(1),
@@ -1926,6 +1930,411 @@ fn run_shard_bench(opts: &Options) -> ExitCode {
 }
 
 // ---------------------------------------------------------------------------
+// --skew-bench: the self-balancing placement experiment behind
+// results/BENCH_skew.json
+// ---------------------------------------------------------------------------
+
+const SKEW_BACKENDS: usize = 4;
+const SKEW_VNODES: usize = 16;
+const SKEW_WORKERS: usize = 4;
+const SKEW_QUEUE_CAP: usize = 256;
+const SKEW_CACHE_CAP: usize = 256;
+/// Distinct keys in the zipf working set. With s = 1.0 the hottest key
+/// carries ~21% of the traffic — under the 25% per-backend mean, so a
+/// balanced assignment exists and HF can find it.
+const SKEW_KEYS: usize = 64;
+const SKEW_N: usize = 24;
+const SKEW_CLIENTS: usize = 2;
+const SKEW_WARM_MS: u64 = 2_500;
+const SKEW_WINDOW_MS: u64 = 2_500;
+const SKEW_SMOKE_FLOOR_MS: u64 = 600;
+const SKEW_REBAL_INTERVAL_MS: u64 = 150;
+const SKEW_TRIGGER: f64 = 1.05;
+const SKEW_BUDGET: usize = 8;
+/// Full-run gates: steady-state max/mean of the rebalanced fleet vs
+/// the static-ring control over the same measurement window.
+const SKEW_REBAL_GATE: f64 = 1.15;
+const SKEW_CONTROL_GATE: f64 = 1.3;
+/// Minimum expected (analytic) static imbalance when picking the seed
+/// block — guarantees the control has something to show.
+const SKEW_PICK_FLOOR: f64 = 1.5;
+
+/// Zipf(s=1) selection probabilities for ranks `0..count`, cumulative.
+fn skew_zipf_cumulative(count: usize) -> Vec<f64> {
+    let weights: Vec<f64> = (0..count).map(|k| 1.0 / (k + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cum = Vec::with_capacity(count);
+    let mut acc = 0.0;
+    for w in weights {
+        acc += w / total;
+        cum.push(acc);
+    }
+    cum
+}
+
+/// Picks a deterministic block of seeds whose *static* hash placement is
+/// lopsided under the zipf weights: the control phase then demonstrates
+/// the imbalance the rebalancer erases. Pure function of the ring.
+fn skew_pick_seeds(cum: &[f64]) -> (u64, Vec<u64>, f64) {
+    let router = Router::new(SKEW_BACKENDS, SKEW_VNODES);
+    let ideal = 1.0 / SKEW_BACKENDS as f64;
+    let mut base = 0u64;
+    loop {
+        let seeds: Vec<u64> = (0..SKEW_KEYS as u64).map(|k| base + k).collect();
+        let mut per = [0.0f64; SKEW_BACKENDS];
+        for (rank, &seed) in seeds.iter().enumerate() {
+            let prob = cum[rank] - if rank == 0 { 0.0 } else { cum[rank - 1] };
+            per[router.route(shard_cache_key(seed, SKEW_N).mix()) as usize] += prob;
+        }
+        let expected = per.iter().cloned().fold(0.0, f64::max) / ideal;
+        if expected >= SKEW_PICK_FLOOR {
+            return (base, seeds, expected);
+        }
+        base += SKEW_KEYS as u64;
+        assert!(base < 1_000_000, "no skewed seed block found");
+    }
+}
+
+fn skew_request(id: u64, seed: u64) -> Request {
+    Request::Balance(BalanceRequest {
+        id: Some(id),
+        algorithm: Algorithm::Hf,
+        n: SKEW_N,
+        theta: 1.0,
+        deadline_ms: None,
+        want_pieces: false,
+        // Same spec family as shard_cache_key, so pre-classification by
+        // Router matches the server's placement exactly.
+        problem: ProblemSpec::Synthetic {
+            weight: 1.0,
+            lo: 0.2,
+            hi: 0.5,
+            seed,
+        },
+    })
+}
+
+/// One closed-loop client: draws keys from the zipf distribution with a
+/// deterministic per-thread RNG (both phases replay the identical
+/// request stream) until told to stop.
+fn skew_traffic(
+    addr: std::net::SocketAddr,
+    seeds: Arc<Vec<u64>>,
+    cum: Arc<Vec<f64>>,
+    stop: Arc<AtomicBool>,
+    thread_index: usize,
+) -> u64 {
+    let Ok(mut client) = Client::connect(addr) else {
+        return 0;
+    };
+    let mut rng = ChaosRng(0x5eed_ba5e + thread_index as u64);
+    let mut sent = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        let u = rng.next() as f64 / u64::MAX as f64;
+        let rank = cum.partition_point(|&c| c < u).min(seeds.len() - 1);
+        if client.call(&skew_request(sent, seeds[rank])).is_err() {
+            break;
+        }
+        sent += 1;
+    }
+    sent
+}
+
+/// Per-backend `(load_hits, load_micros)` from a live stats frame.
+fn skew_loads(addr: std::net::SocketAddr) -> Result<Vec<(u64, u64)>, String> {
+    let stats = fetch_stats(addr).ok_or("stats fetch failed")?;
+    let per = stats
+        .get("backends")
+        .and_then(|b| b.get("per_backend"))
+        .and_then(|p| match p {
+            Json::Arr(items) => Some(items.clone()),
+            _ => None,
+        })
+        .ok_or("stats missing backends.per_backend")?;
+    per.iter()
+        .map(|entry| {
+            let hits = entry.get("load_hits").and_then(|v| v.as_u64());
+            let micros = entry.get("load_micros").and_then(|v| v.as_u64());
+            match (hits, micros) {
+                (Some(h), Some(m)) => Ok((h, m)),
+                _ => Err("per_backend missing load counters".into()),
+            }
+        })
+        .collect()
+}
+
+struct SkewPhase {
+    label: &'static str,
+    /// max/mean of per-backend load deltas over the window, where load
+    /// = micros + HIT_COST_MICROS x hits (the rebalancer's own metric).
+    imbalance: f64,
+    per_backend: Vec<f64>,
+    requests: u64,
+    rebal: Option<Json>,
+}
+
+impl SkewPhase {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.into())),
+            ("imbalance".into(), Json::Num(self.imbalance)),
+            (
+                "per_backend_load".into(),
+                Json::Arr(self.per_backend.iter().map(|&w| Json::Num(w)).collect()),
+            ),
+            ("requests".into(), Json::Int(self.requests as i64)),
+            ("rebal".into(), self.rebal.clone().unwrap_or(Json::Null)),
+        ])
+    }
+}
+
+/// One phase: start a 4-backend server (rebalancing or static), prime
+/// the working set, drive zipf traffic, let placement settle for
+/// `warm_ms`, then measure the per-backend load deltas over a
+/// `window_ms` steady-state window.
+fn skew_phase(
+    label: &'static str,
+    rebalance: Option<gb_rebal::RebalanceSettings>,
+    seeds: &Arc<Vec<u64>>,
+    cum: &Arc<Vec<f64>>,
+    warm_ms: u64,
+    window_ms: u64,
+) -> Result<SkewPhase, String> {
+    let rebalancing = rebalance.is_some();
+    let server = Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: SKEW_WORKERS,
+            queue_capacity: SKEW_QUEUE_CAP,
+            cache_capacity: SKEW_CACHE_CAP,
+            pool_threads: 1,
+        },
+        Tuning {
+            backends: SKEW_BACKENDS,
+            backend_vnodes: SKEW_VNODES,
+            rebalance,
+            ..Tuning::default()
+        },
+    )
+    .map_err(|e| format!("{label}: server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Prime every key once so the measurement window is hit-dominated
+    // (the rebalancer then acts on traffic skew, not compute noise).
+    let mut client = Client::connect(addr).map_err(|e| format!("{label}: connect: {e}"))?;
+    for (i, &seed) in seeds.iter().enumerate() {
+        match client
+            .call(&skew_request(1_000_000 + i as u64, seed))
+            .map_err(|e| format!("{label}: prime: {e}"))?
+        {
+            Response::Ok(_) => {}
+            other => return Err(format!("{label}: prime: unexpected {other:?}")),
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut drivers = Vec::new();
+    for thread_index in 0..SKEW_CLIENTS {
+        let seeds = Arc::clone(seeds);
+        let cum = Arc::clone(cum);
+        let stop = Arc::clone(&stop);
+        drivers.push(thread::spawn(move || {
+            skew_traffic(addr, seeds, cum, stop, thread_index)
+        }));
+    }
+    thread::sleep(Duration::from_millis(warm_ms));
+    let before = skew_loads(addr).map_err(|e| format!("{label}: {e}"))?;
+    thread::sleep(Duration::from_millis(window_ms));
+    let after = skew_loads(addr).map_err(|e| format!("{label}: {e}"))?;
+    let rebal = if rebalancing {
+        fetch_stats(addr).and_then(|s| s.get("rebal").cloned())
+    } else {
+        None
+    };
+    stop.store(true, Ordering::Relaxed);
+    let requests = drivers
+        .into_iter()
+        .map(|h| h.join().expect("skew traffic thread panicked"))
+        .sum();
+    server.shutdown();
+
+    let per_backend: Vec<f64> = before
+        .iter()
+        .zip(&after)
+        .map(|(&(h0, m0), &(h1, m1))| {
+            (m1 - m0) as f64 + gb_rebal::HIT_COST_MICROS * (h1 - h0) as f64
+        })
+        .collect();
+    let mean = per_backend.iter().sum::<f64>() / per_backend.len() as f64;
+    let max = per_backend.iter().cloned().fold(0.0, f64::max);
+    let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+    Ok(SkewPhase {
+        label,
+        imbalance,
+        per_backend,
+        requests,
+        rebal,
+    })
+}
+
+fn run_skew_bench(opts: &Options) -> ExitCode {
+    // --duration-ms D shrinks both the settle and measurement windows
+    // (CI smoke); the full run uses the fixed defaults.
+    let (warm_ms, window_ms) = match opts.duration_ms {
+        Some(d) => (
+            (d / 2).max(SKEW_SMOKE_FLOOR_MS),
+            (d / 2).max(SKEW_SMOKE_FLOOR_MS),
+        ),
+        None => (SKEW_WARM_MS, SKEW_WINDOW_MS),
+    };
+    let smoke = opts.duration_ms.is_some();
+    let cum = skew_zipf_cumulative(SKEW_KEYS);
+    let (base, seeds, expected) = skew_pick_seeds(&cum);
+    println!(
+        "skew-bench: {SKEW_KEYS} zipf keys from seed base {base} \
+         (expected static imbalance {expected:.2}), {SKEW_BACKENDS} backends x \
+         {SKEW_VNODES} vnodes, settle {warm_ms} ms + window {window_ms} ms"
+    );
+    let seeds = Arc::new(seeds);
+    let cum = Arc::new(cum);
+
+    let settings = gb_rebal::RebalanceSettings {
+        interval: Duration::from_millis(SKEW_REBAL_INTERVAL_MS),
+        trigger: SKEW_TRIGGER,
+        move_budget: SKEW_BUDGET,
+        ..gb_rebal::RebalanceSettings::default()
+    };
+    let phase = |label, rebalance| {
+        let result = skew_phase(label, rebalance, &seeds, &cum, warm_ms, window_ms);
+        if let Ok(p) = &result {
+            println!(
+                "  {label:<18} imbalance {:.3}  ({} requests)",
+                p.imbalance, p.requests
+            );
+        }
+        result
+    };
+    let (rebalanced, control) = match (|| {
+        Ok::<_, String>((
+            phase("rebalanced", Some(settings.clone()))?,
+            phase("static control", None)?,
+        ))
+    })() {
+        Ok(phases) => phases,
+        Err(e) => {
+            eprintln!("skew-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let max_tick_moves = rebalanced
+        .rebal
+        .as_ref()
+        .and_then(|r| r.get("max_tick_moves"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    let ticks = rebalanced
+        .rebal
+        .as_ref()
+        .and_then(|r| r.get("ticks"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    // No backend dies in this bench, so every move is voluntary and the
+    // per-tick budget is a hard cap.
+    let moves_ok = max_tick_moves <= SKEW_BUDGET as u64;
+    let pass = if smoke {
+        // Smoke gate: rebalancing must beat the static ring, and the
+        // tick loop must actually have run.
+        rebalanced.imbalance < control.imbalance && ticks > 0 && moves_ok
+    } else {
+        rebalanced.imbalance <= SKEW_REBAL_GATE
+            && control.imbalance >= SKEW_CONTROL_GATE
+            && ticks > 0
+            && moves_ok
+    };
+    println!(
+        "skew-bench: rebalanced {:.3} (gate <= {SKEW_REBAL_GATE}) vs static {:.3} \
+         (gate >= {SKEW_CONTROL_GATE}); max tick moves {max_tick_moves} \
+         (budget {SKEW_BUDGET}) — {}",
+        rebalanced.imbalance,
+        control.imbalance,
+        if pass { "pass" } else { "FAILED" }
+    );
+
+    let report = Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str("gb-service/bench-skew/v1".into()),
+        ),
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("backends".into(), Json::Int(SKEW_BACKENDS as i64)),
+                ("backend_vnodes".into(), Json::Int(SKEW_VNODES as i64)),
+                ("workers".into(), Json::Int(SKEW_WORKERS as i64)),
+                ("keys".into(), Json::Int(SKEW_KEYS as i64)),
+                ("zipf_s".into(), Json::Num(1.0)),
+                ("seed_base".into(), Json::Int(base as i64)),
+                ("expected_static_imbalance".into(), Json::Num(expected)),
+                ("clients".into(), Json::Int(SKEW_CLIENTS as i64)),
+                ("n".into(), Json::Int(SKEW_N as i64)),
+                ("warm_ms".into(), Json::Int(warm_ms as i64)),
+                ("window_ms".into(), Json::Int(window_ms as i64)),
+                (
+                    "rebalance_interval_ms".into(),
+                    Json::Int(SKEW_REBAL_INTERVAL_MS as i64),
+                ),
+                ("trigger".into(), Json::Num(SKEW_TRIGGER)),
+                ("move_budget".into(), Json::Int(SKEW_BUDGET as i64)),
+                ("smoke".into(), Json::Bool(smoke)),
+            ]),
+        ),
+        ("rebalanced".into(), rebalanced.to_json()),
+        ("static_control".into(), control.to_json()),
+        (
+            "assertion".into(),
+            Json::Obj(vec![
+                ("rebalanced_gate".into(), Json::Num(SKEW_REBAL_GATE)),
+                ("control_gate".into(), Json::Num(SKEW_CONTROL_GATE)),
+                (
+                    "rebalanced_imbalance".into(),
+                    Json::Num(rebalanced.imbalance),
+                ),
+                ("control_imbalance".into(), Json::Num(control.imbalance)),
+                ("max_tick_moves".into(), Json::Int(max_tick_moves as i64)),
+                ("move_budget".into(), Json::Int(SKEW_BUDGET as i64)),
+                ("pass".into(), Json::Bool(pass)),
+            ]),
+        ),
+    ]);
+    let out = if opts.out == "BENCH_serving.json" {
+        "results/BENCH_skew.json"
+    } else {
+        opts.out.as_str()
+    };
+    if let Some(parent) = Path::new(out).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+        eprintln!("skew-bench: failed to write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("skew-bench: wrote {out}");
+    if pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "skew-bench: FAILED — rebalanced {:.3} vs static {:.3} (ticks {ticks}, \
+             max tick moves {max_tick_moves})",
+            rebalanced.imbalance, control.imbalance
+        );
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
 // --router-bench: the cross-process router-tier experiment behind
 // results/BENCH_router.json
 // ---------------------------------------------------------------------------
@@ -2853,6 +3262,9 @@ fn main() -> ExitCode {
     }
     if opts.shard_bench {
         return run_shard_bench(&opts);
+    }
+    if opts.skew_bench {
+        return run_skew_bench(&opts);
     }
     if opts.router_bench {
         return run_router_bench(&opts);

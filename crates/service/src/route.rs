@@ -69,9 +69,32 @@ impl Router {
     /// The backend owning `hash`: the first vnode at or clockwise of
     /// it, wrapping to the ring's start past the largest position.
     pub fn route(&self, hash: u64) -> u32 {
-        let at = self.ring.partition_point(|&(pos, _)| pos < hash);
-        let (_, backend) = self.ring[at % self.ring.len()];
-        backend
+        self.ring[self.vnode_of(hash)].1
+    }
+
+    /// The ring index of the vnode owning `hash` — a stable dense id in
+    /// `0..vnode_count()` (the ring is sorted by position and depends
+    /// only on the id set), used to key per-vnode load accounting and
+    /// explicit assignment tables.
+    pub fn vnode_of(&self, hash: u64) -> usize {
+        self.ring.partition_point(|&(pos, _)| pos < hash) % self.ring.len()
+    }
+
+    /// The backend the hash ring gives vnode `vnode` (its position's
+    /// original owner, ignoring any assignment table).
+    pub fn owner_of(&self, vnode: usize) -> u32 {
+        self.ring[vnode].1
+    }
+
+    /// Total vnode count (`backends() * vnodes()`).
+    pub fn vnode_count(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// The hash ring's vnode→backend table — the cold-start default an
+    /// assignment layer overrides.
+    pub fn default_owners(&self) -> Vec<u32> {
+        self.ring.iter().map(|&(_, backend)| backend).collect()
     }
 
     /// Number of backends on the ring.
@@ -111,13 +134,26 @@ impl Router {
 /// This is the structure the `gb-router` tier keys every request off;
 /// it is kept here next to [`Router`] so the failover contract is
 /// property-tested with the rest of the routing invariants.
+///
+/// On top of the hash placement sits an optional **assignment table**
+/// ([`set_assignment`](FailoverRing::set_assignment)): an explicit
+/// vnode→backend map, indexed by the *full* ring's vnode ids, that a
+/// rebalancer (`gb-rebal`) swaps in to override hash positions with
+/// load-derived ownership. Routing prefers the assigned owner while it
+/// is alive and falls back to the monotone hash ring otherwise, so the
+/// failover guarantees above still hold between rebalance ticks.
 #[derive(Debug, Clone)]
 pub struct FailoverRing {
     ids: Vec<u32>,
     alive: Vec<bool>,
     vnodes: usize,
+    /// Ring over the *complete* membership — stable vnode identity for
+    /// load accounting and assignment, independent of liveness.
+    full: Router,
     /// Ring over the currently-alive ids; `None` when everything is dead.
     current: Option<Router>,
+    /// Explicit vnode→backend override, indexed like `full`'s vnodes.
+    assignment: Option<Vec<u32>>,
 }
 
 impl FailoverRing {
@@ -128,13 +164,15 @@ impl FailoverRing {
 
     /// A fully-alive ring over an explicit id set.
     pub fn from_ids(ids: Vec<u32>, vnodes: usize) -> FailoverRing {
-        let current = Some(Router::from_ids(ids.clone(), vnodes));
+        let full = Router::from_ids(ids.clone(), vnodes);
         let alive = vec![true; ids.len()];
         FailoverRing {
             ids,
             alive,
             vnodes,
-            current,
+            current: Some(full.clone()),
+            full,
+            assignment: None,
         }
     }
 
@@ -207,9 +245,61 @@ impl FailoverRing {
         }
     }
 
+    /// The full-membership vnode owning `hash` — the index load
+    /// accounting and assignment tables are keyed by. Stable across
+    /// liveness changes.
+    pub fn vnode_of(&self, hash: u64) -> usize {
+        self.full.vnode_of(hash)
+    }
+
+    /// Total vnode count on the full ring.
+    pub fn vnode_count(&self) -> usize {
+        self.full.vnode_count()
+    }
+
+    /// The full ring's hash-derived vnode→backend table (the cold-start
+    /// default assignment).
+    pub fn default_owners(&self) -> Vec<u32> {
+        self.full.default_owners()
+    }
+
+    /// Installs (or with `None` clears) an explicit vnode→backend
+    /// assignment, indexed by the full ring's vnode ids.
+    ///
+    /// Panics if the table's length does not match
+    /// [`vnode_count`](FailoverRing::vnode_count) or an owner is not a
+    /// member — a planner bug, not a runtime condition: dead-but-member
+    /// owners are legal and simply fall back until the next tick.
+    pub fn set_assignment(&mut self, owners: Option<Vec<u32>>) {
+        if let Some(owners) = &owners {
+            assert_eq!(owners.len(), self.vnode_count(), "one owner per vnode");
+            for &owner in owners {
+                assert!(self.index_of(owner).is_some(), "owner {owner} not a member");
+            }
+        }
+        self.assignment = owners;
+    }
+
+    /// The explicit assignment in effect, if any.
+    pub fn assignment(&self) -> Option<&[u32]> {
+        self.assignment.as_deref()
+    }
+
+    /// The assigned owner for `hash`, provided it is alive and not in
+    /// `exclude`.
+    fn assigned(&self, hash: u64, exclude: &[u32]) -> Option<u32> {
+        let owners = self.assignment.as_ref()?;
+        let owner = owners[self.full.vnode_of(hash)];
+        (self.is_alive(owner) && !exclude.contains(&owner)).then_some(owner)
+    }
+
     /// The alive backend owning `hash`, or `None` when every backend is
-    /// dead.
+    /// dead: the assigned owner when one is installed and alive, else
+    /// the monotone hash ring over the alive subset.
     pub fn route(&self, hash: u64) -> Option<u32> {
+        if let Some(owner) = self.assigned(hash, &[]) {
+            return Some(owner);
+        }
         self.current.as_ref().map(|r| r.route(hash))
     }
 
@@ -218,8 +308,11 @@ impl FailoverRing {
     /// excluded, or `None` when no such backend exists. `exclude`
     /// empty is exactly [`route`](FailoverRing::route).
     pub fn route_excluding(&self, hash: u64, exclude: &[u32]) -> Option<u32> {
+        if let Some(owner) = self.assigned(hash, exclude) {
+            return Some(owner);
+        }
         if exclude.is_empty() {
-            return self.route(hash);
+            return self.current.as_ref().map(|r| r.route(hash));
         }
         let rest: Vec<u32> = self
             .alive_ids()
@@ -345,5 +438,57 @@ mod tests {
         // Unknown ids are reported dead, known-alive ones alive.
         assert!(ring.is_alive(0));
         assert!(!ring.is_alive(9));
+    }
+
+    #[test]
+    fn assignment_overrides_hash_placement() {
+        let mut ring = FailoverRing::new(3, 16);
+        // Assign every vnode to backend 2, regardless of position.
+        ring.set_assignment(Some(vec![2; ring.vnode_count()]));
+        for k in (0..2_000u64).map(splitmix64) {
+            assert_eq!(ring.route(k), Some(2));
+        }
+        // Clearing restores the hash ring exactly.
+        ring.set_assignment(None);
+        let hash_ring = Router::new(3, 16);
+        for k in (0..2_000u64).map(splitmix64) {
+            assert_eq!(ring.route(k), Some(hash_ring.route(k)));
+        }
+    }
+
+    #[test]
+    fn dead_assigned_owner_falls_back_and_revives() {
+        let mut ring = FailoverRing::new(3, 16);
+        ring.set_assignment(Some(vec![1; ring.vnode_count()]));
+        assert!(ring.mark_dead(1));
+        for k in (0..1_000u64).map(splitmix64) {
+            let owner = ring.route(k).expect("survivors remain");
+            assert_ne!(owner, 1, "routed to the dead assigned owner");
+        }
+        // Revival restores the assignment, not just the hash mapping.
+        assert!(ring.mark_alive(1));
+        for k in (0..1_000u64).map(splitmix64) {
+            assert_eq!(ring.route(k), Some(1));
+        }
+    }
+
+    #[test]
+    fn route_excluding_respects_assignment() {
+        let mut ring = FailoverRing::new(3, 16);
+        let owners: Vec<u32> = (0..ring.vnode_count() as u32).map(|v| v % 3).collect();
+        ring.set_assignment(Some(owners.clone()));
+        for k in (0..1_000u64).map(splitmix64) {
+            let primary = ring.route(k).unwrap();
+            assert_eq!(primary, owners[ring.vnode_of(k)]);
+            let hedge = ring.route_excluding(k, &[primary]).unwrap();
+            assert_ne!(hedge, primary, "hedge must avoid the assigned owner");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one owner per vnode")]
+    fn wrong_length_assignment_panics() {
+        let mut ring = FailoverRing::new(2, 8);
+        ring.set_assignment(Some(vec![0; 3]));
     }
 }

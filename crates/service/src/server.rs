@@ -50,11 +50,12 @@ use std::fmt;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use gb_parlb::ThreadPool;
+use gb_rebal::{EwmaTracker, RebalanceCounters, RebalanceSettings, VnodeLoad};
 use gb_store::{SpillHandle, SpillSender, Store};
 use gb_sys as sys;
 use parking_lot::Mutex;
@@ -200,6 +201,13 @@ pub struct Tuning {
     /// into its fd limit — where *every* accept fails and existing
     /// connections start losing `dup`/`fcntl` calls too.
     pub max_conns: usize,
+    /// Self-balancing vnode placement (`--rebalance-ms`): when set and
+    /// more than one backend is configured, a tick thread periodically
+    /// re-partitions the vnode set across backends with HF over the
+    /// observed per-vnode load (`gb-rebal`), overriding the hash ring
+    /// through an explicit assignment table. `None` (the default) keeps
+    /// the static consistent-hash placement.
+    pub rebalance: Option<RebalanceSettings>,
 }
 
 impl Default for Tuning {
@@ -217,6 +225,7 @@ impl Default for Tuning {
             backends: 0,
             backend_vnodes: 0,
             max_conns: 0,
+            rebalance: None,
         }
     }
 }
@@ -235,6 +244,7 @@ impl fmt::Debug for Tuning {
             .field("backends", &self.backends)
             .field("backend_vnodes", &self.backend_vnodes)
             .field("max_conns", &self.max_conns)
+            .field("rebalance", &self.rebalance)
             .finish_non_exhaustive()
     }
 }
@@ -386,6 +396,8 @@ struct Job {
     conn_id: u64,
     /// Index of the backend the router homed this job's key to.
     backend: usize,
+    /// Ring vnode owning this job's key, for per-vnode load accounting.
+    vnode: usize,
     reply: ReplyTo,
     /// RAII in-flight slot: released when the job is dropped, wherever
     /// that happens — worker reply, dead-connection skip, shed hand-back
@@ -409,6 +421,12 @@ struct Backend {
     spill: Option<SpillSender>,
     /// Worker threads dedicated to this backend's queue.
     workers: usize,
+    /// Cumulative requests served by this backend — attribution is
+    /// fixed at serve time, so delta windows over these counters give
+    /// true per-backend load even while assignments move.
+    load_hits: AtomicU64,
+    /// Cumulative compute micros spent by this backend.
+    load_micros: AtomicU64,
 }
 
 struct Shared {
@@ -443,13 +461,35 @@ struct Shared {
     /// which drains the spill queue to disk before the writer joins —
     /// graceful shutdown loses nothing.
     spill: Option<SpillHandle>,
+    /// Per-vnode load counters, indexed by the router's ring vnodes.
+    vnode_load: VnodeLoad,
+    /// The vnode→backend assignment in effect. Starts as the hash
+    /// ring's own table; the rebalance tick swaps in HF-planned tables.
+    /// Read per request (one shared-lock acquire), written once per
+    /// applying tick.
+    assignment: RwLock<Vec<u32>>,
+    /// Rebalance tick bookkeeping, exposed under `stats.rebal`.
+    rebal: RebalanceCounters,
 }
 
 impl Shared {
-    /// The backend that owns `key` under the current router.
-    fn backend_for(&self, key: &CacheKey) -> (usize, &Backend) {
-        let index = self.router.route(key.mix()) as usize;
-        (index, &self.backends[index])
+    /// The vnode and backend that own `key` under the assignment in
+    /// effect (the hash ring's table until a rebalance tick moves it).
+    fn backend_for(&self, key: &CacheKey) -> (usize, usize, &Backend) {
+        let vnode = self.router.vnode_of(key.mix());
+        let index = self.assignment.read().expect("assignment lock")[vnode] as usize;
+        (vnode, index, &self.backends[index])
+    }
+
+    /// Accounts one served request: per-vnode (drives the rebalancer)
+    /// and per-backend (drives the imbalance measurement). `micros` is
+    /// compute time only — cache hits pass 0 and the planner's
+    /// per-request hit cost covers their fixed overhead.
+    fn record_load(&self, vnode: usize, backend: usize, micros: u64) {
+        self.vnode_load.record(vnode, micros);
+        let b = &self.backends[backend];
+        b.load_hits.fetch_add(1, Ordering::Relaxed);
+        b.load_micros.fetch_add(micros, Ordering::Relaxed);
     }
 }
 
@@ -471,6 +511,7 @@ pub struct Server {
     acceptor: Option<thread::JoinHandle<()>>,
     pollers: Vec<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
+    rebal: Option<thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -553,6 +594,8 @@ impl Server {
                 inflight: SlotGauge::new(),
                 spill: None,
                 workers: worker_shares[b],
+                load_hits: AtomicU64::new(0),
+                load_micros: AtomicU64::new(0),
             })
             .collect();
         // Warm restart: replay persisted records through the owning
@@ -594,6 +637,8 @@ impl Server {
         } else {
             Vec::new()
         };
+        let vnode_count = router.vnode_count();
+        let default_owners = router.default_owners();
         let shared = Arc::new(Shared {
             router,
             backends,
@@ -610,7 +655,27 @@ impl Server {
             inboxes: (0..io_threads).map(|_| Mutex::new(Vec::new())).collect(),
             wakers,
             spill,
+            vnode_load: VnodeLoad::new(vnode_count),
+            assignment: RwLock::new(default_owners),
+            rebal: RebalanceCounters::new(),
         });
+
+        // The rebalance tick: pointless with a single backend (every
+        // plan is trivially balanced), so it only spawns when there is
+        // something to move between.
+        let rebal = match &tuning.rebalance {
+            Some(settings) if backend_count > 1 => {
+                let shared = Arc::clone(&shared);
+                let settings = settings.clone();
+                Some(
+                    thread::Builder::new()
+                        .name("gb-serve-rebal".into())
+                        .spawn(move || rebalance_loop(&shared, &settings))
+                        .expect("spawn rebalance tick"),
+                )
+            }
+            _ => None,
+        };
 
         let worker_handles = (0..backend_count)
             .flat_map(|b| (0..worker_shares[b]).map(move |w| (b, w)))
@@ -679,6 +744,7 @@ impl Server {
             acceptor,
             pollers,
             workers: worker_handles,
+            rebal,
         })
     }
 
@@ -720,6 +786,9 @@ impl Server {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(rebal) = self.rebal.take() {
+            let _ = rebal.join();
+        }
         let connections = std::mem::take(&mut *self.shared.connections.lock());
         for c in connections {
             let _ = c.join();
@@ -749,6 +818,50 @@ fn trigger_shutdown(shared: &Shared) {
     // Unblock the threaded engine's blocking accept() with a dummy
     // connection (harmless no-op for the event engine, which polls).
     let _ = TcpStream::connect(shared.local_addr);
+}
+
+// ---------------------------------------------------------------------------
+// Rebalance tick: HF over observed per-vnode load (gb-rebal)
+// ---------------------------------------------------------------------------
+
+/// The self-balancing tick. Every `interval` it snapshots the per-vnode
+/// counters into an EWMA, plans an HF re-partition of the vnode
+/// multiset over all backends (in-process backends don't die, so the
+/// candidate set is the full membership), and — hysteresis permitting —
+/// swaps the new assignment table in. Requests racing the swap route by
+/// either the old or the new table, both of which are valid backends;
+/// a moved vnode's next request simply warms the new owner's cache.
+fn rebalance_loop(shared: &Arc<Shared>, settings: &RebalanceSettings) {
+    let alive: Vec<u32> = (0..shared.backends.len() as u32).collect();
+    let mut tracker = EwmaTracker::new(shared.vnode_load.len(), settings.decay);
+    let interval = settings.interval.max(Duration::from_millis(1));
+    // Sleep in short steps so shutdown is honoured promptly even with
+    // long tick intervals.
+    let step = Duration::from_millis(20).min(interval);
+    let mut next_tick = Instant::now() + interval;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if Instant::now() < next_tick {
+            thread::sleep(step);
+            continue;
+        }
+        next_tick = Instant::now() + interval;
+        tracker.observe(&shared.vnode_load);
+        let current = shared.assignment.read().expect("assignment lock").clone();
+        let plan = gb_rebal::plan(
+            &tracker.weights(),
+            &current,
+            &alive,
+            settings.trigger,
+            settings.move_budget,
+        );
+        shared.rebal.record_tick(&plan);
+        if !plan.skipped && !plan.moves.is_empty() {
+            *shared.assignment.write().expect("assignment lock") = plan.owners;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -963,13 +1076,14 @@ fn overload_message(shared: &Shared, backend: &Backend, cause: FullCause) -> Str
 fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Response {
     let id = req.id;
     let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
-    let (backend_index, backend) = shared.backend_for(&key);
+    let (vnode, backend_index, backend) = shared.backend_for(&key);
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = Job {
         req,
         received: Instant::now(),
         conn_id,
         backend: backend_index,
+        vnode,
         reply: ReplyTo::Channel(reply_tx),
         _slot: shared.inflight_jobs.acquire(),
         _backend_slot: backend.inflight.acquire(),
@@ -1091,8 +1205,12 @@ fn drain_accepts(
     }
     let mut progress = false;
     loop {
-        let attempt = match shared.tuning.shim.accept_result() {
-            Ok(()) => listener.accept().map(|(stream, _)| stream),
+        // Accept first, shim second — same order as the threaded
+        // acceptor's `.and(stream)`. The scripted seam only fires once
+        // a real connection is pending, so an idle sweep iteration is a
+        // plain `WouldBlock` and never consumes a scripted verdict.
+        let attempt = match listener.accept() {
+            Ok((stream, _)) => shared.tuning.shim.accept_result().map(|()| stream),
             Err(e) => Err(e),
         };
         match attempt {
@@ -1767,9 +1885,10 @@ fn dispatch_event_line(
             // round trip, no worker hand-off, no condvar. The router
             // picks the backend whose cache can hold this key.
             let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
-            let (backend_index, backend) = shared.backend_for(&key);
+            let (vnode, backend_index, backend) = shared.backend_for(&key);
             if let Some(hit) = backend.cache.get(&key) {
                 let latency = received.elapsed();
+                shared.record_load(vnode, backend_index, 0);
                 shared.metrics.record_fast_path();
                 shared.metrics.record_ok(req.algorithm, true, latency);
                 push_reply(replies, &ok_response(&req, &hit, true, latency));
@@ -1788,6 +1907,7 @@ fn dispatch_event_line(
                 received,
                 conn_id: conn.conn_id,
                 backend: backend_index,
+                vnode,
                 reply: ReplyTo::Socket {
                     conn: Arc::clone(conn),
                     answered: Arc::clone(&answered),
@@ -1902,10 +2022,15 @@ fn execute(shared: &Shared, job: &Job) -> Response {
     let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta);
     if let Some(hit) = backend.cache.get(&key) {
         let latency = job.received.elapsed();
+        shared.record_load(job.vnode, job.backend, 0);
         shared.metrics.record_ok(req.algorithm, true, latency);
         return ok_response(req, &hit, true, latency);
     }
 
+    // Load accounting wants compute time, not queue wait: weighing a
+    // vnode by its time-in-queue would double-count the very imbalance
+    // the rebalancer is trying to remove.
+    let compute_started = Instant::now();
     let problem = req.problem.build();
     let alpha = req
         .problem
@@ -1937,6 +2062,8 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         // (counted) rather than stalling the worker.
         spill.spill(persist::encode_key(&key), persist::encode_value(&result));
     }
+    let compute_micros = compute_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    shared.record_load(job.vnode, job.backend, compute_micros);
     let latency = job.received.elapsed();
     shared.metrics.record_ok(req.algorithm, false, latency);
     ok_response(req, &result, false, latency)
@@ -2045,6 +2172,7 @@ fn stats_json(shared: &Shared) -> Json {
             ]),
         ));
         entries.push(("backends".into(), backends_json(shared, &per_cache)));
+        entries.push(("rebal".into(), rebal_json(shared)));
         entries.push((
             "connections".into(),
             Json::Obj(vec![
@@ -2085,6 +2213,46 @@ fn stats_json(shared: &Shared) -> Json {
     json
 }
 
+/// The self-balancing rollup: tick counters, the latest imbalance pair,
+/// and the observed-α Theorem 2 bound the plan was held to. `enabled`
+/// reflects whether a tick thread is actually running.
+fn rebal_json(shared: &Shared) -> Json {
+    let snap = shared.rebal.snapshot();
+    let settings = shared.tuning.rebalance.as_ref();
+    let enabled = settings.is_some() && shared.backends.len() > 1;
+    Json::Obj(vec![
+        ("enabled".into(), Json::Bool(enabled)),
+        (
+            "vnode_count".into(),
+            Json::Int(shared.vnode_load.len() as i64),
+        ),
+        (
+            "interval_ms".into(),
+            Json::Int(settings.map_or(0, |s| s.interval.as_millis().min(i64::MAX as u128) as i64)),
+        ),
+        (
+            "trigger".into(),
+            Json::Num(settings.map_or(0.0, |s| s.trigger)),
+        ),
+        (
+            "move_budget".into(),
+            Json::Int(settings.map_or(0, |s| s.move_budget.min(i64::MAX as usize) as i64)),
+        ),
+        ("ticks".into(), Json::Int(snap.ticks as i64)),
+        ("skipped".into(), Json::Int(snap.skipped as i64)),
+        ("moved".into(), Json::Int(snap.moved as i64)),
+        (
+            "max_tick_moves".into(),
+            Json::Int(snap.max_tick_moves as i64),
+        ),
+        ("version".into(), Json::Int(snap.version as i64)),
+        ("imbalance_before".into(), Json::Num(snap.imbalance_before)),
+        ("imbalance_after".into(), Json::Num(snap.imbalance_after)),
+        ("alpha".into(), Json::Num(snap.alpha)),
+        ("bound".into(), Json::Num(snap.bound)),
+    ])
+}
+
 /// The shard-aware rollup: per-backend gauges plus a `max/mean` load
 /// imbalance ratio over `queue_depth + inflight` — the min-max metric a
 /// balanced decomposition is judged by.
@@ -2119,6 +2287,14 @@ fn backends_json(shared: &Shared, per_cache: &[crate::cache::CacheStats]) -> Jso
                 ("cache_misses".into(), Json::Int(cache.misses as i64)),
                 ("cache_len".into(), Json::Int(cache.len as i64)),
                 ("hit_rate".into(), Json::Num(cache.hit_rate())),
+                (
+                    "load_hits".into(),
+                    Json::Int(b.load_hits.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "load_micros".into(),
+                    Json::Int(b.load_micros.load(Ordering::Relaxed) as i64),
+                ),
             ])
         })
         .collect();

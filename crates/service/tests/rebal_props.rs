@@ -1,0 +1,174 @@
+//! Property tests for the self-balancing assignment layer.
+//!
+//! Two contracts meet here. The planner (`gb_rebal::plan`): every vnode
+//! is assigned exactly once, never to a dead backend, the unbudgeted
+//! HF assignment respects the Theorem 2 bound for the observed α, a
+//! tick under the trigger moves nothing, and voluntary moves never
+//! exceed the budget. The ring (`FailoverRing` with an explicit
+//! assignment): assigned owners win over hash placement while alive,
+//! dead owners fall back to the alive-subset hash ring per request, and
+//! revival restores the assignment verbatim.
+
+use proptest::prelude::*;
+
+use gb_rebal::plan;
+use gb_service::route::FailoverRing;
+
+/// Positive, finite vnode weights (load is micros + hit cost, so zero
+/// is legal input — the planner floors it — but strictly positive
+/// values exercise the interesting paths).
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e6, 1..96)
+}
+
+/// Raw owner picks; tests truncate to the vnode count and reduce mod
+/// the backend count to make them legal.
+fn arb_current() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..64, 96..97)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every vnode gets exactly one owner, and that owner is alive —
+    /// dead backends are never targeted, whatever the budget/trigger.
+    #[test]
+    fn every_vnode_assigned_once_to_an_alive_backend(
+        weights in arb_weights(),
+        backends in 2u32..6,
+        seed in any::<u64>(),
+        trigger in 1.0f64..2.0,
+        budget in 0usize..32,
+    ) {
+        let vnodes = weights.len();
+        let current: Vec<u32> = (0..vnodes).map(|v| (seed.wrapping_add(v as u64) % backends as u64) as u32).collect();
+        let alive: Vec<u32> = (0..backends).filter(|b| (seed >> b) & 1 == 1 || *b == 0).collect();
+        let p = plan(&weights, &current, &alive, trigger, budget);
+        prop_assert_eq!(p.owners.len(), vnodes, "one owner per vnode");
+        if !p.skipped {
+            for (v, &owner) in p.owners.iter().enumerate() {
+                prop_assert!(
+                    alive.contains(&owner),
+                    "vnode {} assigned to dead backend {}", v, owner
+                );
+            }
+        }
+    }
+
+    /// The unbudgeted HF assignment's max/mean never exceeds the
+    /// Theorem 2 bound reported for the observed α.
+    #[test]
+    fn planned_imbalance_respects_the_hf_bound(
+        weights in arb_weights(),
+        backends in 2u32..6,
+    ) {
+        let vnodes = weights.len();
+        let current = vec![0u32; vnodes];
+        let alive: Vec<u32> = (0..backends).collect();
+        // trigger 1.0 forces planning; unlimited budget so
+        // planned == applied.
+        let p = plan(&weights, &current, &alive, 1.0, usize::MAX);
+        if !p.skipped {
+            prop_assert!(p.bound >= 1.0);
+            prop_assert!(
+                p.planned_imbalance <= p.bound + 1e-9,
+                "planned {} exceeds bound {} (alpha {})",
+                p.planned_imbalance, p.bound, p.alpha
+            );
+        }
+    }
+
+    /// A tick whose imbalance sits at/under the trigger (with no
+    /// orphans) moves zero vnodes and keeps the assignment unchanged.
+    #[test]
+    fn under_trigger_tick_is_a_noop(
+        weights in arb_weights(),
+        backends in 2u32..6,
+        current in arb_current(),
+    ) {
+        // Make current legal for this backend count.
+        let vnodes = weights.len().min(current.len());
+        let weights = &weights[..vnodes];
+        let current: Vec<u32> = current[..vnodes].iter().map(|&o| o % backends).collect();
+        let alive: Vec<u32> = (0..backends).collect();
+        // Compute the actual imbalance, then set the trigger just above
+        // it: the tick must skip.
+        let probe = plan(weights, &current, &alive, 1.0, usize::MAX);
+        let trigger = probe.imbalance_before * 1.0001 + 1e-9;
+        let p = plan(weights, &current, &alive, trigger, usize::MAX);
+        prop_assert!(p.skipped);
+        prop_assert!(p.moves.is_empty());
+        prop_assert_eq!(p.owners, current);
+    }
+
+    /// Voluntary moves never exceed the budget; forced moves (dead
+    /// owners) are exempt but account for every extra move.
+    #[test]
+    fn budget_bounds_voluntary_moves(
+        weights in arb_weights(),
+        backends in 2u32..6,
+        budget in 0usize..24,
+        seed in any::<u64>(),
+    ) {
+        let vnodes = weights.len();
+        let current: Vec<u32> = (0..vnodes).map(|v| (seed.wrapping_mul(31).wrapping_add(v as u64) % backends as u64) as u32).collect();
+        let alive: Vec<u32> = (0..backends).filter(|b| (seed >> (8 + b)) & 1 == 1 || *b == 0).collect();
+        let p = plan(&weights, &current, &alive, 1.0, budget);
+        let forced = p
+            .moves
+            .iter()
+            .filter(|&&v| !alive.contains(&current[v]))
+            .count();
+        let voluntary = p.moves.len() - forced;
+        prop_assert!(
+            voluntary <= budget,
+            "{} voluntary moves exceed budget {}", voluntary, budget
+        );
+        // Every orphaned vnode must have moved somewhere alive.
+        if !p.skipped {
+            for (v, &owner) in current.iter().enumerate() {
+                if !alive.contains(&owner) {
+                    prop_assert!(p.moves.contains(&v), "orphan vnode {} not moved", v);
+                }
+            }
+        }
+    }
+
+    /// An explicit assignment overrides hash placement for every key
+    /// while the owner is alive, falls back to the alive-subset hash
+    /// ring when it dies, and snaps back verbatim on revival.
+    #[test]
+    fn ring_assignment_override_fallback_and_revival(
+        backends in 2usize..6,
+        vnodes_per in 4usize..16,
+        owners_seed in any::<u64>(),
+        keys in proptest::collection::vec(any::<u64>(), 32..128),
+        victim in 0usize..6,
+    ) {
+        let victim = (victim % backends) as u32;
+        let mut ring = FailoverRing::new(backends, vnodes_per);
+        let count = ring.vnode_count();
+        let owners: Vec<u32> = (0..count)
+            .map(|v| (owners_seed.wrapping_add(v as u64 * 7919) % backends as u64) as u32)
+            .collect();
+        ring.set_assignment(Some(owners.clone()));
+        for &key in &keys {
+            let vnode = ring.vnode_of(key);
+            prop_assert_eq!(ring.route(key), Some(owners[vnode]));
+        }
+        ring.mark_dead(victim);
+        for &key in &keys {
+            let vnode = ring.vnode_of(key);
+            let got = ring.route(key).expect("survivors exist");
+            prop_assert!(got != victim, "routed to a dead backend");
+            if owners[vnode] != victim {
+                prop_assert_eq!(got, owners[vnode], "live assignment must win");
+            }
+        }
+        ring.mark_alive(victim);
+        for &key in &keys {
+            let vnode = ring.vnode_of(key);
+            prop_assert_eq!(ring.route(key), Some(owners[vnode]), "revival restores assignment");
+        }
+    }
+}

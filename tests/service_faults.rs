@@ -1176,3 +1176,71 @@ fn router_answers_the_request_in_flight_at_the_kill() {
     );
     router.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Self-balancing placement under churn
+// ---------------------------------------------------------------------------
+
+/// A live rebalancer migrating vnodes between backends must never wedge
+/// the server: skewed traffic drives real assignment swaps while
+/// clients vanish mid-request, and afterwards every gauge drains to
+/// zero and a fresh request still computes.
+#[test]
+fn rebalance_under_churn_never_wedges() {
+    use gb_rebal::RebalanceSettings;
+    let setup = Setup {
+        engine: Engine::Event,
+        backends: 2,
+    };
+    let h = Harness::start_with(setup, |t| {
+        // trigger 1.0: any measurable skew plans, so assignment swaps
+        // happen while the chaos below is in flight.
+        t.rebalance = Some(RebalanceSettings {
+            interval: Duration::from_millis(40),
+            trigger: 1.0,
+            move_budget: usize::MAX,
+            decay: 0.5,
+        });
+    });
+
+    // Skew: one hot seed hammered from a persistent client while cold
+    // seeds churn, and some connections die mid-request.
+    let hot = cold_seed();
+    let addr = h.addr();
+    let driver = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        for _ in 0..120 {
+            client.call(&balance_request(hot, None)).expect("hot call");
+        }
+    });
+    for _ in 0..10 {
+        let mut client = Client::connect(h.addr()).expect("connect");
+        let _ = client.call(&balance_request(cold_seed(), None));
+        // Drop abruptly with a request possibly still queued.
+        let mut raw = RawConn::open(h.addr());
+        raw.send(&request_line(&balance_request(cold_seed(), None)));
+        drop(raw);
+    }
+    driver.join().expect("hot driver");
+
+    // The tick loop must be alive and have applied at least one
+    // assignment version under this much skew.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let rebal = h.stats();
+        let rebal = rebal.get("rebal").expect("stats.rebal");
+        let ticks = rebal.get("ticks").and_then(|v| v.as_u64()).unwrap_or(0);
+        let version = rebal.get("version").and_then(|v| v.as_u64()).unwrap_or(0);
+        if ticks >= 3 && version >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "rebalance loop never progressed: ticks={ticks} version={version}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    h.assert_never_wedged();
+    h.shutdown();
+}
