@@ -2,20 +2,23 @@
 //!
 //! Each upstream gets an [`UpstreamPool`]: checked-out connections are
 //! used for exactly one request/response exchange and published back
-//! when the reply arrived cleanly. A [`PooledConn`] survives read
-//! timeouts mid-reply — the partial line stays buffered, so a hedged
-//! request can keep waiting on the primary after its hedge fired —
-//! but any connection whose exchange ended in an error is dropped, not
-//! repooled, so a desynchronised stream can never serve a stale reply
-//! to a later request.
+//! when the reply arrived cleanly. The pool is codec-agnostic: frames
+//! move through it as raw bytes — a JSON line with its newline, or a
+//! length-prefixed binary frame — so proxying never re-parses or copies
+//! a body. A [`PooledConn`] survives read timeouts mid-reply — the
+//! partial frame stays buffered, so a hedged request can keep waiting
+//! on the primary after its hedge fired — but any connection whose
+//! exchange ended in an error is dropped, not repooled, so a
+//! desynchronised stream can never serve a stale reply to a later
+//! request.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use gb_service::fault::{IoShim, ShimStream};
-use gb_service::proto::MAX_FRAME;
+use gb_service::proto::{BIN_HDR, MAGIC, MAX_FRAME};
 
 /// Shim connection-id base for upstream-side sockets. Client
 /// connections use their accept order (`0, 1, 2, ...`) exactly like the
@@ -24,20 +27,46 @@ use gb_service::proto::MAX_FRAME;
 /// router→upstream link without touching client traffic.
 pub const UPSTREAM_CONN_BASE: u64 = 1 << 32;
 
+/// Where one buffered reply frame ends, sniffing the first byte for the
+/// codec. `Ok(Some(end))` when `buf[..end]` is a complete frame
+/// (newline included for JSON, header included for binary), `Ok(None)`
+/// when more bytes are needed, `Err` when the declared binary length is
+/// corrupt — the stream can never resync inside a request/response
+/// exchange, so the connection must be dropped.
+fn frame_end(buf: &[u8]) -> io::Result<Option<usize>> {
+    match buf.first() {
+        None => Ok(None),
+        Some(&MAGIC) => {
+            if buf.len() < BIN_HDR {
+                return Ok(None);
+            }
+            let len = u32::from_le_bytes(buf[1..BIN_HDR].try_into().unwrap()) as usize;
+            if len > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "upstream binary frame length is corrupt",
+                ));
+            }
+            if buf.len() >= BIN_HDR + len {
+                Ok(Some(BIN_HDR + len))
+            } else {
+                Ok(None)
+            }
+        }
+        _ => Ok(buf.iter().position(|&b| b == b'\n').map(|p| p + 1)),
+    }
+}
+
 /// One persistent connection to an upstream, owned by whoever checked
 /// it out of the pool.
 pub struct PooledConn {
     /// Raw handle kept for timeout changes (`set_read_timeout`).
     sock: TcpStream,
     writer: ShimStream,
-    reader: BufReader<ShimStream>,
-    /// Bytes of a reply line that arrived before a read timeout; the
+    reader: ShimStream,
+    /// Bytes of a reply frame that arrived before a read timeout; the
     /// next [`read_reply`](PooledConn::read_reply) resumes from here.
-    partial: String,
-    /// Scratch buffer so a frame and its newline go out as ONE write —
-    /// two writes under `TCP_NODELAY` are two segments, and the second
-    /// can cost the receiver an extra wakeup per request.
-    out: String,
+    partial: Vec<u8>,
     /// Last timeout applied to the socket; skips the `setsockopt` pair
     /// on the hot path when the deadline has not changed.
     read_timeout: Option<Duration>,
@@ -64,78 +93,81 @@ impl PooledConn {
         sock.set_nodelay(true)?;
         sock.set_write_timeout(Some(write_timeout))?;
         let writer = ShimStream::new(sock.try_clone()?, Arc::clone(shim), conn_id);
-        let reader = BufReader::new(ShimStream::new(
-            sock.try_clone()?,
-            Arc::clone(shim),
-            conn_id,
-        ));
+        let reader = ShimStream::new(sock.try_clone()?, Arc::clone(shim), conn_id);
         Ok(PooledConn {
             sock,
             writer,
             reader,
-            partial: String::new(),
-            out: String::new(),
+            partial: Vec::new(),
             read_timeout: None,
         })
     }
 
-    /// Whether a reply line is partially buffered (the previous read
+    /// Whether a reply frame is partially buffered (the previous read
     /// timed out mid-frame). Such a connection must finish its read
     /// before it can carry another request.
     pub fn has_partial(&self) -> bool {
         !self.partial.is_empty()
     }
 
-    /// Writes one frame (newline appended) as a single write.
-    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
-        self.out.clear();
-        self.out.push_str(line);
-        self.out.push('\n');
-        self.writer.write_all(self.out.as_bytes())
+    /// Writes one complete pre-framed request (newline or length prefix
+    /// already included) as a single write.
+    pub fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.writer.write_all(frame)
     }
 
-    /// Reads one reply line, waiting at most `timeout`.
+    /// Reads one complete reply frame, waiting at most `timeout`, and
+    /// returns it verbatim — framing included — so the caller can relay
+    /// it without re-encoding.
     ///
     /// A `WouldBlock`/`TimedOut` error means the reply has not arrived
     /// yet; any bytes that did arrive stay buffered and a later call
-    /// resumes the same line. Every other error (EOF, reset, an
-    /// oversized or torn frame) means the connection is unusable.
-    pub fn read_reply(&mut self, timeout: Duration) -> io::Result<String> {
+    /// resumes the same frame. Every other error (EOF, reset, a corrupt
+    /// length, an oversized or torn frame) means the connection is
+    /// unusable.
+    pub fn read_reply(&mut self, timeout: Duration) -> io::Result<Vec<u8>> {
         let timeout = timeout.max(Duration::from_millis(1));
         if self.read_timeout != Some(timeout) {
             self.sock.set_read_timeout(Some(timeout))?;
             self.read_timeout = Some(timeout);
         }
+        let mut chunk = [0u8; 4096];
         loop {
-            // take() bounds a single line; repeated resumed reads of one
-            // endless line are cut off by the same limit below.
-            let read = (&mut self.reader)
-                .take(2 * MAX_FRAME as u64)
-                .read_line(&mut self.partial);
-            match read {
-                Ok(0) => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "upstream closed the connection",
-                    ))
+            match frame_end(&self.partial) {
+                Ok(Some(end)) if end == self.partial.len() => {
+                    return Ok(std::mem::take(&mut self.partial));
                 }
-                Ok(_) => {
-                    if self.partial.ends_with('\n') && self.partial.len() <= 2 * MAX_FRAME {
-                        let mut line = std::mem::take(&mut self.partial);
-                        while line.ends_with('\n') || line.ends_with('\r') {
-                            line.pop();
-                        }
-                        return Ok(line);
-                    }
-                    // read_line returned without a newline: EOF mid-line
-                    // or the take() limit was hit — either way the
-                    // stream is out of frame sync.
+                Ok(Some(_)) => {
+                    // Bytes beyond one reply on a one-request-in-flight
+                    // stream: frame sync is gone.
                     self.partial.clear();
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        "upstream reply torn or oversized",
+                        "upstream reply overran its frame",
                     ));
                 }
+                Ok(None) => {}
+                Err(e) => {
+                    self.partial.clear();
+                    return Err(e);
+                }
+            }
+            if self.partial.len() > BIN_HDR + MAX_FRAME {
+                self.partial.clear();
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "upstream reply torn or oversized",
+                ));
+            }
+            match self.reader.read(&mut chunk) {
+                Ok(0) => {
+                    self.partial.clear();
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "upstream closed the connection",
+                    ));
+                }
+                Ok(k) => self.partial.extend_from_slice(&chunk[..k]),
                 Err(e)
                     if matches!(
                         e.kind(),
@@ -150,9 +182,9 @@ impl PooledConn {
         }
     }
 
-    /// One full request/response exchange.
-    pub fn call(&mut self, line: &str, timeout: Duration) -> io::Result<String> {
-        self.send_line(line)?;
+    /// One full request/response exchange over pre-framed bytes.
+    pub fn call(&mut self, frame: &[u8], timeout: Duration) -> io::Result<Vec<u8>> {
+        self.send_frame(frame)?;
         self.read_reply(timeout)
     }
 }
@@ -205,11 +237,41 @@ impl UpstreamPool {
         self.addr
     }
 
+    /// The idle list, recovering from a poisoned lock. A handler thread
+    /// that panics while holding the lock must not cascade the panic
+    /// into every later checkout on this upstream; the inner state may
+    /// be half-updated, so the list is cleared — dropping idle sockets
+    /// is always safe, they are redialed on demand.
+    fn idle_guard(&self) -> MutexGuard<'_, Vec<PooledConn>> {
+        self.idle.lock().unwrap_or_else(|poisoned| {
+            // Un-poison so recovery happens exactly once, not on every
+            // later lock.
+            self.idle.clear_poison();
+            let mut guard = poisoned.into_inner();
+            guard.clear();
+            guard
+        })
+    }
+
     /// Takes an idle connection, or dials a fresh one.
     pub fn checkout(&self) -> io::Result<PooledConn> {
-        if let Some(conn) = self.idle.lock().unwrap().pop() {
-            return Ok(conn);
+        self.checkout_tracked().map(|(conn, _)| conn)
+    }
+
+    /// Like [`checkout`](Self::checkout), also reporting whether the
+    /// connection came from the idle list. A reused connection may have
+    /// been closed by the upstream while it sat idle (restart, idle
+    /// sweep) — the caller should retry such a failure once on a fresh
+    /// dial before counting it against the failure threshold.
+    pub fn checkout_tracked(&self) -> io::Result<(PooledConn, bool)> {
+        if let Some(conn) = self.idle_guard().pop() {
+            return Ok((conn, true));
         }
+        self.dial().map(|conn| (conn, false))
+    }
+
+    /// Dials a fresh connection, bypassing the idle list.
+    pub fn dial(&self) -> io::Result<PooledConn> {
         PooledConn::connect(
             self.addr,
             self.connect_timeout,
@@ -226,7 +288,7 @@ impl UpstreamPool {
         if conn.has_partial() {
             return;
         }
-        let mut idle = self.idle.lock().unwrap();
+        let mut idle = self.idle_guard();
         if idle.len() < self.max_idle {
             idle.push(conn);
         }
@@ -234,12 +296,12 @@ impl UpstreamPool {
 
     /// Drops every idle connection (the upstream was declared dead).
     pub fn clear(&self) {
-        self.idle.lock().unwrap().clear();
+        self.idle_guard().clear();
     }
 
     /// Number of idle pooled connections.
     pub fn idle_count(&self) -> usize {
-        self.idle.lock().unwrap().len()
+        self.idle_guard().len()
     }
 }
 
@@ -253,6 +315,10 @@ mod tests {
 
     fn shim() -> Arc<dyn IoShim> {
         Arc::new(Passthrough)
+    }
+
+    fn line(s: &str) -> Vec<u8> {
+        format!("{s}\n").into_bytes()
     }
 
     /// An echo server that answers each line with `ok:<line>`, optionally
@@ -301,18 +367,20 @@ mod tests {
             Duration::from_secs(1),
             4,
         );
-        let mut conn = pool.checkout().unwrap();
+        let (mut conn, reused) = pool.checkout_tracked().unwrap();
+        assert!(!reused, "first checkout dials fresh");
         assert_eq!(
-            conn.call("hello", Duration::from_secs(1)).unwrap(),
-            "ok:hello"
+            conn.call(&line("hello"), Duration::from_secs(1)).unwrap(),
+            line("ok:hello")
         );
         pool.publish(conn);
         assert_eq!(pool.idle_count(), 1);
-        let mut again = pool.checkout().unwrap();
+        let (mut again, reused) = pool.checkout_tracked().unwrap();
+        assert!(reused, "second checkout reuses the idle conn");
         assert_eq!(pool.idle_count(), 0, "checkout must drain the idle list");
         assert_eq!(
-            again.call("world", Duration::from_secs(1)).unwrap(),
-            "ok:world"
+            again.call(&line("world"), Duration::from_secs(1)).unwrap(),
+            line("ok:world")
         );
         pool.publish(again);
         pool.clear();
@@ -331,7 +399,7 @@ mod tests {
             4,
         );
         let mut conn = pool.checkout().unwrap();
-        conn.send_line("slow").unwrap();
+        conn.send_frame(&line("slow")).unwrap();
         // The first half of the reply arrives, then the server pauses
         // past our timeout: the read must report a timeout and keep the
         // prefix buffered.
@@ -344,16 +412,71 @@ mod tests {
             "expected a timeout, got {err:?}"
         );
         assert!(conn.has_partial(), "the reply prefix must stay buffered");
-        // Resuming with a generous timeout completes the same line.
-        assert_eq!(conn.read_reply(Duration::from_secs(1)).unwrap(), "ok:slow");
+        // Resuming with a generous timeout completes the same frame.
+        assert_eq!(
+            conn.read_reply(Duration::from_secs(1)).unwrap(),
+            line("ok:slow")
+        );
         assert!(!conn.has_partial());
         // A connection that timed out mid-reply must not be repooled
         // while desynchronised.
-        conn.send_line("slow").unwrap();
+        conn.send_frame(&line("slow")).unwrap();
         let _ = conn.read_reply(Duration::from_millis(25)).unwrap_err();
         assert!(conn.has_partial());
         pool.publish(conn);
         assert_eq!(pool.idle_count(), 0, "partial conns are dropped");
+    }
+
+    #[test]
+    fn binary_frames_round_trip_verbatim() {
+        // A raw byte-echo upstream: whatever frame arrives goes back
+        // unchanged, preserving its length prefix.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                thread::spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    loop {
+                        match stream.read(&mut buf) {
+                            Ok(0) | Err(_) => return,
+                            Ok(k) => {
+                                if stream.write_all(&buf[..k]).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let pool = UpstreamPool::new(
+            addr,
+            UPSTREAM_CONN_BASE,
+            shim(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            4,
+        );
+        let mut conn = pool.checkout().unwrap();
+        // Payload contains a newline and a MAGIC byte: the sniffing
+        // reader must still frame by the length prefix alone.
+        let payload = [0x03, b'\n', MAGIC, 0x00];
+        let mut frame = vec![MAGIC];
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        assert_eq!(
+            conn.call(&frame, Duration::from_secs(1)).unwrap(),
+            frame,
+            "binary reply must come back framing-intact"
+        );
+        // And a corrupt declared length kills the exchange cleanly.
+        let mut corrupt = vec![MAGIC];
+        corrupt.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = conn.call(&corrupt, Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!conn.has_partial(), "corrupt stream must not stay buffered");
     }
 
     #[test]
@@ -372,5 +495,48 @@ mod tests {
             4,
         );
         assert!(pool.checkout().is_err());
+    }
+
+    #[test]
+    fn poisoned_idle_lock_recovers_instead_of_cascading() {
+        let addr = echo_server(None, Duration::ZERO);
+        let pool = Arc::new(UpstreamPool::new(
+            addr,
+            UPSTREAM_CONN_BASE,
+            shim(),
+            Duration::from_secs(1),
+            Duration::from_secs(1),
+            4,
+        ));
+        let mut conn = pool.checkout().unwrap();
+        assert_eq!(
+            conn.call(&line("a"), Duration::from_secs(1)).unwrap(),
+            line("ok:a")
+        );
+        pool.publish(conn);
+        assert_eq!(pool.idle_count(), 1);
+        // Poison the lock: a panic on a thread that holds the guard.
+        let poisoner = Arc::clone(&pool);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.idle.lock().unwrap();
+            panic!("poison the idle lock");
+        })
+        .join();
+        assert!(
+            pool.idle.is_poisoned(),
+            "the lock must actually be poisoned"
+        );
+        // Every pool entry point recovers: the half-updated idle list is
+        // cleared once, then normal service resumes.
+        assert_eq!(pool.idle_count(), 0, "recovery clears the idle list");
+        let (mut fresh, reused) = pool.checkout_tracked().unwrap();
+        assert!(!reused, "post-poison checkout dials fresh");
+        assert_eq!(
+            fresh.call(&line("b"), Duration::from_secs(1)).unwrap(),
+            line("ok:b")
+        );
+        pool.publish(fresh);
+        assert_eq!(pool.idle_count(), 1, "publish works after recovery");
+        pool.clear();
     }
 }

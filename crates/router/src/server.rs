@@ -30,7 +30,8 @@ use gb_service::cache::CacheKey;
 use gb_service::fault::{IoShim, Passthrough, ShimStream};
 use gb_service::metrics::Histogram;
 use gb_service::proto::{
-    ErrorCode, Frame, FrameError, FrameReader, Json, Request, Response, MAX_FRAME,
+    binary_reply_id, json_reply_id, BalanceRequest, Codec, ErrorCode, Frame, FrameError,
+    FrameReader, Json, Request, Response, WireCodec, BIN_HDR, MAGIC, MAX_FRAME,
 };
 use gb_service::route::{FailoverRing, DEFAULT_VNODES};
 
@@ -141,6 +142,9 @@ struct Counters {
     failovers: AtomicU64,
     recoveries: AtomicU64,
     retries: AtomicU64,
+    /// Idle pooled connections found closed by the upstream and redialed
+    /// transparently (not charged against the failure threshold).
+    stale_retries: AtomicU64,
     bad_frames: AtomicU64,
     no_upstream: AtomicU64,
     probes_ok: AtomicU64,
@@ -250,18 +254,36 @@ fn is_timeout(e: &io::Error) -> bool {
     )
 }
 
-fn error_reply(id: Option<u64>, code: ErrorCode, message: &str) -> String {
-    Response::Error {
-        id,
-        code,
-        message: message.into(),
-    }
-    .encode()
+/// A complete error-reply frame in the client's codec.
+fn error_frame(codec: WireCodec, id: Option<u64>, code: ErrorCode, message: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec.encode_response(
+        &Response::Error {
+            id,
+            code,
+            message: message.into(),
+        },
+        &mut out,
+    );
+    out
 }
 
-/// The `id` field of a reply line, if it parses.
-fn reply_id(reply: &str) -> Option<u64> {
-    Json::parse(reply).ok()?.get("id")?.as_u64()
+/// A complete reply frame in the given codec.
+fn response_frame(codec: WireCodec, resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec.encode_response(resp, &mut out);
+    out
+}
+
+/// The `id` field of a framed reply, sniffing the codec from the first
+/// byte — the router relays frames verbatim, so correlation must read
+/// whichever encoding the upstream answered in.
+fn reply_id(reply: &[u8]) -> Option<u64> {
+    if reply.first() == Some(&MAGIC) {
+        binary_reply_id(reply.get(BIN_HDR..)?)
+    } else {
+        json_reply_id(std::str::from_utf8(reply).ok()?.trim_end())
+    }
 }
 
 /// Books a clean reply: correlates it by id, records latency and
@@ -271,9 +293,9 @@ fn settle_ok(
     id: u32,
     started: Instant,
     conn: PooledConn,
-    reply: String,
+    reply: Vec<u8>,
     want_id: Option<u64>,
-) -> io::Result<String> {
+) -> io::Result<Vec<u8>> {
     if let Some(want) = want_id {
         if reply_id(&reply) != Some(want) {
             // A reply for some other request means the pooled stream
@@ -292,9 +314,17 @@ fn settle_ok(
     Ok(reply)
 }
 
-/// Proxies one balance frame: route by key, fail over across distinct
-/// upstreams on send-side errors, hedge on reply-side tail latency.
-fn proxy_balance(shared: &Arc<Shared>, line: &str, key: u64, req_id: Option<u64>) -> String {
+/// Proxies one balance frame (pre-framed bytes, relayed verbatim):
+/// route by key, fail over across distinct upstreams on send-side
+/// errors, hedge on reply-side tail latency. Router-generated errors go
+/// out in the client's codec.
+fn proxy_balance(
+    shared: &Arc<Shared>,
+    frame: &[u8],
+    key: u64,
+    req_id: Option<u64>,
+    codec: WireCodec,
+) -> Vec<u8> {
     let deadline = Instant::now() + shared.config.reply_timeout;
     let mut tried: Vec<u32> = Vec::new();
     let mut last_err: Option<io::Error> = None;
@@ -305,7 +335,7 @@ fn proxy_balance(shared: &Arc<Shared>, line: &str, key: u64, req_id: Option<u64>
             shared.counters.retries.fetch_add(1, Ordering::Relaxed);
         }
         tried.push(id);
-        match attempt_on(shared, id, line, key, req_id, deadline, &tried) {
+        match attempt_on(shared, id, frame, key, req_id, deadline, &tried) {
             Ok(reply) => return reply,
             Err(e) => last_err = Some(e),
         }
@@ -314,83 +344,123 @@ fn proxy_balance(shared: &Arc<Shared>, line: &str, key: u64, req_id: Option<u64>
         }
     }
     match last_err {
-        Some(e) if is_timeout(&e) => error_reply(
+        Some(e) if is_timeout(&e) => error_frame(
+            codec,
             req_id,
             ErrorCode::Timeout,
             "upstream did not reply within the router's budget",
         ),
-        Some(e) => error_reply(
+        Some(e) => error_frame(
+            codec,
             req_id,
             ErrorCode::Internal,
             &format!("upstream failed: {e}"),
         ),
         None => {
             shared.counters.no_upstream.fetch_add(1, Ordering::Relaxed);
-            error_reply(req_id, ErrorCode::Internal, "no alive upstream")
+            error_frame(codec, req_id, ErrorCode::Internal, "no alive upstream")
         }
     }
 }
 
+/// Whether an exchange error looks like the upstream closed the
+/// connection before (or instead of) answering — exactly what a pooled
+/// connection exhibits when the upstream restarted or swept it while it
+/// sat idle.
+fn is_stale_close(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
 /// One attempt against upstream `id`: send, then wait — either to the
 /// full deadline, or only to the hedge delay before racing a second
-/// backend.
+/// backend. A connection reused from the idle pool that fails like a
+/// stale close is retried exactly once on a fresh dial before anything
+/// is charged against the failure threshold: the upstream restarting is
+/// not the upstream being down.
 fn attempt_on(
     shared: &Arc<Shared>,
     id: u32,
-    line: &str,
+    frame: &[u8],
     key: u64,
     req_id: Option<u64>,
     deadline: Instant,
     tried: &[u32],
-) -> io::Result<String> {
+) -> io::Result<Vec<u8>> {
     let up = &shared.upstreams[id as usize];
     up.requests.fetch_add(1, Ordering::Relaxed);
     let guard = InflightGuard::new(shared, id);
     let started = Instant::now();
-    let mut conn = match up.pool.checkout() {
-        Ok(c) => c,
+    let (mut conn, mut reused) = match up.pool.checkout_tracked() {
+        Ok(pair) => pair,
         Err(e) => {
             shared.mark_failure(id);
             return Err(e);
         }
     };
-    if let Err(e) = conn.send_line(line) {
-        shared.mark_failure(id);
-        return Err(e);
-    }
-    let remaining = deadline.saturating_duration_since(Instant::now());
-    // Hedging applies only when a distinct alive backend exists and the
-    // hedge delay actually precedes the deadline.
-    let hedge_plan = shared.config.hedge_delay.and_then(|delay| {
-        if delay >= remaining {
-            return None;
-        }
-        shared
-            .ring
-            .read()
-            .unwrap()
-            .route_excluding(key, tried)
-            .map(|hedge_id| (delay, hedge_id))
-    });
-    let first_wait = hedge_plan.map_or(remaining, |(delay, _)| delay);
-    match conn.read_reply(first_wait.max(Duration::from_millis(1))) {
-        Ok(reply) => settle_ok(shared, id, started, conn, reply, req_id),
-        Err(e) if is_timeout(&e) => {
-            if let Some((_, hedge_id)) = hedge_plan {
-                hedged_race(
-                    shared, id, hedge_id, guard, conn, line, req_id, deadline, started,
-                )
-            } else {
-                // Hard timeout: the upstream accepted the request but
-                // never answered within budget.
-                shared.mark_failure(id);
-                Err(e)
+    loop {
+        let exchange: io::Result<Vec<u8>> = match conn.send_frame(frame) {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                // Hedging applies only when a distinct alive backend
+                // exists and the hedge delay actually precedes the
+                // deadline.
+                let hedge_plan = shared.config.hedge_delay.and_then(|delay| {
+                    if delay >= remaining {
+                        return None;
+                    }
+                    shared
+                        .ring
+                        .read()
+                        .unwrap()
+                        .route_excluding(key, tried)
+                        .map(|hedge_id| (delay, hedge_id))
+                });
+                let first_wait = hedge_plan.map_or(remaining, |(delay, _)| delay);
+                match conn.read_reply(first_wait.max(Duration::from_millis(1))) {
+                    Ok(reply) => return settle_ok(shared, id, started, conn, reply, req_id),
+                    Err(e) if is_timeout(&e) => {
+                        if let Some((_, hedge_id)) = hedge_plan {
+                            return hedged_race(
+                                shared, id, hedge_id, guard, conn, frame, req_id, deadline, started,
+                            );
+                        }
+                        // Hard timeout: the upstream accepted the request
+                        // but never answered within budget.
+                        shared.mark_failure(id);
+                        return Err(e);
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+        };
+        let e = exchange.unwrap_err();
+        if reused && is_stale_close(&e) {
+            match up.pool.dial() {
+                Ok(fresh) => {
+                    shared
+                        .counters
+                        .stale_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn = fresh;
+                    reused = false;
+                    continue;
+                }
+                Err(dial_err) => {
+                    // Could not even dial: that is a real failure.
+                    shared.mark_failure(id);
+                    return Err(dial_err);
+                }
             }
         }
-        Err(e) => {
-            shared.mark_failure(id);
-            Err(e)
-        }
+        shared.mark_failure(id);
+        return Err(e);
     }
 }
 
@@ -404,14 +474,14 @@ fn hedged_race(
     hedge_id: u32,
     primary_guard: InflightGuard,
     primary_conn: PooledConn,
-    line: &str,
+    frame: &[u8],
     req_id: Option<u64>,
     deadline: Instant,
     primary_started: Instant,
-) -> io::Result<String> {
+) -> io::Result<Vec<u8>> {
     shared.counters.hedges_sent.fetch_add(1, Ordering::Relaxed);
     let floor = Duration::from_millis(1);
-    let (tx, rx) = mpsc::channel::<(bool, io::Result<String>)>();
+    let (tx, rx) = mpsc::channel::<(bool, io::Result<Vec<u8>>)>();
     // Primary continuation: keep waiting for the original reply.
     {
         let tx = tx.clone();
@@ -435,7 +505,7 @@ fn hedged_race(
     // Hedge attempt on the backend that would own the key next.
     {
         let shared = Arc::clone(shared);
-        let line = line.to_string();
+        let frame = frame.to_vec();
         thread::spawn(move || {
             let up = &shared.upstreams[hedge_id as usize];
             up.requests.fetch_add(1, Ordering::Relaxed);
@@ -445,7 +515,7 @@ fn hedged_race(
                 .saturating_duration_since(Instant::now())
                 .max(floor);
             let outcome = match up.pool.checkout() {
-                Ok(mut conn) => match conn.call(&line, remaining) {
+                Ok(mut conn) => match conn.call(&frame, remaining) {
                     Ok(reply) => settle_ok(&shared, hedge_id, started, conn, reply, req_id),
                     Err(e) => {
                         shared.mark_failure(hedge_id);
@@ -492,8 +562,11 @@ fn fetch_upstream_stats(shared: &Arc<Shared>, id: u32) -> Option<Json> {
     }
     let timeout = shared.config.probe_timeout.max(Duration::from_millis(250));
     let mut conn = up.pool.checkout().ok()?;
-    let reply = conn.call(&Request::Stats.encode(), timeout).ok()?;
-    let json = Json::parse(&reply).ok()?;
+    let mut frame = Request::Stats.encode().into_bytes();
+    frame.push(b'\n');
+    let reply = conn.call(&frame, timeout).ok()?;
+    let reply = std::str::from_utf8(&reply).ok()?;
+    let json = Json::parse(reply.trim_end()).ok()?;
     let stats = json.get("stats")?.clone();
     up.pool.publish(conn);
     Some(stats)
@@ -649,6 +722,10 @@ fn stats_rollup(shared: &Arc<Shared>) -> Json {
             Json::Int(c.retries.load(Ordering::Relaxed) as i64),
         ),
         (
+            "stale_retries".into(),
+            Json::Int(c.stale_retries.load(Ordering::Relaxed) as i64),
+        ),
+        (
             "bad_frames".into(),
             Json::Int(c.bad_frames.load(Ordering::Relaxed) as i64),
         ),
@@ -684,13 +761,34 @@ fn stats_rollup(shared: &Arc<Shared>) -> Json {
 // Client connections
 // ---------------------------------------------------------------------------
 
-/// Handles one decoded frame; returns the reply line and whether the
-/// connection should stop after it (shutdown acknowledged).
-fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
+/// Routes one balance request: derives the key, relays the pre-framed
+/// request bytes verbatim, and charges the round trip to the vnode.
+fn proxy_and_record(
+    shared: &Arc<Shared>,
+    frame: &[u8],
+    req: &BalanceRequest,
+    codec: WireCodec,
+) -> Vec<u8> {
+    shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
+    let key = CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta).mix();
+    let vnode = shared.ring.read().unwrap().vnode_of(key);
+    let started = Instant::now();
+    let reply = proxy_balance(shared, frame, key, req.id, codec);
+    // Charge the full proxy round trip (queue + compute + wire) to the
+    // vnode: it is the cost a move would relocate.
+    let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    shared.vnode_load.record(vnode, micros);
+    reply
+}
+
+/// Handles one decoded text frame; returns the framed reply bytes and
+/// whether the connection should stop after it (shutdown acknowledged).
+fn handle_line(shared: &Arc<Shared>, line: &str) -> (Vec<u8>, bool) {
+    let codec = WireCodec::Json;
     if line.len() > MAX_FRAME {
         shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
         return (
-            error_reply(None, ErrorCode::BadRequest, "frame too long"),
+            error_frame(codec, None, ErrorCode::BadRequest, "frame too long"),
             false,
         );
     }
@@ -699,38 +797,76 @@ fn handle_line(shared: &Arc<Shared>, line: &str) -> (String, bool) {
         Err(e) => {
             shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
             return (
-                error_reply(None, ErrorCode::BadRequest, &format!("bad frame: {e}")),
+                error_frame(
+                    codec,
+                    None,
+                    ErrorCode::BadRequest,
+                    &format!("bad frame: {e}"),
+                ),
                 false,
             );
         }
     };
     let id = json.get("id").and_then(Json::as_u64);
     match Request::from_json(&json) {
-        Ok(Request::Ping) => (Response::Pong.encode(), false),
-        Ok(Request::Stats) => (Response::Stats(stats_rollup(shared)).encode(), false),
+        Ok(Request::Ping) => (response_frame(codec, &Response::Pong), false),
+        Ok(Request::Stats) => (
+            response_frame(codec, &Response::Stats(stats_rollup(shared))),
+            false,
+        ),
         Ok(Request::Shutdown) => {
             // Ack first (the frame is answered even while draining),
             // then stop: flag flips before the reply is written, and
             // forwarding happens in the caller after the ack.
             shared.shutdown.store(true, Ordering::SeqCst);
-            (Response::Pong.encode(), true)
+            (response_frame(codec, &Response::Pong), true)
         }
         Ok(Request::Balance(req)) => {
-            shared.counters.proxied.fetch_add(1, Ordering::Relaxed);
-            let key =
-                CacheKey::new(req.problem.fingerprint(), req.algorithm, req.n, req.theta).mix();
-            let vnode = shared.ring.read().unwrap().vnode_of(key);
-            let started = Instant::now();
-            let reply = proxy_balance(shared, line, key, req.id);
-            // Charge the full proxy round trip (queue + compute + wire)
-            // to the vnode: it is the cost a move would relocate.
-            let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            shared.vnode_load.record(vnode, micros);
-            (reply, false)
+            // Relay the client's own line, newline restored — the body
+            // is never re-encoded on the way upstream.
+            let mut frame = Vec::with_capacity(line.len() + 1);
+            frame.extend_from_slice(line.as_bytes());
+            frame.push(b'\n');
+            (proxy_and_record(shared, &frame, &req, codec), false)
         }
         Err(e) => {
             shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-            (error_reply(id, ErrorCode::BadRequest, &e.message), false)
+            (
+                error_frame(codec, id, ErrorCode::BadRequest, &e.message),
+                false,
+            )
+        }
+    }
+}
+
+/// Handles one binary frame payload; same contract as [`handle_line`].
+fn handle_binary(shared: &Arc<Shared>, payload: &[u8]) -> (Vec<u8>, bool) {
+    let codec = WireCodec::Binary;
+    match codec.decode_request(payload) {
+        Ok(Request::Ping) => (response_frame(codec, &Response::Pong), false),
+        Ok(Request::Stats) => (
+            response_frame(codec, &Response::Stats(stats_rollup(shared))),
+            false,
+        ),
+        Ok(Request::Shutdown) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (response_frame(codec, &Response::Pong), true)
+        }
+        Ok(Request::Balance(req)) => {
+            // Re-attach the length prefix around the untouched payload;
+            // the body bytes are relayed verbatim.
+            let mut frame = Vec::with_capacity(BIN_HDR + payload.len());
+            frame.push(MAGIC);
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(payload);
+            (proxy_and_record(shared, &frame, &req, codec), false)
+        }
+        Err(e) => {
+            shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+            (
+                error_frame(codec, None, ErrorCode::BadRequest, &e.message),
+                false,
+            )
         }
     }
 }
@@ -743,8 +879,10 @@ fn forward_shutdown(shared: &Arc<Shared>) {
             continue;
         }
         if let Ok(mut conn) = up.pool.checkout() {
+            let mut frame = Request::Shutdown.encode().into_bytes();
+            frame.push(b'\n');
             let _ = conn.call(
-                &Request::Shutdown.encode(),
+                &frame,
                 shared.config.probe_timeout.max(Duration::from_millis(250)),
             );
             // The upstream is going down; never repool.
@@ -762,19 +900,26 @@ fn serve_client(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
     };
     let mut frames = FrameReader::new(ShimStream::new(read_half, Arc::clone(&shim), conn_id));
     let mut writer = ShimStream::new(stream, shim, conn_id);
-    // One buffer per reply: the frame and its newline must leave as a
-    // single write (two nodelay segments cost the client extra wakeups).
-    let mut out = String::new();
-    let mut write_reply = |reply: &str| -> bool {
-        out.clear();
-        out.push_str(reply);
-        out.push('\n');
-        writer.write_all(out.as_bytes()).is_ok()
-    };
+    // Replies arrive here as complete wire frames (newline or length
+    // prefix included), so each one leaves as a single write.
+    let mut write_reply = |reply: &[u8]| -> bool { writer.write_all(reply).is_ok() };
     loop {
         match frames.poll_line() {
             Ok(Frame::Line(line)) => {
                 let (reply, stop) = handle_line(&shared, &line);
+                let wrote = write_reply(&reply);
+                if stop {
+                    if shared.config.forward_shutdown {
+                        forward_shutdown(&shared);
+                    }
+                    break;
+                }
+                if !wrote {
+                    break;
+                }
+            }
+            Ok(Frame::Binary(payload)) => {
+                let (reply, stop) = handle_binary(&shared, &payload);
                 let wrote = write_reply(&reply);
                 if stop {
                     if shared.config.forward_shutdown {
@@ -794,16 +939,35 @@ fn serve_client(shared: Arc<Shared>, stream: TcpStream, conn_id: u64) {
             Ok(Frame::Eof) => break,
             Err(FrameError::TooLong) => {
                 shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-                if !write_reply(&error_reply(None, ErrorCode::BadRequest, "frame too long")) {
+                if !write_reply(&error_frame(
+                    frames.codec(),
+                    None,
+                    ErrorCode::BadRequest,
+                    "frame too long",
+                )) {
                     break;
                 }
             }
             Err(FrameError::NotUtf8) => {
                 shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
-                if !write_reply(&error_reply(
+                if !write_reply(&error_frame(
+                    frames.codec(),
                     None,
                     ErrorCode::BadRequest,
                     "frame is not valid UTF-8",
+                )) {
+                    break;
+                }
+            }
+            Err(FrameError::Corrupt) => {
+                // The reader resyncs to the next plausible boundary; the
+                // connection itself survives.
+                shared.counters.bad_frames.fetch_add(1, Ordering::Relaxed);
+                if !write_reply(&error_frame(
+                    frames.codec(),
+                    None,
+                    ErrorCode::BadRequest,
+                    "binary frame length is corrupt",
                 )) {
                     break;
                 }
@@ -1135,6 +1299,11 @@ impl RouterServer {
             self.shared.counters.hedges_sent.load(Ordering::Relaxed),
             self.shared.counters.hedges_won.load(Ordering::Relaxed),
         )
+    }
+
+    /// Stale pooled connections transparently redialed so far.
+    pub fn stale_retry_count(&self) -> u64 {
+        self.shared.counters.stale_retries.load(Ordering::Relaxed)
     }
 
     /// `(failovers, recoveries)` so far.

@@ -253,6 +253,103 @@ fn hedging_caps_tail_latency_from_a_stalled_upstream() {
 }
 
 #[test]
+fn restarting_an_upstream_under_pooled_traffic_does_not_trip_failover() {
+    let a = start_upstream("127.0.0.1:0");
+    let a_addr = a.local_addr();
+    let router = router_over(&[&a], |c| {
+        // The sharpest possible threshold: a single charged failure
+        // kills the upstream. The stale-idle retry must keep the
+        // restart invisible even then. A long health interval keeps the
+        // prober from racing the restart window.
+        c.fail_threshold = 1;
+        c.health_interval = Duration::from_secs(30);
+        c.forward_shutdown = false;
+    });
+    let mut client = Client::connect(router.local_addr()).unwrap();
+
+    // Pooled traffic: these exchanges park idle connections to A.
+    for (i, seed) in (0u64..6).enumerate() {
+        expect_ok(client.call(&balance(i as u64, seed)).unwrap(), i as u64);
+    }
+
+    // Restart A on the exact same port. Every pooled connection is now
+    // stale: the upstream closed them when it went down.
+    a.shutdown();
+    let a2 = start_upstream(&a_addr.to_string());
+
+    // Traffic resumes immediately. Each stale checkout must be retried
+    // once on a fresh dial instead of being charged to the threshold.
+    for (i, seed) in (0u64..6).enumerate() {
+        let id = 100 + i as u64;
+        expect_ok(client.call(&balance(id, seed + 500_000)).unwrap(), id);
+    }
+    assert_eq!(
+        router.failover_counters(),
+        (0, 0),
+        "a restart must not trip failover"
+    );
+    assert_eq!(router.alive_ids(), vec![0]);
+    assert!(
+        router.stale_retry_count() >= 1,
+        "at least one stale pooled conn should have been redialed"
+    );
+
+    router.shutdown();
+    a2.shutdown();
+}
+
+#[test]
+fn binary_frames_proxy_through_the_router_unchanged() {
+    let a = start_upstream("127.0.0.1:0");
+    let b = start_upstream("127.0.0.1:0");
+    let router = router_over(&[&a, &b], |_| {});
+    let mut client = Client::connect(router.local_addr()).unwrap();
+    client.set_codec(gb_service::proto::WireCodec::Binary);
+
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+    // Cold pass then hot pass: the second must come back cached, which
+    // proves the binary reply bytes round-trip the relay intact.
+    for (i, seed) in (0u64..20).enumerate() {
+        match client.call(&balance(i as u64, seed)).unwrap() {
+            Response::Ok(ok) => {
+                assert_eq!(ok.id, Some(i as u64));
+                assert!(!ok.cached, "first pass must miss");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+    for (i, seed) in (0u64..20).enumerate() {
+        match client.call(&balance(i as u64, seed)).unwrap() {
+            Response::Ok(ok) => {
+                assert_eq!(ok.id, Some(i as u64));
+                assert!(ok.cached, "second pass must hit the upstream cache");
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+    // The same connection can drop back to JSON mid-stream; the stats
+    // rollup arrives as a binary frame when asked in binary.
+    let stats = match client.call(&Request::Stats).unwrap() {
+        Response::Stats(stats) => stats,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let r = stats.get("router").expect("router section");
+    assert_eq!(r.get("proxied").unwrap().as_u64(), Some(40));
+    client.set_codec(gb_service::proto::WireCodec::Json);
+    assert!(matches!(
+        client.call(&Request::Ping).unwrap(),
+        Response::Pong
+    ));
+
+    router.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
 fn shutdown_frame_drains_router_and_forwards_to_upstreams() {
     let a = start_upstream("127.0.0.1:0");
     let b = start_upstream("127.0.0.1:0");

@@ -102,7 +102,7 @@
 //! where the flood shares the victims' queue and cache). The run fails
 //! unless the sharded victim p99 stays within 2x the isolated baseline.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -114,7 +114,10 @@ use std::time::{Duration, Instant};
 use gb_service::cache::CacheKey;
 use gb_service::client::Client;
 use gb_service::persist::StoreSettings;
-use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response};
+use gb_service::proto::{
+    Algorithm, BalanceRequest, Codec, ErrorCode, Json, Request, Response, WireCodec, BIN_HDR,
+    MAGIC, MAX_FRAME,
+};
 use gb_service::route::Router;
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
@@ -129,6 +132,8 @@ struct Options {
     theta: f64,
     deadline_ms: Option<u64>,
     bench: bool,
+    codec_bench: bool,
+    codec: WireCodec,
     chaos: bool,
     seed: u64,
     send_shutdown: bool,
@@ -165,6 +170,8 @@ impl Default for Options {
             theta: 1.0,
             deadline_ms: None,
             bench: false,
+            codec_bench: false,
+            codec: WireCodec::Json,
             chaos: false,
             seed: 1,
             send_shutdown: false,
@@ -196,8 +203,10 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--clients K] [--requests R] [--n N] \
          [--distinct D] [--algorithms hf,ba,bahf,phf] [--theta X] [--deadline-ms MS] \
          [--read-timeout-ms MS] [--write-timeout-ms MS] \
-         [--backends N] [--backend-vnodes V] [--store-sync none|data|full]\n\
+         [--backends N] [--backend-vnodes V] [--store-sync none|data|full] \
+         [--codec json|binary]\n\
          \x20      loadgen --bench [--duration-ms MS] [--out FILE] [--store-dir PATH]\n\
+         \x20      loadgen --codec-bench [--duration-ms MS] [--out FILE]\n\
          \x20      loadgen --chaos [--duration-ms MS] [--seed S] [--shutdown] [--store-dir PATH] \
          [--backends N] [--metrics-out FILE]\n\
          \x20      loadgen --warm-load --addr HOST:PORT [--distinct D]\n\
@@ -254,6 +263,17 @@ fn parse_args() -> Options {
                 }
             }
             "--bench" => opts.bench = true,
+            "--codec-bench" => opts.codec_bench = true,
+            "--codec" => {
+                opts.codec = match value("--codec").as_str() {
+                    "json" => WireCodec::Json,
+                    "binary" => WireCodec::Binary,
+                    other => {
+                        eprintln!("--codec expects json|binary, got {other:?}");
+                        usage()
+                    }
+                }
+            }
             "--chaos" => opts.chaos = true,
             "--seed" => opts.seed = parse_usize(&value("--seed"), "--seed") as u64,
             "--shutdown" => opts.send_shutdown = true,
@@ -943,6 +963,345 @@ fn bench_report(
         ),
         ("cache".into(), Json::Arr(cache_results)),
     ]))
+}
+
+// ---------------------------------------------------------------------------
+// --codec-bench: JSON vs binary wire codec on the hot hit path
+// ---------------------------------------------------------------------------
+
+/// The committed event-engine hot-hit throughput from before the binary
+/// codec and the encoded-reply cache existed (`results/BENCH_serving.json`,
+/// `throughput.after`). Full codec-bench runs gate the binary hit path
+/// at [`CODEC_MIN_SPEEDUP`]x this number.
+const CODEC_BASELINE_RPS: f64 = 104_374.9;
+const CODEC_MIN_SPEEDUP: f64 = 2.0;
+/// Capped (smoke) runs land on arbitrary CI boxes where an absolute
+/// req/s gate is meaningless; they assert the relative floor instead:
+/// binary must not fall below this fraction of same-run JSON.
+const CODEC_SMOKE_FLOOR: f64 = 0.8;
+
+fn codec_name(codec: WireCodec) -> &'static str {
+    match codec {
+        WireCodec::Json => "json",
+        WireCodec::Binary => "binary",
+    }
+}
+
+/// One hot-hit throughput phase in one codec: the event engine serving
+/// the warmed 16-key working set to 64 pipelined connections, identical
+/// to the `--bench` "after" phase except for the wire encoding.
+fn codec_phase(codec: WireCodec, cap: Option<Duration>) -> Result<PhaseStats, String> {
+    let server = Server::start_tuned(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: BENCH_WORKERS,
+            queue_capacity: BENCH_QUEUE_CAP,
+            cache_capacity: BENCH_CACHE_CAP,
+            pool_threads: BENCH_POOL_THREADS,
+        },
+        Tuning {
+            engine: Engine::Event,
+            ..Tuning::default()
+        },
+    )
+    .map_err(|e| format!("codec bench server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Warm every distinct key once in the measured codec, so the phase
+    // starts with the encoded-reply tails already built.
+    {
+        let mut client = Client::connect(addr).map_err(|e| format!("warm connect: {e}"))?;
+        client.set_codec(codec);
+        for seed in 0..BENCH_DISTINCT {
+            client
+                .call(&bench_request(seed, seed))
+                .map_err(|e| format!("warm call: {e}"))?;
+        }
+    }
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let deadline = cap.map(|d| started + d);
+    let mut handles = Vec::new();
+    for client_index in 0..BENCH_CLIENTS {
+        let counter = Arc::clone(&counter);
+        handles.push(thread::spawn(move || -> Result<ClientTally, String> {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| format!("codec client {client_index}: connect: {e}"))?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| format!("codec client {client_index}: nodelay: {e}"))?;
+            let mut writer = stream
+                .try_clone()
+                .map_err(|e| format!("codec client {client_index}: clone: {e}"))?;
+            let mut reader = BufReader::new(stream);
+            let mut tally = ClientTally::default();
+            let mut out: Vec<u8> = Vec::new();
+            let mut line = String::new();
+            let mut payload: Vec<u8> = Vec::new();
+            loop {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        break;
+                    }
+                }
+                let start = counter.fetch_add(BENCH_PIPELINE, Ordering::Relaxed);
+                if start >= BENCH_REQUESTS {
+                    break;
+                }
+                let burst = BENCH_PIPELINE.min(BENCH_REQUESTS - start);
+                out.clear();
+                for j in 0..burst {
+                    let index = (start + j) as u64;
+                    let request = bench_request(index, index % BENCH_DISTINCT);
+                    match codec {
+                        WireCodec::Json => {
+                            out.extend_from_slice(request.encode().as_bytes());
+                            out.push(b'\n');
+                        }
+                        WireCodec::Binary => WireCodec::Binary.encode_request(&request, &mut out),
+                    }
+                }
+                let sent = Instant::now();
+                writer
+                    .write_all(&out)
+                    .map_err(|e| format!("codec client {client_index}: write: {e}"))?;
+                for _ in 0..burst {
+                    match codec {
+                        WireCodec::Json => {
+                            line.clear();
+                            let k = reader
+                                .read_line(&mut line)
+                                .map_err(|e| format!("codec client {client_index}: read: {e}"))?;
+                            if k == 0 {
+                                return Err(format!("codec client {client_index}: server closed"));
+                            }
+                            if line.contains("\"status\":\"ok\"") {
+                                tally.ok += 1;
+                                if line.contains("\"cached\":true") {
+                                    tally.cached += 1;
+                                }
+                            } else {
+                                match Response::decode(line.trim_end()).map_err(|e| {
+                                    format!("codec client {client_index}: decode: {e:?}")
+                                })? {
+                                    Response::Error { code, .. } => tally.record_error(code),
+                                    other => {
+                                        return Err(format!(
+                                            "codec client {client_index}: unexpected {other:?}"
+                                        ))
+                                    }
+                                }
+                            }
+                        }
+                        WireCodec::Binary => {
+                            let mut header = [0u8; BIN_HDR];
+                            reader.read_exact(&mut header).map_err(|e| {
+                                format!("codec client {client_index}: read header: {e}")
+                            })?;
+                            if header[0] != MAGIC {
+                                return Err(format!(
+                                    "codec client {client_index}: bad magic {:#04x}",
+                                    header[0]
+                                ));
+                            }
+                            let len = u32::from_le_bytes(header[1..].try_into().unwrap()) as usize;
+                            if len > MAX_FRAME {
+                                return Err(format!(
+                                    "codec client {client_index}: oversized reply ({len})"
+                                ));
+                            }
+                            payload.resize(len, 0);
+                            reader.read_exact(&mut payload).map_err(|e| {
+                                format!("codec client {client_index}: read payload: {e}")
+                            })?;
+                            match WireCodec::Binary.decode_response(&payload).map_err(|e| {
+                                format!("codec client {client_index}: decode: {e:?}")
+                            })? {
+                                Response::Ok(ok) => {
+                                    tally.ok += 1;
+                                    if ok.cached {
+                                        tally.cached += 1;
+                                    }
+                                }
+                                Response::Error { code, .. } => tally.record_error(code),
+                                other => {
+                                    return Err(format!(
+                                        "codec client {client_index}: unexpected {other:?}"
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    let us = sent.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    tally.latencies_us.push(us);
+                }
+            }
+            Ok(tally)
+        }));
+    }
+
+    let mut ok = 0u64;
+    let mut cached = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::new();
+    for handle in handles {
+        let tally = handle.join().expect("codec bench client panicked")?;
+        ok += tally.ok;
+        cached += tally.cached;
+        errors += tally.errors.iter().map(|(_, n)| n).sum::<u64>();
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let answered = latencies.len() as u64;
+    let hit_rate = server_hit_rate(addr);
+    server.shutdown();
+
+    let rps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(PhaseStats {
+        engine: codec_name(codec),
+        answered,
+        ok,
+        cached,
+        errors,
+        elapsed_s: elapsed.as_secs_f64(),
+        rps,
+        p50_us: percentile(&latencies, 0.50),
+        p95_us: percentile(&latencies, 0.95),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        server_hit_rate: hit_rate,
+        rounds_rps: vec![rps],
+    })
+}
+
+/// Best-of-N rounds per codec (one round when capped).
+fn codec_best(codec: WireCodec, cap: Option<Duration>) -> Result<PhaseStats, String> {
+    let rounds = if cap.is_some() { 1 } else { BENCH_ROUNDS };
+    let mut best: Option<PhaseStats> = None;
+    let mut rounds_rps = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let round = codec_phase(codec, cap)?;
+        rounds_rps.push(round.rps);
+        if best.as_ref().is_none_or(|b| round.rps > b.rps) {
+            best = Some(round);
+        }
+    }
+    let mut best = best.expect("at least one round");
+    best.rounds_rps = rounds_rps;
+    Ok(best)
+}
+
+fn run_codec_bench(opts: &Options) -> ExitCode {
+    let cap = opts.duration_ms.map(Duration::from_millis);
+    let smoke = cap.is_some();
+    println!(
+        "codec-bench: hot {}-key hit path, {} clients x {} workers, event engine",
+        BENCH_DISTINCT, BENCH_CLIENTS, BENCH_WORKERS
+    );
+    let report = (|| -> Result<(Json, bool), String> {
+        let json = codec_best(WireCodec::Json, cap)?;
+        println!(
+            "  json:    {:>8.0} req/s  p50 {} us  p99 {} us  ({} requests, hit rate {:.1}%)",
+            json.rps,
+            json.p50_us,
+            json.p99_us,
+            json.answered,
+            json.server_hit_rate * 100.0
+        );
+        let binary = codec_best(WireCodec::Binary, cap)?;
+        println!(
+            "  binary:  {:>8.0} req/s  p50 {} us  p99 {} us  ({} requests, hit rate {:.1}%)",
+            binary.rps,
+            binary.p50_us,
+            binary.p99_us,
+            binary.answered,
+            binary.server_hit_rate * 100.0
+        );
+        let vs_json = binary.rps / json.rps.max(1e-9);
+        let vs_baseline = binary.rps / CODEC_BASELINE_RPS;
+        println!(
+            "  speedup: {vs_baseline:.2}x vs the committed pre-codec baseline \
+             ({CODEC_BASELINE_RPS:.0} req/s), {vs_json:.2}x vs same-run json"
+        );
+        let pass = if smoke {
+            binary.rps >= CODEC_SMOKE_FLOOR * json.rps
+        } else {
+            vs_baseline >= CODEC_MIN_SPEEDUP
+        };
+        let assertion = Json::Obj(vec![
+            ("pass".into(), Json::Bool(pass)),
+            ("smoke".into(), Json::Bool(smoke)),
+            ("binary_rps".into(), Json::Num(binary.rps)),
+            ("json_rps".into(), Json::Num(json.rps)),
+            ("baseline_rps".into(), Json::Num(CODEC_BASELINE_RPS)),
+            ("speedup_vs_baseline".into(), Json::Num(vs_baseline)),
+            (
+                "min_speedup_vs_baseline".into(),
+                Json::Num(CODEC_MIN_SPEEDUP),
+            ),
+            ("speedup_vs_json".into(), Json::Num(vs_json)),
+            ("smoke_floor_vs_json".into(), Json::Num(CODEC_SMOKE_FLOOR)),
+        ]);
+        let report = Json::Obj(vec![
+            (
+                "schema".into(),
+                Json::Str("gb-service/bench-codec/v1".into()),
+            ),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("engine".into(), Json::Str("event".into())),
+                    ("workers".into(), Json::Int(BENCH_WORKERS as i64)),
+                    ("clients".into(), Json::Int(BENCH_CLIENTS as i64)),
+                    ("n".into(), Json::Int(BENCH_N as i64)),
+                    ("distinct".into(), Json::Int(BENCH_DISTINCT as i64)),
+                    ("requests".into(), Json::Int(BENCH_REQUESTS as i64)),
+                    ("pipeline".into(), Json::Int(BENCH_PIPELINE as i64)),
+                    (
+                        "duration_ms".into(),
+                        match opts.duration_ms {
+                            Some(ms) => Json::Int(ms as i64),
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+            ),
+            ("json".into(), json.to_json()),
+            ("binary".into(), binary.to_json()),
+            ("assertion".into(), assertion),
+        ]);
+        Ok((report, pass))
+    })();
+    match report {
+        Ok((report, pass)) => {
+            let out = if opts.out == "BENCH_serving.json" {
+                "results/BENCH_codec.json"
+            } else {
+                opts.out.as_str()
+            };
+            if let Some(parent) = Path::new(out).parent() {
+                if !parent.as_os_str().is_empty() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+            }
+            if let Err(e) = std::fs::write(out, report.encode_pretty() + "\n") {
+                eprintln!("codec-bench: failed to write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("codec-bench: wrote {out}");
+            if !pass {
+                eprintln!("codec-bench: gate failed (see assertion section of {out})");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("codec-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -3272,6 +3631,9 @@ fn main() -> ExitCode {
     if opts.bench {
         return run_bench(&opts);
     }
+    if opts.codec_bench {
+        return run_codec_bench(&opts);
+    }
 
     // Claimed before the server starts; dropped (removing a directory
     // this run created) after everything below finishes.
@@ -3366,6 +3728,7 @@ fn main() -> ExitCode {
                 timeout(opts.write_timeout_ms),
             )
             .map_err(|e| format!("client {client_index}: connect: {e}"))?;
+            client.set_codec(opts.codec);
             let mut tally = ClientTally::default();
             // Request k of client c is global index c + k·K: all clients
             // interleave through the same seed cycle.

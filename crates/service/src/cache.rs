@@ -26,10 +26,11 @@
 //!   lookups for different problems never serialise on one lock.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use crate::proto::Algorithm;
+use crate::proto::{Algorithm, WireCodec};
 
 /// Sentinel for "no node" in the intrusive list.
 const NIL: usize = usize::MAX;
@@ -94,6 +95,63 @@ pub struct CachedResult {
     pub bound: f64,
     /// α used for the bound.
     pub alpha: f64,
+    /// Lazily built encoded reply tails, shared by every clone of this
+    /// entry (the cache hands out clones; `Arc` keeps one tail set per
+    /// cached entry so the first hit pays the encode and the rest
+    /// memcpy).
+    pub enc: Arc<EncodedTails>,
+}
+
+impl CachedResult {
+    /// Builds a result with an empty encoded-tail set.
+    pub fn new(pieces: Vec<f64>, ratio: f64, bound: f64, alpha: f64) -> Self {
+        Self {
+            pieces,
+            ratio,
+            bound,
+            alpha,
+            enc: Arc::new(EncodedTails::default()),
+        }
+    }
+}
+
+/// The invariant byte tail of an encoded cache-hit reply: everything
+/// except the per-request id and measured micros, which the hit path
+/// splices in (see `json_hit_reply`/`binary_hit_reply` in `proto`).
+#[derive(Debug)]
+pub struct ReplyTail {
+    /// Pre-encoded bytes.
+    pub bytes: Vec<u8>,
+    /// Offset where the micros digits are spliced (JSON); equals
+    /// `bytes.len()` when nothing is spliced mid-tail (binary).
+    pub split: usize,
+}
+
+/// Per-`(codec, want_pieces)` slots of lazily built [`ReplyTail`]s.
+///
+/// Four slots cover the full reply space: the codec picks the byte
+/// format, `want_pieces` picks whether the pieces array rides along.
+/// `OnceLock` makes the build race-free without a lock on the hit path.
+#[derive(Debug, Default)]
+pub struct EncodedTails {
+    slots: [OnceLock<ReplyTail>; 4],
+}
+
+impl EncodedTails {
+    fn slot(codec: WireCodec, want_pieces: bool) -> usize {
+        codec.index() * 2 + want_pieces as usize
+    }
+
+    /// Returns the tail for `(codec, want_pieces)`, building it on first
+    /// use.
+    pub fn get_or_build(
+        &self,
+        codec: WireCodec,
+        want_pieces: bool,
+        build: impl FnOnce() -> ReplyTail,
+    ) -> &ReplyTail {
+        self.slots[Self::slot(codec, want_pieces)].get_or_init(build)
+    }
 }
 
 /// Counter snapshot for the stats endpoint.
@@ -610,12 +668,7 @@ mod tests {
     use super::*;
 
     fn result(ratio: f64) -> CachedResult {
-        CachedResult {
-            pieces: vec![ratio],
-            ratio,
-            bound: 10.0,
-            alpha: 0.25,
-        }
+        CachedResult::new(vec![ratio], ratio, 10.0, 0.25)
     }
 
     fn key(problem: u64) -> CacheKey {

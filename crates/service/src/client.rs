@@ -1,16 +1,17 @@
 //! A minimal blocking client for the gb-service protocol.
 //!
 //! One request in flight per connection: [`Client::call`] writes a frame
-//! and blocks until the matching response line arrives. That is exactly
-//! the shape the load generator and tests need; pipelining clients can
-//! speak the protocol directly — it is just lines of JSON.
+//! and blocks until the matching response arrives. That is exactly the
+//! shape the load generator and tests need; pipelining clients can speak
+//! the protocol directly — it is lines of JSON, or length-prefixed
+//! binary frames after [`Client::set_codec`].
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 use crate::cache::splitmix64;
-use crate::proto::{Request, Response, MAX_FRAME};
+use crate::proto::{Codec, Request, Response, WireCodec, BIN_HDR, MAGIC, MAX_FRAME};
 
 /// Default socket timeout applied by [`Client::connect`]. A wedged or
 /// dead server then fails the call instead of hanging the caller
@@ -23,6 +24,7 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct Client {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    codec: WireCodec,
 }
 
 impl Client {
@@ -54,12 +56,68 @@ impl Client {
         Ok(Client {
             writer: stream,
             reader,
+            codec: WireCodec::Json,
         })
+    }
+
+    /// Selects the wire codec for subsequent calls. The server sniffs
+    /// each frame's first byte, so switching mid-connection is legal.
+    pub fn set_codec(&mut self, codec: WireCodec) {
+        self.codec = codec;
+    }
+
+    /// The wire codec used by [`Client::call`].
+    pub fn codec(&self) -> WireCodec {
+        self.codec
     }
 
     /// Sends a request and waits for its response.
     pub fn call(&mut self, request: &Request) -> io::Result<Response> {
-        self.call_raw(&request.encode())
+        match self.codec {
+            WireCodec::Json => self.call_raw(&request.encode()),
+            WireCodec::Binary => {
+                let mut frame = Vec::new();
+                WireCodec::Binary.encode_request(request, &mut frame);
+                self.writer.write_all(&frame)?;
+                self.read_binary_response()
+            }
+        }
+    }
+
+    /// Reads one length-prefixed binary response frame.
+    fn read_binary_response(&mut self) -> io::Result<Response> {
+        let mut header = [0u8; BIN_HDR];
+        self.read_exact_or_eof(&mut header)?;
+        if header[0] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected binary frame, got first byte {:#04x}", header[0]),
+            ));
+        }
+        let len = u32::from_le_bytes(header[1..].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("binary frame declares {len} bytes (cap {MAX_FRAME})"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.reader.read_exact(&mut payload)?;
+        WireCodec::Binary
+            .decode_response(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// `read_exact` that maps a clean EOF before the first byte to the
+    /// same "server closed" error the JSON path reports.
+    fn read_exact_or_eof(&mut self, buf: &mut [u8]) -> io::Result<()> {
+        self.reader.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+            } else {
+                e
+            }
+        })
     }
 
     /// Sends a raw line (no newline) and decodes the response — lets

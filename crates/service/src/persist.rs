@@ -129,12 +129,7 @@ pub fn decode_value(bytes: &[u8]) -> Option<CachedResult> {
     for i in 0..count {
         pieces.push(f64_at(VALUE_FIXED + 8 * i)?);
     }
-    Some(CachedResult {
-        pieces,
-        ratio,
-        bound,
-        alpha,
-    })
+    Some(CachedResult::new(pieces, ratio, bound, alpha))
 }
 
 #[cfg(test)]
@@ -146,12 +141,7 @@ mod tests {
     }
 
     fn sample_value() -> CachedResult {
-        CachedResult {
-            pieces: vec![1.0, 2.5, 0.125, 3.75],
-            ratio: 1.4,
-            bound: 2.0,
-            alpha: 0.25,
-        }
+        CachedResult::new(vec![1.0, 2.5, 0.125, 3.75], 1.4, 2.0, 0.25)
     }
 
     #[test]
@@ -175,12 +165,7 @@ mod tests {
 
     #[test]
     fn empty_pieces_round_trip() {
-        let value = CachedResult {
-            pieces: vec![],
-            ratio: 1.0,
-            bound: 1.0,
-            alpha: 0.5,
-        };
+        let value = CachedResult::new(vec![], 1.0, 1.0, 0.5);
         let decoded = decode_value(&encode_value(&value)).expect("decode");
         assert!(decoded.pieces.is_empty());
     }

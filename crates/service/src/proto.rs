@@ -1,12 +1,26 @@
-//! Wire protocol: newline-delimited JSON frames.
+//! Wire protocol: newline-delimited JSON frames, plus a length-prefixed
+//! binary codec negotiated per connection by first-byte sniff.
 //!
-//! One request per line, one response per line, UTF-8, `\n` terminated.
-//! The JSON layer is hand-rolled (recursive-descent parser + writer) so
-//! the daemon stays free of registry dependencies; the subset is full
-//! JSON except that numbers are split into integer ([`Json::Int`]) and
-//! floating ([`Json::Num`]) forms so `u64`-sized ids and seeds up to
-//! `i64::MAX` round-trip exactly (floats use Rust's shortest-roundtrip
-//! formatting, so finite values round-trip bit-for-bit too).
+//! JSON: one request per line, one response per line, UTF-8, `\n`
+//! terminated. The JSON layer is hand-rolled (recursive-descent parser +
+//! writer) so the daemon stays free of registry dependencies; the subset
+//! is full JSON except that numbers are split into integer
+//! ([`Json::Int`]) and floating ([`Json::Num`]) forms so `u64`-sized ids
+//! and seeds up to `i64::MAX` round-trip exactly (floats use Rust's
+//! shortest-roundtrip formatting, so finite values round-trip
+//! bit-for-bit too).
+//!
+//! Binary: `[0xA7][len: u32 LE][payload]` — the magic byte `0xA7` is a
+//! UTF-8 continuation byte, so no JSON line can start with it, and `{`
+//! is not the magic, so no binary frame looks like JSON. The
+//! [`FrameReader`] sniffs the first byte of every frame independently:
+//! a connection may interleave codecs, and replies are written in the
+//! codec of the request they answer. Payload layouts live behind the
+//! [`Codec`] trait ([`JsonCodec`], [`BinaryCodec`]); the runtime
+//! dispatcher is [`WireCodec`]. A declared length over [`MAX_FRAME`]
+//! is a corrupt frame ([`FrameError::Corrupt`]): the reader never
+//! allocates it, and resynchronises by a bounded skip to the next
+//! newline or magic byte.
 //!
 //! ## Requests
 //!
@@ -37,8 +51,19 @@ use std::io::{self, Read};
 
 use crate::spec::ProblemSpec;
 
-/// Hard ceiling on a single request/response line, in bytes.
+/// Hard ceiling on a single request/response frame, in bytes. For JSON
+/// this bounds the line; for binary frames it bounds the declared
+/// payload length (a larger declaration is [`FrameError::Corrupt`]).
 pub const MAX_FRAME: usize = 256 * 1024;
+
+/// First byte of every binary frame. `0xA7` is a UTF-8 continuation
+/// byte: it can never begin a JSON text line, so one-byte sniffing is
+/// unambiguous.
+pub const MAGIC: u8 = 0xA7;
+
+/// Bytes in a binary frame header: the magic byte plus a `u32` LE
+/// payload length.
+pub const BIN_HDR: usize = 5;
 
 /// Maximum nesting depth accepted by the JSON parser.
 const MAX_DEPTH: u32 = 32;
@@ -923,6 +948,563 @@ impl fmt::Display for ProtoError {
 impl std::error::Error for ProtoError {}
 
 // ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+/// Encode/decode of complete wire frames for one payload format.
+///
+/// `encode_*` appends a **complete** frame — JSON line plus `\n`, or
+/// magic byte, length and payload — so callers can batch frames into one
+/// output buffer and hand it to a single vectored write. `decode_*`
+/// takes the de-framed payload as produced by [`FrameReader`]: the line
+/// without its newline for JSON, the length-prefixed payload for binary.
+pub trait Codec {
+    /// Appends one complete request frame to `out`.
+    fn encode_request(&self, req: &Request, out: &mut Vec<u8>);
+    /// Appends one complete response frame to `out`.
+    fn encode_response(&self, resp: &Response, out: &mut Vec<u8>);
+    /// Decodes a request from a de-framed payload.
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, ProtoError>;
+    /// Decodes a response from a de-framed payload.
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, ProtoError>;
+}
+
+/// Runtime codec selector. Each frame on a connection picks its own
+/// codec by first byte; replies go out in the codec of the request they
+/// answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireCodec {
+    /// Newline-delimited JSON text (the v1 protocol; always accepted).
+    #[default]
+    Json,
+    /// Length-prefixed binary frames (`[0xA7][len u32 LE][payload]`).
+    Binary,
+}
+
+impl WireCodec {
+    /// CLI/metrics name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCodec::Json => "json",
+            WireCodec::Binary => "binary",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(WireCodec::Json),
+            "binary" | "bin" => Some(WireCodec::Binary),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-codec tables (`[Json, Binary]`).
+    pub fn index(self) -> usize {
+        match self {
+            WireCodec::Json => 0,
+            WireCodec::Binary => 1,
+        }
+    }
+}
+
+impl Codec for WireCodec {
+    fn encode_request(&self, req: &Request, out: &mut Vec<u8>) {
+        match self {
+            WireCodec::Json => JsonCodec.encode_request(req, out),
+            WireCodec::Binary => BinaryCodec.encode_request(req, out),
+        }
+    }
+
+    fn encode_response(&self, resp: &Response, out: &mut Vec<u8>) {
+        match self {
+            WireCodec::Json => JsonCodec.encode_response(resp, out),
+            WireCodec::Binary => BinaryCodec.encode_response(resp, out),
+        }
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, ProtoError> {
+        match self {
+            WireCodec::Json => JsonCodec.decode_request(payload),
+            WireCodec::Binary => BinaryCodec.decode_request(payload),
+        }
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, ProtoError> {
+        match self {
+            WireCodec::Json => JsonCodec.decode_response(payload),
+            WireCodec::Binary => BinaryCodec.decode_response(payload),
+        }
+    }
+}
+
+/// The v1 newline-delimited JSON codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonCodec;
+
+impl Codec for JsonCodec {
+    fn encode_request(&self, req: &Request, out: &mut Vec<u8>) {
+        out.extend_from_slice(req.encode().as_bytes());
+        out.push(b'\n');
+    }
+
+    fn encode_response(&self, resp: &Response, out: &mut Vec<u8>) {
+        out.extend_from_slice(resp.encode().as_bytes());
+        out.push(b'\n');
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, ProtoError> {
+        let line = std::str::from_utf8(payload)
+            .map_err(|_| ProtoError::bad("frame is not valid UTF-8"))?;
+        Request::decode(line)
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, ProtoError> {
+        let line = std::str::from_utf8(payload)
+            .map_err(|_| ProtoError::bad("frame is not valid UTF-8"))?;
+        Response::decode(line)
+    }
+}
+
+// Binary payload tags. Requests and responses use disjoint spaces only
+// for readability; the reader always knows which it expects.
+const REQ_PING: u8 = 0;
+const REQ_STATS: u8 = 1;
+const REQ_SHUTDOWN: u8 = 2;
+const REQ_BALANCE: u8 = 3;
+const RESP_PONG: u8 = 0;
+const RESP_STATS: u8 = 1;
+const RESP_ERROR: u8 = 2;
+const RESP_OK: u8 = 3;
+
+// Flag bits shared by the balance request and the ok/error responses.
+const FLAG_ID: u8 = 1;
+const FLAG_DEADLINE: u8 = 2;
+const FLAG_WANT_PIECES: u8 = 4;
+
+/// The length-prefixed binary codec.
+///
+/// Request payload: `tag u8` — for `balance` followed by
+/// `flags u8, [id u64], algorithm u8, n u32, theta f64, [deadline u64],
+/// problem` (see [`ProblemSpec::encode_binary`]). All integers LE,
+/// floats as LE IEEE-754 bits, so values round-trip exactly.
+///
+/// Response payload: `tag u8` — `pong` is bare; `stats` carries the
+/// stats object as JSON text (it is opaque, cold, and human-shaped);
+/// `error` is `flags u8, [id u64], code u8, message (u32 len + UTF-8)`;
+/// `ok` is a per-request head `flags u8, [id u64], cached u8,
+/// micros u64` followed by the invariant tail `algorithm u8, n u32,
+/// ratio f64, bound f64, alpha f64, count u32, pieces f64×count` — the
+/// tail layout is shared with the encoded-reply cache, which stores it
+/// pre-built and splices only the head per hit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinaryCodec;
+
+/// Reserves a binary frame header in `out`, returning the payload start
+/// offset to pass to [`end_frame`].
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    out.push(MAGIC);
+    out.extend_from_slice(&[0u8; 4]);
+    out.len()
+}
+
+/// Patches the length field of a frame opened by [`begin_frame`].
+fn end_frame(out: &mut [u8], payload_start: usize) {
+    let len = (out.len() - payload_start) as u32;
+    out[payload_start - 4..payload_start].copy_from_slice(&len.to_le_bytes());
+}
+
+impl Codec for BinaryCodec {
+    fn encode_request(&self, req: &Request, out: &mut Vec<u8>) {
+        let start = begin_frame(out);
+        match req {
+            Request::Ping => out.push(REQ_PING),
+            Request::Stats => out.push(REQ_STATS),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+            Request::Balance(b) => {
+                out.push(REQ_BALANCE);
+                let mut flags = 0u8;
+                if b.id.is_some() {
+                    flags |= FLAG_ID;
+                }
+                if b.deadline_ms.is_some() {
+                    flags |= FLAG_DEADLINE;
+                }
+                if b.want_pieces {
+                    flags |= FLAG_WANT_PIECES;
+                }
+                out.push(flags);
+                if let Some(id) = b.id {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out.push(b.algorithm.index() as u8);
+                out.extend_from_slice(&(b.n as u32).to_le_bytes());
+                out.extend_from_slice(&b.theta.to_le_bytes());
+                if let Some(d) = b.deadline_ms {
+                    out.extend_from_slice(&d.to_le_bytes());
+                }
+                b.problem.encode_binary(out);
+            }
+        }
+        end_frame(out, start);
+    }
+
+    fn encode_response(&self, resp: &Response, out: &mut Vec<u8>) {
+        let start = begin_frame(out);
+        match resp {
+            Response::Pong => out.push(RESP_PONG),
+            Response::Stats(stats) => {
+                out.push(RESP_STATS);
+                out.extend_from_slice(stats.encode().as_bytes());
+            }
+            Response::Error { id, code, message } => {
+                out.push(RESP_ERROR);
+                out.push(if id.is_some() { FLAG_ID } else { 0 });
+                if let Some(id) = id {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out.push(code.index() as u8);
+                out.extend_from_slice(&(message.len() as u32).to_le_bytes());
+                out.extend_from_slice(message.as_bytes());
+            }
+            Response::Ok(r) => {
+                out.push(RESP_OK);
+                out.push(if r.id.is_some() { FLAG_ID } else { 0 });
+                if let Some(id) = r.id {
+                    out.extend_from_slice(&id.to_le_bytes());
+                }
+                out.push(r.cached as u8);
+                out.extend_from_slice(&r.micros.to_le_bytes());
+                binary_ok_tail(r.algorithm, r.n, r.ratio, r.bound, r.alpha, &r.pieces, out);
+            }
+        }
+        end_frame(out, start);
+    }
+
+    fn decode_request(&self, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut cur = ByteCursor::new(payload);
+        let req = match cur.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_STATS => Request::Stats,
+            REQ_SHUTDOWN => Request::Shutdown,
+            REQ_BALANCE => {
+                let flags = cur.u8()?;
+                let id = if flags & FLAG_ID != 0 {
+                    Some(cur.u64()?)
+                } else {
+                    None
+                };
+                let algorithm = *Algorithm::ALL
+                    .get(cur.u8()? as usize)
+                    .ok_or_else(|| ProtoError::bad("unknown algorithm tag"))?;
+                let n = cur.u32()? as u64;
+                if n == 0 || n > crate::spec::MAX_PROCESSORS as u64 {
+                    return Err(ProtoError::bad(format!(
+                        "\"n\" must be in 1..={}",
+                        crate::spec::MAX_PROCESSORS
+                    )));
+                }
+                let theta = cur.f64()?;
+                if !theta.is_finite() || theta <= 0.0 {
+                    return Err(ProtoError::bad("\"theta\" must be a positive number"));
+                }
+                let deadline_ms = if flags & FLAG_DEADLINE != 0 {
+                    Some(cur.u64()?)
+                } else {
+                    None
+                };
+                let problem = ProblemSpec::decode_binary(&mut cur)?;
+                Request::Balance(BalanceRequest {
+                    id,
+                    algorithm,
+                    n: n as usize,
+                    theta,
+                    deadline_ms,
+                    want_pieces: flags & FLAG_WANT_PIECES != 0,
+                    problem,
+                })
+            }
+            other => return Err(ProtoError::bad(format!("unknown request tag {other}"))),
+        };
+        cur.finish()?;
+        Ok(req)
+    }
+
+    fn decode_response(&self, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut cur = ByteCursor::new(payload);
+        let resp = match cur.u8()? {
+            RESP_PONG => Response::Pong,
+            RESP_STATS => {
+                let text = std::str::from_utf8(cur.rest())
+                    .map_err(|_| ProtoError::bad("stats payload is not valid UTF-8"))?;
+                let json = Json::parse(text).map_err(|e| ProtoError::bad(e.to_string()))?;
+                return Ok(Response::Stats(json));
+            }
+            RESP_ERROR => {
+                let flags = cur.u8()?;
+                let id = if flags & FLAG_ID != 0 {
+                    Some(cur.u64()?)
+                } else {
+                    None
+                };
+                let code = *ErrorCode::ALL
+                    .get(cur.u8()? as usize)
+                    .ok_or_else(|| ProtoError::bad("unknown error code tag"))?;
+                let len = cur.u32()? as usize;
+                let message = String::from_utf8(cur.take(len)?.to_vec())
+                    .map_err(|_| ProtoError::bad("error message is not valid UTF-8"))?;
+                Response::Error { id, code, message }
+            }
+            RESP_OK => {
+                let flags = cur.u8()?;
+                let id = if flags & FLAG_ID != 0 {
+                    Some(cur.u64()?)
+                } else {
+                    None
+                };
+                let cached = cur.u8()? != 0;
+                let micros = cur.u64()?;
+                let algorithm = *Algorithm::ALL
+                    .get(cur.u8()? as usize)
+                    .ok_or_else(|| ProtoError::bad("unknown algorithm tag"))?;
+                let n = cur.u32()? as usize;
+                let ratio = cur.f64()?;
+                let bound = cur.f64()?;
+                let alpha = cur.f64()?;
+                let count = cur.u32()? as usize;
+                let mut pieces = Vec::with_capacity(count.min(MAX_FRAME / 8));
+                for _ in 0..count {
+                    pieces.push(cur.f64()?);
+                }
+                Response::Ok(BalanceResponse {
+                    id,
+                    algorithm,
+                    n,
+                    ratio,
+                    bound,
+                    alpha,
+                    cached,
+                    micros,
+                    pieces,
+                })
+            }
+            other => return Err(ProtoError::bad(format!("unknown response tag {other}"))),
+        };
+        cur.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+#[derive(Debug)]
+pub struct ByteCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteCursor<'a> {
+    /// Wraps a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ProtoError::bad("truncated binary payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32` LE.
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` LE.
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from LE IEEE-754 bits.
+    pub fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// The unconsumed remainder.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Requires the payload to be fully consumed.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::bad("trailing bytes in binary payload"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy hit-path helpers
+// ---------------------------------------------------------------------------
+//
+// A cache hit answers with a reply whose only per-request fields are the
+// echoed id and the measured micros; everything else is a pure function
+// of the cached result. These helpers build the invariant byte tail once
+// (stored alongside the cached result) and splice the tiny per-request
+// head around it on every hit, so the hot path never re-serializes.
+
+/// Appends the decimal digits of `v` without allocating.
+pub fn push_u64_ascii(out: &mut Vec<u8>, v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Builds the invariant JSON tail of a cached-hit `ok` reply: the
+/// encoded object minus its leading `{` and the per-request id, with the
+/// micros digits excised. Returns `(bytes, split)` where `split` is the
+/// offset at which the micros digits are spliced back in. Assembling
+/// `{` + `"id":N,`? + `bytes[..split]` + digits + `bytes[split..]` +
+/// `\n` is byte-identical to [`Codec::encode_response`] on the same
+/// response, which the proptests assert.
+pub fn json_ok_tail(
+    algorithm: Algorithm,
+    n: usize,
+    ratio: f64,
+    bound: f64,
+    alpha: f64,
+    pieces: &[f64],
+) -> (Vec<u8>, usize) {
+    let line = Response::Ok(BalanceResponse {
+        id: None,
+        algorithm,
+        n,
+        ratio,
+        bound,
+        alpha,
+        cached: true,
+        micros: 0,
+        pieces: pieces.to_vec(),
+    })
+    .encode();
+    // The only place `"micros":0,` can appear: every other value is a
+    // string from a fixed enum, a bool, or a float printed with a
+    // fraction. The head ends just after the colon; the `0` is skipped.
+    let mark = line
+        .find("\"micros\":0,")
+        .expect("ok response always carries micros");
+    let head_end = mark + "\"micros\":".len();
+    let bytes_src = line.as_bytes();
+    let mut bytes = Vec::with_capacity(line.len());
+    bytes.extend_from_slice(&bytes_src[1..head_end]);
+    let split = bytes.len();
+    bytes.extend_from_slice(&bytes_src[head_end + 1..]);
+    (bytes, split)
+}
+
+/// Appends a full cached-hit JSON reply line assembled around a
+/// [`json_ok_tail`] to `out`.
+pub fn json_hit_reply(out: &mut Vec<u8>, id: Option<u64>, micros: u64, tail: &[u8], split: usize) {
+    out.push(b'{');
+    if let Some(id) = id {
+        out.extend_from_slice(b"\"id\":");
+        push_u64_ascii(out, id);
+        out.push(b',');
+    }
+    out.extend_from_slice(&tail[..split]);
+    push_u64_ascii(out, micros);
+    out.extend_from_slice(&tail[split..]);
+    out.push(b'\n');
+}
+
+/// Builds the invariant binary tail of a cached-hit `ok` reply (the
+/// fields after `micros` in the `RESP_OK` layout).
+pub fn binary_ok_tail(
+    algorithm: Algorithm,
+    n: usize,
+    ratio: f64,
+    bound: f64,
+    alpha: f64,
+    pieces: &[f64],
+    out: &mut Vec<u8>,
+) {
+    out.push(algorithm.index() as u8);
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&ratio.to_le_bytes());
+    out.extend_from_slice(&bound.to_le_bytes());
+    out.extend_from_slice(&alpha.to_le_bytes());
+    out.extend_from_slice(&(pieces.len() as u32).to_le_bytes());
+    for &w in pieces {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+}
+
+/// Appends a full cached-hit binary reply frame (head spliced in front
+/// of a [`binary_ok_tail`]) to `out`. `cached` is always true on this
+/// path.
+pub fn binary_hit_reply(out: &mut Vec<u8>, id: Option<u64>, micros: u64, tail: &[u8]) {
+    let head_len = 1 + 1 + if id.is_some() { 8 } else { 0 } + 1 + 8;
+    let len = (head_len + tail.len()) as u32;
+    out.push(MAGIC);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(RESP_OK);
+    out.push(if id.is_some() { FLAG_ID } else { 0 });
+    if let Some(id) = id {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out.push(1); // cached
+    out.extend_from_slice(&micros.to_le_bytes());
+    out.extend_from_slice(tail);
+}
+
+/// Extracts the request id echoed in a binary reply payload without
+/// decoding the body — the router's passive health check needs only the
+/// id to settle in-flight bookkeeping.
+pub fn binary_reply_id(payload: &[u8]) -> Option<u64> {
+    match *payload.first()? {
+        RESP_ERROR | RESP_OK if payload.len() >= 10 && payload[1] & FLAG_ID != 0 => {
+            Some(u64::from_le_bytes(payload[2..10].try_into().ok()?))
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the echoed id from a JSON reply line. The server emits the
+/// id first when present, so a prefix scan answers without parsing; any
+/// other shape falls back to a full parse (router-originated and
+/// third-party replies).
+pub fn json_reply_id(line: &str) -> Option<u64> {
+    if let Some(rest) = line.strip_prefix("{\"id\":") {
+        let digits: &str = &rest[..rest.bytes().position(|b| !b.is_ascii_digit())?];
+        if !digits.is_empty() {
+            return digits.parse().ok();
+        }
+    }
+    Json::parse(line).ok()?.get("id")?.as_u64()
+}
+
+// ---------------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------------
 
@@ -933,10 +1515,14 @@ pub enum FrameError {
     TooLong,
     /// A line was not valid UTF-8.
     NotUtf8,
-    /// The peer closed the connection with a non-empty partial line
+    /// The peer closed the connection with a non-empty partial frame
     /// pending — the frame was torn mid-write. Surfaced exactly once;
     /// the next poll reports [`Frame::Eof`].
     Torn,
+    /// A binary frame declared a payload longer than [`MAX_FRAME`] —
+    /// a corrupt or hostile length. The reader never allocates the
+    /// declared size; it skips to the next newline or magic byte.
+    Corrupt,
     /// Underlying socket error (includes clean EOF as `UnexpectedEof`).
     Io(io::Error),
 }
@@ -947,6 +1533,7 @@ impl fmt::Display for FrameError {
             FrameError::TooLong => write!(f, "frame exceeds {MAX_FRAME} bytes"),
             FrameError::NotUtf8 => write!(f, "frame is not valid UTF-8"),
             FrameError::Torn => write!(f, "frame torn by EOF mid-line"),
+            FrameError::Corrupt => write!(f, "binary frame length is corrupt"),
             FrameError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -954,27 +1541,40 @@ impl fmt::Display for FrameError {
 
 impl std::error::Error for FrameError {}
 
-/// Incremental newline-delimited frame reader that tolerates read
-/// timeouts: a `WouldBlock`/`TimedOut` read returns control to the caller
-/// (yielding `Ok(None)`) while preserving any partial line, so servers
+/// Incremental frame reader that tolerates read timeouts: a
+/// `WouldBlock`/`TimedOut` read returns control to the caller (yielding
+/// [`Frame::Pending`]) while preserving any partial frame, so servers
 /// can poll a shutdown flag between reads.
+///
+/// Each frame is sniffed independently by its first byte: [`MAGIC`]
+/// opens a length-prefixed binary frame, anything else is a
+/// newline-delimited text line. The codec of the last sniffed frame is
+/// remembered ([`codec`](Self::codec)) so error replies can go out in
+/// the format the peer speaks.
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
     buf: Vec<u8>,
     pending: VecDeque<u8>,
-    /// When a frame overflows, remaining bytes up to the next newline are
-    /// discarded so the stream resynchronises.
+    /// When a text line overflows, remaining bytes up to the next
+    /// newline are discarded so the stream resynchronises.
     discarding: bool,
+    /// After a corrupt binary length, bytes are skipped up to the next
+    /// newline (consumed) or magic byte (retained) — a bounded resync
+    /// that never allocates the declared length.
+    resyncing: bool,
     eof: bool,
+    last_codec: WireCodec,
 }
 
 /// One poll step of the frame reader.
 #[derive(Debug)]
 pub enum Frame {
-    /// A complete line (newline stripped).
+    /// A complete text line (newline stripped).
     Line(String),
-    /// No complete line yet (timeout or short read); call again.
+    /// A complete binary frame payload (header stripped).
+    Binary(Vec<u8>),
+    /// No complete frame yet (timeout or short read); call again.
     Pending,
     /// Peer closed the connection cleanly.
     Eof,
@@ -988,7 +1588,9 @@ impl<R: Read> FrameReader<R> {
             buf: vec![0u8; 8 * 1024],
             pending: VecDeque::new(),
             discarding: false,
+            resyncing: false,
             eof: false,
+            last_codec: WireCodec::Json,
         }
     }
 
@@ -997,78 +1599,179 @@ impl<R: Read> FrameReader<R> {
         &self.inner
     }
 
-    /// True while [`poll_line`](Self::poll_line) can make progress
-    /// without touching the socket: a complete line (or an overflow, or
-    /// EOF) is sitting in the internal buffer with the descriptor
-    /// itself drained. A readiness-driven caller must keep polling
-    /// while this holds instead of sleeping on the descriptor — no
-    /// readiness event will ever announce already-consumed bytes. A
-    /// buffered *partial* line does not count: only a socket read can
-    /// advance it, so readiness is the right thing to wait on.
-    pub fn has_buffered(&self) -> bool {
-        self.eof || self.pending.len() > MAX_FRAME || self.pending.iter().any(|&b| b == b'\n')
+    /// The codec of the most recently sniffed frame (JSON until the
+    /// first byte arrives). Replies to frames that never decoded — too
+    /// long, corrupt length, torn — should use this so the peer can
+    /// read them.
+    pub fn codec(&self) -> WireCodec {
+        self.last_codec
     }
 
-    /// Reads until a full line, a timeout, EOF or an error.
+    /// Reads the little-endian length out of a buffered binary header.
+    fn buffered_binary_len(&self) -> usize {
+        let mut len = [0u8; 4];
+        for (i, b) in self.pending.iter().skip(1).take(4).enumerate() {
+            len[i] = *b;
+        }
+        u32::from_le_bytes(len) as usize
+    }
+
+    /// True while [`poll_line`](Self::poll_line) can make progress
+    /// without touching the socket: a complete frame (or an overflow,
+    /// a corrupt length, or EOF) is sitting in the internal buffer with
+    /// the descriptor itself drained. A readiness-driven caller must
+    /// keep polling while this holds instead of sleeping on the
+    /// descriptor — no readiness event will ever announce
+    /// already-consumed bytes. A buffered *partial* frame does not
+    /// count: only a socket read can advance it, so readiness is the
+    /// right thing to wait on.
+    pub fn has_buffered(&self) -> bool {
+        if self.eof {
+            return true;
+        }
+        if self.resyncing {
+            // Resync pops bytes until a newline or magic byte: progress
+            // is possible exactly when one is buffered.
+            return self.pending.iter().any(|&b| b == b'\n' || b == MAGIC);
+        }
+        if !self.discarding && self.pending.front() == Some(&MAGIC) {
+            if self.pending.len() < BIN_HDR {
+                return false;
+            }
+            let declared = self.buffered_binary_len();
+            return declared > MAX_FRAME || self.pending.len() >= BIN_HDR + declared;
+        }
+        self.pending.len() > MAX_FRAME || self.pending.iter().any(|&b| b == b'\n')
+    }
+
+    /// Reads until a full frame, a timeout, EOF or an error.
     pub fn poll_line(&mut self) -> Result<Frame, FrameError> {
         loop {
-            // Serve a complete line out of the pending buffer first.
-            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
-                let oversized = pos > MAX_FRAME;
-                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
-                line.pop(); // newline
-                if line.last() == Some(&b'\r') {
-                    line.pop();
+            if self.resyncing {
+                // Bounded skip after a corrupt binary length: junk up to
+                // a newline is consumed (with the newline), a magic byte
+                // is retained as the next frame start.
+                while let Some(&b) = self.pending.front() {
+                    if b == MAGIC {
+                        self.resyncing = false;
+                        break;
+                    }
+                    self.pending.pop_front();
+                    if b == b'\n' {
+                        self.resyncing = false;
+                        break;
+                    }
                 }
-                if self.discarding {
-                    self.discarding = false;
-                    continue; // swallowed the tail of an oversized frame
+                if self.resyncing && !self.eof {
+                    // Junk exhausted without a sync point; need bytes.
+                    match self.fill()? {
+                        Progress::More => continue,
+                        Progress::Pending => return Ok(Frame::Pending),
+                        Progress::Eof => continue,
+                    }
                 }
-                if oversized {
-                    // The whole line arrived in one batch but is over the
-                    // limit; it is already consumed, so no discard needed.
-                    return Err(FrameError::TooLong);
-                }
-                return match String::from_utf8(line) {
-                    Ok(s) => Ok(Frame::Line(s)),
-                    Err(_) => Err(FrameError::NotUtf8),
-                };
-            }
-            if self.pending.len() > MAX_FRAME {
-                if !self.discarding {
-                    self.discarding = true;
+                if self.resyncing {
+                    // EOF while resyncing: the junk tail is already
+                    // accounted for by the Corrupt error.
+                    self.resyncing = false;
                     self.pending.clear();
-                    return Err(FrameError::TooLong);
+                    return Ok(Frame::Eof);
                 }
-                self.pending.clear();
+                continue;
+            }
+            if !self.discarding && self.pending.front() == Some(&MAGIC) {
+                self.last_codec = WireCodec::Binary;
+                if self.pending.len() >= BIN_HDR {
+                    let declared = self.buffered_binary_len();
+                    if declared > MAX_FRAME {
+                        self.pending.drain(..BIN_HDR);
+                        self.resyncing = true;
+                        return Err(FrameError::Corrupt);
+                    }
+                    if self.pending.len() >= BIN_HDR + declared {
+                        self.pending.drain(..BIN_HDR);
+                        let payload: Vec<u8> = self.pending.drain(..declared).collect();
+                        return Ok(Frame::Binary(payload));
+                    }
+                }
+                // Incomplete header or payload: fall through to read.
+            } else {
+                // Text path: serve a complete line out of the pending
+                // buffer first.
+                if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                    let oversized = pos > MAX_FRAME;
+                    let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                    line.pop(); // newline
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    if self.discarding {
+                        self.discarding = false;
+                        continue; // swallowed the tail of an oversized frame
+                    }
+                    self.last_codec = WireCodec::Json;
+                    if oversized {
+                        // The whole line arrived in one batch but is over
+                        // the limit; it is already consumed, so no discard
+                        // needed.
+                        return Err(FrameError::TooLong);
+                    }
+                    return match String::from_utf8(line) {
+                        Ok(s) => Ok(Frame::Line(s)),
+                        Err(_) => Err(FrameError::NotUtf8),
+                    };
+                }
+                if self.pending.len() > MAX_FRAME {
+                    if !self.discarding {
+                        self.discarding = true;
+                        self.pending.clear();
+                        self.last_codec = WireCodec::Json;
+                        return Err(FrameError::TooLong);
+                    }
+                    self.pending.clear();
+                }
             }
             if self.eof {
+                if self.discarding {
+                    // The tail of an already-reported oversized frame
+                    // never got its newline; the error was surfaced when
+                    // the frame overflowed, so this is plain EOF.
+                    self.discarding = false;
+                    self.pending.clear();
+                    return Ok(Frame::Eof);
+                }
+                if !self.pending.is_empty() {
+                    // A non-empty partial frame at EOF — text line or
+                    // binary header/payload — is a torn frame: the peer
+                    // died mid-write. Silently swallowing it would hide
+                    // a protocol violation from both metrics and the
+                    // peer (which may only have shut down its write half
+                    // and still reads replies).
+                    self.pending.clear();
+                    return Err(FrameError::Torn);
+                }
                 return Ok(Frame::Eof);
             }
+            match self.fill()? {
+                Progress::More | Progress::Eof => continue,
+                Progress::Pending => return Ok(Frame::Pending),
+            }
+        }
+    }
+
+    /// One socket read into `pending`. EOF is latched into `self.eof`
+    /// rather than returned as data so every caller re-enters the state
+    /// machine above with the flag set.
+    fn fill(&mut self) -> Result<Progress, FrameError> {
+        loop {
             match self.inner.read(&mut self.buf) {
                 Ok(0) => {
                     self.eof = true;
-                    if self.discarding {
-                        // The tail of an already-reported oversized frame
-                        // never got its newline; the error was surfaced
-                        // when the frame overflowed, so this is plain EOF.
-                        self.discarding = false;
-                        self.pending.clear();
-                        return Ok(Frame::Eof);
-                    }
-                    if !self.pending.is_empty() {
-                        // A non-empty partial line at EOF is a torn frame
-                        // — the peer died mid-write. Silently swallowing
-                        // it would hide a protocol violation from both
-                        // metrics and the peer (which may only have shut
-                        // down its write half and still reads replies).
-                        self.pending.clear();
-                        return Err(FrameError::Torn);
-                    }
-                    return Ok(Frame::Eof);
+                    return Ok(Progress::Eof);
                 }
                 Ok(k) => {
                     self.pending.extend(&self.buf[..k]);
+                    return Ok(Progress::More);
                 }
                 Err(e)
                     if matches!(
@@ -1076,13 +1779,20 @@ impl<R: Read> FrameReader<R> {
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                     ) =>
                 {
-                    return Ok(Frame::Pending);
+                    return Ok(Progress::Pending);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(FrameError::Io(e)),
             }
         }
     }
+}
+
+/// Result of one [`FrameReader::fill`] step.
+enum Progress {
+    More,
+    Pending,
+    Eof,
 }
 
 #[cfg(test)]

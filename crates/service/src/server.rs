@@ -60,13 +60,14 @@ use gb_store::{SpillHandle, SpillSender, Store};
 use gb_sys as sys;
 use parking_lot::Mutex;
 
-use crate::cache::{CacheKey, CachedResult, ShardedCache};
+use crate::cache::{CacheKey, CachedResult, ReplyTail, ShardedCache};
 use crate::fault::{IoShim, Passthrough, ShimStream};
 use crate::metrics::{store_json, ServiceMetrics};
 use crate::persist::{self, StoreSettings};
 use crate::proto::{
-    Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
-    Request, Response,
+    binary_hit_reply, binary_ok_tail, json_hit_reply, json_ok_tail, Algorithm, BalanceRequest,
+    BalanceResponse, Codec, ErrorCode, Frame, FrameError, FrameReader, Json, Request, Response,
+    WireCodec,
 };
 use crate::route::{Router, DEFAULT_VNODES};
 use crate::shed::{
@@ -392,6 +393,8 @@ enum ReplyTo {
 struct Job {
     req: BalanceRequest,
     received: Instant,
+    /// Codec of the request frame; the reply goes out in the same one.
+    codec: WireCodec,
     /// Accept-order id of the submitting connection (fault-shim key).
     conn_id: u64,
     /// Index of the backend the router homed this job's key to.
@@ -941,20 +944,37 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64, _ope
             }
             Ok(Frame::Eof) => return,
             Ok(Frame::Line(line)) => {
-                let done = matches!(dispatch_line(shared, &line, &mut writer, conn_id), Err(()));
-                if done {
+                let request = Request::decode(&line);
+                if dispatch_line(shared, WireCodec::Json, request, &mut writer, conn_id).is_err() {
+                    return;
+                }
+            }
+            Ok(Frame::Binary(payload)) => {
+                let request = WireCodec::Binary.decode_request(&payload);
+                if dispatch_line(shared, WireCodec::Binary, request, &mut writer, conn_id).is_err()
+                {
                     return;
                 }
             }
             Err(FrameError::TooLong) => {
                 let resp = protocol_error(shared, "frame exceeds the maximum length");
-                if write_response(shared, &mut writer, &resp).is_err() {
+                if write_response(shared, &mut writer, reader.codec(), &resp).is_err() {
                     return;
                 }
             }
             Err(FrameError::NotUtf8) => {
                 let resp = protocol_error(shared, "frame is not valid UTF-8");
-                if write_response(shared, &mut writer, &resp).is_err() {
+                if write_response(shared, &mut writer, reader.codec(), &resp).is_err() {
+                    return;
+                }
+            }
+            Err(FrameError::Corrupt) => {
+                // A corrupt binary length tears the stream the same way
+                // a torn frame does, but the reader resynchronises, so
+                // the connection survives.
+                shared.metrics.record_torn_frame();
+                let resp = protocol_error(shared, "binary frame length is corrupt");
+                if write_response(shared, &mut writer, reader.codec(), &resp).is_err() {
                     return;
                 }
             }
@@ -964,7 +984,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64, _ope
                 // reading — then drop the connection.
                 shared.metrics.record_torn_frame();
                 let resp = protocol_error(shared, "frame torn by EOF mid-line");
-                let _ = write_response(shared, &mut writer, &resp);
+                let _ = write_response(shared, &mut writer, reader.codec(), &resp);
                 return;
             }
             Err(FrameError::Io(_)) => {
@@ -992,11 +1012,12 @@ fn protocol_error(shared: &Shared, message: &str) -> Response {
 fn write_response(
     shared: &Shared,
     writer: &mut ShimStream,
+    codec: WireCodec,
     resp: &Response,
 ) -> std::io::Result<()> {
-    let mut line = resp.encode();
-    line.push('\n');
-    let mut buf = line.as_bytes();
+    let mut frame = Vec::new();
+    codec.encode_response(resp, &mut frame);
+    let mut buf = frame.as_slice();
     let deadline = Instant::now() + shared.tuning.write_stall;
     while !buf.is_empty() {
         match writer.write(buf) {
@@ -1022,40 +1043,42 @@ fn write_response(
     Ok(())
 }
 
-/// Handles one request line. `Err(())` means the connection should close.
+/// Handles one decoded request frame. `Err(())` means the connection
+/// should close.
 fn dispatch_line(
     shared: &Arc<Shared>,
-    line: &str,
+    codec: WireCodec,
+    request: Result<Request, crate::proto::ProtoError>,
     writer: &mut ShimStream,
     conn_id: u64,
 ) -> Result<(), ()> {
-    let request = match Request::decode(line) {
+    let request = match request {
         Ok(r) => r,
         Err(e) => {
             let resp = protocol_error(shared, &e.message);
-            return write_response(shared, writer, &resp).map_err(|_| ());
+            return write_response(shared, writer, codec, &resp).map_err(|_| ());
         }
     };
     match request {
         Request::Ping => {
             shared.metrics.record_control();
-            write_response(shared, writer, &Response::Pong).map_err(|_| ())
+            write_response(shared, writer, codec, &Response::Pong).map_err(|_| ())
         }
         Request::Stats => {
             shared.metrics.record_control();
             let resp = Response::Stats(stats_json(shared));
-            write_response(shared, writer, &resp).map_err(|_| ())
+            write_response(shared, writer, codec, &resp).map_err(|_| ())
         }
         Request::Shutdown => {
             shared.metrics.record_control();
             // Acknowledge before draining so the client gets an answer.
-            let result = write_response(shared, writer, &Response::Pong).map_err(|_| ());
+            let result = write_response(shared, writer, codec, &Response::Pong).map_err(|_| ());
             trigger_shutdown(shared);
             result
         }
         Request::Balance(req) => {
             let resp = submit_balance(shared, req, conn_id);
-            write_response(shared, writer, &resp).map_err(|_| ())
+            write_response(shared, writer, codec, &resp).map_err(|_| ())
         }
     }
 }
@@ -1081,6 +1104,9 @@ fn submit_balance(shared: &Shared, req: BalanceRequest, conn_id: u64) -> Respons
     let job = Job {
         req,
         received: Instant::now(),
+        // Channel replies are encoded by the connection thread, which
+        // knows the frame's codec; the job-side codec is unused there.
+        codec: WireCodec::Json,
         conn_id,
         backend: backend_index,
         vnode,
@@ -1130,7 +1156,7 @@ struct Conn {
     /// Set while a queued balance request is outstanding: when it was
     /// dispatched, the reply-arbitration flag, and the request id (for
     /// the timeout error frame).
-    inflight_since: Option<(Instant, Arc<AtomicBool>, Option<u64>)>,
+    inflight_since: Option<(Instant, Arc<AtomicBool>, Option<u64>, WireCodec)>,
     /// The read side is finished (EOF or torn frame); the connection
     /// stays around only until buffered replies drain.
     closing: bool,
@@ -1250,7 +1276,9 @@ fn drain_accepts(
 
 /// Best-effort `overloaded` reply to a connection shed at the
 /// `--max-conns` cap, then close. One nonblocking write: a peer whose
-/// socket cannot take a single frame just sees the close.
+/// socket cannot take a single frame just sees the close. Shedding
+/// happens before the first frame is sniffed, so the reply is always a
+/// JSON line — binary clients treat the close itself as the signal.
 fn shed_accept(shared: &Shared, stream: TcpStream, cap: usize) {
     shared.metrics.record_accept_shed();
     shared.metrics.record_error(ErrorCode::Overloaded);
@@ -1273,23 +1301,22 @@ fn would_block(e: &std::io::Error) -> bool {
 }
 
 /// Queues one frame for delivery and pushes what the socket will take.
-fn write_frame(shared: &Shared, conn: &ConnShared, resp: &Response) {
-    let mut line = resp.encode();
-    line.push('\n');
-    enqueue_bytes(shared, conn, line.as_bytes());
+fn write_frame(shared: &Shared, conn: &ConnShared, codec: WireCodec, resp: &Response) {
+    let mut frame = Vec::new();
+    codec.encode_response(resp, &mut frame);
+    enqueue_bytes(shared, conn, &frame);
 }
 
 /// Appends one encoded frame to a sweep's outgoing reply buffer.
-fn push_reply(replies: &mut String, resp: &Response) {
-    replies.push_str(&resp.encode());
-    replies.push('\n');
+fn push_reply(replies: &mut Vec<u8>, codec: WireCodec, resp: &Response) {
+    codec.encode_response(resp, replies);
 }
 
 /// Moves a sweep's coalesced replies into the connection's output
 /// buffer and flushes what fits, preserving frame order.
-fn flush_replies(shared: &Shared, conn: &ConnShared, replies: &mut String) {
+fn flush_replies(shared: &Shared, conn: &ConnShared, replies: &mut Vec<u8>) {
     if !replies.is_empty() {
-        enqueue_bytes(shared, conn, replies.as_bytes());
+        enqueue_bytes(shared, conn, replies);
         replies.clear();
     }
 }
@@ -1366,7 +1393,7 @@ fn event_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListen
     let mut idle_spins = 0u32;
     // Reused across sweeps: inline replies are batched here and written
     // with one syscall per connection per sweep.
-    let mut replies = String::new();
+    let mut replies = Vec::new();
     loop {
         let mut progress = false;
         let draining = shared.shutdown.load(Ordering::SeqCst);
@@ -1535,7 +1562,7 @@ fn epoll_loop(shared: &Arc<Shared>, index: usize, mut listener: Option<TcpListen
     let mut events: Vec<sys::Event> = Vec::new();
     let mut accepts = AcceptState::default();
     let mut last_timer = Instant::now();
-    let mut replies = String::new();
+    let mut replies = Vec::new();
 
     loop {
         let draining = shared.shutdown.load(Ordering::SeqCst);
@@ -1705,13 +1732,13 @@ fn sweep_conn(
     conn: &mut Conn,
     draining: bool,
     progress: &mut bool,
-    replies: &mut String,
+    replies: &mut Vec<u8>,
 ) -> bool {
     replies.clear();
     if conn.shared.dead.load(Ordering::Acquire) {
         return false;
     }
-    if let Some((since, answered, id)) = &conn.inflight_since {
+    if let Some((since, answered, id, codec)) = &conn.inflight_since {
         if conn.shared.inflight.load(Ordering::Acquire) {
             if since.elapsed() <= shared.tuning.reply_timeout {
                 // Still waiting on the worker; keep earlier buffered
@@ -1728,6 +1755,7 @@ fn sweep_conn(
                 write_frame(
                     shared,
                     &conn.shared,
+                    *codec,
                     &Response::Error {
                         id: *id,
                         code: ErrorCode::Internal,
@@ -1763,12 +1791,30 @@ fn sweep_conn(
             }
             Ok(Frame::Line(line)) => {
                 *progress = true;
-                match dispatch_event_line(shared, &conn.shared, &line, replies) {
+                let decoded = Request::decode(&line);
+                match dispatch_event_line(shared, &conn.shared, WireCodec::Json, decoded, replies) {
                     LineOutcome::Answered => {}
                     LineOutcome::Inflight { answered, id } => {
                         // Stop reading until the reply is out; earlier
                         // inline replies were flushed before the push.
-                        conn.inflight_since = Some((Instant::now(), answered, id));
+                        conn.inflight_since = Some((Instant::now(), answered, id, WireCodec::Json));
+                        break;
+                    }
+                }
+                if conn.shared.dead.load(Ordering::Acquire) {
+                    keep = false;
+                    break;
+                }
+            }
+            Ok(Frame::Binary(payload)) => {
+                *progress = true;
+                let decoded = WireCodec::Binary.decode_request(&payload);
+                match dispatch_event_line(shared, &conn.shared, WireCodec::Binary, decoded, replies)
+                {
+                    LineOutcome::Answered => {}
+                    LineOutcome::Inflight { answered, id } => {
+                        conn.inflight_since =
+                            Some((Instant::now(), answered, id, WireCodec::Binary));
                         break;
                     }
                 }
@@ -1780,11 +1826,27 @@ fn sweep_conn(
             Err(FrameError::TooLong) => {
                 push_reply(
                     replies,
+                    conn.reader.codec(),
                     &protocol_error(shared, "frame exceeds the maximum length"),
                 );
             }
             Err(FrameError::NotUtf8) => {
-                push_reply(replies, &protocol_error(shared, "frame is not valid UTF-8"));
+                push_reply(
+                    replies,
+                    conn.reader.codec(),
+                    &protocol_error(shared, "frame is not valid UTF-8"),
+                );
+            }
+            Err(FrameError::Corrupt) => {
+                // A corrupt binary length is recoverable: the reader
+                // resyncs to the next plausible frame boundary and the
+                // connection keeps going.
+                shared.metrics.record_torn_frame();
+                push_reply(
+                    replies,
+                    conn.reader.codec(),
+                    &protocol_error(shared, "binary frame length is corrupt"),
+                );
             }
             Err(FrameError::Torn) => {
                 // Peer closed its write half mid-frame; tell it (it may
@@ -1792,6 +1854,7 @@ fn sweep_conn(
                 shared.metrics.record_torn_frame();
                 push_reply(
                     replies,
+                    conn.reader.codec(),
                     &protocol_error(shared, "frame torn by EOF mid-line"),
                 );
                 conn.closing = true;
@@ -1828,36 +1891,38 @@ enum LineOutcome {
     },
 }
 
-/// Handles one request line on the poller. Cache hits, control frames
-/// and shed responses are answered inline; only cache misses cross the
-/// queue to a worker.
+/// Handles one decoded request frame on the poller. Cache hits, control
+/// frames and shed responses are answered inline; only cache misses
+/// cross the queue to a worker. The reply goes out in `codec` — the
+/// codec the request frame arrived in.
 fn dispatch_event_line(
     shared: &Arc<Shared>,
     conn: &Arc<ConnShared>,
-    line: &str,
-    replies: &mut String,
+    codec: WireCodec,
+    decoded: Result<Request, crate::proto::ProtoError>,
+    replies: &mut Vec<u8>,
 ) -> LineOutcome {
-    let request = match Request::decode(line) {
+    let request = match decoded {
         Ok(r) => r,
         Err(e) => {
-            push_reply(replies, &protocol_error(shared, &e.message));
+            push_reply(replies, codec, &protocol_error(shared, &e.message));
             return LineOutcome::Answered;
         }
     };
     match request {
         Request::Ping => {
             shared.metrics.record_control();
-            push_reply(replies, &Response::Pong);
+            push_reply(replies, codec, &Response::Pong);
             LineOutcome::Answered
         }
         Request::Stats => {
             shared.metrics.record_control();
-            push_reply(replies, &Response::Stats(stats_json(shared)));
+            push_reply(replies, codec, &Response::Stats(stats_json(shared)));
             LineOutcome::Answered
         }
         Request::Shutdown => {
             shared.metrics.record_control();
-            push_reply(replies, &Response::Pong);
+            push_reply(replies, codec, &Response::Pong);
             // The drain must not race the acknowledgement out of the
             // buffer: write it now.
             flush_replies(shared, conn, replies);
@@ -1872,6 +1937,7 @@ fn dispatch_event_line(
                     shared.metrics.record_error(ErrorCode::Timeout);
                     push_reply(
                         replies,
+                        codec,
                         &Response::Error {
                             id,
                             code: ErrorCode::Timeout,
@@ -1891,7 +1957,7 @@ fn dispatch_event_line(
                 shared.record_load(vnode, backend_index, 0);
                 shared.metrics.record_fast_path();
                 shared.metrics.record_ok(req.algorithm, true, latency);
-                push_reply(replies, &ok_response(&req, &hit, true, latency));
+                encode_hit(replies, codec, &req, &hit, latency);
                 return LineOutcome::Answered;
             }
             // The worker writes its reply directly to the socket, so any
@@ -1905,6 +1971,7 @@ fn dispatch_event_line(
             let job = Job {
                 req,
                 received,
+                codec,
                 conn_id: conn.conn_id,
                 backend: backend_index,
                 vnode,
@@ -1922,6 +1989,7 @@ fn dispatch_event_line(
                     shared.metrics.record_error(ErrorCode::Overloaded);
                     push_reply(
                         replies,
+                        codec,
                         &Response::Error {
                             id,
                             code: ErrorCode::Overloaded,
@@ -1935,6 +2003,7 @@ fn dispatch_event_line(
                     shared.metrics.record_error(ErrorCode::ShuttingDown);
                     push_reply(
                         replies,
+                        codec,
                         &Response::Error {
                             id,
                             code: ErrorCode::ShuttingDown,
@@ -1945,6 +2014,54 @@ fn dispatch_event_line(
                 }
             }
         }
+    }
+}
+
+/// Appends the encoded reply for a cache hit in `codec`, reusing (or
+/// building on first use) the entry's per-`(codec, want_pieces)` encoded
+/// tail: a warm hit is an id/micros splice plus one memcpy — no JSON
+/// printing, no float formatting, no re-serialization.
+fn encode_hit(
+    out: &mut Vec<u8>,
+    codec: WireCodec,
+    req: &BalanceRequest,
+    hit: &CachedResult,
+    latency: Duration,
+) {
+    let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+    let tail = hit.enc.get_or_build(codec, req.want_pieces, || {
+        let pieces: &[f64] = if req.want_pieces { &hit.pieces } else { &[] };
+        match codec {
+            WireCodec::Json => {
+                let (bytes, split) = json_ok_tail(
+                    req.algorithm,
+                    req.n,
+                    hit.ratio,
+                    hit.bound,
+                    hit.alpha,
+                    pieces,
+                );
+                ReplyTail { bytes, split }
+            }
+            WireCodec::Binary => {
+                let mut bytes = Vec::new();
+                binary_ok_tail(
+                    req.algorithm,
+                    req.n,
+                    hit.ratio,
+                    hit.bound,
+                    hit.alpha,
+                    pieces,
+                    &mut bytes,
+                );
+                let split = bytes.len();
+                ReplyTail { bytes, split }
+            }
+        }
+    });
+    match codec {
+        WireCodec::Json => json_hit_reply(out, req.id, micros, &tail.bytes, tail.split),
+        WireCodec::Binary => binary_hit_reply(out, req.id, micros, &tail.bytes),
     }
 }
 
@@ -1991,7 +2108,7 @@ fn worker_loop(shared: &Shared, backend: usize, index: usize) {
                     .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
-                    write_frame(shared, conn, &resp);
+                    write_frame(shared, conn, job.codec, &resp);
                     conn.inflight.store(false, Ordering::Release);
                     // Wake the owning epoll poller: it dropped read
                     // interest while the job was in flight, and a
@@ -2050,12 +2167,7 @@ fn execute(shared: &Shared, job: &Job) -> Response {
         Algorithm::Ba => gb_core::ba_upper_bound(alpha, req.n),
         Algorithm::BaHf => gb_core::bahf_upper_bound(alpha, req.theta, req.n),
     };
-    let result = CachedResult {
-        pieces: partition.sorted_weights(),
-        ratio: partition.ratio(),
-        bound,
-        alpha,
-    };
+    let result = CachedResult::new(partition.sorted_weights(), partition.ratio(), bound, alpha);
     backend.cache.put(key, result.clone());
     if let Some(spill) = &backend.spill {
         // Write-behind: O(1) enqueue; a full queue drops the record

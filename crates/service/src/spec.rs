@@ -300,6 +300,207 @@ impl ProblemSpec {
         Ok(spec)
     }
 
+    /// Binary class tag (dense, stable across releases — append only).
+    fn class_tag(&self) -> u8 {
+        match self {
+            ProblemSpec::Synthetic { .. } => 0,
+            ProblemSpec::FeTree { .. } => 1,
+            ProblemSpec::Grid { .. } => 2,
+            ProblemSpec::Quadrature { .. } => 3,
+            ProblemSpec::SearchTree { .. } => 4,
+            ProblemSpec::TaskList { .. } => 5,
+        }
+    }
+
+    /// Appends the binary wire form: `class u8` followed by the class
+    /// fields in declaration order — counts as `u32` LE (all capped by
+    /// [`MAX_SIZE`]), floats as LE IEEE-754 bits, seeds as `u64` LE,
+    /// bools as one byte.
+    pub fn encode_binary(&self, out: &mut Vec<u8>) {
+        out.push(self.class_tag());
+        match *self {
+            ProblemSpec::Synthetic {
+                weight,
+                lo,
+                hi,
+                seed,
+            } => {
+                out.extend_from_slice(&weight.to_le_bytes());
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ProblemSpec::FeTree {
+                refinements,
+                bias,
+                seed,
+            } => {
+                out.extend_from_slice(&(refinements as u32).to_le_bytes());
+                out.extend_from_slice(&bias.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ProblemSpec::Grid {
+                rows,
+                cols,
+                hotspots,
+                seed,
+            } => {
+                out.extend_from_slice(&(rows as u32).to_le_bytes());
+                out.extend_from_slice(&(cols as u32).to_le_bytes());
+                out.extend_from_slice(&(hotspots as u32).to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ProblemSpec::Quadrature {
+                dims,
+                sharpness,
+                min_width,
+                seed,
+            } => {
+                out.extend_from_slice(&(dims as u32).to_le_bytes());
+                out.extend_from_slice(&sharpness.to_le_bytes());
+                out.extend_from_slice(&min_width.to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ProblemSpec::SearchTree {
+                nodes,
+                branch,
+                seed,
+            } => {
+                out.extend_from_slice(&(nodes as u32).to_le_bytes());
+                out.extend_from_slice(&(branch as u32).to_le_bytes());
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+            ProblemSpec::TaskList { tasks, heavy, seed } => {
+                out.extend_from_slice(&(tasks as u32).to_le_bytes());
+                out.push(heavy as u8);
+                out.extend_from_slice(&seed.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes and validates the binary wire form; enforces the same
+    /// range rules as [`from_json`](Self::from_json) via
+    /// [`validate`](Self::validate).
+    pub fn decode_binary(
+        cur: &mut crate::proto::ByteCursor<'_>,
+    ) -> Result<ProblemSpec, ProtoError> {
+        let spec = match cur.u8()? {
+            0 => ProblemSpec::Synthetic {
+                weight: cur.f64()?,
+                lo: cur.f64()?,
+                hi: cur.f64()?,
+                seed: cur.u64()?,
+            },
+            1 => ProblemSpec::FeTree {
+                refinements: cur.u32()? as usize,
+                bias: cur.f64()?,
+                seed: cur.u64()?,
+            },
+            2 => ProblemSpec::Grid {
+                rows: cur.u32()? as usize,
+                cols: cur.u32()? as usize,
+                hotspots: cur.u32()? as usize,
+                seed: cur.u64()?,
+            },
+            3 => ProblemSpec::Quadrature {
+                dims: cur.u32()? as usize,
+                sharpness: cur.f64()?,
+                min_width: cur.f64()?,
+                seed: cur.u64()?,
+            },
+            4 => ProblemSpec::SearchTree {
+                nodes: cur.u32()? as usize,
+                branch: cur.u32()? as usize,
+                seed: cur.u64()?,
+            },
+            5 => ProblemSpec::TaskList {
+                tasks: cur.u32()? as usize,
+                heavy: cur.u8()? != 0,
+                seed: cur.u64()?,
+            },
+            other => return Err(bad(format!("unknown problem class tag {other}"))),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Range validation shared by the binary decoder (the JSON decoder
+    /// enforces the same rules inline, where it can name the offending
+    /// field in its wire spelling).
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        let size = |name: &str, v: usize, min: usize| {
+            if v < min || v > MAX_SIZE {
+                Err(bad(format!(
+                    "problem field \"{name}\" must be in {min}..={MAX_SIZE}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        match *self {
+            ProblemSpec::Synthetic { weight, lo, hi, .. } => {
+                if !weight.is_finite() || weight <= 0.0 {
+                    return Err(bad("\"weight\" must be positive"));
+                }
+                if !(lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi && hi <= 0.5) {
+                    return Err(bad("need 0 < lo <= hi <= 0.5"));
+                }
+            }
+            ProblemSpec::FeTree {
+                refinements, bias, ..
+            } => {
+                size("refinements", refinements, 1)?;
+                if !(bias.is_finite() && (0.0..=1.0).contains(&bias)) {
+                    return Err(bad("\"bias\" must be in [0, 1]"));
+                }
+            }
+            ProblemSpec::Grid {
+                rows,
+                cols,
+                hotspots,
+                ..
+            } => {
+                size("rows", rows, 1)?;
+                size("cols", cols, 1)?;
+                if rows.saturating_mul(cols) > MAX_SIZE {
+                    return Err(bad(format!("grid larger than {MAX_SIZE} cells")));
+                }
+                if hotspots > 64 {
+                    return Err(bad("\"hotspots\" must be an integer in 0..=64"));
+                }
+            }
+            ProblemSpec::Quadrature {
+                dims,
+                sharpness,
+                min_width,
+                ..
+            } => {
+                size("dims", dims, 1)?;
+                if dims > gb_problems::quadrature::MAX_DIMS {
+                    return Err(bad(format!(
+                        "\"dims\" must be at most {}",
+                        gb_problems::quadrature::MAX_DIMS
+                    )));
+                }
+                if !(sharpness.is_finite() && sharpness > 0.0) {
+                    return Err(bad("\"sharpness\" must be positive"));
+                }
+                if !(min_width.is_finite() && min_width > 0.0 && min_width <= 0.5) {
+                    return Err(bad("\"min_width\" must be in (0, 0.5]"));
+                }
+            }
+            ProblemSpec::SearchTree { nodes, branch, .. } => {
+                size("nodes", nodes, 1)?;
+                size("branch", branch, 2)?;
+                if branch > 64 {
+                    return Err(bad("\"branch\" must be at most 64"));
+                }
+            }
+            ProblemSpec::TaskList { tasks, .. } => size("tasks", tasks, 1)?,
+        }
+        Ok(())
+    }
+
     /// Process-stable fingerprint of the spec; equal specs always agree,
     /// distinct classes never collide on tag.
     pub fn fingerprint(&self) -> u64 {

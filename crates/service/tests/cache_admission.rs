@@ -15,12 +15,7 @@ fn key(fingerprint: u64) -> CacheKey {
 }
 
 fn value(seed: u64) -> CachedResult {
-    CachedResult {
-        pieces: vec![seed as f64],
-        ratio: 1.0,
-        bound: 2.0,
-        alpha: 0.25,
-    }
+    CachedResult::new(vec![seed as f64], 1.0, 2.0, 0.25)
 }
 
 /// Warm the hot set: lookups record frequency in the sketch, inserts

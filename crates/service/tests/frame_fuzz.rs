@@ -2,21 +2,24 @@
 //! `read` calls must never change what is parsed from it.
 //!
 //! Random mixes of valid lines, `\r\n` endings, garbage, non-UTF-8,
-//! oversized frames and torn tails are fed through the reader twice —
-//! once as a single read, once split at random points — and the full
-//! event sequences (lines, errors, EOF) must match exactly.
+//! oversized frames, binary frames (valid and corrupt-length) and torn
+//! tails are fed through the reader twice — once as a single read, once
+//! split at random points — and the full event sequences (lines, binary
+//! payloads, errors, EOF) must match exactly.
 
 use std::io::{self, Read};
 
-use gb_service::proto::{Frame, FrameError, FrameReader, MAX_FRAME};
+use gb_service::proto::{Frame, FrameError, FrameReader, BIN_HDR, MAGIC, MAX_FRAME};
 use proptest::prelude::*;
 
 /// One observable step of the reader, in a comparable form.
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
     Line(String),
+    Binary(Vec<u8>),
     TooLong,
     NotUtf8,
+    Corrupt,
     Torn,
     Eof,
 }
@@ -29,6 +32,7 @@ fn events<R: Read>(reader: R) -> Vec<Ev> {
     loop {
         let ev = match fr.poll_line() {
             Ok(Frame::Line(s)) => Ev::Line(s),
+            Ok(Frame::Binary(p)) => Ev::Binary(p),
             Ok(Frame::Eof) => {
                 out.push(Ev::Eof);
                 return out;
@@ -36,6 +40,7 @@ fn events<R: Read>(reader: R) -> Vec<Ev> {
             Ok(Frame::Pending) => panic!("test reader returned Pending"),
             Err(FrameError::TooLong) => Ev::TooLong,
             Err(FrameError::NotUtf8) => Ev::NotUtf8,
+            Err(FrameError::Corrupt) => Ev::Corrupt,
             Err(FrameError::Torn) => Ev::Torn,
             Err(FrameError::Io(e)) => panic!("unexpected io error: {e}"),
         };
@@ -77,7 +82,7 @@ impl Read for Chunked {
 /// with the next segment, which is exactly what TCP would do, and the
 /// one-shot reference parse fuses them identically.
 fn segment_bytes(kind: u32, param: u32) -> Vec<u8> {
-    match kind % 5 {
+    match kind % 7 {
         0 => format!("req-{param}\n").into_bytes(),
         1 => format!("garbage {param} with spaces\r\n").into_bytes(),
         2 => {
@@ -91,15 +96,33 @@ fn segment_bytes(kind: u32, param: u32) -> Vec<u8> {
             b.push(b'\n');
             b
         }
+        4 => bin_frame(&param.to_le_bytes().repeat(1 + param as usize % 4)),
+        5 => {
+            // Corrupt length header: declares more than MAX_FRAME. The
+            // trailing newline gives the resync a boundary to find.
+            let mut b = vec![MAGIC];
+            b.extend_from_slice(&((MAX_FRAME as u32) + 1 + param % 1000).to_le_bytes());
+            b.extend_from_slice(format!("junk-{param}\n").as_bytes());
+            b
+        }
         _ => format!("torn-tail-{param}").into_bytes(),
     }
+}
+
+/// A well-formed binary frame around `payload`.
+fn bin_frame(payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(BIN_HDR + payload.len());
+    b.push(MAGIC);
+    b.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    b.extend_from_slice(payload);
+    b
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
     #[test]
     fn chunking_never_changes_the_event_sequence(
-        segments in prop::collection::vec((0u32..5, any::<u32>()), 1..6),
+        segments in prop::collection::vec((0u32..7, any::<u32>()), 1..6),
         cut_seeds in prop::collection::vec(any::<u64>(), 0..12),
     ) {
         let mut data = Vec::new();
@@ -159,6 +182,86 @@ fn torn_tail_appears_exactly_once_at_eof() {
         vec![Ev::Line("ok".into()), Ev::Torn, Ev::Eof],
         "a non-empty partial line at close must surface as Torn"
     );
+}
+
+#[test]
+fn binary_frames_survive_any_split() {
+    let payload = vec![0x00, 0x0A, MAGIC, b'{', 0xFF]; // worst-case bytes
+    let mut data = bin_frame(&payload);
+    data.extend_from_slice(b"req-1\n");
+    data.extend_from_slice(&bin_frame(b""));
+    let reference = events(&data[..]);
+    assert_eq!(
+        reference,
+        vec![
+            Ev::Binary(payload),
+            Ev::Line("req-1".into()),
+            Ev::Binary(vec![]),
+            Ev::Eof
+        ]
+    );
+    for cut in 0..data.len() {
+        let chunked = events(Chunked {
+            data: data.clone(),
+            cuts: vec![cut],
+            pos: 0,
+        });
+        assert_eq!(chunked, reference, "divergence at cut {cut}");
+    }
+}
+
+/// A corrupt declared length must not allocate gigabytes: the reader
+/// reports `Corrupt`, performs a bounded skip to the next plausible
+/// frame boundary, and picks up the following frames.
+#[test]
+fn corrupt_binary_length_resyncs_without_allocating() {
+    // Declares ~4 GiB; only the real bytes are ever buffered.
+    let mut data = vec![MAGIC];
+    data.extend_from_slice(&u32::MAX.to_le_bytes());
+    data.extend_from_slice(b"stray bytes\n");
+    data.extend_from_slice(b"after\n");
+    data.extend_from_slice(&bin_frame(b"ok"));
+    let reference = events(&data[..]);
+    assert_eq!(
+        reference,
+        vec![
+            Ev::Corrupt,
+            Ev::Line("after".into()),
+            Ev::Binary(b"ok".to_vec()),
+            Ev::Eof
+        ]
+    );
+    for cut in 0..data.len() {
+        let chunked = events(Chunked {
+            data: data.clone(),
+            cuts: vec![cut],
+            pos: 0,
+        });
+        assert_eq!(chunked, reference, "divergence at cut {cut}");
+    }
+}
+
+/// Resync may also land on a raw `MAGIC` byte (no newline in between):
+/// the next binary frame is picked up directly.
+#[test]
+fn corrupt_binary_resyncs_to_next_magic() {
+    let mut data = vec![MAGIC];
+    data.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+    data.extend_from_slice(&[0x01, 0x02, 0x03]); // junk without newline
+    data.extend_from_slice(&bin_frame(b"next"));
+    let evs = events(&data[..]);
+    assert_eq!(
+        evs,
+        vec![Ev::Corrupt, Ev::Binary(b"next".to_vec()), Ev::Eof]
+    );
+}
+
+#[test]
+fn partial_binary_frame_at_eof_is_torn() {
+    let mut data = bin_frame(b"whole");
+    data.extend_from_slice(&[MAGIC, 0x05, 0x00]); // header cut short
+    let evs = events(&data[..]);
+    assert_eq!(evs, vec![Ev::Binary(b"whole".to_vec()), Ev::Torn, Ev::Eof]);
 }
 
 #[test]

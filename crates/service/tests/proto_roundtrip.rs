@@ -5,10 +5,45 @@
 use proptest::prelude::*;
 
 use gb_service::proto::{
-    Algorithm, BalanceRequest, BalanceResponse, ErrorCode, Frame, FrameError, FrameReader, Json,
-    Request, Response, MAX_FRAME,
+    binary_ok_tail, json_hit_reply, json_ok_tail, Algorithm, BalanceRequest, BalanceResponse,
+    Codec, ErrorCode, Frame, FrameError, FrameReader, Json, Request, Response, WireCodec, BIN_HDR,
+    MAGIC, MAX_FRAME,
 };
 use gb_service::spec::ProblemSpec;
+
+/// Encodes with `codec` and strips the framing, returning the payload
+/// the decoder sees (the newline for JSON, the 5-byte header for
+/// binary) after asserting the frame is well-formed.
+fn deframe(codec: WireCodec, frame: &[u8]) -> Vec<u8> {
+    match codec {
+        WireCodec::Json => {
+            assert_eq!(frame.last(), Some(&b'\n'), "JSON frames end in newline");
+            frame[..frame.len() - 1].to_vec()
+        }
+        WireCodec::Binary => {
+            assert_eq!(frame[0], MAGIC);
+            let len = u32::from_le_bytes(frame[1..BIN_HDR].try_into().unwrap()) as usize;
+            assert_eq!(len, frame.len() - BIN_HDR, "length prefix matches body");
+            frame[BIN_HDR..].to_vec()
+        }
+    }
+}
+
+fn request_round_trip(codec: WireCodec, req: &Request) -> Request {
+    let mut frame = Vec::new();
+    codec.encode_request(req, &mut frame);
+    codec
+        .decode_request(&deframe(codec, &frame))
+        .expect("round trip decodes")
+}
+
+fn response_round_trip(codec: WireCodec, resp: &Response) -> Response {
+    let mut frame = Vec::new();
+    codec.encode_response(resp, &mut frame);
+    codec
+        .decode_response(&deframe(codec, &frame))
+        .expect("round trip decodes")
+}
 
 fn algorithm() -> impl Strategy<Value = Algorithm> {
     prop_oneof![
@@ -172,6 +207,136 @@ proptest! {
         let parsed = parsed.unwrap();
         prop_assert_eq!(&parsed, &doc);
         prop_assert_eq!(parsed.encode(), once);
+    }
+
+    /// Every request variant survives both codecs, and the two codecs
+    /// agree on what they carried: binary-decode(binary-encode(x)) ==
+    /// json-decode(json-encode(x)) == x.
+    #[test]
+    fn requests_round_trip_in_both_codecs(req in balance_request()) {
+        for wire in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Balance(req),
+        ] {
+            let via_json = request_round_trip(WireCodec::Json, &wire);
+            let via_binary = request_round_trip(WireCodec::Binary, &wire);
+            prop_assert_eq!(&via_json, &wire);
+            prop_assert_eq!(&via_binary, &via_json);
+        }
+    }
+
+    /// Every response variant survives both codecs and the codecs agree.
+    #[test]
+    fn responses_round_trip_in_both_codecs(
+        has_id in any::<bool>(),
+        id in 0u64..u64::MAX / 2,
+        alg in algorithm(),
+        n in 1usize..4096,
+        ratio_m in 1_000u64..100_000,
+        micros in 0u64..10_000_000,
+        code in error_code(),
+        pieces in prop::collection::vec(1u64..1_000_000, 0..64),
+    ) {
+        let stats = Json::Obj(vec![
+            ("requests".into(), Json::Int(id as i64 % 100_000)),
+            ("engine".into(), Json::Str("event".into())),
+            ("rate".into(), Json::Num(ratio_m as f64 / 7.0)),
+        ]);
+        for resp in [
+            Response::Pong,
+            Response::Stats(stats),
+            Response::Error {
+                id: has_id.then_some(id),
+                code,
+                message: format!("err #{micros} with \"quotes\" and \u{1F600}"),
+            },
+            Response::Ok(BalanceResponse {
+                id: has_id.then_some(id),
+                algorithm: alg,
+                n,
+                ratio: ratio_m as f64 / 1000.0,
+                bound: ratio_m as f64 / 500.0,
+                alpha: 0.25,
+                cached: micros % 2 == 0,
+                micros,
+                pieces: pieces.iter().map(|&w| w as f64 / 1000.0).collect(),
+            }),
+        ] {
+            let via_json = response_round_trip(WireCodec::Json, &resp);
+            let via_binary = response_round_trip(WireCodec::Binary, &resp);
+            prop_assert_eq!(&via_json, &resp);
+            prop_assert_eq!(&via_binary, &via_json);
+        }
+    }
+
+    /// The spliced hit path must be byte-identical to the full encoder:
+    /// a JSON client cannot tell a zero-copy cache hit from a freshly
+    /// serialized reply.
+    #[test]
+    fn spliced_hit_replies_match_full_encoding(
+        has_id in any::<bool>(),
+        id in 0u64..u64::MAX / 2,
+        alg in algorithm(),
+        n in 1usize..4096,
+        ratio_m in 1_000u64..100_000,
+        micros in 0u64..10_000_000,
+        pieces_raw in prop::collection::vec(1u64..1_000_000, 0..32),
+    ) {
+        let pieces: Vec<f64> = pieces_raw.iter().map(|&w| w as f64 / 1000.0).collect();
+        let resp = Response::Ok(BalanceResponse {
+            id: has_id.then_some(id),
+            algorithm: alg,
+            n,
+            ratio: ratio_m as f64 / 1000.0,
+            bound: ratio_m as f64 / 500.0,
+            alpha: 0.25,
+            cached: true,
+            micros,
+            pieces: pieces.clone(),
+        });
+        // JSON: splice id + micros into the invariant tail.
+        let (tail, split) = json_ok_tail(
+            alg, n, ratio_m as f64 / 1000.0, ratio_m as f64 / 500.0, 0.25, &pieces,
+        );
+        let mut spliced = Vec::new();
+        json_hit_reply(&mut spliced, has_id.then_some(id), micros, &tail, split);
+        let mut full = Vec::new();
+        WireCodec::Json.encode_response(&resp, &mut full);
+        prop_assert_eq!(&spliced, &full, "JSON splice diverged from encoder");
+        // Binary: head + invariant tail.
+        let (mut bin_spliced, mut bin_full) = (Vec::new(), Vec::new());
+        let mut bin_tail = Vec::new();
+        binary_ok_tail(
+            alg, n, ratio_m as f64 / 1000.0, ratio_m as f64 / 500.0, 0.25, &pieces, &mut bin_tail,
+        );
+        gb_service::proto::binary_hit_reply(
+            &mut bin_spliced, has_id.then_some(id), micros, &bin_tail,
+        );
+        WireCodec::Binary.encode_response(&resp, &mut bin_full);
+        prop_assert_eq!(&bin_spliced, &bin_full, "binary splice diverged from encoder");
+    }
+
+    /// Mutated binary payloads must produce errors, never panics.
+    #[test]
+    fn mutated_binary_frames_never_panic(
+        req in balance_request(),
+        flip in 0usize..300,
+        cut in 0usize..300,
+    ) {
+        let mut frame = Vec::new();
+        WireCodec::Binary.encode_request(&Request::Balance(req), &mut frame);
+        let payload = &frame[BIN_HDR..];
+        let truncated = &payload[..payload.len().saturating_sub(cut % (payload.len() + 1))];
+        let _ = WireCodec::Binary.decode_request(truncated);
+        let mut mutated = payload.to_vec();
+        if !mutated.is_empty() {
+            let i = flip % mutated.len();
+            mutated[i] = mutated[i].wrapping_add(1);
+            let _ = WireCodec::Binary.decode_request(&mutated);
+        }
+        let _ = WireCodec::Binary.decode_response(payload);
     }
 
     #[test]

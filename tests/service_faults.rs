@@ -15,7 +15,7 @@
 //! writes, `WouldBlock` storms on either side, read/write resets and
 //! errors, stalled workers, accept-time refusals).
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -23,7 +23,10 @@ use std::time::{Duration, Instant};
 
 use gb_service::client::Client;
 use gb_service::fault::{ReadOp, ScriptedShim, WriteOp};
-use gb_service::proto::{Algorithm, BalanceRequest, ErrorCode, Json, Request, Response, MAX_FRAME};
+use gb_service::proto::{
+    Algorithm, BalanceRequest, Codec, ErrorCode, Json, Request, Response, WireCodec, BIN_HDR,
+    MAGIC, MAX_FRAME,
+};
 use gb_service::server::{Engine, Server, ServerConfig, Tuning};
 use gb_service::spec::ProblemSpec;
 
@@ -273,6 +276,30 @@ impl RawConn {
             return None;
         }
         Some(Response::decode(line.trim_end()).expect("decode reply"))
+    }
+
+    /// Reads one length-prefixed binary reply; `None` on EOF.
+    fn read_binary_reply(&mut self) -> Option<Response> {
+        let mut header = [0u8; BIN_HDR];
+        if let Err(e) = self.reader.read_exact(&mut header) {
+            assert_eq!(
+                e.kind(),
+                std::io::ErrorKind::UnexpectedEof,
+                "binary header read"
+            );
+            return None;
+        }
+        assert_eq!(header[0], MAGIC, "binary reply magic");
+        let len = u32::from_le_bytes(header[1..].try_into().unwrap()) as usize;
+        let mut payload = vec![0u8; len];
+        self.reader
+            .read_exact(&mut payload)
+            .expect("binary payload");
+        Some(
+            WireCodec::Binary
+                .decode_response(&payload)
+                .expect("decode binary reply"),
+        )
     }
 
     fn close_write(&self) {
@@ -862,6 +889,88 @@ fn max_conns_cap_sheds_with_overloaded_reply() {
         h.assert_never_wedged();
         h.shutdown();
     });
+}
+
+/// Scenario 19 (binary codec): one full fault-matrix shape (`event`,
+/// single backend) exercised end-to-end over the binary codec — control
+/// frames, a cold compute, a cached hit served from the encoded-reply
+/// cache, per-frame codec switching on one connection, a corrupt length
+/// prefix that must resync rather than allocate, and a torn binary tail.
+/// The closing invariant check runs over JSON, proving both codecs share
+/// the port.
+#[test]
+fn binary_codec_event_shape_end_to_end() {
+    let setup = Setup {
+        engine: Engine::Event,
+        backends: 1,
+    };
+    let h = Harness::start(setup);
+    let mut client = Client::connect(h.addr()).expect("connect");
+    client.set_codec(WireCodec::Binary);
+    assert!(matches!(
+        client.call(&Request::Ping).expect("binary ping"),
+        Response::Pong
+    ));
+    let seed = cold_seed();
+    // Cold: crosses a worker; hot: answered from the encoded-reply cache.
+    for expect_cached in [false, true] {
+        match client
+            .call(&balance_request(seed, None))
+            .expect("binary balance")
+        {
+            Response::Ok(ok) => {
+                assert_eq!(ok.cached, expect_cached, "cache state on binary path");
+                assert_eq!(ok.id, Some(seed), "id echoed through the hit splice");
+                assert!(ok.ratio >= 1.0 && ok.ratio <= ok.bound);
+            }
+            other => panic!("binary balance got {other:?}"),
+        }
+    }
+    // The server sniffs each frame's first byte, so one connection may
+    // switch codec per frame.
+    client.set_codec(WireCodec::Json);
+    match client
+        .call(&balance_request(seed, None))
+        .expect("json frame on the same connection")
+    {
+        Response::Ok(ok) => assert!(ok.cached),
+        other => panic!("json reply {other:?}"),
+    }
+    client.set_codec(WireCodec::Binary);
+    assert!(matches!(
+        client.call(&Request::Stats).expect("binary stats"),
+        Response::Stats(_)
+    ));
+
+    // Corrupt declared length: a binary error reply, then a bounded
+    // resync — the same connection keeps answering.
+    {
+        let mut conn = RawConn::open(h.addr());
+        let mut burst = vec![MAGIC];
+        burst.extend_from_slice(&u32::MAX.to_le_bytes());
+        burst.push(b'\n'); // resync boundary
+        WireCodec::Binary.encode_request(&Request::Ping, &mut burst);
+        conn.send(&burst);
+        match conn.read_binary_reply() {
+            Some(Response::Error { code, .. }) => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("corrupt-length reply: {other:?}"),
+        }
+        match conn.read_binary_reply() {
+            Some(Response::Pong) => {}
+            other => panic!("post-resync binary ping: {other:?}"),
+        }
+    }
+    h.await_fault_counter("torn_frame", 1);
+
+    // A binary header cut short by a close is a torn frame, same as a
+    // newline that never arrives.
+    {
+        let mut conn = RawConn::open(h.addr());
+        conn.send(&[MAGIC, 0x10, 0x00]);
+    }
+    h.await_fault_counter("torn_frame", 2);
+    h.assert_never_wedged();
+    h.shutdown();
 }
 
 // ---------------------------------------------------------------------------
